@@ -1,0 +1,1 @@
+bench/experiments.ml: Array C Database Exp_common List Option Printf Prng Roll_capture Roll_delta Roll_relation Roll_sim Roll_storage Summary W

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance Lazy List Measure Printf Roll_capture Roll_core Roll_delta Roll_relation Roll_storage Roll_util Roll_workload Staged Test Time Toolkit

@@ -1,0 +1,46 @@
+(* Shared machinery for the experiment harness: timing, reporting, and
+   scenario shorthands. Every experiment prints one labelled table; the
+   shapes (who wins, by what factor) are what reproduce the paper's
+   figures — absolute numbers depend on this substrate. *)
+
+module Time = Roll_delta.Time
+module Database = Roll_storage.Database
+module Tablefmt = Roll_util.Tablefmt
+module Summary = Roll_util.Summary
+module Prng = Roll_util.Prng
+module C = Roll_core
+module W = Roll_workload
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let ms seconds = Printf.sprintf "%.1f" (seconds *. 1000.0)
+
+let table = Tablefmt.print
+
+(* Footprint helpers. *)
+let txn_row_sizes stats =
+  let s = Summary.create () in
+  List.iter
+    (fun (fp : C.Stats.footprint) ->
+      let rows = List.fold_left (fun acc (_, n) -> acc + n) 0 fp.C.Stats.reads in
+      Summary.add s (float_of_int rows))
+    (C.Stats.footprints stats);
+  s
+
+let check_or_die what = function
+  | Ok () -> ()
+  | Error msg ->
+      Printf.printf "!! %s FAILED: %s\n" what msg;
+      exit 1
+
+(* A fresh n-way scenario with churn already applied. *)
+let churned_nway ?(key_range = 10) ?(initial_rows = 60) ?weights ~n ~txns ~seed () =
+  let w = W.Nway.create (W.Nway.config ?weights ~key_range ~initial_rows ~seed ~n ()) in
+  W.Nway.load_initial w;
+  W.Nway.churn w ~n:txns;
+  w
+
+let ctx_for w = C.Ctx.create ~t_initial:Time.origin (W.Nway.db w) (W.Nway.capture w) (W.Nway.view w)

@@ -1,0 +1,36 @@
+(* The benchmark/experiment harness: one executable regenerating every
+   figure-level experiment (see DESIGN.md section 6) plus bechamel
+   microbenchmarks.
+
+     dune exec bench/main.exe                # everything
+     dune exec bench/main.exe -- fig5 claim  # only matching experiments
+     dune exec bench/main.exe -- --list
+*)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  if List.mem "--list" args then begin
+    List.iter (fun (name, _) -> print_endline name) Experiments.all;
+    print_endline "micro"
+  end
+  else begin
+    let wanted name =
+      args = []
+      || List.exists
+           (fun pat ->
+             String.length pat <= String.length name
+             && String.sub name 0 (String.length pat) = pat)
+           args
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (name, f) ->
+        if wanted name then begin
+          let t = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t)
+        end)
+      Experiments.all;
+    if wanted "micro" then Micro.run ();
+    Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)
+  end

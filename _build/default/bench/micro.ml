@@ -1,0 +1,99 @@
+(* Bechamel microbenchmarks: steady-state costs of the core operations.
+   One Test.make per operation; results are printed as a table of
+   per-run times estimated by OLS. *)
+
+open Bechamel
+open Toolkit
+module Time_ = Roll_delta.Time
+module Delta = Roll_delta.Delta
+module Relation = Roll_relation.Relation
+module Tuple = Roll_relation.Tuple
+module Schema = Roll_relation.Schema
+module Value = Roll_relation.Value
+module Prng = Roll_util.Prng
+module Database = Roll_storage.Database
+module C = Roll_core
+module W = Roll_workload
+
+let schema = Schema.make [ { Schema.name = "k"; ty = Value.T_int } ]
+
+(* A delta with 100k rows, for window/net-effect costs. *)
+let big_delta =
+  lazy
+    (let d = Delta.create schema in
+     let rng = Prng.create ~seed:1 in
+     for ts = 1 to 100_000 do
+       Delta.append d (Tuple.ints [ Prng.int rng 1000 ]) ~count:1 ~ts
+     done;
+     ignore (Delta.window_count d ~lo:0 ~hi:1);
+     d)
+
+let test_window =
+  Test.make ~name:"delta window (1k of 100k rows)" (Staged.stage (fun () ->
+      let d = Lazy.force big_delta in
+      Delta.window_count d ~lo:50_000 ~hi:51_000))
+
+let test_net_effect =
+  Test.make ~name:"delta net effect (10k rows)" (Staged.stage (fun () ->
+      let d = Lazy.force big_delta in
+      Relation.distinct_count (Delta.net_effect d ~lo:0 ~hi:10_000)))
+
+let join_scenario =
+  lazy
+    (let w =
+       W.Nway.create (W.Nway.config ~key_range:100 ~initial_rows:2000 ~n:2 ~seed:2 ())
+     in
+     W.Nway.load_initial w;
+     W.Nway.churn w ~n:50;
+     let ctx =
+       C.Ctx.create ~t_initial:0 (W.Nway.db w) (W.Nway.capture w) (W.Nway.view w)
+     in
+     Roll_capture.Capture.advance (W.Nway.capture w);
+     (w, ctx))
+
+let test_join_full =
+  Test.make ~name:"2-way hash join (2k x 2k)" (Staged.stage (fun () ->
+      let _, ctx = Lazy.force join_scenario in
+      C.Executor.evaluate ctx (C.Pquery.all_base 2)))
+
+let test_join_delta =
+  Test.make ~name:"delta-probe join (50 txns x 2k)" (Staged.stage (fun () ->
+      let w, ctx = Lazy.force join_scenario in
+      let hi = Database.now (W.Nway.db w) in
+      C.Executor.evaluate ctx [| C.Pquery.Win { lo = hi - 50; hi }; C.Pquery.Base |]))
+
+let test_relation_union =
+  Test.make ~name:"relation union (1k tuples)"
+    (let r =
+       Relation.of_list schema (List.init 1000 (fun i -> (Tuple.ints [ i ], 1)))
+     in
+     Staged.stage (fun () -> Relation.union r r))
+
+let tests =
+  Test.make_grouped ~name:"micro"
+    [ test_window; test_net_effect; test_join_full; test_join_delta; test_relation_union ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_newline ();
+  print_endline "== microbenchmarks (bechamel, monotonic clock) ==";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let per_run =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%.0f ns" x
+        | _ -> "-"
+      in
+      rows := [ name; per_run ] :: !rows)
+    results;
+  Roll_util.Tablefmt.print ~title:"per-call cost" ~header:[ "operation"; "time" ]
+    (List.sort compare !rows)

@@ -1,0 +1,262 @@
+(* rollctl — command-line driver for the rolling-IVM engine.
+
+     rollctl run --workload star --algorithm rolling --txns 500
+     rollctl coverage --txns 80 --fact-interval 5 --dim-interval 15
+     rollctl parse "SELECT o.okey ... "
+*)
+
+open Cmdliner
+module Time = Roll_delta.Time
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_term =
+  let flag =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"enable debug logging")
+  in
+  Term.(const setup_logs $ flag)
+module Database = Roll_storage.Database
+module Tablefmt = Roll_util.Tablefmt
+module Summary = Roll_util.Summary
+module C = Roll_core
+module W = Roll_workload
+
+(* --- run --- *)
+
+type workload_kind = Star | Chain
+
+let run_cmd workload algorithm txns interval verify =
+  let db, capture, view, history, churn =
+    match workload with
+    | Star ->
+        let star = W.Star.create W.Star.default_config in
+        W.Star.load_initial star;
+        ( W.Star.db star, W.Star.capture star, W.Star.view star,
+          W.Star.history star,
+          fun n -> W.Star.mixed_txns star ~n ~dim_fraction:0.05 )
+    | Chain ->
+        let chain = W.Chain.create W.Chain.default_config in
+        W.Chain.load_initial chain;
+        ( W.Chain.db chain, W.Chain.capture chain, W.Chain.view chain,
+          W.Chain.history chain,
+          fun n -> W.Chain.run chain ~n )
+  in
+  let n = C.View.n_sources view in
+  let algo =
+    match algorithm with
+    | "uniform" -> C.Controller.Uniform interval
+    | "rolling" ->
+        C.Controller.Rolling
+          (C.Rolling.per_relation
+             (Array.init n (fun i -> if i = 0 then interval else interval * 10)))
+    | "deferred" -> C.Controller.Deferred (C.Rolling_deferred.uniform interval)
+    | "adaptive" -> C.Controller.Adaptive (interval * 5)
+    | other -> failwith ("unknown algorithm: " ^ other)
+  in
+  let controller = C.Controller.create db capture view ~algorithm:algo in
+  let rounds = 5 in
+  for _ = 1 to rounds do
+    churn (txns / rounds);
+    ignore (C.Controller.refresh_latest controller)
+  done;
+  let stats = C.Controller.stats controller in
+  Tablefmt.print ~title:"maintenance summary"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "view"; C.View.name view ];
+      [ "commits"; string_of_int (Database.now db) ];
+      [ "view rows";
+        string_of_int (Roll_relation.Relation.distinct_count (C.Controller.contents controller)) ];
+      [ "as of"; string_of_int (C.Controller.as_of controller) ];
+      [ "propagation queries"; string_of_int (C.Stats.queries stats) ];
+      [ "rows read"; string_of_int (C.Stats.rows_read stats) ];
+      [ "rows emitted"; string_of_int (C.Stats.rows_emitted stats) ];
+    ];
+  if verify then begin
+    let t = C.Controller.as_of controller in
+    let expected = C.Oracle.view_at history view t in
+    if Roll_relation.Relation.equal expected (C.Controller.contents controller) then
+      print_endline "verification vs oracle: ok"
+    else begin
+      print_endline "verification vs oracle: FAILED";
+      exit 1
+    end
+  end
+
+let workload_conv =
+  Arg.conv
+    ( (fun s ->
+        match s with
+        | "star" -> Ok Star
+        | "chain" -> Ok Chain
+        | _ -> Error (`Msg "expected star or chain")),
+      fun ppf w -> Format.pp_print_string ppf (match w with Star -> "star" | Chain -> "chain") )
+
+let run_term =
+  let workload =
+    Arg.(value & opt workload_conv Star & info [ "workload"; "w" ] ~doc:"star or chain")
+  in
+  let algorithm =
+    Arg.(value & opt string "rolling" & info [ "algorithm"; "a" ] ~doc:"rolling, uniform, deferred or adaptive")
+  in
+  let txns = Arg.(value & opt int 500 & info [ "txns"; "n" ] ~doc:"update transactions") in
+  let interval = Arg.(value & opt int 10 & info [ "interval"; "i" ] ~doc:"base propagation interval") in
+  let verify = Arg.(value & flag & info [ "verify" ] ~doc:"check the final state against the oracle") in
+  Term.(const (fun () w a n i v -> run_cmd w a n i v) $ verbose_term $ workload $ algorithm $ txns $ interval $ verify)
+
+(* --- coverage --- *)
+
+let coverage_cmd txns i0 i1 width =
+  let w = W.Nway.create (W.Nway.config ~n:2 ~initial_rows:20 ~seed:5 ()) in
+  W.Nway.load_initial w;
+  W.Nway.churn w ~n:txns;
+  let ctx =
+    C.Ctx.create ~geometry:true ~t_initial:0 (W.Nway.db w) (W.Nway.capture w)
+      (W.Nway.view w)
+  in
+  let r = C.Rolling.create ctx ~t_initial:0 in
+  let target = Database.now (W.Nway.db w) in
+  C.Rolling.run_until r ~target ~policy:(C.Rolling.per_relation [| i0; i1 |]);
+  let g = Option.get ctx.C.Ctx.geometry in
+  Printf.printf "rolling propagation of %d commits, intervals R1=%d R2=%d:\n\n"
+    target i0 i1;
+  print_string (C.Geometry.render_2d g ~width ~upto:(Database.now (W.Nway.db w)));
+  (match C.Geometry.check g ~hwm:(C.Rolling.hwm r) with
+  | Ok () -> Printf.printf "\ncoverage up to hwm=%d: exact\n" (C.Rolling.hwm r)
+  | Error msg ->
+      Printf.printf "\ncoverage check FAILED: %s\n" msg;
+      exit 1)
+
+let coverage_term =
+  let txns = Arg.(value & opt int 80 & info [ "txns"; "n" ] ~doc:"update transactions") in
+  let i0 = Arg.(value & opt int 5 & info [ "r1-interval" ] ~doc:"R1 interval") in
+  let i1 = Arg.(value & opt int 15 & info [ "r2-interval" ] ~doc:"R2 interval") in
+  let width = Arg.(value & opt int 40 & info [ "width" ] ~doc:"render width") in
+  Term.(const (fun () a b c d -> coverage_cmd a b c d) $ verbose_term $ txns $ i0 $ i1 $ width)
+
+(* --- status (multi-view service demo) --- *)
+
+let status_cmd txns =
+  let star = W.Star.create W.Star.default_config in
+  W.Star.load_initial star;
+  let db = W.Star.db star in
+  let service = C.Service.create db (W.Star.capture star) in
+  let _ =
+    C.Service.register service
+      ~algorithm:(C.Controller.Rolling (C.Rolling.per_relation [| 10; 80; 80 |]))
+      (W.Star.view star)
+  in
+  let b = C.View.binder db [ ("fact", "f") ] in
+  let fact_only =
+    C.View.create db ~name:"fact_copy" ~sources:[ ("fact", "f") ] ~predicate:[]
+      ~project:[ b "f" "measure" ]
+  in
+  let _ =
+    C.Service.register service ~algorithm:(C.Controller.Uniform 20) fact_only
+  in
+  W.Star.mixed_txns star ~n:txns ~dim_fraction:0.05;
+  C.Service.pause service "fact_copy";
+  ignore (C.Service.step_all service ~budget:50);
+  let print_status header =
+    Tablefmt.print ~title:header
+      ~header:[ "view"; "as of"; "hwm"; "staleness"; "delta rows"; "state" ]
+      (List.map
+         (fun (st : C.Service.status) ->
+           [
+             st.name;
+             string_of_int st.as_of;
+             string_of_int st.hwm;
+             string_of_int st.staleness;
+             string_of_int st.delta_rows;
+             (if st.paused then "paused" else "running");
+           ])
+         (C.Service.status service))
+  in
+  print_status "after 50 budgeted steps (fact_copy paused)";
+  C.Service.resume service "fact_copy";
+  C.Service.refresh_all service;
+  ignore (C.Service.gc_all service);
+  print_status "after resume + refresh_all + gc"
+
+let status_term =
+  let txns = Arg.(value & opt int 200 & info [ "txns"; "n" ] ~doc:"update transactions") in
+  Term.(const (fun () n -> status_cmd n) $ verbose_term $ txns)
+
+(* --- explain --- *)
+
+let explain_cmd txns =
+  let w = W.Nway.create (W.Nway.config ~n:3 ~initial_rows:100 ~seed:3 ()) in
+  W.Nway.load_initial w;
+  W.Nway.churn w ~n:txns;
+  let ctx =
+    C.Ctx.create ~t_initial:0 (W.Nway.db w) (W.Nway.capture w) (W.Nway.view w)
+  in
+  Roll_capture.Capture.advance (W.Nway.capture w);
+  let now = Database.now (W.Nway.db w) in
+  print_endline "plan for the view's defining query:";
+  print_string (C.Executor.explain ctx (C.Pquery.all_base 3));
+  print_endline "plan for a forward propagation query (delta window drives the join):";
+  print_string
+    (C.Executor.explain ctx
+       (C.Pquery.replace (C.Pquery.all_base 3) 1
+          (C.Pquery.Win { lo = now - 10; hi = now })))
+
+let explain_term =
+  let txns = Arg.(value & opt int 50 & info [ "txns"; "n" ] ~doc:"update transactions") in
+  Term.(const (fun () n -> explain_cmd n) $ verbose_term $ txns)
+
+(* --- parse --- *)
+
+let parse_cmd sql =
+  (* A demo catalog to resolve names against. *)
+  let db = Database.create () in
+  let int_col name = { Roll_relation.Schema.name; ty = Roll_relation.Value.T_int } in
+  let str_col name = { Roll_relation.Schema.name; ty = Roll_relation.Value.T_string } in
+  let _ =
+    Database.create_table db ~name:"orders"
+      (Roll_relation.Schema.make [ int_col "okey"; int_col "ckey"; int_col "total" ])
+  in
+  let _ =
+    Database.create_table db ~name:"customer"
+      (Roll_relation.Schema.make [ int_col "ckey"; str_col "name"; str_col "region" ])
+  in
+  let _ =
+    Database.create_table db ~name:"lineitem"
+      (Roll_relation.Schema.make [ int_col "okey"; int_col "qty" ])
+  in
+  match Roll_dsl.Sql.parse_view db ~name:"cli_view" sql with
+  | view ->
+      Format.printf "%a@." C.View.pp view;
+      Format.printf "output schema: %a@." Roll_relation.Schema.pp
+        (C.View.output_schema view)
+  | exception Roll_dsl.Sql.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 1
+
+let parse_term =
+  let sql = Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL") in
+  Term.(const (fun () q -> parse_cmd q) $ verbose_term $ sql)
+
+let () =
+  let info name doc = Cmd.info name ~doc in
+  let cmds =
+    [
+      Cmd.v (info "run" "run a workload under view maintenance and report statistics") run_term;
+      Cmd.v (info "coverage" "render the propagation-plane coverage of a rolling run (Figures 6-9)") coverage_term;
+      Cmd.v
+        (info "parse"
+           "parse a view definition against the demo catalog (orders, customer, lineitem)")
+        parse_term;
+      Cmd.v (info "status" "run a two-view maintenance service and print its control-table status") status_term;
+      Cmd.v (info "explain" "show executor plans for base and propagation queries") explain_term;
+    ]
+  in
+  let group =
+    Cmd.group
+      (Cmd.info "rollctl" ~version:"1.0.0"
+         ~doc:"asynchronous incremental view maintenance (rolling join propagation)")
+      cmds
+  in
+  exit (Cmd.eval group)

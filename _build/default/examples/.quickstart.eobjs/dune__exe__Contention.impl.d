@@ -1,0 +1,1 @@
+examples/contention.ml: List Printf Roll_core Roll_delta Roll_sim Roll_storage Roll_util Roll_workload

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Filename Fun List Printf Relation Roll_capture Roll_core Roll_delta Roll_dsl Roll_relation Roll_storage Roll_util Schema Sys Tuple Value

@@ -1,0 +1,1 @@
+examples/point_in_time.ml: Format Relation Roll_capture Roll_core Roll_dsl Roll_relation Roll_storage Roll_util Schema Tuple Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Relation Roll_capture Roll_core Roll_dsl Roll_relation Roll_storage Schema Tuple Value

@@ -1,0 +1,1 @@
+examples/sql_views.ml: Format List Relation Roll_core Roll_delta Roll_dsl Roll_relation Roll_storage Roll_util Roll_workload Tuple Value

@@ -1,0 +1,1 @@
+examples/star_schema.ml: List Printf Roll_core Roll_delta Roll_storage Roll_util Roll_workload

@@ -1,0 +1,1 @@
+lib/capture/capture.ml: Database Hashtbl List Logs Roll_delta Roll_storage String Table Uow Wal

@@ -1,0 +1,1 @@
+lib/capture/capture.mli: Roll_delta Roll_storage Uow

@@ -1,0 +1,1 @@
+lib/capture/trigger_capture.ml: Capture Database Hashtbl List Roll_delta Roll_relation Roll_storage String Table Wal

@@ -1,0 +1,1 @@
+lib/capture/trigger_capture.mli: Capture Roll_delta Roll_storage

@@ -1,0 +1,1 @@
+lib/capture/uow.ml: Hashtbl Roll_delta Roll_util

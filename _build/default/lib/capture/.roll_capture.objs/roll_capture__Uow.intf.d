@@ -1,0 +1,1 @@
+lib/capture/uow.mli: Roll_delta

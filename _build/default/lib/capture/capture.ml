@@ -1,0 +1,89 @@
+open Roll_storage
+module Delta = Roll_delta.Delta
+module Time = Roll_delta.Time
+
+let log_src = Logs.Src.create "roll.capture" ~doc:"log capture (DPropR analogue)"
+
+module Log = (val Logs.src_log log_src)
+
+type t = {
+  db : Database.t;
+  deltas : (string, Delta.t) Hashtbl.t;
+  uow : Uow.t;
+  mutable cursor : int;  (** next WAL position to read *)
+  mutable hwm : Time.t;
+}
+
+let create db =
+  {
+    db;
+    deltas = Hashtbl.create 8;
+    uow = Uow.create ();
+    cursor = 0;
+    hwm = Time.origin;
+  }
+
+let attach t ~table =
+  if Hashtbl.mem t.deltas table then
+    invalid_arg ("Capture.attach: already attached: " ^ table);
+  let tbl = Database.table t.db table in
+  (* Refuse to attach if changes to this table are already past the cursor:
+     they would never be captured and the delta would be silently wrong. *)
+  let wal = Database.wal t.db in
+  let missed = ref false in
+  Wal.iter_from wal ~pos:0 (fun record ->
+      if
+        List.exists
+          (fun (c : Wal.change) -> String.equal c.table table)
+          record.changes
+      then missed := true);
+  if !missed then
+    invalid_arg ("Capture.attach: table already has logged changes: " ^ table);
+  Hashtbl.add t.deltas table (Delta.create (Table.schema tbl))
+
+let attached t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.deltas []
+  |> List.sort String.compare
+
+let delta t ~table =
+  match Hashtbl.find_opt t.deltas table with
+  | Some d -> d
+  | None -> raise Not_found
+
+let uow t = t.uow
+
+let capture_record t (record : Wal.record) =
+  let relevant = ref (record.marker <> None) in
+  List.iter
+    (fun (c : Wal.change) ->
+      match Hashtbl.find_opt t.deltas c.table with
+      | None -> ()
+      | Some d ->
+          relevant := true;
+          Delta.append d c.tuple ~count:c.count ~ts:record.csn)
+    record.changes;
+  if !relevant then
+    Uow.record t.uow
+      { Uow.txn_id = record.txn_id; csn = record.csn; wall = record.wall };
+  t.hwm <- record.csn
+
+let advance ?max_records t =
+  let wal = Database.wal t.db in
+  let stop =
+    match max_records with
+    | None -> Wal.length wal
+    | Some n -> min (Wal.length wal) (t.cursor + n)
+  in
+  let from = t.cursor in
+  while t.cursor < stop do
+    capture_record t (Wal.get wal t.cursor);
+    t.cursor <- t.cursor + 1
+  done;
+  if t.cursor > from then
+    Log.debug (fun m ->
+        m "captured %d records, hwm=%d lag=%d" (t.cursor - from) t.hwm
+          (Wal.length wal - t.cursor))
+
+let hwm t = t.hwm
+
+let lag t = Wal.length (Database.wal t.db) - t.cursor

@@ -1,0 +1,37 @@
+(** Log capture: the DPropR analogue.
+
+    A capture process owns a cursor into the database's write-ahead log.
+    Advancing the cursor appends change records of {e attached} tables to
+    their delta tables (Δ^R) and fills the unit-of-work table. Capture is
+    asynchronous: the cursor may lag arbitrarily far behind the log tail,
+    and tests inject lag deliberately. Propagation queries may only use
+    delta windows that end at or before the capture high-water mark. *)
+
+type t
+
+val create : Roll_storage.Database.t -> t
+
+val attach : t -> table:string -> unit
+(** Start capturing changes of [table]. Must be called before any change to
+    the table is committed (the paper's deltas cover the view's whole
+    propagation interval; attaching late would silently lose changes, so
+    [attach] raises if the table already has committed changes in the log
+    beyond the cursor). *)
+
+val attached : t -> string list
+
+val delta : t -> table:string -> Roll_delta.Delta.t
+(** Δ^R for an attached table. @raise Not_found otherwise. *)
+
+val uow : t -> Uow.t
+
+val advance : ?max_records:int -> t -> unit
+(** Read forward from the cursor, capturing at most [max_records] log
+    records (all available by default). *)
+
+val hwm : t -> Roll_delta.Time.t
+(** Capture high-water mark: every transaction with CSN <= [hwm t] has been
+    captured. Equals [Database.now] once capture has fully caught up. *)
+
+val lag : t -> int
+(** Number of log records not yet captured. *)

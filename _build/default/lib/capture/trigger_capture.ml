@@ -1,0 +1,79 @@
+open Roll_storage
+module Delta = Roll_delta.Delta
+module Time = Roll_delta.Time
+
+type stamping = [ `Write_time | `Commit_time ]
+
+type pending = { table : string; tuple : Roll_relation.Tuple.t; count : int; seq : int }
+
+type t = {
+  stamping : stamping;
+  deltas : (string, Delta.t) Hashtbl.t;
+  (* With commit-time stamping, rows wait here until their transaction's
+     commit record reveals the serialization order. *)
+  pending : (int, pending list) Hashtbl.t;
+  mutable next_seq : int;
+}
+
+let attach db ~stamping tables =
+  let t =
+    { stamping; deltas = Hashtbl.create 8; pending = Hashtbl.create 8; next_seq = 1 }
+  in
+  let wal = Database.wal db in
+  List.iter
+    (fun table ->
+      let missed = ref false in
+      Wal.iter_from wal ~pos:0 (fun record ->
+          if
+            List.exists
+              (fun (c : Wal.change) -> String.equal c.table table)
+              record.changes
+          then missed := true);
+      if !missed then
+        invalid_arg ("Trigger_capture.attach: table already has logged changes: " ^ table);
+      Hashtbl.replace t.deltas table
+        (Delta.create (Table.schema (Database.table db table))))
+    tables;
+  Database.add_write_trigger db (fun ~txn_id (change : Wal.change) ->
+      match Hashtbl.find_opt t.deltas change.table with
+      | None -> ()
+      | Some delta -> (
+          let seq = t.next_seq in
+          t.next_seq <- seq + 1;
+          match t.stamping with
+          | `Write_time ->
+              (* The serialization order is unknown here; the statement
+                 sequence is the best a plain trigger can do. *)
+              Delta.append delta change.tuple ~count:change.count ~ts:seq
+          | `Commit_time ->
+              let row = { table = change.table; tuple = change.tuple; count = change.count; seq } in
+              Hashtbl.replace t.pending txn_id
+                (row
+                :: (match Hashtbl.find_opt t.pending txn_id with
+                   | Some rows -> rows
+                   | None -> []))));
+  Database.add_commit_trigger db (fun (record : Wal.record) ->
+      match Hashtbl.find_opt t.pending record.txn_id with
+      | None -> ()
+      | Some rows ->
+          Hashtbl.remove t.pending record.txn_id;
+          List.iter
+            (fun row ->
+              match Hashtbl.find_opt t.deltas row.table with
+              | None -> ()
+              | Some delta ->
+                  Delta.append delta row.tuple ~count:row.count ~ts:record.csn)
+            (List.rev rows));
+  t
+
+let delta t ~table =
+  match Hashtbl.find_opt t.deltas table with
+  | Some d -> d
+  | None -> raise Not_found
+
+let matches_log_capture t capture ~table =
+  let ours = delta t ~table in
+  let theirs = Capture.delta capture ~table in
+  let key (r : Delta.row) = (r.tuple, r.count, r.ts) in
+  let sorted d = List.sort compare (List.map key (Delta.to_list d)) in
+  sorted ours = sorted theirs

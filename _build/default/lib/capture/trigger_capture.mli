@@ -1,0 +1,35 @@
+(** Trigger-based change capture — the alternative Section 5 argues
+    against, implemented so the argument can be demonstrated.
+
+    A write trigger fires while the transaction is still executing, before
+    its serialization order is known, so it can only stamp delta rows with
+    a guess. With [`Write_time] stamping (a per-statement sequence), rows
+    from transactions that begin and commit in different orders get
+    timestamps inconsistent with the serialization order, and the resulting
+    deltas are {e not} timed delta tables — point-in-time states built from
+    them are wrong (the tests show this concretely). With [`Commit_time]
+    stamping — the paper's "commit trigger" remedy, which re-stamps a
+    transaction's rows once its commit position is known — the deltas agree
+    with log capture.
+
+    This module captures changes for {e all} tables via database triggers;
+    it is a diagnostic/pedagogical companion to {!Capture}, not a
+    replacement (the propagation machinery uses {!Capture}). *)
+
+type stamping = [ `Write_time | `Commit_time ]
+
+type t
+
+val attach : Roll_storage.Database.t -> stamping:stamping -> string list -> t
+(** Install triggers capturing the given tables. Like {!Capture.attach},
+    tables must not have logged changes yet.
+    @raise Invalid_argument otherwise. *)
+
+val delta : t -> table:string -> Roll_delta.Delta.t
+(** The trigger-populated Δ^R. With [`Write_time] stamping its timestamps
+    are statement sequence numbers; with [`Commit_time] they are commit
+    sequence numbers, identical to log capture's. *)
+
+val matches_log_capture : t -> Capture.t -> table:string -> bool
+(** True when this delta's (tuple, count, timestamp) rows equal the
+    log-capture delta's, as multisets. *)

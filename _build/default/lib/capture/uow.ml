@@ -1,0 +1,38 @@
+module Vec = Roll_util.Vec
+module Time = Roll_delta.Time
+
+type entry = { txn_id : int; csn : Time.t; wall : float }
+
+type t = { entries : entry Vec.t; by_txn : (int, entry) Hashtbl.t }
+
+let create () = { entries = Vec.create (); by_txn = Hashtbl.create 64 }
+
+let record t entry =
+  (match Vec.last t.entries with
+  | Some prev when prev.csn >= entry.csn ->
+      invalid_arg "Uow.record: entries must arrive in CSN order"
+  | _ -> ());
+  Vec.push t.entries entry;
+  Hashtbl.replace t.by_txn entry.txn_id entry
+
+let length t = Vec.length t.entries
+
+let by_txn t id = Hashtbl.find_opt t.by_txn id
+
+let wall_of_csn t csn =
+  let i = Vec.lower_bound t.entries ~key:(fun e -> e.csn) csn in
+  if i < Vec.length t.entries && (Vec.get t.entries i).csn = csn then
+    Some (Vec.get t.entries i).wall
+  else None
+
+let csn_at_wall t wall =
+  (* Last entry with wall <= [wall]. Wall times are non-decreasing in CSN
+     order, so binary search applies. *)
+  let lo = ref 0 and hi = ref (Vec.length t.entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if (Vec.get t.entries mid).wall <= wall then lo := mid + 1 else hi := mid
+  done;
+  if !lo = 0 then Time.origin else (Vec.get t.entries (!lo - 1)).csn
+
+let iter f t = Vec.iter f t.entries

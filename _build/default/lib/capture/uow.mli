@@ -1,0 +1,30 @@
+(** The unit-of-work table.
+
+    Maps each relevant transaction's identifier to its commit sequence
+    number and commit wall-clock timestamp, exactly as DPropR maintains it
+    in the paper's prototype (Section 5). Commit sequence numbers are unique
+    and consistent with the serialization order; wall timestamps are
+    consistent but possibly non-unique. *)
+
+type entry = { txn_id : int; csn : Roll_delta.Time.t; wall : float }
+
+type t
+
+val create : unit -> t
+
+val record : t -> entry -> unit
+(** Entries must arrive in CSN order (capture reads the log forward). *)
+
+val length : t -> int
+
+val by_txn : t -> int -> entry option
+
+val wall_of_csn : t -> Roll_delta.Time.t -> float option
+(** Wall time of the transaction with exactly this CSN, if it is relevant. *)
+
+val csn_at_wall : t -> float -> Roll_delta.Time.t
+(** [csn_at_wall t w] is the CSN of the last relevant transaction with
+    commit wall time <= [w] ([Time.origin] when none) — the translation used
+    when a point-in-time refresh is requested in wall time. *)
+
+val iter : (entry -> unit) -> t -> unit

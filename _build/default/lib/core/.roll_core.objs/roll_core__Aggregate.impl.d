@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Array Ctx Hashtbl List Map Printf Relation Roll_delta Roll_relation Schema Tuple Value View

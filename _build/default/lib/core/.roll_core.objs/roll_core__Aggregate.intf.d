@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Ctx Roll_delta Roll_relation

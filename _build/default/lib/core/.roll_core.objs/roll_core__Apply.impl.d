@@ -1,0 +1,1 @@
+lib/core/apply.ml: Ctx Executor Printf Relation Roll_delta Roll_relation View

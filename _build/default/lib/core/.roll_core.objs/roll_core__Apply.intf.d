@@ -1,0 +1,1 @@
+lib/core/apply.mli: Ctx Roll_delta Roll_relation

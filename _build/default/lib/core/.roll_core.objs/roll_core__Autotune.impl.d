@@ -1,0 +1,1 @@
+lib/core/autotune.ml: Ctx Roll_capture Roll_delta Roll_storage View

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array List Oracle Relation Roll_relation Roll_storage View

@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Roll_delta Roll_relation Roll_storage View

@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Apply Array Buffer Ctx Fun Printf Relation Roll_delta Roll_relation Roll_storage Rolling Scanf Schema String View

@@ -1,0 +1,1 @@
+lib/core/checkpoint.mli: Apply Ctx Roll_capture Roll_delta Roll_storage Rolling View

@@ -1,0 +1,1 @@
+lib/core/compute_delta.ml: Array Ctx Executor Geometry Pquery Roll_capture Roll_delta Roll_storage Stats View

@@ -1,0 +1,1 @@
+lib/core/compute_delta.mli: Ctx Pquery Roll_delta

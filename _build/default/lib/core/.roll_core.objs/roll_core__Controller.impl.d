@@ -1,0 +1,1 @@
+lib/core/controller.ml: Apply Autotune Ctx Geometry List Logs Propagate Roll_capture Roll_delta Roll_relation Roll_storage Rolling Rolling_deferred View

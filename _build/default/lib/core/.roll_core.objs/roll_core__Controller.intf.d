@@ -1,0 +1,1 @@
+lib/core/controller.mli: Ctx Roll_capture Roll_delta Roll_relation Roll_storage Rolling Rolling_deferred Stats View

@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Capture Database Geometry List Roll_capture Roll_delta Roll_relation Roll_storage Stats View

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Array Buffer Ctx Geometry Hashtbl Int Lazy List Logs Pquery Predicate Printf Relation Roll_capture Roll_delta Roll_relation Roll_storage Roll_util Stats String Tuple Value View

@@ -1,0 +1,1 @@
+lib/core/executor.mli: Ctx Pquery Roll_delta Roll_relation

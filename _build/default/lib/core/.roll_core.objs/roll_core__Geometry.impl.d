@@ -1,0 +1,1 @@
+lib/core/geometry.ml: Array Buffer Char Format Hashtbl Int List Roll_delta Roll_util

@@ -1,0 +1,1 @@
+lib/core/geometry.mli: Roll_delta

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Array Format Predicate Relation Roll_delta Roll_relation Roll_storage View

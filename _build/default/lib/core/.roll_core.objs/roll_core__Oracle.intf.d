@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Roll_delta Roll_relation Roll_storage View

@@ -1,0 +1,1 @@
+lib/core/pquery.ml: Array Printf Roll_delta String View

@@ -1,0 +1,1 @@
+lib/core/pquery.mli: Roll_delta View

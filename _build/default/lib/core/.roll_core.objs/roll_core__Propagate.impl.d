@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Compute_delta Ctx Roll_delta Roll_storage

@@ -1,0 +1,1 @@
+lib/core/propagate.mli: Ctx Roll_delta

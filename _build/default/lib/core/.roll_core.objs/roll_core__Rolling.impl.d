@@ -1,0 +1,1 @@
+lib/core/rolling.ml: Array Compute_delta Ctx Executor Geometry Pquery Roll_capture Roll_delta Roll_storage View

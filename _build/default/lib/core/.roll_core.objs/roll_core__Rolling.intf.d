@@ -1,0 +1,1 @@
+lib/core/rolling.mli: Ctx Roll_delta

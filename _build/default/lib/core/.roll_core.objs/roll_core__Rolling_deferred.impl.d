@@ -1,0 +1,1 @@
+lib/core/rolling_deferred.ml: Array Compute_delta Ctx Executor List Pquery Roll_capture Roll_delta Roll_storage Stdlib View

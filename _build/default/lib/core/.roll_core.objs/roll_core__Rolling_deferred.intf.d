@@ -1,0 +1,1 @@
+lib/core/rolling_deferred.mli: Ctx Roll_delta

@@ -1,0 +1,1 @@
+lib/core/service.ml: Controller Ctx List Roll_capture Roll_delta Roll_storage String View

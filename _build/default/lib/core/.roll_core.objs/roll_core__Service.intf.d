@@ -1,0 +1,1 @@
+lib/core/service.mli: Controller Roll_capture Roll_delta Roll_storage View

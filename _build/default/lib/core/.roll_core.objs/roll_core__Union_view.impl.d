@@ -1,0 +1,1 @@
+lib/core/union_view.ml: Array Ctx List Relation Roll_delta Roll_relation Rolling Schema View

@@ -1,0 +1,1 @@
+lib/core/union_view.mli: Ctx Roll_capture Roll_delta Roll_relation Roll_storage Rolling View

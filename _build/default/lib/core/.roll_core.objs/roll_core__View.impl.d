@@ -1,0 +1,1 @@
+lib/core/view.ml: Array Database Format List Predicate Printf Roll_relation Roll_storage Schema String Table

@@ -1,0 +1,176 @@
+open Roll_relation
+module Time = Roll_delta.Time
+module Delta = Roll_delta.Delta
+
+module H = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+module ValueMap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+type spec = {
+  group_by : int list;
+  sums : int list;
+  mins : int list;
+  maxs : int list;
+}
+
+let simple ~group_by ~sums = { group_by; sums; mins = []; maxs = [] }
+
+(* A value multiset supports exact MIN/MAX maintenance under deletion. *)
+type group = {
+  mutable count : int;
+  sums : int array;
+  minsets : int ValueMap.t array;
+  maxsets : int ValueMap.t array;
+}
+
+type t = {
+  spec : spec;
+  output_schema : Schema.t;
+  delta : Delta.t;
+  groups : group H.t;
+  mutable as_of : Time.t;
+}
+
+let create (ctx : Ctx.t) spec ~t_initial =
+  let base_schema = View.output_schema ctx.view in
+  let arity = Schema.arity base_schema in
+  let check_col what i =
+    if i < 0 || i >= arity then
+      invalid_arg (Printf.sprintf "Aggregate.create: %s column %d out of range" what i)
+  in
+  List.iter (check_col "group-by") spec.group_by;
+  List.iter (check_col "min") spec.mins;
+  List.iter (check_col "max") spec.maxs;
+  List.iter
+    (fun i ->
+      check_col "sum" i;
+      if (Schema.column base_schema i).ty <> Value.T_int then
+        invalid_arg "Aggregate.create: SUM column must be int")
+    spec.sums;
+  let named prefix i =
+    { Schema.name = prefix ^ "_" ^ (Schema.column base_schema i).name;
+      ty = (Schema.column base_schema i).ty }
+  in
+  let cols =
+    List.map (fun i -> Schema.column base_schema i) spec.group_by
+    @ [ { Schema.name = "count"; ty = Value.T_int } ]
+    @ List.map (fun i -> { (named "sum" i) with ty = Value.T_int }) spec.sums
+    @ List.map (named "min") spec.mins
+    @ List.map (named "max") spec.maxs
+  in
+  {
+    spec;
+    output_schema = Schema.make cols;
+    delta = ctx.out;
+    groups = H.create 64;
+    as_of = t_initial;
+  }
+
+let output_schema t = t.output_schema
+
+let as_of t = t.as_of
+
+let multiset_add set value n =
+  ValueMap.update value
+    (function
+      | None -> if n = 0 then None else Some n
+      | Some m -> if m + n = 0 then None else Some (m + n))
+    set
+
+let group_is_empty g =
+  g.count = 0
+  && Array.for_all (fun s -> s = 0) g.sums
+  && Array.for_all ValueMap.is_empty g.minsets
+  && Array.for_all ValueMap.is_empty g.maxsets
+
+let apply_row t (row : Delta.row) =
+  let key = Tuple.project row.tuple t.spec.group_by in
+  let group =
+    match H.find_opt t.groups key with
+    | Some g -> g
+    | None ->
+        let g =
+          {
+            count = 0;
+            sums = Array.make (List.length t.spec.sums) 0;
+            minsets = Array.make (List.length t.spec.mins) ValueMap.empty;
+            maxsets = Array.make (List.length t.spec.maxs) ValueMap.empty;
+          }
+        in
+        H.add t.groups key g;
+        g
+  in
+  group.count <- group.count + row.count;
+  List.iteri
+    (fun k col ->
+      match Tuple.get row.tuple col with
+      | Value.Int v -> group.sums.(k) <- group.sums.(k) + (row.count * v)
+      | _ -> ())
+    t.spec.sums;
+  List.iteri
+    (fun k col ->
+      group.minsets.(k) <- multiset_add group.minsets.(k) (Tuple.get row.tuple col) row.count)
+    t.spec.mins;
+  List.iteri
+    (fun k col ->
+      group.maxsets.(k) <- multiset_add group.maxsets.(k) (Tuple.get row.tuple col) row.count)
+    t.spec.maxs;
+  if group_is_empty group then H.remove t.groups key
+
+let roll_to t ~hwm target =
+  if target < t.as_of then invalid_arg "Aggregate.roll_to: target is behind";
+  if target > hwm then invalid_arg "Aggregate.roll_to: target beyond high-water mark";
+  Delta.window_iter t.delta ~lo:t.as_of ~hi:target (fun row -> apply_row t row);
+  t.as_of <- target
+
+let min_of set = match ValueMap.min_binding_opt set with Some (v, _) -> v | None -> Value.Null
+
+let max_of set = match ValueMap.max_binding_opt set with Some (v, _) -> v | None -> Value.Null
+
+let contents t =
+  let r = Relation.create t.output_schema in
+  H.iter
+    (fun key group ->
+      if group.count <> 0 then
+        Relation.add r
+          (Array.concat
+             [
+               key;
+               [| Value.Int group.count |];
+               Array.map (fun s -> Value.Int s) group.sums;
+               Array.map min_of group.minsets;
+               Array.map max_of group.maxsets;
+             ])
+          1)
+    t.groups;
+  r
+
+let group_count t key =
+  match H.find_opt t.groups key with Some g -> g.count | None -> 0
+
+let group_sum t key i =
+  match H.find_opt t.groups key with Some g -> g.sums.(i) | None -> 0
+
+let group_min t key i =
+  match H.find_opt t.groups key with
+  | Some g when g.count <> 0 -> Some (min_of g.minsets.(i))
+  | _ -> None
+
+let group_max t key i =
+  match H.find_opt t.groups key with
+  | Some g when g.count <> 0 -> Some (max_of g.maxsets.(i))
+  | _ -> None
+
+let average t key i =
+  match H.find_opt t.groups key with
+  | Some g when g.count <> 0 -> Some (float_of_int g.sums.(i) /. float_of_int g.count)
+  | _ -> None

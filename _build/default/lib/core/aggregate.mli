@@ -1,0 +1,56 @@
+(** Aggregate views via summary-delta tables (Sections 2 and 6, citing
+    Mumick et al.'s summary-delta method).
+
+    A group-by COUNT/SUM/MIN/MAX view over an SPJ view is maintained
+    directly from the SPJ view's timestamped delta: applying a delta window
+    adds each row's count to its group's COUNT and count×value to its SUMs,
+    removing groups whose COUNT reaches zero. MIN and MAX keep a per-group
+    value multiset, so deletions maintain them exactly (no base re-scan).
+    Because the windows are the same timestamped windows the apply process
+    uses, aggregate views inherit point-in-time refresh for free. AVG is
+    derived as SUM/COUNT. *)
+
+type spec = {
+  group_by : int list;  (** column indices of the SPJ view's output schema *)
+  sums : int list;  (** columns to SUM (must be int-typed) *)
+  mins : int list;  (** columns to MIN (any ordered type) *)
+  maxs : int list;  (** columns to MAX *)
+}
+
+val simple : group_by:int list -> sums:int list -> spec
+(** A spec with no MIN/MAX columns. *)
+
+type t
+
+val create : Ctx.t -> spec -> t_initial:Roll_delta.Time.t -> t
+(** An aggregate over the context's view, correct-empty at [t_initial]
+    (like {!Apply.create_empty}).
+    @raise Invalid_argument on out-of-range columns or non-integer SUM
+    columns. *)
+
+val output_schema : t -> Roll_relation.Schema.t
+(** Group-by columns, then ["count"], then ["sum_<col>"], ["min_<col>"] and
+    ["max_<col>"] columns in spec order. *)
+
+val contents : t -> Roll_relation.Relation.t
+(** Current aggregate table: one tuple per group with positive count. *)
+
+val as_of : t -> Roll_delta.Time.t
+
+val roll_to : t -> hwm:Roll_delta.Time.t -> Roll_delta.Time.t -> unit
+(** Point-in-time refresh of the aggregate, like {!Apply.roll_to}. *)
+
+val group_count : t -> Roll_relation.Tuple.t -> int
+(** COUNT for a group key (0 when absent). *)
+
+val group_sum : t -> Roll_relation.Tuple.t -> int -> int
+(** [group_sum t key i]: the i-th SUM (in [spec.sums] order) for a group. *)
+
+val group_min : t -> Roll_relation.Tuple.t -> int -> Roll_relation.Value.t option
+(** [group_min t key i]: the i-th MIN (in [spec.mins] order), [None] for an
+    absent group. *)
+
+val group_max : t -> Roll_relation.Tuple.t -> int -> Roll_relation.Value.t option
+
+val average : t -> Roll_relation.Tuple.t -> int -> float option
+(** SUM/COUNT, [None] for absent groups. *)

@@ -1,0 +1,56 @@
+open Roll_relation
+module Time = Roll_delta.Time
+module Delta = Roll_delta.Delta
+
+type t = {
+  delta : Delta.t;
+  store : Relation.t;
+  mutable as_of : Time.t;
+}
+
+let create_empty (ctx : Ctx.t) ~t_initial =
+  {
+    delta = ctx.out;
+    store = Relation.create (View.output_schema ctx.view);
+    as_of = t_initial;
+  }
+
+let create_materialized (ctx : Ctx.t) =
+  let store, t_exec = Executor.materialize ctx in
+  { delta = ctx.out; store; as_of = t_exec }
+
+let create_restored (ctx : Ctx.t) ~contents ~as_of =
+  if not (Roll_relation.Schema.equal (Relation.schema contents) (View.output_schema ctx.view))
+  then invalid_arg "Apply.create_restored: schema mismatch";
+  { delta = ctx.out; store = Relation.copy contents; as_of }
+
+let contents t = t.store
+
+let as_of t = t.as_of
+
+let roll_to t ~hwm target =
+  if target < t.as_of then
+    invalid_arg "Apply.roll_to: target earlier than the view (use roll_back_to)";
+  if target > hwm then
+    invalid_arg
+      (Printf.sprintf "Apply.roll_to: target %d beyond high-water mark %d"
+         target hwm);
+  Delta.apply_window t.delta ~lo:t.as_of ~hi:target t.store;
+  t.as_of <- target
+
+let roll_back_to t target =
+  if target > t.as_of then invalid_arg "Apply.roll_back_to: target is ahead";
+  Delta.window_iter t.delta ~lo:target ~hi:t.as_of (fun (row : Delta.row) ->
+      Relation.add t.store row.tuple (-row.count));
+  t.as_of <- target
+
+let view_at t ~hwm time =
+  if time > hwm then invalid_arg "Apply.view_at: time beyond high-water mark";
+  let snapshot = Relation.copy t.store in
+  if time >= t.as_of then Delta.apply_window t.delta ~lo:t.as_of ~hi:time snapshot
+  else
+    Delta.window_iter t.delta ~lo:time ~hi:t.as_of (fun (row : Delta.row) ->
+        Relation.add snapshot row.tuple (-row.count));
+  snapshot
+
+let prune_applied t = Delta.prune t.delta ~upto:t.as_of

@@ -1,0 +1,32 @@
+module Database = Roll_storage.Database
+module Capture = Roll_capture.Capture
+module Delta = Roll_delta.Delta
+
+type t = {
+  ctx : Ctx.t;
+  target_rows : int;
+  min_interval : int;
+  max_interval : int;
+}
+
+let create ?(min_interval = 1) ?(max_interval = 10_000) ~target_rows ctx =
+  if target_rows <= 0 then invalid_arg "Autotune.create: target_rows";
+  if min_interval <= 0 || max_interval < min_interval then
+    invalid_arg "Autotune.create: bad interval bounds";
+  { ctx; target_rows; min_interval; max_interval }
+
+let density t i =
+  let table = View.source_table t.ctx.Ctx.view i in
+  let delta = Capture.delta t.ctx.Ctx.capture ~table in
+  let span = Capture.hwm t.ctx.Ctx.capture in
+  if span <= 0 then 0.0 else float_of_int (Delta.length delta) /. float_of_int span
+
+let interval_for t i =
+  if t.ctx.Ctx.auto_capture then Capture.advance t.ctx.Ctx.capture;
+  let d = density t i in
+  if d <= 0.0 then t.max_interval
+  else
+    let ideal = int_of_float (float_of_int t.target_rows /. d) in
+    max t.min_interval (min t.max_interval ideal)
+
+let policy t i = interval_for t i

@@ -1,0 +1,35 @@
+(** Adaptive propagation intervals.
+
+    The paper leaves the propagation interval as a manually tuned parameter
+    ("the interval acts as a parameter that can be tuned to balance query
+    execution overhead against data contention", §3.3) and gives rolling
+    propagation one knob per relation (§3.4). This module turns the knobs
+    automatically: it observes each relation's captured change density
+    (delta rows per commit) and chooses, per relation, the widest interval
+    whose expected forward-query window stays under a target row budget —
+    so hot relations get small steps and quiet dimensions get swept in a
+    few wide ones, without the operator knowing the rates in advance. *)
+
+type t
+
+val create :
+  ?min_interval:int ->
+  ?max_interval:int ->
+  target_rows:int ->
+  Ctx.t ->
+  t
+(** [target_rows] is the desired number of delta rows per forward query —
+    the transaction-size budget that contention tuning is really about.
+    Intervals are clamped to [\[min_interval, max_interval\]] (defaults 1
+    and 10_000). *)
+
+val interval_for : t -> int -> int
+(** [interval_for t i]: the interval to use for relation [i]'s next forward
+    query, computed from the change density observed so far (falls back to
+    [max_interval] for relations with no captured changes yet). *)
+
+val policy : t -> Rolling.policy
+(** The adaptive policy, for {!Rolling.step} / {!Controller.create}. *)
+
+val density : t -> int -> float
+(** Observed delta rows per commit for relation [i] (diagnostics). *)

@@ -1,0 +1,80 @@
+open Roll_relation
+module History = Roll_storage.History
+
+type cost = { queries : int; rows_read : int }
+
+let delta_net history view i ~lo ~hi =
+  let table = View.source_table view i in
+  let changes = History.changes_between history ~table ~lo ~hi in
+  let net = Relation.create (View.source_schema view i) in
+  List.iter (fun (tuple, count, _ts) -> Relation.add net tuple count) changes;
+  net
+
+let rows_of relations =
+  Array.fold_left (fun acc r -> acc + Relation.distinct_count r) 0 relations
+
+let eq1 history view ~lo ~hi =
+  let n = View.n_sources view in
+  let out = Relation.create (View.output_schema view) in
+  let cost = ref { queries = 0; rows_read = 0 } in
+  let deltas = Array.init n (fun i -> delta_net history view i ~lo ~hi) in
+  let post = Array.init n (fun i ->
+      History.state_at history ~table:(View.source_table view i) hi)
+  in
+  (* One query per non-empty subset of sources, encoded by the bits of
+     [mask]; sign alternates by subset parity (inclusion-exclusion). *)
+  for mask = 1 to (1 lsl n) - 1 do
+    let relations =
+      Array.init n (fun i ->
+          if mask land (1 lsl i) <> 0 then deltas.(i) else post.(i))
+    in
+    let bits = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then incr bits
+    done;
+    let sign = if !bits mod 2 = 1 then 1 else -1 in
+    let result = Oracle.join_all view relations in
+    Relation.iter (fun tuple c -> Relation.add out tuple (sign * c)) result;
+    cost :=
+      { queries = !cost.queries + 1; rows_read = !cost.rows_read + rows_of relations }
+  done;
+  (out, !cost)
+
+let eq2 history view ~lo ~hi =
+  let n = View.n_sources view in
+  let out = Relation.create (View.output_schema view) in
+  let cost = ref { queries = 0; rows_read = 0 } in
+  let pre = Array.init n (fun i ->
+      History.state_at history ~table:(View.source_table view i) lo)
+  in
+  let post = Array.init n (fun i ->
+      History.state_at history ~table:(View.source_table view i) hi)
+  in
+  for i = 0 to n - 1 do
+    let relations =
+      Array.init n (fun j ->
+          if j < i then pre.(j)
+          else if j = i then delta_net history view i ~lo ~hi
+          else post.(j))
+    in
+    let result = Oracle.join_all view relations in
+    Relation.iter (fun tuple c -> Relation.add out tuple c) result;
+    cost :=
+      { queries = !cost.queries + 1; rows_read = !cost.rows_read + rows_of relations }
+  done;
+  (out, !cost)
+
+let recompute_diff history view ~lo ~hi =
+  let v_lo = Oracle.view_at history view lo in
+  let v_hi = Oracle.view_at history view hi in
+  let rows =
+    Array.fold_left
+      (fun acc i ->
+        let table = View.source_table view i in
+        acc
+        + Relation.distinct_count (History.state_at history ~table lo)
+        + Relation.distinct_count (History.state_at history ~table hi))
+      0
+      (Array.init (View.n_sources view) (fun i -> i))
+  in
+  (Relation.diff v_hi v_lo, { queries = 2; rows_read = rows })

@@ -1,0 +1,44 @@
+(** Synchronous view-delta baselines (Section 3.1).
+
+    Both formulas compute the net view delta V_{a,b} from base-table
+    snapshots, so they can only run synchronously — at a time when the
+    required states exist. Here they read snapshots from the temporal
+    {!Roll_storage.History}, which is exactly the capability a real system
+    lacks (and the reason the paper's asynchronous algorithm exists); they
+    serve as correctness cross-checks and cost baselines.
+
+    - {!eq1}: 2ⁿ−1 queries, one per non-empty subset S of sources, with
+      delta windows at S and post-state snapshots R_b elsewhere, signed
+      (−1)^(|S|+1) (inclusion-exclusion). All queries except the all-delta
+      one are realizable only at t_b.
+    - {!eq2}: n queries; query i uses pre-state snapshots left of the delta
+      and post-state snapshots right of it. Fewer queries, but the mixed
+      states make all but the edge queries unrealizable at any single time
+      (Section 2) — hence "useful starting point" only.
+
+    Both return the same net delta (a property the tests check against each
+    other and against recomputation). *)
+
+type cost = { queries : int; rows_read : int }
+
+val eq1 :
+  Roll_storage.History.t ->
+  View.t ->
+  lo:Roll_delta.Time.t ->
+  hi:Roll_delta.Time.t ->
+  Roll_relation.Relation.t * cost
+
+val eq2 :
+  Roll_storage.History.t ->
+  View.t ->
+  lo:Roll_delta.Time.t ->
+  hi:Roll_delta.Time.t ->
+  Roll_relation.Relation.t * cost
+
+val recompute_diff :
+  Roll_storage.History.t ->
+  View.t ->
+  lo:Roll_delta.Time.t ->
+  hi:Roll_delta.Time.t ->
+  Roll_relation.Relation.t * cost
+(** Full, non-incremental refresh: V_hi − V_lo, computed from scratch. *)

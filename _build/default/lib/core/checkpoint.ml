@@ -1,0 +1,131 @@
+open Roll_relation
+module Time = Roll_delta.Time
+module Delta = Roll_delta.Delta
+module Wal_codec = Roll_storage.Wal_codec
+
+exception Corrupt = Wal_codec.Corrupt
+
+let magic = "ROLLCKPT 1"
+
+type t = {
+  view_name : string;
+  t_initial : Time.t;
+  hwm : Time.t;
+  as_of : Time.t;
+}
+
+(* Rows of a fixed arity: "D <count> <ts>" (delta) or "S <count>" (stored
+   contents), each followed by arity "V <value>" lines. *)
+
+let write_tuple out tuple =
+  Array.iter
+    (fun v ->
+      let buf = Buffer.create 16 in
+      Buffer.add_string buf "V ";
+      Wal_codec.encode_value buf v "\n";
+      output_string out (Buffer.contents buf))
+    tuple
+
+let save (ctx : Ctx.t) ~hwm ~apply path =
+  if Apply.as_of apply > hwm then
+    invalid_arg "Checkpoint.save: apply is ahead of the high-water mark";
+  let out = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out out)
+    (fun () ->
+      let view = ctx.Ctx.view in
+      let arity = Schema.arity (View.output_schema view) in
+      let t_initial = match Delta.min_ts ctx.Ctx.out with
+        | Some ts -> min (ts - 1) (Apply.as_of apply)
+        | None -> Apply.as_of apply
+      in
+      Printf.fprintf out "%s\n" magic;
+      Printf.fprintf out "H %S %d %d %d %d\n" (View.name view) t_initial hwm
+        (Apply.as_of apply) arity;
+      Delta.window_iter ctx.Ctx.out ~lo:min_int ~hi:hwm (fun (row : Delta.row) ->
+          Printf.fprintf out "D %d %d\n" row.count row.ts;
+          write_tuple out row.tuple);
+      Relation.iter
+        (fun tuple count ->
+          Printf.fprintf out "S %d\n" count;
+          write_tuple out tuple)
+        (Apply.contents apply))
+
+type reader = { input : in_channel; mutable line_no : int }
+
+let next_line reader =
+  match input_line reader.input with
+  | line ->
+      reader.line_no <- reader.line_no + 1;
+      Some line
+  | exception End_of_file -> None
+
+let corrupt reader msg =
+  raise (Corrupt (Printf.sprintf "checkpoint line %d: %s" reader.line_no msg))
+
+let read_header reader =
+  (match next_line reader with
+  | Some line when line = magic -> ()
+  | Some line -> corrupt reader ("bad header: " ^ line)
+  | None -> corrupt reader "empty file");
+  match next_line reader with
+  | Some line -> (
+      try
+        Scanf.sscanf line "H %S %d %d %d %d" (fun name t_initial hwm as_of arity ->
+            ({ view_name = name; t_initial; hwm; as_of }, arity))
+      with Scanf.Scan_failure _ | End_of_file -> corrupt reader "bad H line")
+  | None -> corrupt reader "missing H line"
+
+let read_tuple reader arity =
+  Array.init arity (fun _ ->
+      match next_line reader with
+      | Some line when String.length line > 2 && String.sub line 0 2 = "V " -> (
+          try Wal_codec.decode_value (String.sub line 2 (String.length line - 2))
+          with Corrupt msg -> corrupt reader msg)
+      | Some line -> corrupt reader ("expected value, got: " ^ line)
+      | None -> corrupt reader "truncated tuple")
+
+let peek path =
+  let input = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in input)
+    (fun () -> fst (read_header { input; line_no = 0 }))
+
+let resume db capture view path =
+  let input = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in input)
+    (fun () ->
+      let reader = { input; line_no = 0 } in
+      let header, arity = read_header reader in
+      if not (String.equal header.view_name (View.name view)) then
+        invalid_arg
+          (Printf.sprintf "Checkpoint.resume: checkpoint is for view %s, not %s"
+             header.view_name (View.name view));
+      if arity <> Schema.arity (View.output_schema view) then
+        invalid_arg "Checkpoint.resume: output schema arity mismatch";
+      let ctx = Ctx.create ~t_initial:header.t_initial db capture view in
+      let contents = Relation.create (View.output_schema view) in
+      let rec read_rows () =
+        match next_line reader with
+        | None -> ()
+        | Some line when String.length line > 2 && String.sub line 0 2 = "D " ->
+            let count, ts =
+              try Scanf.sscanf line "D %d %d" (fun c t -> (c, t))
+              with Scanf.Scan_failure _ | End_of_file -> corrupt reader "bad D line"
+            in
+            Delta.append ctx.Ctx.out (read_tuple reader arity) ~count ~ts;
+            read_rows ()
+        | Some line when String.length line > 2 && String.sub line 0 2 = "S " ->
+            let count =
+              try Scanf.sscanf line "S %d" (fun c -> c)
+              with Scanf.Scan_failure _ | End_of_file -> corrupt reader "bad S line"
+            in
+            Relation.add contents (read_tuple reader arity) count;
+            read_rows ()
+        | Some line -> corrupt reader ("unexpected line: " ^ line)
+      in
+      read_rows ();
+      let apply = Apply.create_restored ctx ~contents ~as_of:header.as_of in
+      let rolling = Rolling.create ctx ~t_initial:header.hwm in
+      (ctx, apply, rolling))

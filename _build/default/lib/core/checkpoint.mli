@@ -1,0 +1,46 @@
+(** Checkpointing view-maintenance state.
+
+    In the paper's prototype the view delta and control tables live inside
+    the database, so they are durable for free; here the maintenance state
+    is process-local, and this module makes it durable. A checkpoint holds,
+    for one maintained view: the delta rows at or below the high-water mark
+    (σ_{t_initial, hwm}(Δ), which is a complete timed delta — Theorem 4.3),
+    the materialized contents with their [as_of] time, and the two times
+    themselves. Rows beyond the high-water mark are deliberately {e not}
+    saved: every propagation query only emits rows timestamped after the
+    high-water mark it started from, so a resumed process that restarts all
+    frontiers at the saved hwm regenerates exactly the dropped work, no
+    more and no less.
+
+    [resume] rebuilds a ready-to-run (context, apply, rolling) triple over a
+    database restored from its own WAL (see {!Roll_storage.Wal_codec}). *)
+
+type t = {
+  view_name : string;
+  t_initial : Roll_delta.Time.t;  (** where the saved delta starts *)
+  hwm : Roll_delta.Time.t;
+  as_of : Roll_delta.Time.t;  (** apply position, <= hwm *)
+}
+
+val save :
+  Ctx.t -> hwm:Roll_delta.Time.t -> apply:Apply.t -> string -> unit
+(** [save ctx ~hwm ~apply path] writes the checkpoint file.
+    @raise Invalid_argument if [Apply.as_of apply > hwm]. *)
+
+val peek : string -> t
+(** Read just the header. @raise Roll_storage.Wal_codec.Corrupt *)
+
+val resume :
+  Roll_storage.Database.t ->
+  Roll_capture.Capture.t ->
+  View.t ->
+  string ->
+  Ctx.t * Apply.t * Rolling.t
+(** [resume db capture view path] loads the checkpoint and reconstructs
+    maintenance state: the context's delta holds the saved rows, the apply
+    process resumes at the saved [as_of], and the rolling process starts
+    every frontier at the saved hwm. The capture process must have the
+    view's tables attached and the database should be the restored original
+    (same commit history through the checkpointed hwm).
+    @raise Roll_storage.Wal_codec.Corrupt on a malformed file
+    @raise Invalid_argument if the view name or output schema mismatch. *)

@@ -1,0 +1,72 @@
+module Time = Roll_delta.Time
+module Database = Roll_storage.Database
+module Capture = Roll_capture.Capture
+module Delta = Roll_delta.Delta
+
+(* A forward window that is provably empty (fully captured and containing
+   no change rows) contributes nothing, and neither does its compensation:
+   every query derived from it contains the empty window. Skipping it keeps
+   quiet relations free and makes propagation processes able to go idle
+   instead of chasing their own marker commits. *)
+let window_known_empty (ctx : Ctx.t) i ~lo ~hi =
+  ctx.skip_empty_windows
+  && hi <= Capture.hwm ctx.capture
+  &&
+  let table = View.source_table ctx.view i in
+  Delta.window_count (Capture.delta ctx.capture ~table) ~lo ~hi = 0
+
+(* The net effect of the skipped forward query plus its compensation is the
+   query evaluated at the intended vector time; record it as a virtual box
+   so the geometry trace still tiles exactly. *)
+let record_virtual_box (ctx : Ctx.t) ~sign (q : Pquery.t) tau_old i t_new =
+  match ctx.geometry with
+  | None -> ()
+  | Some g ->
+      let spans =
+        Array.mapi
+          (fun j term ->
+            match term with
+            | Pquery.Win { lo; hi } -> Geometry.Window (lo, hi)
+            | Pquery.Base ->
+                if j = i then Geometry.Window (tau_old.(i), t_new)
+                else if j < i then Geometry.Full_upto tau_old.(j)
+                else Geometry.Full_upto t_new)
+          q
+      in
+      Geometry.record ~label:"(skipped empty window)" g ~sign spans
+
+let rec run ?(sign = 1) (ctx : Ctx.t) (q : Pquery.t) tau_old t_new =
+  if Array.length tau_old <> Array.length q then
+    invalid_arg "ComputeDelta: timestamp vector arity mismatch";
+  if t_new > Database.now ctx.db then
+    invalid_arg "ComputeDelta: target time has not elapsed yet";
+  if ctx.auto_capture then Capture.advance ctx.capture;
+  Stats.incr_compute_delta_calls ctx.stats;
+  let n = Array.length q in
+  for i = 0 to n - 1 do
+    match q.(i) with
+    | Pquery.Win _ -> ()
+    | Pquery.Base ->
+        if tau_old.(i) < t_new then begin
+          if window_known_empty ctx i ~lo:tau_old.(i) ~hi:t_new then
+            record_virtual_box ctx ~sign q tau_old i t_new
+          else begin
+          let q' = Pquery.replace q i (Pquery.Win { lo = tau_old.(i); hi = t_new }) in
+          let t_exec = Executor.execute ctx ~sign q' in
+          if Pquery.has_base q' then begin
+            (* Per Equation 2's convention, tables left of the delta were
+               intended at their old times, tables right of it at t_new; the
+               query actually saw everything at t_exec, so compensate the
+               difference, negated. *)
+            let tau_intended =
+              Array.init n (fun j -> if j < i then tau_old.(j) else t_new)
+            in
+            run ~sign:(-sign) ctx q' tau_intended t_exec
+          end
+          end
+        end
+  done
+
+let view_delta (ctx : Ctx.t) ~lo ~hi =
+  let n = View.n_sources ctx.view in
+  run ctx (Pquery.all_base n) (Time.Vector.const n lo) hi

@@ -1,0 +1,37 @@
+(** [ComputeDelta] — asynchronous propagation by recursive compensation
+    (Figure 4).
+
+    [run ctx q tau_old t_new] computes Q_{tau_old → t_new}, the delta of
+    query [q] from the vector timestamp [tau_old] to [t_new], appending
+    timestamped rows to the context's view delta. For each base term Rⁱ with
+    [tau_old.(i) < t_new] it executes the forward query with Rⁱ replaced by
+    the window (tau_old.(i), t_new]; because that query runs at some later
+    time [t_exec], any base tables it still contains were seen "too late",
+    and the error is repaired by recursively computing the negated delta of
+    the same query from its intended time vector
+    [\[tau_old.(0); …; tau_old.(i-1); t_new; …; t_new\]] to [t_exec].
+
+    Setting [q] to the view's definition, [tau_old = \[a; …; a\]] and
+    [t_new = b] yields the view delta V_{a,b} (Theorem 4.1: the result is a
+    timed delta table for V from a to b). *)
+
+val window_known_empty :
+  Ctx.t -> int -> lo:Roll_delta.Time.t -> hi:Roll_delta.Time.t -> bool
+(** True when source [i]'s delta window (lo, hi] is fully captured and
+    contains no rows — in which case any query containing it, and all of
+    its compensations, are empty and can be skipped. *)
+
+val run :
+  ?sign:int ->
+  Ctx.t ->
+  Pquery.t ->
+  Roll_delta.Time.Vector.t ->
+  Roll_delta.Time.t ->
+  unit
+(** @raise Invalid_argument if [t_new] exceeds the database's current time
+    (the interval being propagated must already have elapsed — asynchrony,
+    not prediction). *)
+
+val view_delta : Ctx.t -> lo:Roll_delta.Time.t -> hi:Roll_delta.Time.t -> unit
+(** [view_delta ctx ~lo ~hi] runs [ComputeDelta] for the whole view over
+    (lo, hi]. *)

@@ -1,0 +1,109 @@
+module Time = Roll_delta.Time
+module Database = Roll_storage.Database
+module Capture = Roll_capture.Capture
+module Uow = Roll_capture.Uow
+
+let log_src = Logs.Src.create "roll.controller" ~doc:"view-maintenance controller"
+
+module Log = (val Logs.src_log log_src)
+
+type algorithm =
+  | Uniform of int
+  | Rolling of Rolling.policy
+  | Deferred of Rolling_deferred.policy
+  | Adaptive of int
+
+type process =
+  | P_uniform of Propagate.t * int
+  | P_rolling of Rolling.t * Rolling.policy
+  | P_deferred of Rolling_deferred.t * Rolling_deferred.policy
+
+type t = { ctx : Ctx.t; apply : Apply.t; process : process }
+
+let create ?(geometry = false) ?(auto_index = false) db capture view ~algorithm =
+  if auto_index then
+    List.iter
+      (fun atom ->
+        match atom with
+        | Roll_relation.Predicate.Join (a, b) ->
+            List.iter
+              (fun (c : Roll_relation.Predicate.col) ->
+                Roll_storage.Table.create_index
+                  (Database.table db (View.source_table view c.source))
+                  ~columns:[ c.column ])
+              [ a; b ]
+        | Roll_relation.Predicate.Cmp _ -> ())
+      (View.predicate view);
+  let ctx = Ctx.create db capture view in
+  let apply = Apply.create_materialized ctx in
+  let t_initial = Apply.as_of apply in
+  (* The geometry trace's origin must match the maintenance start time,
+     which is only known after materialization. *)
+  if geometry then
+    ctx.Ctx.geometry <-
+      Some (Geometry.create ~n:(View.n_sources view) ~origin:t_initial);
+  let process =
+    match algorithm with
+    | Uniform interval -> P_uniform (Propagate.create ctx ~t_initial, interval)
+    | Rolling policy -> P_rolling (Rolling.create ctx ~t_initial, policy)
+    | Deferred policy ->
+        P_deferred (Rolling_deferred.create ctx ~t_initial, policy)
+    | Adaptive target_rows ->
+        let tuner = Autotune.create ~target_rows ctx in
+        P_rolling (Rolling.create ctx ~t_initial, Autotune.policy tuner)
+  in
+  { ctx; apply; process }
+
+let ctx t = t.ctx
+
+let view t = t.ctx.Ctx.view
+
+let contents t = Apply.contents t.apply
+
+let as_of t = Apply.as_of t.apply
+
+let hwm t =
+  match t.process with
+  | P_uniform (p, _) -> Propagate.hwm p
+  | P_rolling (r, _) -> Rolling.hwm r
+  | P_deferred (r, _) -> Rolling_deferred.hwm r
+
+let propagate_step t =
+  match t.process with
+  | P_uniform (p, interval) -> (
+      match Propagate.step p ~interval with `Advanced _ -> true | `Idle -> false)
+  | P_rolling (r, policy) -> (
+      match Rolling.step r ~policy with `Advanced _ -> true | `Idle -> false)
+  | P_deferred (r, policy) -> (
+      match Rolling_deferred.step r ~policy with
+      | `Advanced _ -> true
+      | `Idle -> false)
+
+let propagate_until t target =
+  match t.process with
+  | P_uniform (p, interval) -> Propagate.run_until p ~target ~interval
+  | P_rolling (r, policy) -> Rolling.run_until r ~target ~policy
+  | P_deferred (r, policy) -> Rolling_deferred.run_until r ~target ~policy
+
+let refresh_to t target =
+  if target > hwm t then propagate_until t target;
+  Apply.roll_to t.apply ~hwm:(hwm t) target;
+  Log.info (fun m ->
+      m "view %s refreshed to t=%d (hwm=%d)" (View.name t.ctx.Ctx.view) target
+        (hwm t))
+
+let refresh_to_wall t wall =
+  Capture.advance t.ctx.Ctx.capture;
+  let target = Uow.csn_at_wall (Capture.uow t.ctx.Ctx.capture) wall in
+  let target = Time.max target (as_of t) in
+  refresh_to t target;
+  target
+
+let refresh_latest t =
+  let target = Database.now t.ctx.Ctx.db in
+  refresh_to t target;
+  target
+
+let gc t = Apply.prune_applied t.apply
+
+let stats t = t.ctx.Ctx.stats

@@ -1,0 +1,75 @@
+(** The maintenance controller: the prototype architecture of Figure 11.
+
+    Ties together the database engine, the capture process, the propagate
+    driver (either the uniform-interval [Propagate] process or
+    [RollingPropagate]) and the apply driver, and keeps the control-table
+    state: the view's materialization time and the view-delta high-water
+    mark. Provides the user-facing refresh operations, including
+    point-in-time refresh by logical time or by wall-clock time. *)
+
+type algorithm =
+  | Uniform of int  (** [Propagate] with this interval *)
+  | Rolling of Rolling.policy
+      (** [RollingPropagate] with per-relation intervals *)
+  | Deferred of Rolling_deferred.policy
+      (** the literal Figure 10 deferred-compensation process (two-way
+          views only) *)
+  | Adaptive of int
+      (** rolling propagation with {!Autotune}-chosen per-relation
+          intervals targeting this many delta rows per forward query *)
+
+type t
+
+val create :
+  ?geometry:bool ->
+  ?auto_index:bool ->
+  Roll_storage.Database.t ->
+  Roll_capture.Capture.t ->
+  View.t ->
+  algorithm:algorithm ->
+  t
+(** Materializes the view from current state and starts maintenance at that
+    time. The capture process must have all source tables attached. With
+    [auto_index] (default false), a single-column secondary index is created
+    on every base-table column the view equi-joins on, so propagation
+    queries probe instead of scanning
+    (see {!Roll_storage.Table.create_index}). *)
+
+val ctx : t -> Ctx.t
+
+val view : t -> View.t
+
+val contents : t -> Roll_relation.Relation.t
+(** Current materialized contents. *)
+
+val as_of : t -> Roll_delta.Time.t
+(** Materialization time of the stored view. *)
+
+val hwm : t -> Roll_delta.Time.t
+(** View-delta high-water mark: latest time the view can be rolled to right
+    now. *)
+
+val propagate_step : t -> bool
+(** One propagation transaction (plus its compensations). [false] when the
+    propagation process is fully caught up. *)
+
+val propagate_until : t -> Roll_delta.Time.t -> unit
+(** Run propagation steps until [hwm] reaches the target (which must have
+    elapsed). *)
+
+val refresh_to : t -> Roll_delta.Time.t -> unit
+(** Point-in-time refresh: ensure the delta covers the target (propagating
+    if needed), then roll the materialized view to exactly that time. *)
+
+val refresh_to_wall : t -> float -> Roll_delta.Time.t
+(** Point-in-time refresh to a wall-clock instant: resolves the last
+    relevant commit at or before that wall time through the unit-of-work
+    table and refreshes to it. Returns the resolved logical time. *)
+
+val refresh_latest : t -> Roll_delta.Time.t
+(** Refresh to the database's current time. *)
+
+val gc : t -> int
+(** Prune applied view-delta rows; returns rows removed. *)
+
+val stats : t -> Stats.t

@@ -1,0 +1,47 @@
+(** Maintenance context: everything a propagation process needs.
+
+    Bundles the database, the capture process, the view, the accumulating
+    view-delta table, statistics, the optional geometry trace, and the
+    [on_execute] hook with which tests and benches inject concurrent update
+    transactions between propagation queries — the concurrency that makes
+    compensation necessary. *)
+
+type t = {
+  db : Roll_storage.Database.t;
+  capture : Roll_capture.Capture.t;
+  view : View.t;
+  out : Roll_delta.Delta.t;  (** the view delta being accumulated *)
+  stats : Stats.t;
+  mutable geometry : Geometry.t option;
+  mutable on_execute : unit -> unit;
+      (** called immediately before each propagation query's transaction *)
+  mutable on_emit :
+    description:string -> Roll_relation.Tuple.t -> int -> Roll_delta.Time.t -> unit;
+      (** row provenance hook: called for every view-delta row a query
+          emits, with the signed count and timestamp; for tracing and
+          debugging *)
+  mutable auto_capture : bool;
+      (** advance capture before every query (default true); switch off to
+          drive capture lag by hand *)
+  mutable skip_empty_windows : bool;
+      (** skip queries whose forward window is provably empty (default
+          true); the geometry trace records an equivalent virtual box so
+          coverage checking stays exact. Switch off to observe the paper's
+          full query structure (e.g. the four queries of Equation 3). *)
+  mutable timestamp_rule : [ `Min | `Max ];
+      (** how a result row's timestamp is derived from its delta inputs.
+          [`Min] is the paper's (correct) rule from Section 3.3; [`Max] is
+          kept as an ablation that the benches show to break
+          transaction-consistent point-in-time states. *)
+}
+
+val create :
+  ?geometry:bool ->
+  ?t_initial:Roll_delta.Time.t ->
+  Roll_storage.Database.t ->
+  Roll_capture.Capture.t ->
+  View.t ->
+  t
+(** The capture process must already have every source table attached.
+    [t_initial] (default [Database.now db]) seeds the geometry trace's
+    origin. @raise Invalid_argument if a source table is not attached. *)

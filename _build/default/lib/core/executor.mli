@@ -1,0 +1,39 @@
+(** Propagation-query execution.
+
+    Evaluates an n-way join between base tables (current committed state)
+    and delta-table windows, producing timestamped, counted view-delta rows:
+    count = product of input counts, timestamp = minimum of the input delta
+    timestamps (Section 2). A small planner orders the join greedily —
+    smallest input first (delta windows are usually the smallest), then hash
+    joins on connecting equi-join atoms — so that propagation queries cost
+    O(delta × matching rows) rather than O(product of table sizes).
+
+    [execute] is the paper's [Execute]: it runs the query as one
+    transaction, appends the (signed) result to the accumulating view delta,
+    commits a WAL marker and returns the marker's commit sequence number —
+    the query's serialization time. *)
+
+val evaluate :
+  Ctx.t ->
+  Pquery.t ->
+  (Roll_relation.Tuple.t * int * Roll_delta.Time.t) list * (string * int) list
+(** [evaluate ctx q] is [(rows, reads)]: the query result as (projected
+    tuple, count, timestamp) plus the per-resource read counts. All-base
+    queries yield rows stamped [Time.origin]. Does not commit anything.
+    @raise Invalid_argument if a window extends beyond the capture
+    high-water mark. *)
+
+val execute : Ctx.t -> sign:int -> Pquery.t -> Roll_delta.Time.t
+(** Runs [ctx.on_execute], advances capture (if [auto_capture]), evaluates,
+    appends results (multiplied by [sign]) to [ctx.out], records statistics
+    and the geometry box, and returns the execution (serialization) time. *)
+
+val explain : Ctx.t -> Pquery.t -> string
+(** Human-readable description of the plan the executor would run for this
+    query right now (join order, hash keys, input sizes). Reads current
+    sizes but executes nothing and commits nothing. *)
+
+val materialize : Ctx.t -> Roll_relation.Relation.t * Roll_delta.Time.t
+(** Evaluate the view's defining query (all base terms) against current
+    state and return it with its serialization time — used to initialize a
+    materialized view mid-stream. *)

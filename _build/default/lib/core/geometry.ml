@@ -1,0 +1,118 @@
+module Vec = Roll_util.Vec
+module Time = Roll_delta.Time
+
+type span = Full_upto of Time.t | Window of Time.t * Time.t
+
+type box = { sign : int; spans : span array; label : string }
+
+type t = { n : int; origin : Time.t; boxes : box Vec.t }
+
+let create ~n ~origin = { n; origin; boxes = Vec.create () }
+
+let record ?(label = "") t ~sign spans =
+  if Array.length spans <> t.n then invalid_arg "Geometry.record: arity";
+  Array.iter
+    (function
+      | Full_upto _ -> ()
+      | Window (a, b) ->
+          if b < a then invalid_arg "Geometry.record: reversed window")
+    spans;
+  Vec.push t.boxes { sign; spans; label }
+
+let n_boxes t = Vec.length t.boxes
+
+(* A cell coordinate [c] on axis [i]: the origin coordinate stands for
+   original content, which only base terms cover; other coordinates are
+   change-commit times covered by intervals. *)
+let axis_covers t (box : box) i c =
+  match box.spans.(i) with
+  | Full_upto e -> c = t.origin || (t.origin < c && c <= e)
+  | Window (a, b) -> c <> t.origin && a < c && c <= b
+
+let box_covers t box coords =
+  let rec loop i = i >= t.n || (axis_covers t box i coords.(i) && loop (i + 1)) in
+  loop 0
+
+let coverage t coords =
+  if Array.length coords <> t.n then invalid_arg "Geometry.coverage: arity";
+  Vec.fold_left
+    (fun acc box -> if box_covers t box coords then acc + box.sign else acc)
+    0 t.boxes
+
+(* Representative coordinates per axis: the origin plus, for every interval
+   endpoint e <= limit, the coordinates e and e+1 (cells are the intervals
+   between consecutive endpoints; testing both sides of every boundary
+   covers a representative of each distinct cell). *)
+let axis_points t ~limit i =
+  let set = Hashtbl.create 16 in
+  Hashtbl.replace set t.origin ();
+  let add e = if e > t.origin && e <= limit then Hashtbl.replace set e () in
+  let endpoints = function
+    | Full_upto e -> (t.origin, e)
+    | Window (a, b) -> (a, b)
+  in
+  Vec.iter
+    (fun box ->
+      let a, b = endpoints box.spans.(i) in
+      add a;
+      add (a + 1);
+      add b;
+      add (b + 1))
+    t.boxes;
+  let points = Hashtbl.fold (fun k () acc -> k :: acc) set [] in
+  Array.of_list (List.sort Int.compare points)
+
+let check t ~hwm =
+  if hwm <= t.origin then Ok ()
+  else begin
+    let axes = Array.init t.n (fun i -> axis_points t ~limit:hwm i) in
+    let coords = Array.make t.n t.origin in
+    let exception Failed of string in
+    let rec walk i =
+      if i = t.n then begin
+        let all_origin = Array.for_all (fun c -> c = t.origin) coords in
+        let cov = coverage t coords in
+        let expected = if all_origin then 0 else 1 in
+        if cov <> expected then
+          raise
+            (Failed
+               (Format.asprintf "cell %a: coverage %d, expected %d"
+                  Time.Vector.pp coords cov expected))
+      end
+      else
+        Array.iter
+          (fun p ->
+            coords.(i) <- p;
+            walk (i + 1))
+          axes.(i)
+    in
+    match walk 0 with () -> Ok () | exception Failed msg -> Error msg
+  end
+
+let render_2d t ~width ~upto =
+  if t.n <> 2 then invalid_arg "Geometry.render_2d: n <> 2";
+  let span = upto - t.origin in
+  let buf = Buffer.create ((width + 1) * (width + 1)) in
+  (* Row 0 at the top is the latest R2 time, matching Figure 6's layout. *)
+  for row = width - 1 downto 0 do
+    for col = 0 to width - 1 do
+      let c1 = t.origin + (span * col / width) + if col = 0 then 0 else 1 in
+      let c2 = t.origin + (span * row / width) + if row = 0 then 0 else 1 in
+      let c1 = min c1 upto and c2 = min c2 upto in
+      let cov = coverage t [| c1; c2 |] in
+      Buffer.add_char buf
+        (if cov = 0 then '.'
+         else if cov > 0 && cov < 10 then Char.chr (Char.code '0' + cov)
+         else if cov < 0 && cov > -10 then Char.chr (Char.code 'a' - cov - 1)
+         else '#')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let boxes_covering t coords =
+  Vec.fold_left
+    (fun acc box ->
+      if box_covers t box coords then (box.sign, box.label) :: acc else acc)
+    [] t.boxes
+  |> List.rev

@@ -1,0 +1,52 @@
+(** Signed-box coverage of the propagation plane (Figures 6–9).
+
+    Each base relation contributes a time axis. A propagation query maps to
+    an n-dimensional signed box: a base term read at execution time [t]
+    spans [\[t₀, t\]] on its axis (original content plus all changes up to
+    [t]); a delta window (a, b] spans exactly that interval. The figures'
+    argument — and the correctness intuition for compensation — is that the
+    signed boxes sum to the indicator function of the processed region.
+
+    This module records the box of every executed query and checks the
+    claim exactly (by coordinate compression), independently of tuple-level
+    results: for every cell whose coordinates all lie at or below the
+    high-water mark and that involves at least one change (a non-origin
+    coordinate), net coverage must be exactly 1; cells with a coordinate
+    beyond the high-water mark are unconstrained; all-origin cells must have
+    coverage 0. *)
+
+type t
+
+val create : n:int -> origin:Roll_delta.Time.t -> t
+(** [origin] is the time the view delta starts at (t_initial): axis
+    coordinates at or below [origin] are collapsed into the "original
+    content" coordinate. *)
+
+type span =
+  | Full_upto of Roll_delta.Time.t
+      (** a base term read at this time: covers the original-content
+          coordinate plus all changes up to the time *)
+  | Window of Roll_delta.Time.t * Roll_delta.Time.t
+      (** a delta window (lo, hi]: changes only, never original content *)
+
+val record : ?label:string -> t -> sign:int -> span array -> unit
+(** [record t ~sign spans] adds one signed box, one span per axis; [label]
+    is carried for diagnostics. *)
+
+val n_boxes : t -> int
+
+val coverage : t -> Roll_delta.Time.t array -> int
+(** Net signed coverage of the cell at the given coordinates (each
+    coordinate is interpreted as a change-commit time; [origin] means
+    "original content"). *)
+
+val boxes_covering : t -> Roll_delta.Time.t array -> (int * string) list
+(** Signs and labels of the boxes covering a cell, in recording order. *)
+
+val check : t -> hwm:Roll_delta.Time.t -> (unit, string) result
+(** Exact check of the invariant above over all compressed cells. *)
+
+val render_2d : t -> width:int -> upto:Roll_delta.Time.t -> string
+(** ASCII rendering of net coverage for n = 2 (the Figures 7–9 pictures):
+    one character per cell of a [width] × [width] grid over
+    (origin, upto]², digits for coverage, ['.'] for 0. *)

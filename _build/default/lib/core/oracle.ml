@@ -1,0 +1,58 @@
+open Roll_relation
+module Time = Roll_delta.Time
+module Delta = Roll_delta.Delta
+module History = Roll_storage.History
+
+let join_all view relations =
+  let n = View.n_sources view in
+  if Array.length relations <> n then invalid_arg "Oracle.join_all: arity";
+  let out = Relation.create (View.output_schema view) in
+  let predicate = View.predicate view in
+  let bindings = Array.make n [||] in
+  let rec enumerate i count =
+    if i = n then begin
+      if Predicate.holds predicate bindings then
+        Relation.add out (View.project_bindings view bindings) count
+    end
+    else
+      Relation.iter
+        (fun tuple c ->
+          bindings.(i) <- tuple;
+          enumerate (i + 1) (count * c))
+        relations.(i)
+  in
+  enumerate 0 1;
+  out
+
+let view_at history view time =
+  let states =
+    Array.init (View.n_sources view) (fun i ->
+        History.state_at history ~table:(View.source_table view i) time)
+  in
+  join_all view states
+
+let check_at history view delta ~lo b =
+  let expected = view_at history view b in
+  let actual = view_at history view lo in
+  Delta.apply_window delta ~lo ~hi:b actual;
+  if Relation.equal expected actual then Ok ()
+  else
+    Error
+      (Format.asprintf
+         "@[<v>timed-delta violation at t=%d:@,expected:@,%a@,got:@,%a@]" b
+         Relation.pp expected Relation.pp actual)
+
+let check_timed_view_delta_sampled ~sample history view delta ~lo ~hi =
+  let rec loop b =
+    if b > hi then Ok ()
+    else if b = hi || sample b then
+      match check_at history view delta ~lo b with
+      | Ok () -> loop (b + 1)
+      | Error _ as e -> e
+    else loop (b + 1)
+  in
+  loop (lo + 1)
+
+let check_timed_view_delta history view delta ~lo ~hi =
+  check_timed_view_delta_sampled ~sample:(fun _ -> true) history view delta ~lo
+    ~hi

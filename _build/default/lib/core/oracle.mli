@@ -1,0 +1,40 @@
+(** Reference semantics and correctness checking.
+
+    The oracle recomputes view states from the temporal history by naive
+    nested-loop joins — a code path deliberately independent of the
+    executor's planner — and checks Definition 4.2 (timed delta tables)
+    directly. The property tests for Theorems 4.1–4.3 are built on these
+    functions. *)
+
+val join_all :
+  View.t -> Roll_relation.Relation.t array -> Roll_relation.Relation.t
+(** n-way join of one relation per source under the view's predicate and
+    projection, counts multiplying. Nested-loop; reference only. *)
+
+val view_at :
+  Roll_storage.History.t -> View.t -> Roll_delta.Time.t ->
+  Roll_relation.Relation.t
+(** V_t, recomputed from base-table states at time [t]. *)
+
+val check_timed_view_delta :
+  Roll_storage.History.t ->
+  View.t ->
+  Roll_delta.Delta.t ->
+  lo:Roll_delta.Time.t ->
+  hi:Roll_delta.Time.t ->
+  (unit, string) result
+(** Checks that the delta is a timed delta table for the view from [lo] to
+    [hi]: for every b in (lo, hi], φ(V_lo + σ_{lo,b}(Δ)) = φ(V_b). Checking
+    all prefixes from a fixed [lo] implies the full Definition 4.2 because
+    windows over (a, b] are differences of prefix windows. *)
+
+val check_timed_view_delta_sampled :
+  sample:(Roll_delta.Time.t -> bool) ->
+  Roll_storage.History.t ->
+  View.t ->
+  Roll_delta.Delta.t ->
+  lo:Roll_delta.Time.t ->
+  hi:Roll_delta.Time.t ->
+  (unit, string) result
+(** As above but checking only times selected by [sample] (plus [hi]),
+    for long histories. *)

@@ -1,0 +1,24 @@
+type term = Base | Win of { lo : Roll_delta.Time.t; hi : Roll_delta.Time.t }
+
+type t = term array
+
+let all_base n = Array.make n Base
+
+let replace q i term =
+  let q' = Array.copy q in
+  q'.(i) <- term;
+  q'
+
+let has_base q = Array.exists (fun t -> t = Base) q
+
+let n_deltas q =
+  Array.fold_left (fun acc t -> match t with Base -> acc | Win _ -> acc + 1) 0 q
+
+let is_forward q = n_deltas q = 1
+
+let describe view q =
+  let part i = function
+    | Base -> View.alias view i
+    | Win { lo; hi } -> Printf.sprintf "d%s(%d,%d]" (View.alias view i) lo hi
+  in
+  String.concat " . " (Array.to_list (Array.mapi part q))

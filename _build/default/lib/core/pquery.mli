@@ -1,0 +1,28 @@
+(** Propagation queries.
+
+    A propagation query for a view has the view's shape with zero or more
+    source relations replaced by delta-table windows (Section 2). [Q[i]] is
+    either the base table Rⁱ (read at the query's execution time) or the
+    window Rⁱ_{lo,hi} of Rⁱ's delta table. *)
+
+type term = Base | Win of { lo : Roll_delta.Time.t; hi : Roll_delta.Time.t }
+
+type t = term array
+
+val all_base : int -> t
+(** The view's own definition: n base terms. *)
+
+val replace : t -> int -> term -> t
+(** Functional update (the original query is shared by recursive
+    compensation, so queries are immutable). *)
+
+val has_base : t -> bool
+
+val n_deltas : t -> int
+
+val is_forward : t -> bool
+(** Exactly one delta term (Section 3.2's footnote: a forward query involves
+    a single delta table; compensation queries involve more). *)
+
+val describe : View.t -> t -> string
+(** E.g. ["R1(a,b] . R2 . R3"] — used for WAL marker tags and traces. *)

@@ -1,0 +1,28 @@
+module Time = Roll_delta.Time
+module Database = Roll_storage.Database
+
+type t = { ctx : Ctx.t; mutable t_cur : Time.t }
+
+let create ctx ~t_initial = { ctx; t_cur = t_initial }
+
+let hwm t = t.t_cur
+
+let step t ~interval =
+  if interval <= 0 then invalid_arg "Propagate.step: interval must be positive";
+  let now = Database.now t.ctx.Ctx.db in
+  if t.t_cur >= now then `Idle
+  else begin
+    let target = Time.min (t.t_cur + interval) now in
+    Compute_delta.view_delta t.ctx ~lo:t.t_cur ~hi:target;
+    t.t_cur <- target;
+    `Advanced target
+  end
+
+let run_until t ~target ~interval =
+  if target > Database.now t.ctx.Ctx.db then
+    invalid_arg "Propagate.run_until: target in the future";
+  while t.t_cur < target do
+    match step t ~interval with
+    | `Advanced _ -> ()
+    | `Idle -> invalid_arg "Propagate.run_until: unreachable target"
+  done

@@ -1,0 +1,24 @@
+(** The [Propagate] process (Figure 5).
+
+    A continuous, asynchronous propagation loop: each step chooses a
+    propagation interval δ and runs [ComputeDelta] for the view over
+    (t_cur, t_cur + δ], after which the view-delta high-water mark advances
+    to t_cur + δ (Theorem 4.2). The interval is the process's single tuning
+    knob: small δ means many small transactions, large δ fewer, larger
+    ones. *)
+
+type t
+
+val create : Ctx.t -> t_initial:Roll_delta.Time.t -> t
+
+val hwm : t -> Roll_delta.Time.t
+(** The view-delta high-water mark: the delta is complete from [t_initial]
+    through this time. *)
+
+val step : t -> interval:int -> [ `Advanced of Roll_delta.Time.t | `Idle ]
+(** Propagate the next interval of up to [interval] time units, clamped to
+    the database's current time. [`Idle] when already caught up. *)
+
+val run_until : t -> target:Roll_delta.Time.t -> interval:int -> unit
+(** Step repeatedly until [hwm >= target].
+    @raise Invalid_argument if [target] is in the future. *)

@@ -1,0 +1,81 @@
+module Time = Roll_delta.Time
+module Database = Roll_storage.Database
+
+type t = { ctx : Ctx.t; n : int; tfwd : Time.t array }
+
+type policy = int -> int
+
+let uniform interval _ = interval
+
+let per_relation intervals i = intervals.(i)
+
+let create ctx ~t_initial =
+  let n = View.n_sources ctx.Ctx.view in
+  { ctx; n; tfwd = Array.make n t_initial }
+
+let hwm t = Array.fold_left Time.min t.tfwd.(0) t.tfwd
+
+let tfwd t i = t.tfwd.(i)
+
+let step_relation t i ~interval =
+  if interval <= 0 then invalid_arg "Rolling.step_relation: interval must be positive";
+  let now = Database.now t.ctx.Ctx.db in
+  if t.tfwd.(i) >= now then `Idle
+  else begin
+    let start = t.tfwd.(i) in
+    let delta = Time.min interval (now - start) in
+    if t.ctx.Ctx.auto_capture then Roll_capture.Capture.advance t.ctx.Ctx.capture;
+    if Compute_delta.window_known_empty t.ctx i ~lo:start ~hi:(start + delta)
+    then begin
+      (* Quiet window: the forward query and all of its compensations are
+         empty, so the frontier advances for free. The step's net brick is
+         still recorded so the geometry trace tiles exactly. *)
+      (match t.ctx.Ctx.geometry with
+      | None -> ()
+      | Some g ->
+          let spans =
+            Array.init t.n (fun j ->
+                if j = i then Geometry.Window (start, start + delta)
+                else Geometry.Full_upto t.tfwd.(j))
+          in
+          Geometry.record ~label:"(skipped quiet brick)" g ~sign:1 spans);
+      t.tfwd.(i) <- start + delta;
+      `Advanced (hwm t)
+    end
+    else begin
+    let fwd =
+      Pquery.replace (Pquery.all_base t.n) i
+        (Pquery.Win { lo = start; hi = start + delta })
+    in
+    let t_exec = Executor.execute t.ctx ~sign:1 fwd in
+    (* The forward query saw every other relation at t_exec; its intended
+       view of relation j is R^j at the current frontier tfwd.(j), so one
+       ComputeDelta repairs the whole difference. Net effect of the step:
+       the brick (start, start+delta] x prod_{j<>i} [t0, tfwd.(j)]. *)
+    let tau = Array.init t.n (fun j -> if j = i then t_exec else t.tfwd.(j)) in
+    Compute_delta.run ~sign:(-1) t.ctx fwd tau t_exec;
+    t.tfwd.(i) <- start + delta;
+    `Advanced (hwm t)
+    end
+  end
+
+let step t ~policy =
+  (* Choose the base relation with the smallest forward frontier; with this
+     choice hwm advances as evenly as the policy's intervals allow. *)
+  let i = ref 0 in
+  for j = 1 to t.n - 1 do
+    if t.tfwd.(j) < t.tfwd.(!i) then i := j
+  done;
+  let i = !i in
+  match step_relation t i ~interval:(policy i) with
+  | `Advanced h -> `Advanced (i, h)
+  | `Idle -> `Idle
+
+let run_until t ~target ~policy =
+  if target > Database.now t.ctx.Ctx.db then
+    invalid_arg "Rolling.run_until: target in the future";
+  while hwm t < target do
+    match step t ~policy with
+    | `Advanced _ -> ()
+    | `Idle -> invalid_arg "Rolling.run_until: unreachable target"
+  done

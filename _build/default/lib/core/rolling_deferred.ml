@@ -1,0 +1,155 @@
+module Time = Roll_delta.Time
+module Database = Roll_storage.Database
+
+(* An outstanding forward query for relation [i]: window (win_lo, win_hi] on
+   axis [i], executed (serialized) at [exec]. Lists are kept in insertion
+   order, which is simultaneously window order and execution order. *)
+type fwd_query = { win_lo : Time.t; win_hi : Time.t; exec : Time.t }
+
+type t = {
+  ctx : Ctx.t;
+  n : int;
+  tfwd : Time.t array;
+  tcomp : Time.t array;
+  querylists : fwd_query list ref array;  (** oldest first *)
+}
+
+type policy = int -> int
+
+let uniform interval _ = interval
+
+let per_relation intervals i = intervals.(i)
+
+let create ctx ~t_initial =
+  let n = View.n_sources ctx.Ctx.view in
+  if n > 2 then
+    invalid_arg
+      "Rolling_deferred.create: the deferred compensation rule of Figure 10 \
+       is only exact for views over at most two relations; use Rolling";
+  {
+    ctx;
+    n;
+    tfwd = Array.make n t_initial;
+    tcomp = Array.make n t_initial;
+    querylists = Array.init n (fun _ -> ref []);
+  }
+
+let hwm t = Array.fold_left Time.min t.tcomp.(0) t.tcomp
+
+let tfwd t i = t.tfwd.(i)
+
+let tcomp t i = t.tcomp.(i)
+
+let outstanding t =
+  Array.fold_left (fun acc ql -> acc + List.length !ql) 0 t.querylists
+
+let refresh_tcomp t i =
+  t.tcomp.(i) <-
+    (match !(t.querylists.(i)) with
+    | [] -> t.tfwd.(i)
+    | oldest :: _ -> oldest.win_lo)
+
+(* PruneQueryLists: queries whose execution time is at or below the minimum
+   frontier no longer overlap any future forward query. *)
+let prune_querylists t time =
+  for i = 0 to t.n - 1 do
+    t.querylists.(i) := List.filter (fun q -> q.exec > time) !(t.querylists.(i));
+    refresh_tcomp t i
+  done
+
+(* ComInterval: how wide a compensation slab starting at [start] can be
+   before the staircase steps — i.e. before the next execution time of any
+   outstanding query of a lower-numbered relation. *)
+let com_interval t ~i ~start =
+  let best = ref max_int in
+  for j = 0 to i - 1 do
+    List.iter
+      (fun q -> if q.exec > start && q.exec < !best then best := q.exec)
+      !(t.querylists.(j))
+  done;
+  if !best = max_int then max_int else !best - start
+
+(* CompTime: how far back along axis [j] a compensation slab starting at
+   [start] must reach — to the window start of the oldest outstanding query
+   of relation [j] still overlapping (execution time beyond [start]), or to
+   relation [j]'s frontier when there is none (covering, eagerly, the
+   region its future forward queries will double-count). *)
+let comp_time t ~j ~start =
+  let rec find = function
+    | [] -> t.tfwd.(j)
+    | q :: rest -> if q.exec > start then q.win_lo else find rest
+  in
+  find !(t.querylists.(j))
+
+let step t ~policy =
+  let now = Database.now t.ctx.Ctx.db in
+  (* Choose the base relation with the smallest forward frontier. *)
+  let i = ref 0 in
+  for j = 1 to t.n - 1 do
+    if t.tfwd.(j) < t.tfwd.(!i) then i := j
+  done;
+  let i = !i in
+  (* Prune before the idle check: once every frontier has passed a query's
+     execution time it is fully compensated, and the high-water mark must
+     advance even if there is nothing left to do. *)
+  prune_querylists t t.tfwd.(i);
+  if t.tfwd.(i) >= now then `Idle
+  else begin
+    let delta =
+      let d = policy i in
+      if d <= 0 then invalid_arg "Rolling_deferred.step: interval must be positive";
+      Time.min d (now - t.tfwd.(i))
+    in
+    let start = t.tfwd.(i) in
+    if t.ctx.Ctx.auto_capture then Roll_capture.Capture.advance t.ctx.Ctx.capture;
+    if Compute_delta.window_known_empty t.ctx i ~lo:start ~hi:(start + delta)
+    then begin
+      (* Quiet window: nothing to execute and nothing to compensate. *)
+      t.tfwd.(i) <- start + delta;
+      refresh_tcomp t i;
+      `Advanced (i, hwm t)
+    end
+    else begin
+    let fwd =
+      Pquery.replace (Pquery.all_base t.n) i
+        (Pquery.Win { lo = start; hi = start + delta })
+    in
+    let t_exec = Executor.execute t.ctx ~sign:1 fwd in
+    if i < t.n - 1 then
+      t.querylists.(i) :=
+        !(t.querylists.(i))
+        @ [ { win_lo = start; win_hi = start + delta; exec = t_exec } ];
+    if i > 0 then begin
+      (* Compensate slab by slab; each slab is rectangular. *)
+      let remaining = ref delta in
+      while !remaining > 0 do
+        let width = Stdlib.min !remaining (com_interval t ~i ~start:t.tfwd.(i)) in
+        let tau =
+          Array.init t.n (fun j ->
+              if j < i then comp_time t ~j ~start:t.tfwd.(i) else t_exec)
+        in
+        let slab =
+          Pquery.replace (Pquery.all_base t.n) i
+            (Pquery.Win { lo = t.tfwd.(i); hi = t.tfwd.(i) + width })
+        in
+        Compute_delta.run ~sign:(-1) t.ctx slab tau t_exec;
+        t.tfwd.(i) <- t.tfwd.(i) + width;
+        remaining := !remaining - width
+      done
+    end
+    else t.tfwd.(i) <- start + delta;
+    refresh_tcomp t i;
+    `Advanced (i, hwm t)
+    end
+  end
+
+let run_until t ~target ~policy =
+  if target > Database.now t.ctx.Ctx.db then
+    invalid_arg "Rolling_deferred.run_until: target in the future";
+  while hwm t < target do
+    match step t ~policy with
+    | `Advanced _ -> ()
+    | `Idle ->
+        if hwm t < target then
+          invalid_arg "Rolling_deferred.run_until: unreachable target"
+  done

@@ -1,0 +1,52 @@
+(** The literal [RollingPropagate] of Figure 10: deferred, merged
+    compensations.
+
+    This is the paper's printed algorithm, with its query lists,
+    [ComInterval], [CompTime] and [PruneQueryLists]: forward queries of
+    lower-numbered relations are {e not} compensated when they run; instead,
+    each higher-numbered relation's forward query compensates, in one pass,
+    its overlap with all outstanding lower-numbered queries — reaching back
+    to the start of the oldest still-overlapping query ([CompTime]) and
+    splitting at execution-time boundaries where the overlap staircase
+    steps ([ComInterval]). R¹'s queries are never compensated at all, so
+    the process issues strictly fewer [ComputeDelta] calls than
+    {!Propagate} (the claim of Section 3.4, reproduced by the Figure 9–10
+    benches).
+
+    The deferred rule is exact for views over at most two relations — the
+    case all of the paper's figures illustrate. For n >= 3 it
+    over-compensates third axes (see {!Rolling} and DESIGN.md, "Fidelity
+    notes"), so [create] rejects wider views; {!Rolling} handles those with
+    a corrected, per-step compensation. *)
+
+type t
+
+type policy = int -> int
+(** [policy i] is the propagation interval to use for relation [i]'s next
+    forward query. Must be positive. *)
+
+val uniform : int -> policy
+
+val per_relation : int array -> policy
+
+val create : Ctx.t -> t_initial:Roll_delta.Time.t -> t
+
+val hwm : t -> Roll_delta.Time.t
+
+val tfwd : t -> int -> Roll_delta.Time.t
+
+val tcomp : t -> int -> Roll_delta.Time.t
+
+val outstanding : t -> int
+(** Total queries across all query lists (not yet fully compensated). *)
+
+val step : t -> policy:policy -> [ `Advanced of int * Roll_delta.Time.t | `Idle ]
+(** One iteration of the do-forever loop: pick the relation with the
+    smallest frontier, prune, forward-query, compensate. [`Advanced (i, h)]
+    reports the chosen relation and the new high-water mark. [`Idle] when
+    every frontier has reached the database's current time. *)
+
+val run_until : t -> target:Roll_delta.Time.t -> policy:policy -> unit
+(** Step until [hwm >= target].
+    @raise Invalid_argument if [target] exceeds the database's current
+    time. *)

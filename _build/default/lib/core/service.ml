@@ -1,0 +1,83 @@
+module Time = Roll_delta.Time
+module Database = Roll_storage.Database
+module Capture = Roll_capture.Capture
+
+type entry = { name : string; controller : Controller.t; mutable paused : bool }
+
+type status = {
+  name : string;
+  as_of : Time.t;
+  hwm : Time.t;
+  staleness : int;
+  delta_rows : int;
+  paused : bool;
+}
+
+type t = {
+  db : Database.t;
+  capture : Capture.t;
+  mutable entries : entry list;  (** registration order *)
+}
+
+let create db capture = { db; capture; entries = [] }
+
+let register t ~algorithm view =
+  let name = View.name view in
+  if List.exists (fun (e : entry) -> String.equal e.name name) t.entries then
+    invalid_arg ("Service.register: view already registered: " ^ name);
+  let controller = Controller.create t.db t.capture view ~algorithm in
+  t.entries <- t.entries @ [ { name; controller; paused = false } ];
+  controller
+
+let find t name =
+  match List.find_opt (fun (e : entry) -> String.equal e.name name) t.entries with
+  | Some e -> e
+  | None -> raise Not_found
+
+let controller t name = (find t name).controller
+
+let names t = List.map (fun (e : entry) -> e.name) t.entries
+
+let status t =
+  let now = Database.now t.db in
+  List.map
+    (fun (e : entry) ->
+      let hwm = Controller.hwm e.controller in
+      {
+        name = e.name;
+        as_of = Controller.as_of e.controller;
+        hwm;
+        staleness = now - hwm;
+        delta_rows = Roll_delta.Delta.length (Controller.ctx e.controller).Ctx.out;
+        paused = e.paused;
+      })
+    t.entries
+
+let pause t name = (find t name).paused <- true
+
+let resume t name = (find t name).paused <- false
+
+let step_all t ~budget =
+  let steps = ref 0 in
+  let made_progress = ref true in
+  while !steps < budget && !made_progress do
+    made_progress := false;
+    List.iter
+      (fun (e : entry) ->
+        if (not e.paused) && !steps < budget then
+          if Controller.propagate_step e.controller then begin
+            incr steps;
+            made_progress := true
+          end)
+      t.entries
+  done;
+  !steps
+
+let refresh_all t =
+  List.iter
+    (fun (e : entry) ->
+      if not e.paused then ignore (Controller.refresh_latest e.controller))
+    t.entries
+
+let gc_all t =
+  List.fold_left (fun acc (e : entry) -> acc + Controller.gc e.controller) 0 t.entries

@@ -1,0 +1,53 @@
+(** Multi-view maintenance service: the control tables of Figure 11.
+
+    The prototype's control tables "identify the tables associated with
+    each materialized view … and record the current view materialization
+    time and the view delta high-water mark". This module is that registry:
+    several views maintained over one database and one capture process,
+    each with its own propagation algorithm and apply state, plus the
+    operational controls a DBA would expect — status, per-view
+    pause/resume (either process "can be suspended during periods of high
+    system load"), budgeted round-robin propagation, and garbage
+    collection. *)
+
+type t
+
+type status = {
+  name : string;
+  as_of : Roll_delta.Time.t;  (** materialization time of the stored view *)
+  hwm : Roll_delta.Time.t;  (** view-delta high-water mark *)
+  staleness : int;  (** current time minus hwm, in commits *)
+  delta_rows : int;  (** rows currently held in the view delta *)
+  paused : bool;
+}
+
+val create : Roll_storage.Database.t -> Roll_capture.Capture.t -> t
+
+val register :
+  t -> algorithm:Controller.algorithm -> View.t -> Controller.t
+(** Materializes and registers a view under its own name.
+    @raise Invalid_argument if the name is already registered. *)
+
+val controller : t -> string -> Controller.t
+(** @raise Not_found *)
+
+val names : t -> string list
+
+val status : t -> status list
+(** One row per registered view, in registration order. *)
+
+val pause : t -> string -> unit
+(** Suspend propagation for one view ([step_all] skips it; explicit
+    refreshes through its controller still work). *)
+
+val resume : t -> string -> unit
+
+val step_all : t -> budget:int -> int
+(** Run up to [budget] propagation steps, round-robin over non-paused
+    views, stopping early when every one is idle. Returns steps executed. *)
+
+val refresh_all : t -> unit
+(** Refresh every non-paused view to the current time. *)
+
+val gc_all : t -> int
+(** Prune applied delta rows of every view; returns total rows removed. *)

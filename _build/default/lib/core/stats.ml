@@ -1,0 +1,58 @@
+module Vec = Roll_util.Vec
+
+type footprint = {
+  exec : Roll_delta.Time.t;
+  description : string;
+  reads : (string * int) list;
+  emitted : int;
+}
+
+type t = {
+  mutable queries : int;
+  mutable rows_read : int;
+  mutable rows_emitted : int;
+  mutable compute_delta_calls : int;
+  mutable keep_footprints : bool;
+  footprints : footprint Vec.t;
+}
+
+let create () =
+  {
+    queries = 0;
+    rows_read = 0;
+    rows_emitted = 0;
+    compute_delta_calls = 0;
+    keep_footprints = true;
+    footprints = Vec.create ();
+  }
+
+let queries t = t.queries
+
+let rows_read t = t.rows_read
+
+let rows_emitted t = t.rows_emitted
+
+let compute_delta_calls t = t.compute_delta_calls
+
+let incr_compute_delta_calls t = t.compute_delta_calls <- t.compute_delta_calls + 1
+
+let record_query t fp =
+  t.queries <- t.queries + 1;
+  t.rows_read <- t.rows_read + List.fold_left (fun acc (_, n) -> acc + n) 0 fp.reads;
+  t.rows_emitted <- t.rows_emitted + fp.emitted;
+  if t.keep_footprints then Vec.push t.footprints fp
+
+let footprints t = Vec.to_list t.footprints
+
+let set_keep_footprints t b = t.keep_footprints <- b
+
+let reset t =
+  t.queries <- 0;
+  t.rows_read <- 0;
+  t.rows_emitted <- 0;
+  t.compute_delta_calls <- 0;
+  Vec.clear t.footprints
+
+let pp ppf t =
+  Format.fprintf ppf "queries=%d rows_read=%d rows_emitted=%d compute_delta=%d"
+    t.queries t.rows_read t.rows_emitted t.compute_delta_calls

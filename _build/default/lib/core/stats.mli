@@ -1,0 +1,41 @@
+(** Execution statistics and per-transaction footprints.
+
+    Counters drive the benches; footprints (which resources a propagation
+    transaction read and how many rows) feed the contention simulator, so
+    the lock-queueing model runs on measured rather than assumed transaction
+    sizes. *)
+
+type footprint = {
+  exec : Roll_delta.Time.t;  (** serialization time of the query *)
+  description : string;
+  reads : (string * int) list;
+      (** resource name ("R" for a base table, "ΔR" for its delta) and rows
+          read from it *)
+  emitted : int;  (** rows added to the view delta *)
+}
+
+type t
+
+val create : unit -> t
+
+val queries : t -> int
+
+val rows_read : t -> int
+
+val rows_emitted : t -> int
+
+val compute_delta_calls : t -> int
+
+val incr_compute_delta_calls : t -> unit
+
+val record_query : t -> footprint -> unit
+
+val footprints : t -> footprint list
+
+val set_keep_footprints : t -> bool -> unit
+(** Footprint retention is on by default; long benches can switch it off to
+    bound memory. Counters are always maintained. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

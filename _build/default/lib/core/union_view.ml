@@ -1,0 +1,61 @@
+open Roll_relation
+module Time = Roll_delta.Time
+module Delta = Roll_delta.Delta
+
+type block = { ctx : Ctx.t; rolling : Rolling.t; policy : Rolling.policy }
+
+type t = {
+  blocks : block array;
+  store : Relation.t;
+  mutable as_of : Time.t;
+}
+
+let create db capture ~views ~policies ~t_initial =
+  (match views with
+  | [] -> invalid_arg "Union_view.create: no blocks"
+  | first :: rest ->
+      let schema = View.output_schema first in
+      List.iter
+        (fun v ->
+          if not (Schema.equal (View.output_schema v) schema) then
+            invalid_arg "Union_view.create: block output schemas differ")
+        rest);
+  if List.length views <> List.length policies then
+    invalid_arg "Union_view.create: one policy per block required";
+  let blocks =
+    List.map2
+      (fun view policy ->
+        let ctx = Ctx.create ~t_initial db capture view in
+        { ctx; rolling = Rolling.create ctx ~t_initial; policy })
+      views policies
+    |> Array.of_list
+  in
+  let schema = View.output_schema (List.hd views) in
+  { blocks; store = Relation.create schema; as_of = t_initial }
+
+let n_blocks t = Array.length t.blocks
+
+let block_ctx t i = t.blocks.(i).ctx
+
+let hwm t =
+  Array.fold_left
+    (fun acc b -> Time.min acc (Rolling.hwm b.rolling))
+    max_int t.blocks
+
+let propagate_until t target =
+  Array.iter
+    (fun b -> Rolling.run_until b.rolling ~target ~policy:b.policy)
+    t.blocks
+
+let contents t = t.store
+
+let as_of t = t.as_of
+
+let roll_to t target =
+  if target < t.as_of then invalid_arg "Union_view.roll_to: target is behind";
+  if target > hwm t then
+    invalid_arg "Union_view.roll_to: target beyond high-water mark";
+  Array.iter
+    (fun b -> Delta.apply_window b.ctx.Ctx.out ~lo:t.as_of ~hi:target t.store)
+    t.blocks;
+  t.as_of <- target

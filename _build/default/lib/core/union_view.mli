@@ -1,0 +1,37 @@
+(** Views with union (Section 2: "rolling propagation … can be extended
+    easily to accommodate views involving union").
+
+    A union view is the multiset union of several SPJ blocks with identical
+    output schemas. Each block gets its own rolling propagation process and
+    its own delta; the union's materialization applies all block windows,
+    and the union's high-water mark is the minimum over blocks. Because
+    counts add, no coordination between blocks is needed — the union of
+    timed delta tables is a timed delta table for the union view (Lemma 4.2
+    lifts pointwise). *)
+
+type t
+
+val create :
+  Roll_storage.Database.t ->
+  Roll_capture.Capture.t ->
+  views:View.t list ->
+  policies:Rolling.policy list ->
+  t_initial:Roll_delta.Time.t ->
+  t
+(** @raise Invalid_argument if the blocks' output schemas differ or the
+    lists' lengths mismatch. *)
+
+val n_blocks : t -> int
+
+val block_ctx : t -> int -> Ctx.t
+
+val hwm : t -> Roll_delta.Time.t
+
+val propagate_until : t -> Roll_delta.Time.t -> unit
+
+val contents : t -> Roll_relation.Relation.t
+
+val as_of : t -> Roll_delta.Time.t
+
+val roll_to : t -> Roll_delta.Time.t -> unit
+(** @raise Invalid_argument if the target exceeds [hwm]. *)

@@ -1,0 +1,125 @@
+open Roll_relation
+open Roll_storage
+
+type t = {
+  name : string;
+  source_tables : string array;
+  aliases : string array;
+  schemas : Schema.t array;
+  predicate : Predicate.t;
+  projection : (string * Predicate.operand) list;
+  output_schema : Schema.t;
+}
+
+let binder db sources alias column =
+  let rec find i = function
+    | [] -> invalid_arg ("View.binder: unknown alias " ^ alias)
+    | (table, a) :: rest ->
+        if String.equal a alias then (i, table) else find (i + 1) rest
+  in
+  let source, table = find 0 sources in
+  let schema = Table.schema (Database.table db table) in
+  match Schema.find_index schema column with
+  | Some c -> Predicate.col source c
+  | None ->
+      invalid_arg
+        (Printf.sprintf "View.binder: no column %s in %s (alias %s)" column
+           table alias)
+
+let validate_col schemas (c : Predicate.col) =
+  if c.source < 0 || c.source >= Array.length schemas then
+    invalid_arg "View.create: column references unknown source";
+  if c.column < 0 || c.column >= Schema.arity schemas.(c.source) then
+    invalid_arg "View.create: column index out of range"
+
+let validate_operand schemas operand =
+  Predicate.fold_operands
+    (fun () op ->
+      match op with
+      | Predicate.Col c -> validate_col schemas c
+      | Predicate.Const _ | Predicate.Neg _ | Predicate.Add _
+      | Predicate.Sub _ | Predicate.Mul _ | Predicate.Div _ -> ())
+    () operand
+
+let validate_atom schemas = function
+  | Predicate.Join (a, b) ->
+      validate_col schemas a;
+      validate_col schemas b;
+      let ta = (Schema.column schemas.(a.source) a.column).ty in
+      let tb = (Schema.column schemas.(b.source) b.column).ty in
+      if ta <> tb then
+        invalid_arg "View.create: equi-join between differently-typed columns"
+  | Predicate.Cmp (_, x, y) ->
+      validate_operand schemas x;
+      validate_operand schemas y
+
+let create_select db ~name ~sources ~predicate ~select =
+  if sources = [] then invalid_arg "View.create: no sources";
+  if select = [] then invalid_arg "View.create: empty projection";
+  let source_tables = Array.of_list (List.map fst sources) in
+  let aliases = Array.of_list (List.map snd sources) in
+  let schemas =
+    Array.map (fun tbl -> Table.schema (Database.table db tbl)) source_tables
+  in
+  List.iter (validate_atom schemas) predicate;
+  List.iter (fun (_, operand) -> validate_operand schemas operand) select;
+  let col_type (c : Predicate.col) = (Schema.column schemas.(c.source) c.column).ty in
+  let out_col (col_name, operand) =
+    match Predicate.infer_type col_type operand with
+    | Ok ty -> { Schema.name = col_name; ty }
+    | Error msg ->
+        invalid_arg (Printf.sprintf "View.create: column %s: %s" col_name msg)
+  in
+  let output_schema = Schema.make (List.map out_col select) in
+  { name; source_tables; aliases; schemas; predicate; projection = select;
+    output_schema }
+
+let create db ~name ~sources ~predicate ~project =
+  let aliases = Array.of_list (List.map snd sources) in
+  let schemas =
+    Array.map
+      (fun (tbl, _) -> Table.schema (Database.table db tbl))
+      (Array.of_list sources)
+  in
+  let select =
+    List.map
+      (fun (c : Predicate.col) ->
+        if c.source < 0 || c.source >= Array.length schemas then
+          invalid_arg "View.create: column references unknown source";
+        if c.column < 0 || c.column >= Schema.arity schemas.(c.source) then
+          invalid_arg "View.create: column index out of range";
+        let col = Schema.column schemas.(c.source) c.column in
+        (aliases.(c.source) ^ "_" ^ col.Schema.name, Predicate.Col c))
+      project
+  in
+  create_select db ~name ~sources ~predicate ~select
+
+let name t = t.name
+
+let n_sources t = Array.length t.source_tables
+
+let source_table t i = t.source_tables.(i)
+
+let alias t i = t.aliases.(i)
+
+let source_schema t i = t.schemas.(i)
+
+let predicate t = t.predicate
+
+let projection t = t.projection
+
+let output_schema t = t.output_schema
+
+let project_bindings t bindings =
+  Array.of_list
+    (List.map
+       (fun (_, operand) -> Predicate.eval_operand bindings operand)
+       t.projection)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>view %s:@, from %a@, where %a@]" t.name
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    (Array.to_seq t.source_tables)
+    Predicate.pp t.predicate

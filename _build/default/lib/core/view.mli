@@ -1,0 +1,67 @@
+(** Select-project-join view definitions.
+
+    A view is π(σ(R¹ ⋈ R² ⋈ … ⋈ Rⁿ)): an ordered list of source tables
+    (order matters to the propagation algorithms — forward queries for Rⁱ
+    compensate against lower-numbered relations), a conjunctive predicate,
+    and a projection. Duplicates are preserved through counts, so the
+    projection need not keep a key. *)
+
+type t
+
+val binder :
+  Roll_storage.Database.t ->
+  (string * string) list ->
+  string ->
+  string ->
+  Roll_relation.Predicate.col
+(** [binder db sources alias column] resolves ["o" "okey"] style references
+    to predicate columns against the source list (pairs of table name and
+    alias) before the view exists. @raise Invalid_argument on unknown alias
+    or column. *)
+
+val create :
+  Roll_storage.Database.t ->
+  name:string ->
+  sources:(string * string) list ->
+  predicate:Roll_relation.Predicate.t ->
+  project:Roll_relation.Predicate.col list ->
+  t
+(** [create db ~name ~sources ~predicate ~project] validates the definition
+    against the database's schemas: all column references in range,
+    equi-joined columns of equal type, non-empty projection and sources.
+    [sources] pairs are (table name, alias). Output columns are named
+    ["alias_column"]. *)
+
+val create_select :
+  Roll_storage.Database.t ->
+  name:string ->
+  sources:(string * string) list ->
+  predicate:Roll_relation.Predicate.t ->
+  select:(string * Roll_relation.Predicate.operand) list ->
+  t
+(** Generalized projection: each output column is a named arithmetic
+    expression over the sources (computed columns). Expression types are
+    inferred and checked at creation. *)
+
+val name : t -> string
+
+val n_sources : t -> int
+
+val source_table : t -> int -> string
+
+val alias : t -> int -> string
+
+val source_schema : t -> int -> Roll_relation.Schema.t
+
+val predicate : t -> Roll_relation.Predicate.t
+
+val projection : t -> (string * Roll_relation.Predicate.operand) list
+(** Output columns: name and defining expression (a plain column reference
+    for views built with [create]). *)
+
+val output_schema : t -> Roll_relation.Schema.t
+
+val project_bindings : t -> Roll_relation.Tuple.t array -> Roll_relation.Tuple.t
+(** Apply the projection to one tuple per source. *)
+
+val pp : Format.formatter -> t -> unit

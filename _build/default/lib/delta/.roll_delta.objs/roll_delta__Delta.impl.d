@@ -1,0 +1,1 @@
+lib/delta/delta.ml: Array Format Hashtbl Int List Relation Roll_relation Roll_util Schema Time Tuple

@@ -1,0 +1,1 @@
+lib/delta/delta.mli: Format Roll_relation Time

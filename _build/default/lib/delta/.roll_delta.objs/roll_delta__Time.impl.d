@@ -1,0 +1,1 @@
+lib/delta/time.ml: Array Format Int Stdlib

@@ -1,0 +1,1 @@
+lib/delta/time.mli: Format

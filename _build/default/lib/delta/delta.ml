@@ -1,0 +1,164 @@
+open Roll_relation
+module Vec = Roll_util.Vec
+
+type row = { tuple : Tuple.t; count : int; ts : Time.t }
+
+type t = {
+  schema : Schema.t;
+  rows : row Vec.t;
+  (* Indices into [rows], sorted by (ts, arrival); rebuilt on demand. *)
+  mutable index : int array;
+  mutable index_dirty : bool;
+}
+
+let create schema =
+  { schema; rows = Vec.create (); index = [||]; index_dirty = false }
+
+let schema t = t.schema
+
+let append_row t row =
+  if row.count <> 0 then begin
+    if not (Tuple.conforms t.schema row.tuple) then
+      invalid_arg "Delta.append: tuple does not conform to schema";
+    (* Appends that keep timestamps non-decreasing (the common case for
+       base-table deltas) keep the index valid without a rebuild. *)
+    (match Vec.last t.rows with
+    | Some prev when prev.ts > row.ts -> t.index_dirty <- true
+    | _ -> ());
+    Vec.push t.rows row
+  end
+
+let append t tuple ~count ~ts = append_row t { tuple; count; ts }
+
+let length t = Vec.length t.rows
+
+let iter f t = Vec.iter f t.rows
+
+let to_list t = Vec.to_list t.rows
+
+let rebuild_index t =
+  let n = Vec.length t.rows in
+  let idx = Array.init n (fun i -> i) in
+  let cmp i j =
+    let ri = Vec.get t.rows i and rj = Vec.get t.rows j in
+    let c = Time.compare ri.ts rj.ts in
+    if c <> 0 then c else Int.compare i j
+  in
+  Array.sort cmp idx;
+  t.index <- idx;
+  t.index_dirty <- false
+
+let ensure_index t =
+  if t.index_dirty || Array.length t.index <> Vec.length t.rows then
+    rebuild_index t
+
+let ts_at t k = (Vec.get t.rows t.index.(k)).ts
+
+(* Smallest index position whose timestamp is >= [ts]. *)
+let lower_bound t ts =
+  let lo = ref 0 and hi = ref (Array.length t.index) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ts_at t mid < ts then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let window_iter t ~lo ~hi f =
+  if hi > lo && Vec.length t.rows > 0 then begin
+    ensure_index t;
+    let start = lower_bound t (lo + 1) in
+    let n = Array.length t.index in
+    let k = ref start in
+    while !k < n && ts_at t !k <= hi do
+      f (Vec.get t.rows t.index.(!k));
+      incr k
+    done
+  end
+
+let window t ~lo ~hi =
+  let acc = ref [] in
+  window_iter t ~lo ~hi (fun row -> acc := row :: !acc);
+  List.rev !acc
+
+let window_count t ~lo ~hi =
+  let n = ref 0 in
+  window_iter t ~lo ~hi (fun _ -> incr n);
+  !n
+
+let min_ts t =
+  if Vec.length t.rows = 0 then None
+  else begin
+    ensure_index t;
+    Some (ts_at t 0)
+  end
+
+let max_ts t =
+  if Vec.length t.rows = 0 then None
+  else begin
+    ensure_index t;
+    Some (ts_at t (Array.length t.index - 1))
+  end
+
+let net_effect t ~lo ~hi =
+  let r = Relation.create t.schema in
+  window_iter t ~lo ~hi (fun row -> Relation.add r row.tuple row.count);
+  r
+
+let apply_window t ~lo ~hi r =
+  window_iter t ~lo ~hi (fun row -> Relation.add r row.tuple row.count)
+
+let prune t ~upto =
+  let keep = Vec.create () in
+  let dropped = ref 0 in
+  Vec.iter
+    (fun row -> if row.ts <= upto then incr dropped else Vec.push keep row)
+    t.rows;
+  if !dropped > 0 then begin
+    Vec.clear t.rows;
+    Vec.iter (fun row -> Vec.push t.rows row) keep;
+    t.index_dirty <- true
+  end;
+  !dropped
+
+let compact t =
+  let module Key = struct
+    type t = Tuple.t * Time.t
+
+    let equal (a, i) (b, j) = Time.equal i j && Tuple.equal a b
+    let hash (a, i) = (Tuple.hash a * 31) + i
+  end in
+  let module H = Hashtbl.Make (Key) in
+  let before = Vec.length t.rows in
+  let totals = H.create (max 16 before) in
+  let order = Vec.create () in
+  Vec.iter
+    (fun row ->
+      let key = (row.tuple, row.ts) in
+      match H.find_opt totals key with
+      | None ->
+          H.add totals key row.count;
+          Vec.push order key
+      | Some c -> H.replace totals key (c + row.count))
+    t.rows;
+  Vec.clear t.rows;
+  Vec.iter
+    (fun ((tuple, ts) as key) ->
+      let count = H.find totals key in
+      if count <> 0 then Vec.push t.rows { tuple; count; ts })
+    order;
+  t.index_dirty <- true;
+  before - Vec.length t.rows
+
+let copy t =
+  let t' = create t.schema in
+  iter (fun row -> append_row t' row) t;
+  t'
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  iter
+    (fun row ->
+      Format.fprintf ppf "@@%a %+d x %a@," Time.pp row.ts row.count Tuple.pp
+        row.tuple)
+    t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,67 @@
+(** Timestamped delta tables.
+
+    A delta table records insertions (positive counts) and deletions
+    (negative counts) of tuples, each stamped with the commit time of the
+    transaction that made (or, for view deltas, caused) the change. The
+    window operation σ_{a,b} of the paper selects rows with timestamps in
+    the half-open interval (a, b].
+
+    Base-table deltas are appended in commit order, but view deltas are not:
+    a compensation query executed late adds rows with old timestamps. The
+    table therefore keeps rows in arrival order and maintains a lazily
+    rebuilt timestamp-sorted index for window queries. *)
+
+type row = { tuple : Roll_relation.Tuple.t; count : int; ts : Time.t }
+
+type t
+
+val create : Roll_relation.Schema.t -> t
+
+val schema : t -> Roll_relation.Schema.t
+
+val append : t -> Roll_relation.Tuple.t -> count:int -> ts:Time.t -> unit
+(** Zero-count appends are dropped. *)
+
+val append_row : t -> row -> unit
+
+val length : t -> int
+(** Number of stored rows (not net tuples). *)
+
+val iter : (row -> unit) -> t -> unit
+(** Arrival order. *)
+
+val to_list : t -> row list
+
+val min_ts : t -> Time.t option
+
+val max_ts : t -> Time.t option
+
+val window : t -> lo:Time.t -> hi:Time.t -> row list
+(** [window d ~lo ~hi] is σ_{lo,hi}(d): rows with [lo < ts <= hi], in
+    timestamp order (ties in arrival order). *)
+
+val window_iter : t -> lo:Time.t -> hi:Time.t -> (row -> unit) -> unit
+
+val window_count : t -> lo:Time.t -> hi:Time.t -> int
+
+val net_effect : t -> lo:Time.t -> hi:Time.t -> Roll_relation.Relation.t
+(** φ(σ_{lo,hi}(d)): the window collapsed to net counts. *)
+
+val apply_window :
+  t -> lo:Time.t -> hi:Time.t -> Roll_relation.Relation.t -> unit
+(** [apply_window d ~lo ~hi r] adds the window's rows into [r] ("rolls" [r]
+    forward when [d] is a delta for [r]'s relation). *)
+
+val prune : t -> upto:Time.t -> int
+(** [prune d ~upto] removes rows with [ts <= upto] (already applied and no
+    longer needed) and returns how many were removed. *)
+
+val compact : t -> int
+(** Merge rows with identical tuple and timestamp by summing their counts
+    (a forward query and a compensation often contribute exactly cancelling
+    rows). Every window σ_{a,b} is unchanged; returns the number of rows
+    eliminated. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type t = int
+
+let origin = 0
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let min = Stdlib.min
+
+let max = Stdlib.max
+
+let pp = Format.pp_print_int
+
+let to_string = string_of_int
+
+module Vector = struct
+  type time = t
+
+  type t = time array
+
+  let const n t = Array.make n t
+
+  let pp ppf v =
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_seq
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         Format.pp_print_int)
+      (Array.to_seq v)
+end

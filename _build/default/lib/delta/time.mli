@@ -1,0 +1,39 @@
+(** Logical time.
+
+    Internally, "time" is a commit sequence number (CSN): the position of a
+    transaction's commit in the serialization order, exactly as the
+    prototype in Section 5 of the paper uses DPropR commit sequence numbers.
+    Wall-clock timestamps are kept separately in the unit-of-work table (see
+    {!Roll_capture.Uow}) and mapped to CSNs when a point-in-time refresh is
+    requested in wall time. *)
+
+type t = int
+
+val origin : t
+(** [t_0], the creation time of all base tables. No transaction commits at
+    or before [origin]. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Vector timestamps: one time per source relation of a propagation query,
+    written [τ] in the paper. *)
+module Vector : sig
+  type time = t
+
+  type t = time array
+
+  val const : int -> time -> t
+  (** [const n t] is [\[t; ...; t\]] of length [n]. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,1 @@
+lib/dsl/sql.ml: Array Buffer Lexer List Predicate Printf Roll_core Roll_relation Schema String Value

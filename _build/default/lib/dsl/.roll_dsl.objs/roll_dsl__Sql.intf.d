@@ -1,0 +1,1 @@
+lib/dsl/sql.mli: Roll_core Roll_storage

@@ -1,0 +1,182 @@
+type token =
+  | Select
+  | From
+  | Join
+  | On
+  | Where
+  | And
+  | As
+  | Union
+  | All
+  | True
+  | False
+  | Null
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Dot
+  | Comma
+  | LParen
+  | RParen
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+exception Error of string
+
+let fail pos msg = raise (Error (Printf.sprintf "at character %d: %s" pos msg))
+
+let keyword_of = function
+  | "select" -> Some Select
+  | "from" -> Some From
+  | "join" -> Some Join
+  | "on" -> Some On
+  | "where" -> Some Where
+  | "and" -> Some And
+  | "as" -> Some As
+  | "union" -> Some Union
+  | "all" -> Some All
+  | "true" -> Some True
+  | "false" -> Some False
+  | "null" -> Some Null
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit token = tokens := token :: !tokens in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  while !pos < n do
+    let c = input.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char input.[!pos] do
+        incr pos
+      done;
+      let word = String.sub input start (!pos - start) in
+      match keyword_of (String.lowercase_ascii word) with
+      | Some kw -> emit kw
+      | None -> emit (Ident word)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit input.[!pos] do
+        incr pos
+      done;
+      let is_float =
+        !pos < n && input.[!pos] = '.' && !pos + 1 < n && is_digit input.[!pos + 1]
+      in
+      if is_float then begin
+        incr pos;
+        while !pos < n && is_digit input.[!pos] do
+          incr pos
+        done;
+        emit (Float (float_of_string (String.sub input start (!pos - start))))
+      end
+      else emit (Int (int_of_string (String.sub input start (!pos - start))))
+    end
+    else if c = '\'' then begin
+      let start = !pos in
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        match peek () with
+        | None -> fail start "unterminated string literal"
+        | Some '\'' ->
+            if !pos + 1 < n && input.[!pos + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              pos := !pos + 2
+            end
+            else begin
+              incr pos;
+              closed := true
+            end
+        | Some ch ->
+            Buffer.add_char buf ch;
+            incr pos
+      done;
+      emit (String (Buffer.contents buf))
+    end
+    else begin
+      let two =
+        if !pos + 1 < n then String.sub input !pos 2 else ""
+      in
+      match two with
+      | "<>" | "!=" ->
+          emit Ne;
+          pos := !pos + 2
+      | "<=" ->
+          emit Le;
+          pos := !pos + 2
+      | ">=" ->
+          emit Ge;
+          pos := !pos + 2
+      | _ -> (
+          match c with
+          | '.' -> emit Dot; incr pos
+          | ',' -> emit Comma; incr pos
+          | '(' -> emit LParen; incr pos
+          | ')' -> emit RParen; incr pos
+          | '+' -> emit Plus; incr pos
+          | '-' -> emit Minus; incr pos
+          | '*' -> emit Star; incr pos
+          | '/' -> emit Slash; incr pos
+          | '=' -> emit Eq; incr pos
+          | '<' -> emit Lt; incr pos
+          | '>' -> emit Gt; incr pos
+          | _ -> fail !pos (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  emit Eof;
+  List.rev !tokens
+
+let describe = function
+  | Select -> "SELECT"
+  | From -> "FROM"
+  | Join -> "JOIN"
+  | On -> "ON"
+  | Where -> "WHERE"
+  | And -> "AND"
+  | As -> "AS"
+  | Union -> "UNION"
+  | All -> "ALL"
+  | True -> "TRUE"
+  | False -> "FALSE"
+  | Null -> "NULL"
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Int i -> string_of_int i
+  | Float f -> string_of_float f
+  | String s -> Printf.sprintf "'%s'" s
+  | Dot -> "."
+  | Comma -> ","
+  | LParen -> "("
+  | RParen -> ")"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eof -> "end of input"

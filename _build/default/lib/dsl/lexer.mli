@@ -1,0 +1,44 @@
+(** Tokenizer for the view-definition DSL. *)
+
+type token =
+  | Select
+  | From
+  | Join
+  | On
+  | Where
+  | And
+  | As
+  | Union
+  | All
+  | True
+  | False
+  | Null
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Dot
+  | Comma
+  | LParen
+  | RParen
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+exception Error of string
+(** Raised with a message that includes the character position. *)
+
+val tokenize : string -> token list
+(** Keywords are case-insensitive; identifiers are [\[A-Za-z_\]\[A-Za-z0-9_\]*];
+    strings are single-quoted with ['']-doubling for embedded quotes.
+    Numeric literals are unsigned — unary minus is a parser concern. *)
+
+val describe : token -> string

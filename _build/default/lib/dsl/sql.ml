@@ -1,0 +1,360 @@
+open Roll_relation
+module View = Roll_core.View
+
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail msg = raise (Parse_error msg)
+
+let peek st = match st.tokens with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st token what =
+  if peek st = token then advance st
+  else
+    fail
+      (Printf.sprintf "expected %s but found %s" what (Lexer.describe (peek st)))
+
+let ident st what =
+  match peek st with
+  | Lexer.Ident name ->
+      advance st;
+      name
+  | t -> fail (Printf.sprintf "expected %s but found %s" what (Lexer.describe t))
+
+(* alias.column *)
+let column_ref st =
+  let alias = ident st "an alias" in
+  expect st Lexer.Dot "'.'";
+  let column = ident st "a column name" in
+  (alias, column)
+
+type expr =
+  | E_col of string * string
+  | E_const of Value.t
+  | E_neg of expr
+  | E_add of expr * expr
+  | E_sub of expr * expr
+  | E_mul of expr * expr
+  | E_div of expr * expr
+
+(* expr := term (('+'|'-') term)*
+   term := factor (('*'|'/') factor)*
+   factor := '-' factor | '(' expr ')' | literal | alias.column *)
+let rec expression st =
+  let rec additive acc =
+    match peek st with
+    | Lexer.Plus ->
+        advance st;
+        additive (E_add (acc, term st))
+    | Lexer.Minus ->
+        advance st;
+        additive (E_sub (acc, term st))
+    | _ -> acc
+  in
+  additive (term st)
+
+and term st =
+  let rec multiplicative acc =
+    match peek st with
+    | Lexer.Star ->
+        advance st;
+        multiplicative (E_mul (acc, factor st))
+    | Lexer.Slash ->
+        advance st;
+        multiplicative (E_div (acc, factor st))
+    | _ -> acc
+  in
+  multiplicative (factor st)
+
+and factor st =
+  match peek st with
+  | Lexer.Minus ->
+      advance st;
+      E_neg (factor st)
+  | Lexer.LParen ->
+      advance st;
+      let e = expression st in
+      expect st Lexer.RParen "')'";
+      e
+  | Lexer.Ident _ -> let a, c = column_ref st in E_col (a, c)
+  | Lexer.Int i ->
+      advance st;
+      E_const (Value.Int i)
+  | Lexer.Float f ->
+      advance st;
+      E_const (Value.Float f)
+  | Lexer.String s ->
+      advance st;
+      E_const (Value.Str s)
+  | Lexer.True ->
+      advance st;
+      E_const (Value.Bool true)
+  | Lexer.False ->
+      advance st;
+      E_const (Value.Bool false)
+  | Lexer.Null ->
+      advance st;
+      E_const Value.Null
+  | t -> fail ("expected an expression but found " ^ Lexer.describe t)
+
+let comparison st =
+  match peek st with
+  | Lexer.Eq -> advance st; Predicate.Eq
+  | Lexer.Ne -> advance st; Predicate.Ne
+  | Lexer.Lt -> advance st; Predicate.Lt
+  | Lexer.Le -> advance st; Predicate.Le
+  | Lexer.Gt -> advance st; Predicate.Gt
+  | Lexer.Ge -> advance st; Predicate.Ge
+  | t -> fail ("expected a comparison operator but found " ^ Lexer.describe t)
+
+type raw_atom = { cmp : Predicate.cmp; left : expr; right : expr }
+
+let atom st =
+  let left = expression st in
+  let cmp = comparison st in
+  let right = expression st in
+  { cmp; left; right }
+
+let conjunction st =
+  let rec loop acc =
+    let a = atom st in
+    if peek st = Lexer.And then begin
+      advance st;
+      loop (a :: acc)
+    end
+    else List.rev (a :: acc)
+  in
+  loop []
+
+type raw_query = {
+  projections : (expr * string option) list;  (** expression, AS name *)
+  sources : (string * string) list;  (** (table, alias) in FROM order *)
+  atoms : raw_atom list;
+}
+
+let parse_block st =
+  expect st Lexer.Select "SELECT";
+  let projection () =
+    let e = expression st in
+    if peek st = Lexer.As then begin
+      advance st;
+      (e, Some (ident st "an output column name"))
+    end
+    else (e, None)
+  in
+  let rec projs acc =
+    let p = projection () in
+    if peek st = Lexer.Comma then begin
+      advance st;
+      projs (p :: acc)
+    end
+    else List.rev (p :: acc)
+  in
+  let projections = projs [] in
+  expect st Lexer.From "FROM";
+  let table = ident st "a table name" in
+  let alias = ident st "an alias" in
+  let rec joins acc =
+    if peek st = Lexer.Join then begin
+      advance st;
+      let table = ident st "a table name" in
+      let alias = ident st "an alias" in
+      expect st Lexer.On "ON";
+      let atoms = conjunction st in
+      joins ((table, alias, atoms) :: acc)
+    end
+    else List.rev acc
+  in
+  let joined = joins [] in
+  let where =
+    if peek st = Lexer.Where then begin
+      advance st;
+      conjunction st
+    end
+    else []
+  in
+  {
+    projections;
+    sources = (table, alias) :: List.map (fun (t, a, _) -> (t, a)) joined;
+    atoms = List.concat_map (fun (_, _, atoms) -> atoms) joined @ where;
+  }
+
+let parse_blocks st =
+  let rec loop acc =
+    let block = parse_block st in
+    if peek st = Lexer.Union then begin
+      advance st;
+      expect st Lexer.All "ALL (only UNION ALL is supported)";
+      loop (block :: acc)
+    end
+    else List.rev (block :: acc)
+  in
+  let blocks = loop [] in
+  expect st Lexer.Eof "end of input";
+  blocks
+
+let build_view ?names db ~name raw =
+  let bind alias column =
+    try View.binder db raw.sources alias column with
+    | Invalid_argument msg -> fail msg
+    | Not_found -> fail (Printf.sprintf "unknown table for alias %s" alias)
+  in
+  let rec resolve = function
+    | E_col (alias, column) -> Predicate.Col (bind alias column)
+    | E_const v -> Predicate.Const v
+    | E_neg e -> Predicate.Neg (resolve e)
+    | E_add (a, b) -> Predicate.Add (resolve a, resolve b)
+    | E_sub (a, b) -> Predicate.Sub (resolve a, resolve b)
+    | E_mul (a, b) -> Predicate.Mul (resolve a, resolve b)
+    | E_div (a, b) -> Predicate.Div (resolve a, resolve b)
+  in
+  let to_atom (a : raw_atom) =
+    match (a.cmp, resolve a.left, resolve a.right) with
+    | Predicate.Eq, Predicate.Col x, Predicate.Col y when x.source <> y.source ->
+        Predicate.Join (x, y)
+    | cmp, left, right -> Predicate.Cmp (cmp, left, right)
+  in
+  let predicate = List.map to_atom raw.atoms in
+  let select =
+    List.mapi
+      (fun i (e, as_name) ->
+        let default =
+          match e with
+          | E_col (alias, column) -> alias ^ "_" ^ column
+          | _ -> Printf.sprintf "expr%d" i
+        in
+        let col_name =
+          match names with
+          | Some ns when i < List.length ns -> List.nth ns i
+          | _ -> ( match as_name with Some n -> n | None -> default)
+        in
+        (col_name, resolve e))
+      raw.projections
+  in
+  try View.create_select db ~name ~sources:raw.sources ~predicate ~select
+  with
+  | Invalid_argument msg -> fail msg
+  | Not_found -> fail "unknown table in FROM/JOIN"
+
+let parse_tokens sql =
+  try Lexer.tokenize sql with Lexer.Error msg -> fail msg
+
+let parse_view db ~name sql =
+  let st = { tokens = parse_tokens sql } in
+  match parse_blocks st with
+  | [ raw ] -> build_view db ~name raw
+  | _ -> fail "UNION ALL statements need parse_union"
+
+let parse_union db ~name sql =
+  let st = { tokens = parse_tokens sql } in
+  match parse_blocks st with
+  | [] -> fail "empty statement"
+  | first_raw :: rest_raw ->
+      let first = build_view db ~name:(name ^ "#0") first_raw in
+      (* Later blocks take the first block's output column names — UNION
+         compatibility is positional, by type. *)
+      let names =
+        List.map
+          (fun (c : Schema.column) -> c.Schema.name)
+          (Array.to_list (Schema.columns (View.output_schema first)))
+      in
+      let rest =
+        List.mapi
+          (fun i raw ->
+            if List.length raw.projections <> List.length names then
+              fail "UNION ALL blocks have different arities";
+            build_view ~names db ~name:(Printf.sprintf "%s#%d" name (i + 1)) raw)
+          rest_raw
+      in
+      let views = first :: rest in
+      let schema = View.output_schema first in
+      List.iter
+        (fun v ->
+          if not (Schema.equal (View.output_schema v) schema) then
+            fail "UNION ALL blocks have different output schemas")
+        rest;
+      views
+
+let quote_string str =
+  let buf = Buffer.create (String.length str + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    str;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let print_view view =
+  let col_ref (c : Predicate.col) =
+    let alias = View.alias view c.source in
+    let column = (Schema.column (View.source_schema view c.source) c.column).Schema.name in
+    alias ^ "." ^ column
+  in
+  let rec expr = function
+    | Predicate.Col c -> col_ref c
+    | Predicate.Const (Value.Int i) ->
+        if i < 0 then Printf.sprintf "(0 - %d)" (-i) else string_of_int i
+    | Predicate.Const (Value.Float f) ->
+        if f < 0.0 then Printf.sprintf "(0 - %F)" (-.f) else Printf.sprintf "%F" f
+    | Predicate.Const (Value.Str str) -> quote_string str
+    | Predicate.Const (Value.Bool true) -> "TRUE"
+    | Predicate.Const (Value.Bool false) -> "FALSE"
+    | Predicate.Const Value.Null -> "NULL"
+    | Predicate.Neg e -> Printf.sprintf "(- %s)" (expr e)
+    | Predicate.Add (a, b) -> Printf.sprintf "(%s + %s)" (expr a) (expr b)
+    | Predicate.Sub (a, b) -> Printf.sprintf "(%s - %s)" (expr a) (expr b)
+    | Predicate.Mul (a, b) -> Printf.sprintf "(%s * %s)" (expr a) (expr b)
+    | Predicate.Div (a, b) -> Printf.sprintf "(%s / %s)" (expr a) (expr b)
+  in
+  let cmp = function
+    | Predicate.Eq -> "="
+    | Predicate.Ne -> "<>"
+    | Predicate.Lt -> "<"
+    | Predicate.Le -> "<="
+    | Predicate.Gt -> ">"
+    | Predicate.Ge -> ">="
+  in
+  let atom = function
+    | Predicate.Join (a, b) -> Printf.sprintf "%s = %s" (col_ref a) (col_ref b)
+    | Predicate.Cmp (op, x, y) ->
+        Printf.sprintf "%s %s %s" (expr x) (cmp op) (expr y)
+  in
+  (* Distribute atoms to the latest source they mention, as a human would:
+     each JOIN's ON clause gets the atoms whose last source is that join
+     (inner-join semantics make any split equivalent); atoms over the first
+     source only, or over constants, go to WHERE. A join with no atoms gets
+     a trivially-true ON. *)
+  let last_source a =
+    List.fold_left max 0 (Predicate.sources_of_atom a)
+  in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (col_name, e) ->
+            match e with
+            | Predicate.Col _ -> expr e
+            | _ -> Printf.sprintf "%s AS %s" (expr e) col_name)
+          (View.projection view)));
+  Buffer.add_string buf
+    (Printf.sprintf " FROM %s %s" (View.source_table view 0) (View.alias view 0));
+  for i = 1 to View.n_sources view - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf " JOIN %s %s ON " (View.source_table view i)
+         (View.alias view i));
+    match List.filter (fun a -> last_source a = i) (View.predicate view) with
+    | [] -> Buffer.add_string buf "0 = 0"
+    | atoms -> Buffer.add_string buf (String.concat " AND " (List.map atom atoms))
+  done;
+  (match List.filter (fun a -> last_source a = 0) (View.predicate view) with
+  | [] -> ()
+  | atoms ->
+      Buffer.add_string buf " WHERE ";
+      Buffer.add_string buf (String.concat " AND " (List.map atom atoms)));
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** A small SQL-ish surface for view definitions.
+
+    {v SELECT o.okey, c.name
+       FROM orders o
+       JOIN customer c ON o.ckey = c.ckey AND o.total > 100
+       WHERE c.region = 'EU' v}
+
+    Restricted to the class the paper's algorithms cover: inner equi/theta
+    joins of named tables with conjunctive predicates and column
+    projection. Aggregates and unions are handled by the library API
+    ({!Roll_core.Aggregate}, {!Roll_core.Union_view}), not the parser. *)
+
+exception Parse_error of string
+
+val parse_view :
+  Roll_storage.Database.t -> name:string -> string -> Roll_core.View.t
+(** [parse_view db ~name sql] resolves table and column names against [db]
+    and builds a validated view definition.
+    @raise Parse_error on syntax errors, unknown tables/columns/aliases, or
+    an unsupported construct. *)
+
+val parse_union :
+  Roll_storage.Database.t -> name:string -> string -> Roll_core.View.t list
+(** Parse a [SELECT … UNION ALL SELECT …] statement into one view per
+    block (named ["name#0"], ["name#1"], …) for {!Roll_core.Union_view}.
+    A single block (no UNION) yields a one-element list.
+    @raise Parse_error as {!parse_view}; block output schemas must agree. *)
+
+val print_view : Roll_core.View.t -> string
+(** Render a view definition back to the DSL. [parse_view (print_view v)]
+    yields a view equivalent to [v] (all predicate atoms end up in the
+    WHERE clause, which is semantically identical for inner joins). *)

@@ -1,0 +1,1 @@
+lib/relation/predicate.ml: Array Format Int List Printf Result Tuple Value

@@ -1,0 +1,188 @@
+type col = { source : int; column : int }
+
+type operand =
+  | Col of col
+  | Const of Value.t
+  | Neg of operand
+  | Add of operand * operand
+  | Sub of operand * operand
+  | Mul of operand * operand
+  | Div of operand * operand
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type atom = Join of col * col | Cmp of cmp * operand * operand
+
+type t = atom list
+
+let col source column = { source; column }
+
+let join a b = Join (a, b)
+
+let cmp op a b = Cmp (op, a, b)
+
+let rec sources_of_operand = function
+  | Col c -> [ c.source ]
+  | Const _ -> []
+  | Neg e -> sources_of_operand e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      sources_of_operand a @ sources_of_operand b
+
+let sources_of_atom atom =
+  let raw =
+    match atom with
+    | Join (a, b) -> [ a.source; b.source ]
+    | Cmp (_, x, y) -> sources_of_operand x @ sources_of_operand y
+  in
+  List.sort_uniq Int.compare raw
+
+let max_source t =
+  List.fold_left
+    (fun acc atom -> List.fold_left max acc (sources_of_atom atom))
+    (-1) t
+
+let eval_cmp op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> false
+  | _ ->
+      let c = Value.compare a b in
+      (match op with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0)
+
+(* NULL-propagating numeric arithmetic; non-numeric inputs yield NULL. *)
+let arith fi ff a b =
+  match (a, b) with
+  | Value.Int x, Value.Int y -> fi x y
+  | Value.Float x, Value.Float y -> ff x y
+  | Value.Int x, Value.Float y -> ff (float_of_int x) y
+  | Value.Float x, Value.Int y -> ff x (float_of_int y)
+  | _ -> Value.Null
+
+let rec eval_operand bindings = function
+  | Const v -> v
+  | Col c -> Tuple.get bindings.(c.source) c.column
+  | Neg e -> (
+      match eval_operand bindings e with
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | _ -> Value.Null)
+  | Add (a, b) ->
+      arith
+        (fun x y -> Value.Int (x + y))
+        (fun x y -> Value.Float (x +. y))
+        (eval_operand bindings a) (eval_operand bindings b)
+  | Sub (a, b) ->
+      arith
+        (fun x y -> Value.Int (x - y))
+        (fun x y -> Value.Float (x -. y))
+        (eval_operand bindings a) (eval_operand bindings b)
+  | Mul (a, b) ->
+      arith
+        (fun x y -> Value.Int (x * y))
+        (fun x y -> Value.Float (x *. y))
+        (eval_operand bindings a) (eval_operand bindings b)
+  | Div (a, b) ->
+      arith
+        (fun x y -> if y = 0 then Value.Null else Value.Int (x / y))
+        (fun x y -> if y = 0.0 then Value.Null else Value.Float (x /. y))
+        (eval_operand bindings a) (eval_operand bindings b)
+
+let eval_atom bindings = function
+  | Join (a, b) ->
+      eval_cmp Eq
+        (Tuple.get bindings.(a.source) a.column)
+        (Tuple.get bindings.(b.source) b.column)
+  | Cmp (op, x, y) ->
+      eval_cmp op (eval_operand bindings x) (eval_operand bindings y)
+
+let holds t bindings = List.for_all (eval_atom bindings) t
+
+let infer_type col_type operand =
+  let ( let* ) = Result.bind in
+  let numeric what = function
+    | Value.T_int -> Ok Value.T_int
+    | Value.T_float -> Ok Value.T_float
+    | ty ->
+        Error
+          (Printf.sprintf "%s requires a numeric operand, got %s" what
+             (Value.ty_to_string ty))
+  in
+  let combine what a b =
+    let* a = numeric what a in
+    let* b = numeric what b in
+    match (a, b) with
+    | Value.T_int, Value.T_int -> Ok Value.T_int
+    | _ -> Ok Value.T_float
+  in
+  let rec infer = function
+    | Col c -> Ok (col_type c)
+    | Const v -> (
+        match Value.type_of v with
+        | Some ty -> Ok ty
+        | None -> Error "NULL constant has no type")
+    | Neg e ->
+        let* ty = infer e in
+        numeric "negation" ty
+    | Add (a, b) ->
+        let* ta = infer a in
+        let* tb = infer b in
+        combine "addition" ta tb
+    | Sub (a, b) ->
+        let* ta = infer a in
+        let* tb = infer b in
+        combine "subtraction" ta tb
+    | Mul (a, b) ->
+        let* ta = infer a in
+        let* tb = infer b in
+        combine "multiplication" ta tb
+    | Div (a, b) ->
+        let* ta = infer a in
+        let* tb = infer b in
+        combine "division" ta tb
+  in
+  infer operand
+
+let rec fold_operands f acc operand =
+  let acc = f acc operand in
+  match operand with
+  | Col _ | Const _ -> acc
+  | Neg e -> fold_operands f acc e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      fold_operands f (fold_operands f acc a) b
+
+let pp_col ppf c = Format.fprintf ppf "s%d.c%d" c.source c.column
+
+let rec pp_operand ppf = function
+  | Col c -> pp_col ppf c
+  | Const v -> Value.pp ppf v
+  | Neg e -> Format.fprintf ppf "(- %a)" pp_operand e
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_operand a pp_operand b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_operand a pp_operand b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_operand a pp_operand b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp_operand a pp_operand b
+
+let cmp_symbol = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_atom ppf = function
+  | Join (a, b) -> Format.fprintf ppf "%a = %a" pp_col a pp_col b
+  | Cmp (op, x, y) ->
+      Format.fprintf ppf "%a %s %a" pp_operand x (cmp_symbol op) pp_operand y
+
+let pp ppf t =
+  match t with
+  | [] -> Format.pp_print_string ppf "true"
+  | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " AND ")
+        pp_atom ppf t

@@ -1,0 +1,75 @@
+(** Selection and join predicates over multi-source bindings.
+
+    A select-project-join view binds one tuple per source relation; a
+    predicate is a conjunction of atoms over those bindings. Equi-join atoms
+    are distinguished from general comparisons so the executor's planner can
+    build hash indexes on them. Comparison operands are arithmetic
+    expressions over columns and constants; SQL-style NULL propagation makes
+    any expression involving NULL evaluate to NULL, and any comparison
+    involving NULL false. *)
+
+type col = { source : int; column : int }
+(** A column reference: [source] indexes the view's source list, [column]
+    indexes that source's schema. *)
+
+type operand =
+  | Col of col
+  | Const of Value.t
+  | Neg of operand
+  | Add of operand * operand
+  | Sub of operand * operand
+  | Mul of operand * operand
+  | Div of operand * operand
+      (** Integer arithmetic stays integer ([Div] truncates; division by
+          zero yields NULL); mixing in a float makes the result float;
+          non-numeric inputs yield NULL. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type atom =
+  | Join of col * col  (** equi-join between two (usually distinct) sources *)
+  | Cmp of cmp * operand * operand  (** general comparison *)
+
+type t = atom list
+(** A conjunction. The empty list is [true]. *)
+
+val col : int -> int -> col
+
+val join : col -> col -> atom
+
+val cmp : cmp -> operand -> operand -> atom
+
+val sources_of_operand : operand -> int list
+
+val sources_of_atom : atom -> int list
+(** Distinct sources referenced by the atom. *)
+
+val max_source : t -> int
+(** Largest source index referenced, or [-1] for the empty conjunction. *)
+
+val eval_operand : Tuple.t array -> operand -> Value.t
+(** Evaluate with all referenced sources bound; NULL-propagating. *)
+
+val eval_cmp : cmp -> Value.t -> Value.t -> bool
+(** SQL-ish semantics: any comparison involving [Null] is false (including
+    [Ne]). *)
+
+val eval_atom : Tuple.t array -> atom -> bool
+(** [eval_atom bindings atom] evaluates with all sources bound. *)
+
+val holds : t -> Tuple.t array -> bool
+
+val infer_type : (col -> Value.ty) -> operand -> (Value.ty, string) result
+(** Static type of an expression given the columns' types: arithmetic needs
+    numeric inputs (int with int stays int, anything with float is float);
+    [Const Null] and ill-typed arithmetic are errors (a projection column
+    must have a type). *)
+
+val fold_operands : ('a -> operand -> 'a) -> 'a -> operand -> 'a
+(** Fold over an expression tree (pre-order, including the root). *)
+
+val pp_operand : Format.formatter -> operand -> unit
+
+val pp_atom : Format.formatter -> atom -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type column = { name : string; ty : Value.ty }
+
+type t = { cols : column array }
+
+let make cols =
+  let seen = Hashtbl.create 8 in
+  let check c =
+    if Hashtbl.mem seen c.name then
+      invalid_arg ("Schema.make: duplicate column " ^ c.name);
+    Hashtbl.add seen c.name ()
+  in
+  List.iter check cols;
+  { cols = Array.of_list cols }
+
+let columns t = t.cols
+
+let arity t = Array.length t.cols
+
+let column t i = t.cols.(i)
+
+let find_index t name =
+  let rec loop i =
+    if i >= Array.length t.cols then None
+    else if String.equal t.cols.(i).name name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let index_of t name =
+  match find_index t name with Some i -> i | None -> raise Not_found
+
+let equal a b =
+  Array.length a.cols = Array.length b.cols
+  && Array.for_all2
+       (fun x y -> String.equal x.name y.name && x.ty = y.ty)
+       a.cols b.cols
+
+let concat a b =
+  let names = Hashtbl.create 8 in
+  Array.iter (fun c -> Hashtbl.add names c.name ()) a.cols;
+  let fresh name =
+    let rec loop n = if Hashtbl.mem names n then loop (n ^ "'") else n in
+    let n = loop name in
+    Hashtbl.add names n ();
+    n
+  in
+  let b' = Array.map (fun c -> { c with name = fresh c.name }) b.cols in
+  { cols = Array.append a.cols b' }
+
+let project t idxs =
+  { cols = Array.of_list (List.map (fun i -> t.cols.(i)) idxs) }
+
+let rename_prefix p t =
+  { cols = Array.map (fun c -> { c with name = p ^ "." ^ c.name }) t.cols }
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf c -> Format.fprintf ppf "%s:%a" c.name Value.pp_ty c.ty))
+    (Array.to_seq t.cols)

@@ -1,0 +1,33 @@
+(** Relation schemas: ordered, named, typed columns. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t
+
+val make : column list -> t
+(** @raise Invalid_argument on duplicate column names. *)
+
+val columns : t -> column array
+
+val arity : t -> int
+
+val column : t -> int -> column
+
+val index_of : t -> string -> int
+(** @raise Not_found when no column has the given name. *)
+
+val find_index : t -> string -> int option
+
+val equal : t -> t -> bool
+
+val concat : t -> t -> t
+(** [concat a b] is the schema of the join output [a ++ b]; clashing names
+    from [b] are disambiguated with a ["'"] suffix. *)
+
+val project : t -> int list -> t
+(** [project t cols] keeps columns at the given indices, in order. *)
+
+val rename_prefix : string -> t -> t
+(** [rename_prefix p t] prefixes every column name with ["p."]. *)
+
+val pp : Format.formatter -> t -> unit

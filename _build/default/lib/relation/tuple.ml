@@ -1,0 +1,51 @@
+type t = Value.t array
+
+let make values = Array.of_list values
+
+let arity = Array.length
+
+let get t i = t.(i)
+
+let concat = Array.append
+
+let project t idxs = Array.of_list (List.map (fun i -> t.(i)) idxs)
+
+let conforms schema t =
+  Array.length t = Schema.arity schema
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i v -> if not (Value.matches (Schema.column schema i).ty v) then ok := false)
+         t;
+       !ok
+     end
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec loop i =
+      if i >= la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_seq t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let ints xs = Array.of_list (List.map (fun i -> Value.Int i) xs)
+
+let of_pair a b = [| a; b |]

@@ -1,0 +1,37 @@
+(** Tuples: immutable value arrays.
+
+    The [compare]/[equal]/[hash] triple treats tuples structurally, so they
+    can key hash tables and ordered containers (multiset relations, join
+    indexes, delta tables). *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+
+val arity : t -> int
+
+val get : t -> int -> Value.t
+
+val concat : t -> t -> t
+
+val project : t -> int list -> t
+
+val conforms : Schema.t -> t -> bool
+(** [conforms schema tuple] holds when arities match and each value matches
+    its column type (or is [Null]). *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Convenience constructors for tests and examples. *)
+
+val ints : int list -> t
+
+val of_pair : Value.t -> Value.t -> t

@@ -1,0 +1,51 @@
+type ty = T_bool | T_int | T_float | T_string
+
+type t = Null | Bool of bool | Int of int | Float of float | Str of string
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some T_bool
+  | Int _ -> Some T_int
+  | Float _ -> Some T_float
+  | Str _ -> Some T_string
+
+let matches ty v = match type_of v with None -> true | Some ty' -> ty = ty'
+
+let tag = function Null -> 0 | Bool _ -> 1 | Int _ -> 2 | Float _ -> 3 | Str _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 1 else 2
+  | Int i -> Hashtbl.hash i
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+
+let to_string v = Format.asprintf "%a" pp v
+
+let pp_ty ppf ty =
+  Format.pp_print_string ppf
+    (match ty with
+    | T_bool -> "bool"
+    | T_int -> "int"
+    | T_float -> "float"
+    | T_string -> "string")
+
+let ty_to_string ty = Format.asprintf "%a" pp_ty ty

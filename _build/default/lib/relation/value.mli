@@ -1,0 +1,32 @@
+(** Attribute values.
+
+    The engine is dynamically typed at the value level: a tuple is an array
+    of [Value.t]. Schemas (see {!Schema}) declare the intended type of each
+    column and are checked on insert. *)
+
+type ty = T_bool | T_int | T_float | T_string
+
+type t = Null | Bool of bool | Int of int | Float of float | Str of string
+
+val type_of : t -> ty option
+(** [type_of v] is [None] for [Null]. *)
+
+val matches : ty -> t -> bool
+(** [matches ty v] holds when [v] is [Null] or has type [ty]. *)
+
+val compare : t -> t -> int
+(** Total order: [Null < Bool < Int < Float < Str]; values of the same
+    constructor compare naturally. [Int] and [Float] are distinct types and
+    never compare equal. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val pp_ty : Format.formatter -> ty -> unit
+
+val ty_to_string : ty -> string

@@ -1,0 +1,1 @@
+lib/sim/contention.ml: Array Des List Roll_core Roll_util

@@ -1,0 +1,1 @@
+lib/sim/contention.mli: Des Roll_core Roll_util

@@ -1,0 +1,1 @@
+lib/sim/des.ml: Array Hashtbl List Printf Roll_util String

@@ -1,0 +1,57 @@
+(** Builders that turn measured propagation footprints and synthetic OLTP
+    streams into simulator transaction lists.
+
+    The cost model is linear: a transaction that touches r rows runs for
+    [base_cost + per_row * r] simulated seconds. Propagation transactions
+    take shared locks on every base table and delta they read and an
+    exclusive lock on the view-delta table; updaters take an exclusive lock
+    on one base table (and its delta, as a trigger-based capture would —
+    Section 5 discusses exactly this footprint expansion); readers take a
+    shared lock on the materialized view; apply takes exclusive view plus
+    shared view-delta. *)
+
+type cost_model = { base_cost : float; per_row : float }
+
+val default_costs : cost_model
+
+val propagation_txns :
+  cost_model ->
+  Roll_core.Stats.footprint list ->
+  start:float ->
+  spacing:float ->
+  Des.txn_spec list
+(** One simulator transaction per measured propagation query, arriving
+    [spacing] apart starting at [start], with duration from its row
+    footprint. *)
+
+val monolithic_refresh :
+  cost_model ->
+  Roll_core.Stats.footprint list ->
+  start:float ->
+  tables:string list ->
+  Des.txn_spec
+(** The synchronous alternative: all the propagation work fused into one
+    transaction holding shared locks on every base table for the whole
+    combined duration. *)
+
+val update_stream :
+  Roll_util.Prng.t ->
+  tables:string list ->
+  rate:float ->
+  until:float ->
+  mean_duration:float ->
+  Des.txn_spec list
+(** Poisson stream of updaters, each locking one random table (exclusive)
+    and its delta. *)
+
+val reader_stream :
+  Roll_util.Prng.t ->
+  resource:string ->
+  rate:float ->
+  until:float ->
+  mean_duration:float ->
+  Des.txn_spec list
+(** Poisson stream of view readers (shared lock on [resource]). *)
+
+val apply_txn :
+  cost_model -> rows:int -> start:float -> view:string -> Des.txn_spec

@@ -1,0 +1,184 @@
+module Heap = Roll_util.Heap
+module Summary = Roll_util.Summary
+
+type mode = Shared | Exclusive
+
+type request = { resource : string; mode : mode }
+
+type txn_spec = {
+  label : string;
+  arrival : float;
+  duration : float;
+  locks : request list;
+}
+
+type class_stats = { started : int; wait : Summary.t; response : Summary.t }
+
+type result = { classes : (string * class_stats) list; makespan : float }
+
+type txn_state = { spec : txn_spec; seq : int }
+
+(* Holder counts per resource: (shared count, exclusive held). *)
+type holders = { mutable shared : int; mutable exclusive : bool }
+
+type event = Arrive of txn_state | Finish of txn_state
+
+let compatible holders = function
+  | Shared -> not holders.exclusive
+  | Exclusive -> (not holders.exclusive) && holders.shared = 0
+
+(* Execution intervals per resource, for post-hoc conflict validation. *)
+type span = { s_label : string; s_mode : mode; s_start : float; s_finish : float }
+
+let validate_spans spans_by_resource =
+  Hashtbl.iter
+    (fun resource spans ->
+      let spans = Array.of_list spans in
+      let n = Array.length spans in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = spans.(i) and b = spans.(j) in
+          let conflict = a.s_mode = Exclusive || b.s_mode = Exclusive in
+          let overlap = a.s_start < b.s_finish && b.s_start < a.s_finish in
+          if conflict && overlap then
+            failwith
+              (Printf.sprintf
+                 "Des: %s and %s overlap on %s ([%f,%f] vs [%f,%f])" a.s_label
+                 b.s_label resource a.s_start a.s_finish b.s_start b.s_finish)
+        done
+      done)
+    spans_by_resource
+
+let run ?(validate = false) specs =
+  let events = Heap.create () in
+  let seq = ref 0 in
+  List.iter
+    (fun spec ->
+      incr seq;
+      Heap.add events ~priority:spec.arrival (Arrive { spec; seq = !seq }))
+    specs;
+  let resources : (string, holders) Hashtbl.t = Hashtbl.create 16 in
+  let holders_of r =
+    match Hashtbl.find_opt resources r with
+    | Some h -> h
+    | None ->
+        let h = { shared = 0; exclusive = false } in
+        Hashtbl.add resources r h;
+        h
+  in
+  (* Waiting transactions in arrival order. *)
+  let waiting : txn_state list ref = ref [] in
+  let stats : (string, class_stats) Hashtbl.t = Hashtbl.create 8 in
+  let stats_of label =
+    match Hashtbl.find_opt stats label with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            started = 0;
+            wait = Summary.create ~keep_samples:true ();
+            response = Summary.create ~keep_samples:true ();
+          }
+        in
+        Hashtbl.add stats label s;
+        s
+  in
+  let spans_by_resource : (string, span list) Hashtbl.t = Hashtbl.create 16 in
+  let start_times : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let makespan = ref 0.0 in
+  let can_start txn =
+    List.for_all (fun req -> compatible (holders_of req.resource) req.mode) txn.spec.locks
+  in
+  let start now txn =
+    List.iter
+      (fun req ->
+        let h = holders_of req.resource in
+        match req.mode with
+        | Shared -> h.shared <- h.shared + 1
+        | Exclusive -> h.exclusive <- true)
+      txn.spec.locks;
+    let s = stats_of txn.spec.label in
+    Hashtbl.replace stats txn.spec.label { s with started = s.started + 1 };
+    Summary.add s.wait (now -. txn.spec.arrival);
+    if validate then Hashtbl.replace start_times txn.seq now;
+    Heap.add events ~priority:(now +. txn.spec.duration) (Finish txn)
+  in
+  let release txn =
+    List.iter
+      (fun req ->
+        let h = holders_of req.resource in
+        match req.mode with
+        | Shared -> h.shared <- h.shared - 1
+        | Exclusive -> h.exclusive <- false)
+      txn.spec.locks
+  in
+  (* After any state change, start every waiter that can now run, in
+     arrival order. *)
+  let drain now =
+    let rec loop acc = function
+      | [] -> List.rev acc
+      | txn :: rest ->
+          if can_start txn then begin
+            start now txn;
+            loop acc rest
+          end
+          else loop (txn :: acc) rest
+    in
+    waiting := loop [] !waiting
+  in
+  let rec pump () =
+    match Heap.pop events with
+    | None -> ()
+    | Some (now, event) ->
+        makespan := max !makespan now;
+        (match event with
+        | Arrive txn ->
+            if can_start txn && !waiting = [] then start now txn
+            else if can_start txn then begin
+              (* May overtake waiters only if it conflicts with none of
+                 them (no-starvation relaxation). *)
+              let conflicts_with_waiter =
+                List.exists
+                  (fun w ->
+                    List.exists
+                      (fun (a : request) ->
+                        List.exists
+                          (fun (b : request) ->
+                            String.equal a.resource b.resource
+                            && (a.mode = Exclusive || b.mode = Exclusive))
+                          w.spec.locks)
+                      txn.spec.locks)
+                  !waiting
+              in
+              if conflicts_with_waiter then waiting := !waiting @ [ txn ]
+              else start now txn
+            end
+            else waiting := !waiting @ [ txn ]
+        | Finish txn ->
+            release txn;
+            if validate then begin
+              let started = Hashtbl.find start_times txn.seq in
+              List.iter
+                (fun (req : request) ->
+                  let span =
+                    { s_label = txn.spec.label; s_mode = req.mode;
+                      s_start = started; s_finish = now }
+                  in
+                  Hashtbl.replace spans_by_resource req.resource
+                    (span
+                    :: (match Hashtbl.find_opt spans_by_resource req.resource with
+                       | Some l -> l
+                       | None -> [])))
+                txn.spec.locks
+            end;
+            Summary.add (stats_of txn.spec.label).response (now -. txn.spec.arrival);
+            drain now);
+        pump ()
+  in
+  pump ();
+  if validate then validate_spans spans_by_resource;
+  let classes =
+    Hashtbl.fold (fun label s acc -> (label, s) :: acc) stats []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { classes; makespan = !makespan }

@@ -1,0 +1,43 @@
+(** Discrete-event lock-contention simulator.
+
+    Models the paper's contention story: transactions hold table-granularity
+    shared/exclusive locks under strict two-phase locking for their whole
+    duration, so a long refresh transaction blocks updaters and readers. To
+    stay deadlock-free (as a simulator should), a transaction acquires all
+    of its locks atomically at start: it runs when every requested resource
+    is compatible with the current holders, otherwise it waits in arrival
+    order (later transactions may start ahead of a blocked one only if they
+    don't conflict with it or with the holders — a standard no-starvation
+    relaxation that avoids convoys).
+
+    Durations are supplied by the caller; the contention experiments derive
+    them from the {e measured} row footprints of real propagation runs (see
+    {!Contention}). *)
+
+type mode = Shared | Exclusive
+
+type request = { resource : string; mode : mode }
+
+type txn_spec = {
+  label : string;  (** class name: stats are aggregated per label *)
+  arrival : float;
+  duration : float;  (** service time once all locks are held *)
+  locks : request list;
+}
+
+type class_stats = {
+  started : int;
+  wait : Roll_util.Summary.t;  (** time from arrival to lock grant *)
+  response : Roll_util.Summary.t;  (** time from arrival to completion *)
+}
+
+type result = { classes : (string * class_stats) list; makespan : float }
+
+val run : ?validate:bool -> txn_spec list -> result
+(** Simulate to completion. Transactions are admitted in arrival order.
+    With [validate] (default false), the execution intervals of every pair
+    of lock-incompatible transactions are checked for overlap after the
+    run. @raise Failure if two conflicting transactions ever ran
+    concurrently — a simulator bug, not a workload property. Wait and
+    response summaries retain samples, so {!Roll_util.Summary.percentile}
+    applies. *)

@@ -1,0 +1,1 @@
+lib/storage/database.ml: Format Hashtbl List Roll_delta Roll_relation String Table Tuple Wal

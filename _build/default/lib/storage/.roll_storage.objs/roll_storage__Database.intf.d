@@ -1,0 +1,1 @@
+lib/storage/database.mli: Roll_delta Roll_relation Table Wal

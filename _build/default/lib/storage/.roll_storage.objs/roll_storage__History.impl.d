@@ -1,0 +1,1 @@
+lib/storage/history.ml: Database Hashtbl List Relation Roll_delta Roll_relation String Table Wal

@@ -1,0 +1,1 @@
+lib/storage/history.mli: Database Roll_delta Roll_relation

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Btree Format List Printf Relation Roll_relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Roll_delta Roll_relation Roll_util

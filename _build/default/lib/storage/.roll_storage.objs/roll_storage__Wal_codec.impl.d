@@ -1,0 +1,1 @@
+lib/storage/wal_codec.ml: Array Buffer Database Fun List Printf Roll_relation Scanf String Tuple Value Wal

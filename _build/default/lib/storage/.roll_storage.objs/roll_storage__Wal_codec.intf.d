@@ -1,0 +1,1 @@
+lib/storage/wal_codec.mli: Buffer Database Roll_relation Wal

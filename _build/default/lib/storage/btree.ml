@@ -1,0 +1,272 @@
+module Make (Key : sig
+  type t
+
+  val compare : t -> t -> int
+end) =
+struct
+  (* Leaves hold (key, copies) slots and are chained; internal nodes hold
+     separator keys, where [keys.(i)] is the smallest key reachable in
+     [children.(i + 1)]. Insertion splits nodes top-down-recursively;
+     deletion is lazy, as in most production B-trees: slots disappear when
+     their copy list empties, but pages are never merged — an empty leaf
+     simply stays in place as structure (searches and scans skip it). *)
+
+  type 'v leaf = {
+    mutable lkeys : Key.t array;
+    mutable lvals : 'v list array;
+    mutable next : 'v leaf option;
+  }
+
+  type 'v node = L of 'v leaf | N of 'v internal
+
+  and 'v internal = {
+    mutable ikeys : Key.t array;
+    mutable children : 'v node array;
+  }
+
+  type 'v t = { order : int; mutable root : 'v node; mutable size : int }
+
+  let create ?(order = 16) () =
+    if order < 4 then invalid_arg "Btree.create: order must be at least 4";
+    { order; root = L { lkeys = [||]; lvals = [||]; next = None }; size = 0 }
+
+  let length t = t.size
+
+  let is_empty t = t.size = 0
+
+  (* Index of the child to descend into for [key]. *)
+  let child_index (node : 'v internal) key =
+    let n = Array.length node.ikeys in
+    let rec loop i =
+      if i >= n then n else if Key.compare key node.ikeys.(i) < 0 then i else loop (i + 1)
+    in
+    loop 0
+
+  (* Position of [key] in a sorted key array: [Ok i] when found, [Error i]
+     with the insertion point otherwise. *)
+  let search keys key =
+    let lo = ref 0 and hi = ref (Array.length keys) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Key.compare keys.(mid) key < 0 then lo := mid + 1 else hi := mid
+    done;
+    if !lo < Array.length keys && Key.compare keys.(!lo) key = 0 then Ok !lo
+    else Error !lo
+
+  let array_insert arr i x =
+    let n = Array.length arr in
+    Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+  let array_remove arr i =
+    let n = Array.length arr in
+    Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+  (* Insert into a subtree; when the node splits, return the separator and
+     the new right sibling. *)
+  let rec insert t node key value =
+    match node with
+    | L leaf -> (
+        (match search leaf.lkeys key with
+        | Ok i -> leaf.lvals.(i) <- value :: leaf.lvals.(i)
+        | Error i ->
+            leaf.lkeys <- array_insert leaf.lkeys i key;
+            leaf.lvals <- array_insert leaf.lvals i [ value ]);
+        if Array.length leaf.lkeys <= t.order then None
+        else begin
+          let mid = Array.length leaf.lkeys / 2 in
+          let right =
+            {
+              lkeys = Array.sub leaf.lkeys mid (Array.length leaf.lkeys - mid);
+              lvals = Array.sub leaf.lvals mid (Array.length leaf.lvals - mid);
+              next = leaf.next;
+            }
+          in
+          leaf.lkeys <- Array.sub leaf.lkeys 0 mid;
+          leaf.lvals <- Array.sub leaf.lvals 0 mid;
+          leaf.next <- Some right;
+          Some (right.lkeys.(0), L right)
+        end)
+    | N inner -> (
+        let i = child_index inner key in
+        match insert t inner.children.(i) key value with
+        | None -> None
+        | Some (sep, new_child) ->
+            inner.ikeys <- array_insert inner.ikeys i sep;
+            inner.children <- array_insert inner.children (i + 1) new_child;
+            if Array.length inner.children <= t.order then None
+            else begin
+              (* Split: middle separator moves up. *)
+              let mid = Array.length inner.ikeys / 2 in
+              let up = inner.ikeys.(mid) in
+              let right =
+                {
+                  ikeys =
+                    Array.sub inner.ikeys (mid + 1)
+                      (Array.length inner.ikeys - mid - 1);
+                  children =
+                    Array.sub inner.children (mid + 1)
+                      (Array.length inner.children - mid - 1);
+                }
+              in
+              inner.ikeys <- Array.sub inner.ikeys 0 mid;
+              inner.children <- Array.sub inner.children 0 (mid + 1);
+              Some (up, N right)
+            end)
+
+  let add t key value =
+    (match insert t t.root key value with
+    | None -> ()
+    | Some (sep, right) ->
+        t.root <- N { ikeys = [| sep |]; children = [| t.root; right |] });
+    t.size <- t.size + 1
+
+  let rec leaf_for node key =
+    match node with
+    | L leaf -> leaf
+    | N inner -> leaf_for inner.children.(child_index inner key) key
+
+  let find t key =
+    let leaf = leaf_for t.root key in
+    match search leaf.lkeys key with Ok i -> leaf.lvals.(i) | Error _ -> []
+
+  let mem t key = find t key <> []
+
+  let remove t ~equal key value =
+    let leaf = leaf_for t.root key in
+    match search leaf.lkeys key with
+    | Error _ -> false
+    | Ok i -> (
+        let rec take acc = function
+          | [] -> None
+          | v :: rest ->
+              if equal v value then Some (List.rev_append acc rest)
+              else take (v :: acc) rest
+        in
+        match take [] leaf.lvals.(i) with
+        | None -> false
+        | Some [] ->
+            leaf.lkeys <- array_remove leaf.lkeys i;
+            leaf.lvals <- array_remove leaf.lvals i;
+            t.size <- t.size - 1;
+            true
+        | Some rest ->
+            leaf.lvals.(i) <- rest;
+            t.size <- t.size - 1;
+            true)
+
+  let rec leftmost = function L leaf -> leaf | N inner -> leftmost inner.children.(0)
+
+  let iter f t =
+    let rec walk = function
+      | None -> ()
+      | Some leaf ->
+          Array.iteri
+            (fun i key -> List.iter (fun v -> f key v) leaf.lvals.(i))
+            leaf.lkeys;
+          walk leaf.next
+    in
+    walk (Some (leftmost t.root))
+
+  let range t ~lo ~hi f =
+    let start =
+      match lo with None -> leftmost t.root | Some key -> leaf_for t.root key
+    in
+    let below_hi key =
+      match hi with None -> true | Some h -> Key.compare key h <= 0
+    in
+    let at_or_above_lo key =
+      match lo with None -> true | Some l -> Key.compare key l >= 0
+    in
+    let exception Done in
+    let rec walk = function
+      | None -> ()
+      | Some leaf ->
+          Array.iteri
+            (fun i key ->
+              if at_or_above_lo key then
+                if below_hi key then
+                  List.iter (fun v -> f key v) leaf.lvals.(i)
+                else raise Done)
+            leaf.lkeys;
+          walk leaf.next
+    in
+    (try walk (Some start) with Done -> ())
+
+  let min_key t =
+    let rec first = function
+      | None -> None
+      | Some leaf ->
+          if Array.length leaf.lkeys > 0 then Some leaf.lkeys.(0) else first leaf.next
+    in
+    first (Some (leftmost t.root))
+
+  let max_key t =
+    (* Rightmost non-empty leaf; descend right, but empty leaves force a
+       scan from the left in the worst case — acceptable for diagnostics. *)
+    let best = ref None in
+    iter (fun key _ -> best := Some key) t;
+    !best
+
+  let check_invariants t =
+    let exception Bad of string in
+    let fail fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt in
+    let rec depth = function L _ -> 0 | N inner -> 1 + depth inner.children.(0) in
+    let expected_depth = depth t.root in
+    let count = ref 0 in
+    let rec walk node level ~lo ~hi =
+      (* Every key in [node] must lie in [lo, hi). *)
+      let in_bounds key =
+        (match lo with None -> true | Some l -> Key.compare key l >= 0)
+        && match hi with None -> true | Some h -> Key.compare key h < 0
+      in
+      match node with
+      | L leaf ->
+          if level <> expected_depth then fail "leaves at different depths";
+          Array.iteri
+            (fun i key ->
+              if not (in_bounds key) then fail "leaf key out of separator bounds";
+              if i > 0 && Key.compare leaf.lkeys.(i - 1) key >= 0 then
+                fail "leaf keys not strictly sorted";
+              if leaf.lvals.(i) = [] then fail "empty copy list retained";
+              count := !count + List.length leaf.lvals.(i))
+            leaf.lkeys
+      | N inner ->
+          if Array.length inner.children <> Array.length inner.ikeys + 1 then
+            fail "internal arity mismatch";
+          if Array.length inner.ikeys = 0 then fail "empty internal node";
+          Array.iteri
+            (fun i key ->
+              if not (in_bounds key) then fail "separator out of bounds";
+              if i > 0 && Key.compare inner.ikeys.(i - 1) key >= 0 then
+                fail "separators not sorted")
+            inner.ikeys;
+          Array.iteri
+            (fun i child ->
+              let lo' = if i = 0 then lo else Some inner.ikeys.(i - 1) in
+              let hi' =
+                if i = Array.length inner.ikeys then hi else Some inner.ikeys.(i)
+              in
+              walk child (level + 1) ~lo:lo' ~hi:hi')
+            inner.children
+    in
+    match walk t.root 0 ~lo:None ~hi:None with
+    | () ->
+        if !count <> t.size then Error "size counter out of sync"
+        else begin
+          (* The leaf chain must visit keys in ascending order. *)
+          let prev = ref None in
+          match
+            iter
+              (fun key _ ->
+                (match !prev with
+                | Some p when Key.compare p key > 0 ->
+                    raise (Bad "leaf chain out of order")
+                | _ -> ());
+                prev := Some key)
+              t
+          with
+          | () -> Ok ()
+          | exception Bad msg -> Error msg
+        end
+    | exception Bad msg -> Error msg
+end

@@ -1,0 +1,54 @@
+(** B+-tree multimaps.
+
+    An ordered multimap: entries are (key, value) pairs, duplicates allowed
+    (the same pair may be stored several times — one entry per multiset
+    copy). Keys live only in the leaves, which are chained for ordered and
+    range iteration; internal nodes hold separators. This is the index
+    structure behind secondary indexes on base tables (see {!Table}), where
+    it turns propagation-query probes from per-query hash builds into
+    direct lookups.
+
+    The functor takes the key ordering; values are compared with the
+    equality given per call to [remove]. *)
+
+module Make (Key : sig
+  type t
+
+  val compare : t -> t -> int
+end) : sig
+  type 'v t
+
+  val create : ?order:int -> unit -> 'v t
+  (** [order] is the maximum number of keys per node (default 16, minimum
+      4). *)
+
+  val length : 'v t -> int
+  (** Number of entries (counting duplicates). *)
+
+  val is_empty : 'v t -> bool
+
+  val add : 'v t -> Key.t -> 'v -> unit
+
+  val remove : 'v t -> equal:('v -> 'v -> bool) -> Key.t -> 'v -> bool
+  (** Remove one entry with this key whose value satisfies [equal]; [false]
+      if none was found. *)
+
+  val find : 'v t -> Key.t -> 'v list
+  (** All values stored under the key (one per copy), unspecified order. *)
+
+  val mem : 'v t -> Key.t -> bool
+
+  val iter : (Key.t -> 'v -> unit) -> 'v t -> unit
+  (** Ascending key order. *)
+
+  val range : 'v t -> lo:Key.t option -> hi:Key.t option -> (Key.t -> 'v -> unit) -> unit
+  (** Entries with lo <= key <= hi (each bound optional), ascending. *)
+
+  val min_key : 'v t -> Key.t option
+
+  val max_key : 'v t -> Key.t option
+
+  val check_invariants : 'v t -> (unit, string) result
+  (** Structural validation (sortedness, occupancy, leaf chaining, depth
+      uniformity) — used by the property tests. *)
+end

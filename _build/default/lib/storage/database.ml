@@ -1,0 +1,178 @@
+open Roll_relation
+module Time = Roll_delta.Time
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  wal : Wal.t;
+  mutable last_csn : Time.t;
+  mutable next_txn_id : int;
+  mutable wall : float;
+  wall_tick : float;
+  mutable commits : int;
+  mutable write_triggers : (txn_id:int -> Wal.change -> unit) list;
+  mutable commit_triggers : (Wal.record -> unit) list;
+}
+
+type txn = {
+  id : int;
+  db : t;
+  mutable writes : Wal.change list;  (** reverse order *)
+  mutable open_ : bool;
+}
+
+let create ?(wall_start = 0.0) ?(wall_tick = 1.0) () =
+  {
+    tables = Hashtbl.create 16;
+    wal = Wal.create ();
+    last_csn = Time.origin;
+    next_txn_id = 1;
+    wall = wall_start;
+    wall_tick;
+    commits = 0;
+    write_triggers = [];
+    commit_triggers = [];
+  }
+
+let create_table t ~name schema =
+  if Hashtbl.mem t.tables name then
+    invalid_arg ("Database.create_table: table exists: " ^ name);
+  let table = Table.create ~name schema in
+  Hashtbl.add t.tables name table;
+  table
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None -> raise Not_found
+
+let find_table t name = Hashtbl.find_opt t.tables name
+
+let tables t =
+  Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
+  |> List.sort (fun a b -> String.compare (Table.name a) (Table.name b))
+
+let wal t = t.wal
+
+let now t = t.last_csn
+
+let wall_now t = t.wall
+
+let advance_wall t dt =
+  if dt < 0.0 then invalid_arg "Database.advance_wall: negative";
+  t.wall <- t.wall +. dt
+
+let begin_txn t =
+  let id = t.next_txn_id in
+  t.next_txn_id <- id + 1;
+  { id; db = t; writes = []; open_ = true }
+
+let txn_id txn = txn.id
+
+let check_open txn = if not txn.open_ then invalid_arg "Database: closed txn"
+
+let write txn ~table tuple ~count =
+  check_open txn;
+  if count <> 0 then begin
+    let change = { Wal.table; tuple; count } in
+    txn.writes <- change :: txn.writes;
+    List.iter (fun f -> f ~txn_id:txn.id change) txn.db.write_triggers
+  end
+
+let insert txn ~table tuple = write txn ~table tuple ~count:1
+
+let delete txn ~table tuple = write txn ~table tuple ~count:(-1)
+
+let update txn ~table ~old_tuple ~new_tuple =
+  delete txn ~table old_tuple;
+  insert txn ~table new_tuple
+
+(* Verify that applying [changes] leaves every multiplicity non-negative,
+   accounting for several changes to the same tuple in one transaction. *)
+let validate t changes =
+  let pending = Hashtbl.create 8 in
+  let check (c : Wal.change) =
+    let tbl =
+      match Hashtbl.find_opt t.tables c.table with
+      | Some tbl -> tbl
+      | None -> invalid_arg ("Database.commit: unknown table " ^ c.table)
+    in
+    if not (Tuple.conforms (Table.schema tbl) c.tuple) then
+      invalid_arg
+        (Format.asprintf "Database.commit: %a does not conform to %s" Tuple.pp
+           c.tuple c.table);
+    let key = (c.table, c.tuple) in
+    let before =
+      match Hashtbl.find_opt pending key with
+      | Some n -> n
+      | None -> Table.count tbl c.tuple
+    in
+    let after = before + c.count in
+    if after < 0 then
+      invalid_arg
+        (Format.asprintf
+           "Database.commit: table %s: multiplicity of %a would become %d"
+           c.table Tuple.pp c.tuple after);
+    Hashtbl.replace pending key after
+  in
+  List.iter check changes
+
+let commit_record t ~txn_id ~changes ~marker =
+  let csn = t.last_csn + 1 in
+  t.wall <- t.wall +. t.wall_tick;
+  let record = { Wal.csn; txn_id; wall = t.wall; changes; marker } in
+  Wal.append t.wal record;
+  List.iter
+    (fun (c : Wal.change) ->
+      Table.apply_change (Hashtbl.find t.tables c.table) c.tuple c.count)
+    changes;
+  t.last_csn <- csn;
+  t.commits <- t.commits + 1;
+  List.iter (fun f -> f record) t.commit_triggers;
+  csn
+
+let commit t txn =
+  check_open txn;
+  txn.open_ <- false;
+  let changes = List.rev txn.writes in
+  validate t changes;
+  commit_record t ~txn_id:txn.id ~changes ~marker:None
+
+let abort txn = txn.open_ <- false
+
+let run t f =
+  let txn = begin_txn t in
+  (try f txn
+   with exn ->
+     abort txn;
+     raise exn);
+  commit t txn
+
+let commit_marker t ~tag =
+  let id = t.next_txn_id in
+  t.next_txn_id <- id + 1;
+  commit_record t ~txn_id:id ~changes:[] ~marker:(Some tag)
+
+let add_write_trigger t f = t.write_triggers <- t.write_triggers @ [ f ]
+
+let add_commit_trigger t f = t.commit_triggers <- t.commit_triggers @ [ f ]
+
+let stats_commits t = t.commits
+
+let restore t records =
+  if Wal.length t.wal > 0 then
+    invalid_arg "Database.restore: database already has commits";
+  List.iter
+    (fun (record : Wal.record) ->
+      validate t record.changes;
+      Wal.append t.wal record;
+      List.iter
+        (fun (c : Wal.change) ->
+          match Hashtbl.find_opt t.tables c.table with
+          | Some tbl -> Table.apply_change tbl c.tuple c.count
+          | None -> invalid_arg ("Database.restore: unknown table " ^ c.table))
+        record.changes;
+      t.last_csn <- record.csn;
+      t.next_txn_id <- max t.next_txn_id (record.txn_id + 1);
+      t.wall <- max t.wall record.wall;
+      t.commits <- t.commits + 1)
+    records

@@ -1,0 +1,103 @@
+(** The database engine.
+
+    A single-process engine with serializable transactions: transactions
+    commit one at a time, each receiving the next commit sequence number, so
+    the commit order {e is} the serialization order — the assumption the
+    paper makes of the underlying system (Section 2). Queries read current
+    committed state.
+
+    A simulated wall clock advances on every commit; the unit-of-work table
+    built by the capture process maps CSNs to wall times, enabling the
+    "refresh the view to its 5:00 pm state" scenarios of the paper. *)
+
+type t
+
+val create : ?wall_start:float -> ?wall_tick:float -> unit -> t
+(** [wall_tick] (default 1.0) is how far the simulated wall clock advances
+    at each commit. *)
+
+val create_table : t -> name:string -> Roll_relation.Schema.t -> Table.t
+(** @raise Invalid_argument if the name is taken. *)
+
+val table : t -> string -> Table.t
+(** @raise Not_found *)
+
+val find_table : t -> string -> Table.t option
+
+val tables : t -> Table.t list
+
+val wal : t -> Wal.t
+
+val now : t -> Roll_delta.Time.t
+(** The CSN of the latest committed transaction ([Time.origin] initially).
+    All committed state is visible at this time. *)
+
+val wall_now : t -> float
+
+val advance_wall : t -> float -> unit
+(** Push the simulated wall clock forward by the given amount (e.g. to model
+    an idle period between update bursts). *)
+
+(** {1 Transactions} *)
+
+type txn
+
+val begin_txn : t -> txn
+
+val txn_id : txn -> int
+
+val write : txn -> table:string -> Roll_relation.Tuple.t -> count:int -> unit
+(** Buffer a change: [count] copies inserted (or deleted when negative). *)
+
+val insert : txn -> table:string -> Roll_relation.Tuple.t -> unit
+
+val delete : txn -> table:string -> Roll_relation.Tuple.t -> unit
+
+val update :
+  txn ->
+  table:string ->
+  old_tuple:Roll_relation.Tuple.t ->
+  new_tuple:Roll_relation.Tuple.t ->
+  unit
+(** Modeled as a deletion plus an insertion, per Section 2. *)
+
+val commit : t -> txn -> Roll_delta.Time.t
+(** Atomically applies the buffered changes, appends the WAL record, and
+    returns the transaction's commit sequence number.
+    @raise Invalid_argument if a change would drive a multiplicity negative
+    or reference an unknown table; no changes are applied in that case. *)
+
+val abort : txn -> unit
+
+val run : t -> (txn -> unit) -> Roll_delta.Time.t
+(** [run t f] begins a transaction, runs [f], and commits. *)
+
+val commit_marker : t -> tag:string -> Roll_delta.Time.t
+(** Commit an empty transaction carrying a marker record — the mechanism by
+    which a propagation query learns its serialization time (Section 5). *)
+
+val stats_commits : t -> int
+(** Number of committed transactions (including markers). *)
+
+(** {1 Triggers}
+
+    Hooks for trigger-based change capture, the alternative Section 5
+    weighs against log capture. Write triggers fire while the transaction
+    is still running — before its serialization order is known, which is
+    exactly the timestamping problem the paper describes; commit triggers
+    fire at commit, when the order is known. *)
+
+val add_write_trigger : t -> (txn_id:int -> Wal.change -> unit) -> unit
+(** Called on every buffered write (insert/delete) of a data transaction,
+    at write time. *)
+
+val add_commit_trigger : t -> (Wal.record -> unit) -> unit
+(** Called after every commit (data transactions and markers alike) with
+    the full commit record. *)
+
+val restore : t -> Wal.record list -> unit
+(** Replay previously saved WAL records (see {!Wal_codec}) into a database
+    whose tables have been created but which has no commits yet. Restores
+    table contents, commit/transaction counters and the wall clock.
+    @raise Invalid_argument if the database already has commits, a record
+    references an unknown table, or CSNs are not increasing. *)

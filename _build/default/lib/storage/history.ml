@@ -1,0 +1,69 @@
+open Roll_relation
+module Time = Roll_delta.Time
+
+type cache = { mutable as_of : Time.t; mutable state : Relation.t }
+
+type t = { db : Database.t; caches : (string, cache) Hashtbl.t }
+
+let create db = { db; caches = Hashtbl.create 8 }
+
+let replay t ~table ~(state : Relation.t) ~from_excl ~to_incl =
+  let wal = Database.wal t.db in
+  let n = Wal.length wal in
+  (* WAL positions are dense in CSN order (csn = position + 1 would hold if
+     every record had consecutive CSNs, which it does by construction), but
+     we scan defensively by comparing CSNs. *)
+  let rec find_pos lo hi =
+    (* first position with csn > from_excl *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if (Wal.get wal mid).Wal.csn <= from_excl then find_pos (mid + 1) hi
+      else find_pos lo mid
+  in
+  let pos = find_pos 0 n in
+  let k = ref pos in
+  while !k < n && (Wal.get wal !k).Wal.csn <= to_incl do
+    let record = Wal.get wal !k in
+    List.iter
+      (fun (c : Wal.change) ->
+        if String.equal c.table table then Relation.add state c.tuple c.count)
+      record.changes;
+    incr k
+  done
+
+let state_at t ~table time =
+  let tbl = Database.table t.db table in
+  let cache =
+    match Hashtbl.find_opt t.caches table with
+    | Some c -> c
+    | None ->
+        let c = { as_of = Time.origin; state = Relation.create (Table.schema tbl) } in
+        Hashtbl.add t.caches table c;
+        c
+  in
+  if time < cache.as_of then begin
+    (* Query older than the cache: rebuild from the origin. *)
+    cache.state <- Relation.create (Table.schema tbl);
+    cache.as_of <- Time.origin
+  end;
+  if time > cache.as_of then begin
+    replay t ~table ~state:cache.state ~from_excl:cache.as_of ~to_incl:time;
+    cache.as_of <- time
+  end;
+  Relation.copy cache.state
+
+let changes_between t ~table ~lo ~hi =
+  let wal = Database.wal t.db in
+  let acc = ref [] in
+  let n = Wal.length wal in
+  for k = 0 to n - 1 do
+    let record = Wal.get wal k in
+    if record.Wal.csn > lo && record.Wal.csn <= hi then
+      List.iter
+        (fun (c : Wal.change) ->
+          if String.equal c.table table then
+            acc := (c.tuple, c.count, record.Wal.csn) :: !acc)
+        record.changes
+  done;
+  List.rev !acc

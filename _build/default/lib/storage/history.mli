@@ -1,0 +1,29 @@
+(** Temporal reconstruction of base-table states.
+
+    [state_at] answers "what did table R look like at time t" (the paper's
+    R_t) by replaying the WAL. The production algorithms never need this —
+    asynchrony is the whole point — but it is essential as (a) the oracle
+    against which the correctness theorems are property-tested, and (b) the
+    snapshot source for the {e synchronous} baselines of Equations 1 and 2,
+    which must see base tables at specific past times. *)
+
+type t
+
+val create : Database.t -> t
+(** A live view over the database's WAL; queries observe commits made after
+    creation too. *)
+
+val state_at : t -> table:string -> Roll_delta.Time.t -> Roll_relation.Relation.t
+(** [state_at h ~table t] is R_t: the table's contents including exactly the
+    transactions with CSN <= [t]. The result is a fresh relation owned by
+    the caller. Sequential queries at non-decreasing times are amortized by
+    an internal cursor cache. *)
+
+val changes_between :
+  t ->
+  table:string ->
+  lo:Roll_delta.Time.t ->
+  hi:Roll_delta.Time.t ->
+  (Roll_relation.Tuple.t * int * Roll_delta.Time.t) list
+(** Changes with CSN in (lo, hi], in commit order — the base-table delta
+    R_{lo,hi} read straight from the log. *)

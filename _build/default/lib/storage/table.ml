@@ -1,0 +1,72 @@
+open Roll_relation
+
+module TupleBtree = Btree.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type index = { columns : int list; data : Tuple.t TupleBtree.t }
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  data : Relation.t;
+  mutable indexes : index list;
+}
+
+let create ~name schema =
+  { name; schema; data = Relation.create schema; indexes = [] }
+
+let name t = t.name
+
+let schema t = t.schema
+
+let contents t = t.data
+
+let cardinality t = Relation.total_count t.data
+
+let mem t tuple = Relation.mem t.data tuple
+
+let count t tuple = Relation.count t.data tuple
+
+let index_add index tuple n =
+  let key = Tuple.project tuple index.columns in
+  if n > 0 then
+    for _ = 1 to n do
+      TupleBtree.add index.data key tuple
+    done
+  else
+    for _ = 1 to -n do
+      ignore (TupleBtree.remove index.data ~equal:Tuple.equal key tuple)
+    done
+
+let apply_change t tuple count =
+  let current = Relation.count t.data tuple in
+  if current + count < 0 then
+    invalid_arg
+      (Format.asprintf "Table %s: change %+d would make %a negative" t.name
+         count Tuple.pp tuple);
+  Relation.add t.data tuple count;
+  List.iter (fun index -> index_add index tuple count) t.indexes
+
+let create_index t ~columns =
+  List.iter
+    (fun c ->
+      if c < 0 || c >= Schema.arity t.schema then
+        invalid_arg (Printf.sprintf "Table.create_index: column %d out of range" c))
+    columns;
+  if not (List.exists (fun ix -> ix.columns = columns) t.indexes) then begin
+    let index = { columns; data = TupleBtree.create () } in
+    Relation.iter (fun tuple n -> index_add index tuple n) t.data;
+    t.indexes <- index :: t.indexes
+  end
+
+let has_index t ~columns = List.exists (fun ix -> ix.columns = columns) t.indexes
+
+let indexed_columns t = List.map (fun ix -> ix.columns) t.indexes
+
+let index_probe t ~columns key =
+  match List.find_opt (fun ix -> ix.columns = columns) t.indexes with
+  | Some ix -> TupleBtree.find ix.data key
+  | None -> raise Not_found

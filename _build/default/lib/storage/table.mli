@@ -1,0 +1,44 @@
+(** Base tables: named multiset relations holding current committed state. *)
+
+type t
+
+val create : name:string -> Roll_relation.Schema.t -> t
+
+val name : t -> string
+
+val schema : t -> Roll_relation.Schema.t
+
+val contents : t -> Roll_relation.Relation.t
+(** The live relation. Callers must treat it as read-only; all mutation goes
+    through {!Database} commits. *)
+
+val cardinality : t -> int
+(** Total tuple count (multiset size). *)
+
+val mem : t -> Roll_relation.Tuple.t -> bool
+
+val count : t -> Roll_relation.Tuple.t -> int
+
+val apply_change : t -> Roll_relation.Tuple.t -> int -> unit
+(** Used by {!Database.commit} only. @raise Invalid_argument if the change
+    would make a tuple's multiplicity negative. *)
+
+(** {1 Secondary indexes}
+
+    B+-tree indexes over a projection of the table's columns, maintained on
+    every committed change. The join executor probes them instead of
+    building a per-query hash index, which is what makes small propagation
+    queries cheap on large base tables. *)
+
+val create_index : t -> columns:int list -> unit
+(** Build (and thereafter maintain) an index keyed by the given columns;
+    backfills from current contents. Idempotent for an existing column
+    list. @raise Invalid_argument on out-of-range columns. *)
+
+val has_index : t -> columns:int list -> bool
+
+val indexed_columns : t -> int list list
+
+val index_probe : t -> columns:int list -> Roll_relation.Tuple.t -> Roll_relation.Tuple.t list
+(** All row copies whose projection on [columns] equals the key (one list
+    element per multiset copy). @raise Not_found if no such index. *)

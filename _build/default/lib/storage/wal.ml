@@ -1,0 +1,33 @@
+module Vec = Roll_util.Vec
+module Time = Roll_delta.Time
+
+type change = { table : string; tuple : Roll_relation.Tuple.t; count : int }
+
+type record = {
+  csn : Time.t;
+  txn_id : int;
+  wall : float;
+  changes : change list;
+  marker : string option;
+}
+
+type t = { records : record Vec.t }
+
+let create () = { records = Vec.create () }
+
+let append t record =
+  (match Vec.last t.records with
+  | Some prev when prev.csn >= record.csn ->
+      invalid_arg "Wal.append: commit sequence numbers must increase"
+  | _ -> ());
+  Vec.push t.records record
+
+let length t = Vec.length t.records
+
+let get t i = Vec.get t.records i
+
+let iter_from t ~pos f =
+  Vec.iter_range f t.records ~lo:pos ~hi:(Vec.length t.records)
+
+let last_csn t =
+  match Vec.last t.records with None -> Time.origin | Some r -> r.csn

@@ -1,0 +1,42 @@
+(** Write-ahead log.
+
+    Every committed transaction appends one commit record carrying its
+    commit sequence number (= {!Roll_delta.Time.t}), a wall-clock timestamp,
+    and its changes. Propagation-query transactions write [Marker] records —
+    this reproduces the prototype's "special global table" trick (Section 5)
+    by which the propagate driver learns the serialization time of each
+    maintenance query. The capture process (see {!Roll_capture.Capture})
+    reads the log through a cursor. *)
+
+type change = {
+  table : string;
+  tuple : Roll_relation.Tuple.t;
+  count : int;  (** +n insertion of n copies, -n deletion *)
+}
+
+type record = {
+  csn : Roll_delta.Time.t;
+  txn_id : int;
+  wall : float;
+  changes : change list;
+  marker : string option;
+      (** [Some tag] for propagation-query marker commits. *)
+}
+
+type t
+
+val create : unit -> t
+
+val append : t -> record -> unit
+(** @raise Invalid_argument if [csn] is not strictly increasing. *)
+
+val length : t -> int
+
+val get : t -> int -> record
+
+val iter_from : t -> pos:int -> (record -> unit) -> unit
+(** [iter_from t ~pos f] applies [f] to records at positions [pos, ...]
+    in order. *)
+
+val last_csn : t -> Roll_delta.Time.t
+(** [Time.origin] when empty. *)

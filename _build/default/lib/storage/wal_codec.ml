@@ -1,0 +1,142 @@
+open Roll_relation
+
+exception Corrupt of string
+
+let magic = "ROLLWAL 1"
+
+(* --- value encoding --- *)
+
+let encode_value_raw buf = function
+  | Value.Null -> Buffer.add_string buf "null"
+  | Value.Bool true -> Buffer.add_string buf "true"
+  | Value.Bool false -> Buffer.add_string buf "false"
+  | Value.Int i -> Buffer.add_string buf (Printf.sprintf "int %d" i)
+  | Value.Float f -> Buffer.add_string buf (Printf.sprintf "float %h" f)
+  | Value.Str s -> Buffer.add_string buf (Printf.sprintf "str %S" s)
+
+let decode_value line =
+  match line with
+  | "null" -> Value.Null
+  | "true" -> Value.Bool true
+  | "false" -> Value.Bool false
+  | _ ->
+      if String.length line > 4 && String.sub line 0 4 = "int " then
+        Value.Int (int_of_string (String.sub line 4 (String.length line - 4)))
+      else if String.length line > 6 && String.sub line 0 6 = "float " then
+        Value.Float (float_of_string (String.sub line 6 (String.length line - 6)))
+      else if String.length line > 4 && String.sub line 0 4 = "str " then
+        Scanf.sscanf (String.sub line 4 (String.length line - 4)) "%S" (fun s ->
+            Value.Str s)
+      else raise (Corrupt ("bad value: " ^ line))
+
+(* --- save --- *)
+
+let save wal out =
+  output_string out magic;
+  output_char out '\n';
+  Wal.iter_from wal ~pos:0 (fun record ->
+      Printf.fprintf out "R %d %d %h\n" record.Wal.csn record.Wal.txn_id
+        record.Wal.wall;
+      (match record.Wal.marker with
+      | Some tag -> Printf.fprintf out "M %S\n" tag
+      | None -> ());
+      List.iter
+        (fun (c : Wal.change) ->
+          Printf.fprintf out "C %S %d %d\n" c.table c.count
+            (Tuple.arity c.tuple);
+          Array.iter
+            (fun v ->
+              let buf = Buffer.create 16 in
+              Buffer.add_string buf "V ";
+              encode_value_raw buf v;
+              Buffer.add_char buf '\n';
+              output_string out (Buffer.contents buf))
+            c.tuple)
+        record.Wal.changes;
+      output_string out "E\n")
+
+let save_file wal path =
+  let out = open_out path in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> save wal out)
+
+(* --- load --- *)
+
+type reader = { input : in_channel; mutable line_no : int }
+
+let next_line reader =
+  match input_line reader.input with
+  | line ->
+      reader.line_no <- reader.line_no + 1;
+      Some line
+  | exception End_of_file -> None
+
+let corrupt reader msg =
+  raise (Corrupt (Printf.sprintf "line %d: %s" reader.line_no msg))
+
+let load input =
+  let reader = { input; line_no = 0 } in
+  (match next_line reader with
+  | Some line when line = magic -> ()
+  | Some line -> corrupt reader ("bad header: " ^ line)
+  | None -> corrupt reader "empty file");
+  let records = ref [] in
+  let rec read_record () =
+    match next_line reader with
+    | None -> ()
+    | Some line ->
+        let csn, txn_id, wall =
+          try Scanf.sscanf line "R %d %d %h" (fun a b c -> (a, b, c))
+          with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+            corrupt reader ("expected record header, got: " ^ line)
+        in
+        let marker = ref None in
+        let changes = ref [] in
+        let rec read_body () =
+          match next_line reader with
+          | None -> corrupt reader "unterminated record"
+          | Some "E" -> ()
+          | Some line when String.length line > 2 && String.sub line 0 2 = "M " ->
+              (marker :=
+                 try Scanf.sscanf line "M %S" (fun t -> Some t)
+                 with Scanf.Scan_failure _ | End_of_file ->
+                   corrupt reader "bad marker");
+              read_body ()
+          | Some line when String.length line > 2 && String.sub line 0 2 = "C " ->
+              let table, count, arity =
+                try Scanf.sscanf line "C %S %d %d" (fun t c a -> (t, c, a))
+                with Scanf.Scan_failure _ | End_of_file ->
+                  corrupt reader "bad change header"
+              in
+              let values =
+                Array.init arity (fun _ ->
+                    match next_line reader with
+                    | Some line
+                      when String.length line > 2 && String.sub line 0 2 = "V "
+                      -> (
+                        try decode_value (String.sub line 2 (String.length line - 2))
+                        with Corrupt msg -> corrupt reader msg)
+                    | Some line -> corrupt reader ("expected value, got: " ^ line)
+                    | None -> corrupt reader "unterminated change")
+              in
+              changes := { Wal.table; tuple = values; count } :: !changes;
+              read_body ()
+          | Some line -> corrupt reader ("unexpected line: " ^ line)
+        in
+        read_body ();
+        records :=
+          { Wal.csn; txn_id; wall; changes = List.rev !changes; marker = !marker }
+          :: !records;
+        read_record ()
+  in
+  read_record ();
+  List.rev !records
+
+let load_file path =
+  let input = open_in path in
+  Fun.protect ~finally:(fun () -> close_in input) (fun () -> load input)
+
+let restore db records = Database.restore db records
+
+let encode_value buf v suffix =
+  encode_value_raw buf v;
+  Buffer.add_string buf suffix

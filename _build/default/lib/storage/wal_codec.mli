@@ -1,0 +1,44 @@
+(** Durable write-ahead-log encoding.
+
+    A line-oriented text format for persisting and restoring the WAL —
+    the database's full logical history. Restoring a saved log into a fresh
+    database (with the same table definitions) reproduces table contents,
+    commit sequence numbers, transaction ids, and the wall clock, so
+    maintenance processes can resume where they left off: capture replays
+    the restored log, and propagation's timestamps remain valid.
+
+    Format (version-stamped, one token line each):
+
+    {v ROLLWAL 1
+       R <csn> <txn_id> <wall-hex-float>
+       M <tag>            (at most one, marker commits)
+       C <table> <count> <arity>
+       V <value>          (arity lines per C)
+       E                  (ends the record) v}
+
+    Strings are OCaml-escaped ([%S]); floats use the lossless hexadecimal
+    notation ([%h]). *)
+
+exception Corrupt of string
+(** Raised by the loaders with a line number and reason. *)
+
+val encode_value : Buffer.t -> Roll_relation.Value.t -> string -> unit
+(** [encode_value buf v suffix] appends [v]'s one-line encoding plus
+    [suffix]; shared with higher-level checkpoint formats. *)
+
+val decode_value : string -> Roll_relation.Value.t
+(** Inverse of {!encode_value} (without the suffix). @raise Corrupt *)
+
+val save : Wal.t -> out_channel -> unit
+
+val save_file : Wal.t -> string -> unit
+
+val load : in_channel -> Wal.record list
+
+val load_file : string -> Wal.record list
+
+val restore : Database.t -> Wal.record list -> unit
+(** Replay records into a database whose tables exist and whose log is
+    empty; restores counters, the wall clock and table contents.
+    @raise Invalid_argument if the database is not fresh or a record
+    references an unknown table. *)

@@ -1,0 +1,59 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = { mutable entries : 'a entry Vec.t; mutable next_seq : int }
+
+let create () = { entries = Vec.create (); next_seq = 0 }
+
+let length h = Vec.length h.entries
+
+let is_empty h = Vec.is_empty h.entries
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap v i j =
+  let x = Vec.get v i in
+  Vec.set v i (Vec.get v j);
+  Vec.set v j x
+
+let rec sift_up v i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less (Vec.get v i) (Vec.get v parent) then begin
+      swap v i parent;
+      sift_up v parent
+    end
+  end
+
+let rec sift_down v i =
+  let n = Vec.length v in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && less (Vec.get v l) (Vec.get v !smallest) then smallest := l;
+  if r < n && less (Vec.get v r) (Vec.get v !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap v i !smallest;
+    sift_down v !smallest
+  end
+
+let add h ~priority value =
+  let entry = { prio = priority; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  Vec.push h.entries entry;
+  sift_up h.entries (Vec.length h.entries - 1)
+
+let peek h =
+  if Vec.is_empty h.entries then None
+  else
+    let e = Vec.get h.entries 0 in
+    Some (e.prio, e.value)
+
+let pop h =
+  let n = Vec.length h.entries in
+  if n = 0 then None
+  else begin
+    let top = Vec.get h.entries 0 in
+    swap h.entries 0 (n - 1);
+    ignore (Vec.pop h.entries);
+    if not (Vec.is_empty h.entries) then sift_down h.entries 0;
+    Some (top.prio, top.value)
+  end

@@ -1,0 +1,21 @@
+(** Binary min-heaps keyed by a float priority.
+
+    Used as the event queue of the discrete-event contention simulator.
+    Entries with equal priority are dequeued in insertion order, which keeps
+    simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> priority:float -> 'a -> unit
+
+val peek : 'a t -> (float * 'a) option
+(** [peek h] is the minimum-priority entry without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop h] removes and returns the minimum-priority entry. *)

@@ -1,0 +1,29 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x5eed; seed lxor 0x9e3779b9 |]
+
+let int t n = Random.State.int t n
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in";
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t x = Random.State.float t x
+
+let bool t = Random.State.bool t
+
+let chance t p = Random.State.float t 1.0 < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick";
+  arr.(Random.State.int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let x = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- x
+  done
+
+let split t = create ~seed:(Random.State.bits t)

@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random helpers.
+
+    Thin wrapper around [Random.State] so that every generator in the
+    repository is seeded explicitly; benches and tests are reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. [n] must be positive. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in t ~lo ~hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniformly random element. [arr] must be non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** [split t] is a new generator seeded from [t], advancing [t]. *)

@@ -1,0 +1,58 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable total : float;
+  samples : float Vec.t option;
+}
+
+let create ?(keep_samples = false) () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    total = 0.0;
+    samples = (if keep_samples then Some (Vec.create ()) else None);
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  t.total <- t.total +. x;
+  match t.samples with Some v -> Vec.push v x | None -> ()
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0.0 else t.mean
+
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+let min_value t = t.min_v
+
+let max_value t = t.max_v
+
+let total t = t.total
+
+let percentile t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Summary.percentile: p out of range";
+  match t.samples with
+  | None -> invalid_arg "Summary.percentile: samples were not kept"
+  | Some v ->
+      let n = Vec.length v in
+      if n = 0 then invalid_arg "Summary.percentile: no samples";
+      let sorted = Array.of_list (Vec.to_list v) in
+      Array.sort compare sorted;
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)
+    (stddev t) t.min_v t.max_v

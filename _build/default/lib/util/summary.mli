@@ -1,0 +1,35 @@
+(** Streaming numeric summaries.
+
+    Accumulates count / mean / variance (Welford) plus min and max; used by
+    the benches and the contention simulator to report series without
+    retaining samples. *)
+
+type t
+
+val create : ?keep_samples:bool -> unit -> t
+(** With [keep_samples] (default false), samples are retained so
+    {!percentile} works; otherwise only streaming statistics are kept. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0. when empty. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val total : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 1\]], by nearest-rank over retained
+    samples. @raise Invalid_argument if samples were not kept or [t] is
+    empty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+let render ~header rows =
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length header) rows
+  in
+  let pad row = row @ List.init (ncols - List.length row) (fun _ -> "") in
+  let all = List.map pad (header :: rows) in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  let buf = Buffer.create 256 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < ncols - 1 then
+          Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  (match all with
+  | header :: rows ->
+      emit header;
+      let rule = List.init ncols (fun i -> String.make widths.(i) '-') in
+      emit rule;
+      List.iter emit rows
+  | [] -> ());
+  Buffer.contents buf
+
+let print ~title ~header rows =
+  print_newline ();
+  print_endline ("== " ^ title ^ " ==");
+  print_string (render ~header rows)

@@ -1,0 +1,9 @@
+(** Aligned ASCII table rendering for bench and example output. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] lays out [rows] under [header] with columns padded
+    to the widest cell, separated by two spaces, with a dashed rule under the
+    header. Short rows are padded with empty cells. *)
+
+val print : title:string -> header:string list -> string list list -> unit
+(** [print ~title ~header rows] writes a titled table to stdout. *)

@@ -1,0 +1,16 @@
+(** Zipf-distributed sampling over [\[0, n)].
+
+    Used by the workload generators to skew key popularity: a handful of
+    dimension keys account for most fact-table references, which is the
+    star-schema shape the paper's prose motivates. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over [\[0, n)] with skew parameter
+    [theta] ([theta = 0.] is uniform; larger is more skewed). The cumulative
+    distribution is precomputed in O(n). *)
+
+val sample : t -> Prng.t -> int
+
+val n : t -> int

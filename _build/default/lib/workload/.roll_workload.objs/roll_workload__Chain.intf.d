@@ -1,0 +1,1 @@
+lib/workload/chain.mli: Roll_capture Roll_core Roll_storage

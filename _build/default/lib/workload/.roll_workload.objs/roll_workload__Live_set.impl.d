@@ -1,0 +1,1 @@
+lib/workload/live_set.ml: Roll_relation Roll_util

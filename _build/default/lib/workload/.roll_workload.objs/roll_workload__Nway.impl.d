@@ -1,0 +1,1 @@
+lib/workload/nway.ml: Array List Live_set Predicate Printf Roll_capture Roll_core Roll_relation Roll_storage Roll_util Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/star.ml: Array List Live_set Printf Roll_capture Roll_core Roll_relation Roll_storage Roll_util Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/tpch_lite.ml: List Predicate Roll_capture Roll_core Roll_relation Roll_storage Roll_util Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/tpch_lite.mli: Roll_capture Roll_core Roll_storage

@@ -1,0 +1,145 @@
+open Roll_relation
+module Prng = Roll_util.Prng
+module Vec = Roll_util.Vec
+module Database = Roll_storage.Database
+module Capture = Roll_capture.Capture
+module History = Roll_storage.History
+module View = Roll_core.View
+
+type config = {
+  n_customers : int;
+  initial_orders : int;
+  lines_per_order : int;
+  min_total : int;
+  seed : int;
+}
+
+let default_config =
+  { n_customers = 50; initial_orders = 200; lines_per_order = 3; min_total = 40; seed = 23 }
+
+type order = { okey : int; ckey : int; total : int; lines : Tuple.t list }
+
+type t = {
+  config : config;
+  db : Database.t;
+  capture : Capture.t;
+  history : History.t;
+  view : View.t;
+  rng : Prng.t;
+  live_orders : order Vec.t;
+  mutable next_okey : int;
+}
+
+let int_col name = { Schema.name; ty = Value.T_int }
+
+let create config =
+  let db = Database.create () in
+  let _ =
+    Database.create_table db ~name:"customer"
+      (Schema.make [ int_col "ckey"; int_col "region" ])
+  in
+  let _ =
+    Database.create_table db ~name:"orders"
+      (Schema.make [ int_col "okey"; int_col "ckey"; int_col "total" ])
+  in
+  let _ =
+    Database.create_table db ~name:"lineitem"
+      (Schema.make [ int_col "okey"; int_col "qty" ])
+  in
+  let capture = Capture.create db in
+  List.iter (fun table -> Capture.attach capture ~table)
+    [ "customer"; "orders"; "lineitem" ];
+  let sources = [ ("customer", "c"); ("orders", "o"); ("lineitem", "l") ] in
+  let bind = View.binder db sources in
+  let view =
+    View.create db ~name:"big_orders" ~sources
+      ~predicate:
+        [
+          Predicate.join (bind "c" "ckey") (bind "o" "ckey");
+          Predicate.join (bind "o" "okey") (bind "l" "okey");
+          Predicate.cmp Predicate.Gt
+            (Predicate.Col (bind "o" "total"))
+            (Predicate.Const (Value.Int config.min_total));
+        ]
+      ~project:[ bind "c" "region"; bind "o" "okey"; bind "o" "total"; bind "l" "qty" ]
+  in
+  {
+    config;
+    db;
+    capture;
+    history = History.create db;
+    view;
+    rng = Prng.create ~seed:config.seed;
+    live_orders = Vec.create ();
+    next_okey = 0;
+  }
+
+let db t = t.db
+
+let capture t = t.capture
+
+let view t = t.view
+
+let history t = t.history
+
+let new_order t =
+  let okey = t.next_okey in
+  t.next_okey <- okey + 1;
+  let ckey = Prng.int t.rng t.config.n_customers in
+  let total = 10 + Prng.int t.rng 100 in
+  let n_lines = 1 + Prng.int t.rng (2 * t.config.lines_per_order) in
+  let lines =
+    List.init n_lines (fun _ -> Tuple.ints [ okey; 1 + Prng.int t.rng 20 ])
+  in
+  { okey; ckey; total; lines }
+
+let insert_order txn (o : order) =
+  Database.insert txn ~table:"orders" (Tuple.ints [ o.okey; o.ckey; o.total ]);
+  List.iter (fun line -> Database.insert txn ~table:"lineitem" line) o.lines
+
+let delete_order txn (o : order) =
+  Database.delete txn ~table:"orders" (Tuple.ints [ o.okey; o.ckey; o.total ]);
+  List.iter (fun line -> Database.delete txn ~table:"lineitem" line) o.lines
+
+let load_initial t =
+  ignore
+    (Database.run t.db (fun txn ->
+         for ckey = 0 to t.config.n_customers - 1 do
+           Database.insert txn ~table:"customer"
+             (Tuple.ints [ ckey; ckey mod 5 ])
+         done));
+  let remaining = ref t.config.initial_orders in
+  while !remaining > 0 do
+    let batch = min 50 !remaining in
+    ignore
+      (Database.run t.db (fun txn ->
+           for _ = 1 to batch do
+             let o = new_order t in
+             Vec.push t.live_orders o;
+             insert_order txn o
+           done));
+    remaining := !remaining - batch
+  done
+
+let order_txn t =
+  let cancel = Prng.int t.rng 4 = 0 && Vec.length t.live_orders > 0 in
+  ignore
+    (Database.run t.db (fun txn ->
+         if cancel then begin
+           let i = Prng.int t.rng (Vec.length t.live_orders) in
+           let o = Vec.get t.live_orders i in
+           let last = Vec.length t.live_orders - 1 in
+           Vec.set t.live_orders i (Vec.get t.live_orders last);
+           ignore (Vec.pop t.live_orders);
+           delete_order txn o
+         end
+         else begin
+           let o = new_order t in
+           Vec.push t.live_orders o;
+           insert_order txn o
+         end))
+
+let run t ~n =
+  for _ = 1 to n do
+    order_txn t
+  done

@@ -1,0 +1,39 @@
+(** A TPC-style order-processing workload over a three-way chain join:
+
+    {v customer(ckey, region) ⋈ orders(okey, ckey, total)
+                              ⋈ lineitem(okey, qty) v}
+
+    The maintained view is the join of the three, filtered to orders above
+    a configurable total — the "open big orders per customer region" view a
+    reporting dashboard would materialize. Orders and lineitems churn;
+    customers are nearly static. *)
+
+type config = {
+  n_customers : int;
+  initial_orders : int;
+  lines_per_order : int;  (** average *)
+  min_total : int;  (** view filter: orders with total above this *)
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+
+val db : t -> Roll_storage.Database.t
+
+val capture : t -> Roll_capture.Capture.t
+
+val view : t -> Roll_core.View.t
+
+val history : t -> Roll_storage.History.t
+
+val load_initial : t -> unit
+
+val order_txn : t -> unit
+(** Place a new order with its line items, or (1 in 4) cancel an existing
+    order, deleting its lines. *)
+
+val run : t -> n:int -> unit

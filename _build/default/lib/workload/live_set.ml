@@ -1,0 +1,27 @@
+module Vec = Roll_util.Vec
+module Prng = Roll_util.Prng
+
+type t = { items : Roll_relation.Tuple.t Vec.t }
+
+let create () = { items = Vec.create () }
+
+let size t = Vec.length t.items
+
+let is_empty t = Vec.is_empty t.items
+
+let add t tuple = Vec.push t.items tuple
+
+let pick t rng =
+  if Vec.is_empty t.items then None
+  else Some (Vec.get t.items (Prng.int rng (Vec.length t.items)))
+
+let take t rng =
+  if Vec.is_empty t.items then None
+  else begin
+    let i = Prng.int rng (Vec.length t.items) in
+    let x = Vec.get t.items i in
+    let last = Vec.length t.items - 1 in
+    Vec.set t.items i (Vec.get t.items last);
+    ignore (Vec.pop t.items);
+    Some x
+  end

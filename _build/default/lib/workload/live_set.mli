@@ -1,0 +1,21 @@
+(** Multiset of live tuples with O(1) random pick and removal.
+
+    Workload generators must delete {e existing} rows; scanning a table for
+    a random victim would be O(table). A live set shadows the generator's
+    own inserts/deletes (one entry per multiset copy) using swap-remove. *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+val add : t -> Roll_relation.Tuple.t -> unit
+
+val pick : t -> Roll_util.Prng.t -> Roll_relation.Tuple.t option
+(** Uniformly random live tuple (without removing it). *)
+
+val take : t -> Roll_util.Prng.t -> Roll_relation.Tuple.t option
+(** Remove and return a uniformly random live tuple. *)

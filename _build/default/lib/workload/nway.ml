@@ -1,0 +1,132 @@
+open Roll_relation
+module Prng = Roll_util.Prng
+module Database = Roll_storage.Database
+module Capture = Roll_capture.Capture
+module History = Roll_storage.History
+module View = Roll_core.View
+
+type config = {
+  n : int;
+  key_range : int;
+  initial_rows : int;
+  insert_bias : float;
+  weights : float array;
+  seed : int;
+}
+
+let config ?(key_range = 10) ?(initial_rows = 50) ?(insert_bias = 0.65)
+    ?weights ?(seed = 11) ~n () =
+  let weights = match weights with Some w -> w | None -> Array.make n 1.0 in
+  if Array.length weights <> n then invalid_arg "Nway.config: weights arity";
+  { n; key_range; initial_rows; insert_bias; weights; seed }
+
+type t = {
+  config : config;
+  db : Database.t;
+  capture : Capture.t;
+  history : History.t;
+  view : View.t;
+  rng : Prng.t;
+  live : Live_set.t array;
+  cumulative : float array;  (** prefix sums of weights, normalized *)
+}
+
+let table_name i = Printf.sprintf "t%d" i
+
+let int_col name = { Schema.name; ty = Value.T_int }
+
+let create config =
+  if config.n < 1 then invalid_arg "Nway.create: n must be positive";
+  let db = Database.create () in
+  for i = 0 to config.n - 1 do
+    ignore
+      (Database.create_table db ~name:(table_name i)
+         (Schema.make [ int_col "a"; int_col "b" ]))
+  done;
+  let capture = Capture.create db in
+  for i = 0 to config.n - 1 do
+    Capture.attach capture ~table:(table_name i)
+  done;
+  let sources = List.init config.n (fun i -> (table_name i, Printf.sprintf "x%d" i)) in
+  let bind = View.binder db sources in
+  let predicate =
+    List.init (config.n - 1) (fun i ->
+        Predicate.join
+          (bind (Printf.sprintf "x%d" i) "b")
+          (bind (Printf.sprintf "x%d" (i + 1)) "a"))
+  in
+  let project =
+    List.init config.n (fun i -> bind (Printf.sprintf "x%d" i) "b")
+  in
+  let view = View.create db ~name:"chain" ~sources ~predicate ~project in
+  let total = Array.fold_left ( +. ) 0.0 config.weights in
+  let acc = ref 0.0 in
+  let cumulative =
+    Array.map
+      (fun w ->
+        acc := !acc +. (w /. total);
+        !acc)
+      config.weights
+  in
+  {
+    config;
+    db;
+    capture;
+    history = History.create db;
+    view;
+    rng = Prng.create ~seed:config.seed;
+    live = Array.init config.n (fun _ -> Live_set.create ());
+    cumulative;
+  }
+
+let db t = t.db
+
+let capture t = t.capture
+
+let view t = t.view
+
+let history t = t.history
+
+let random_tuple t =
+  Tuple.ints [ Prng.int t.rng t.config.key_range; Prng.int t.rng t.config.key_range ]
+
+let load_initial t =
+  for i = 0 to t.config.n - 1 do
+    let remaining = ref t.config.initial_rows in
+    while !remaining > 0 do
+      let batch = min 50 !remaining in
+      ignore
+        (Database.run t.db (fun txn ->
+             for _ = 1 to batch do
+               let tuple = random_tuple t in
+               Live_set.add t.live.(i) tuple;
+               Database.insert txn ~table:(table_name i) tuple
+             done));
+      remaining := !remaining - batch
+    done
+  done
+
+let pick_table t =
+  let u = Prng.float t.rng 1.0 in
+  let rec find i = if i >= t.config.n - 1 || t.cumulative.(i) >= u then i else find (i + 1) in
+  find 0
+
+let churn t ~n =
+  for _ = 1 to n do
+    let i = pick_table t in
+    ignore
+      (Database.run t.db (fun txn ->
+           let ops = 1 + Prng.int t.rng 3 in
+           for _ = 1 to ops do
+             if Prng.chance t.rng t.config.insert_bias || Live_set.is_empty t.live.(i)
+             then begin
+               let tuple = random_tuple t in
+               Live_set.add t.live.(i) tuple;
+               Database.insert txn ~table:(table_name i) tuple
+             end
+             else
+               match Live_set.take t.live.(i) t.rng with
+               | Some tuple -> Database.delete txn ~table:(table_name i) tuple
+               | None -> ()
+           done))
+  done

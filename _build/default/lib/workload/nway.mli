@@ -1,0 +1,36 @@
+(** Generic n-way chain-join workload for benches and experiments.
+
+    n tables T0(k0, k1), T1(k1, k2), …, T(n-1)(k(n-1), v), chain-joined on
+    the shared key columns, with a churn driver that inserts and deletes
+    rows with keys drawn from a small domain (so joins actually produce
+    output). Per-table update weights skew the churn, modelling relations
+    that evolve at different rates. *)
+
+type config = {
+  n : int;
+  key_range : int;
+  initial_rows : int;  (** per table *)
+  insert_bias : float;
+  weights : float array;  (** relative update frequency per table *)
+  seed : int;
+}
+
+val config : ?key_range:int -> ?initial_rows:int -> ?insert_bias:float ->
+  ?weights:float array -> ?seed:int -> n:int -> unit -> config
+
+type t
+
+val create : config -> t
+
+val db : t -> Roll_storage.Database.t
+
+val capture : t -> Roll_capture.Capture.t
+
+val view : t -> Roll_core.View.t
+
+val history : t -> Roll_storage.History.t
+
+val load_initial : t -> unit
+
+val churn : t -> n:int -> unit
+(** Commit [n] small transactions against weighted-random tables. *)

@@ -1,0 +1,177 @@
+open Roll_relation
+module Prng = Roll_util.Prng
+module Zipf = Roll_util.Zipf
+module Database = Roll_storage.Database
+module Capture = Roll_capture.Capture
+module History = Roll_storage.History
+module View = Roll_core.View
+module Predicate = Roll_relation.Predicate
+
+type config = {
+  n_dimensions : int;
+  dim_size : int;
+  fact_initial : int;
+  zipf_theta : float;
+  fact_insert_bias : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_dimensions = 2;
+    dim_size = 100;
+    fact_initial = 1000;
+    zipf_theta = 0.8;
+    fact_insert_bias = 0.7;
+    seed = 17;
+  }
+
+type t = {
+  config : config;
+  db : Database.t;
+  capture : Capture.t;
+  history : History.t;
+  view : View.t;
+  rng : Prng.t;
+  zipf : Zipf.t;
+  fact_live : Live_set.t;
+  (* Current attribute value per dimension row, so updates can delete the
+     exact old tuple. *)
+  dim_attrs : int array array;
+  mutable fact_seq : int;
+}
+
+let fact_name = "fact"
+
+let dim_name i = Printf.sprintf "dim%d" i
+
+let int_col name = { Schema.name; ty = Value.T_int }
+
+let create config =
+  if config.n_dimensions < 1 then invalid_arg "Star.create: need a dimension";
+  let db = Database.create () in
+  let fact_cols =
+    List.init config.n_dimensions (fun i -> int_col (Printf.sprintf "d%d_key" i))
+    @ [ int_col "measure" ]
+  in
+  let _ = Database.create_table db ~name:fact_name (Schema.make fact_cols) in
+  for i = 0 to config.n_dimensions - 1 do
+    ignore
+      (Database.create_table db ~name:(dim_name i)
+         (Schema.make [ int_col "key"; int_col "attr" ]))
+  done;
+  let capture = Capture.create db in
+  Capture.attach capture ~table:fact_name;
+  for i = 0 to config.n_dimensions - 1 do
+    Capture.attach capture ~table:(dim_name i)
+  done;
+  let sources =
+    (fact_name, "f")
+    :: List.init config.n_dimensions (fun i -> (dim_name i, Printf.sprintf "d%d" i))
+  in
+  let bind = View.binder db sources in
+  let predicate =
+    List.init config.n_dimensions (fun i ->
+        let alias = Printf.sprintf "d%d" i in
+        Predicate.join (bind "f" (Printf.sprintf "d%d_key" i)) (bind alias "key"))
+  in
+  let project =
+    bind "f" "measure"
+    :: List.concat
+         (List.init config.n_dimensions (fun i ->
+              let alias = Printf.sprintf "d%d" i in
+              [ bind alias "key"; bind alias "attr" ]))
+  in
+  let view = View.create db ~name:"star" ~sources ~predicate ~project in
+  {
+    config;
+    db;
+    capture;
+    history = History.create db;
+    view;
+    rng = Prng.create ~seed:config.seed;
+    zipf = Zipf.create ~n:config.dim_size ~theta:config.zipf_theta;
+    fact_live = Live_set.create ();
+    dim_attrs = Array.make_matrix config.n_dimensions config.dim_size 0;
+    fact_seq = 0;
+  }
+
+let db t = t.db
+
+let capture t = t.capture
+
+let view t = t.view
+
+let history t = t.history
+
+let fact_table _ = fact_name
+
+let dim_table _ i = dim_name i
+
+let random_fact_tuple t =
+  let keys =
+    List.init t.config.n_dimensions (fun _ -> Zipf.sample t.zipf t.rng)
+  in
+  t.fact_seq <- t.fact_seq + 1;
+  Tuple.ints (keys @ [ t.fact_seq mod 97 ])
+
+let load_initial t =
+  for i = 0 to t.config.n_dimensions - 1 do
+    ignore
+      (Database.run t.db (fun txn ->
+           for key = 0 to t.config.dim_size - 1 do
+             let attr = Prng.int t.rng 1000 in
+             t.dim_attrs.(i).(key) <- attr;
+             Database.insert txn ~table:(dim_name i) (Tuple.ints [ key; attr ])
+           done))
+  done;
+  (* Fact rows in batches of 100 so the initial load occupies several
+     commit times rather than one giant transaction. *)
+  let remaining = ref t.config.fact_initial in
+  while !remaining > 0 do
+    let batch = min 100 !remaining in
+    ignore
+      (Database.run t.db (fun txn ->
+           for _ = 1 to batch do
+             let tuple = random_fact_tuple t in
+             Live_set.add t.fact_live tuple;
+             Database.insert txn ~table:fact_name tuple
+           done));
+    remaining := !remaining - batch
+  done
+
+let fact_txn t =
+  ignore
+    (Database.run t.db (fun txn ->
+         let ops = 1 + Prng.int t.rng 4 in
+         for _ = 1 to ops do
+           if
+             Prng.chance t.rng t.config.fact_insert_bias
+             || Live_set.is_empty t.fact_live
+           then begin
+             let tuple = random_fact_tuple t in
+             Live_set.add t.fact_live tuple;
+             Database.insert txn ~table:fact_name tuple
+           end
+           else
+             match Live_set.take t.fact_live t.rng with
+             | Some tuple -> Database.delete txn ~table:fact_name tuple
+             | None -> ()
+         done))
+
+let dim_txn t =
+  let i = Prng.int t.rng t.config.n_dimensions in
+  let key = Prng.int t.rng t.config.dim_size in
+  let old_attr = t.dim_attrs.(i).(key) in
+  let new_attr = Prng.int t.rng 1000 in
+  t.dim_attrs.(i).(key) <- new_attr;
+  ignore
+    (Database.run t.db (fun txn ->
+         Database.update txn ~table:(dim_name i)
+           ~old_tuple:(Tuple.ints [ key; old_attr ])
+           ~new_tuple:(Tuple.ints [ key; new_attr ])))
+
+let mixed_txns t ~n ~dim_fraction =
+  for _ = 1 to n do
+    if Prng.chance t.rng dim_fraction then dim_txn t else fact_txn t
+  done

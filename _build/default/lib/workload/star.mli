@@ -1,0 +1,51 @@
+(** Star-schema workload: the shape the paper's Section 3.4 motivates.
+
+    A central fact table referencing [n_dimensions] dimension tables. The
+    fact table is updated constantly (Zipf-skewed dimension keys); the
+    dimension tables change rarely. The maintained view is the full star
+    join. With a uniform propagation interval the fact deltas dwarf the
+    dimension deltas; rolling propagation assigns each relation its own
+    interval. Source 0 of the view is the fact table; sources 1..n are the
+    dimensions. *)
+
+type config = {
+  n_dimensions : int;
+  dim_size : int;  (** rows per dimension *)
+  fact_initial : int;  (** fact rows loaded before maintenance starts *)
+  zipf_theta : float;  (** skew of fact→dimension key popularity *)
+  fact_insert_bias : float;  (** probability a fact operation is an insert *)
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+
+val db : t -> Roll_storage.Database.t
+
+val capture : t -> Roll_capture.Capture.t
+
+val view : t -> Roll_core.View.t
+
+val history : t -> Roll_storage.History.t
+
+val fact_table : t -> string
+
+val dim_table : t -> int -> string
+
+val load_initial : t -> unit
+(** Bulk-load dimensions and the initial fact rows (committed in batches so
+    the log stays realistic). Call once, before creating maintenance
+    contexts is fine — capture is attached at [create] time. *)
+
+val fact_txn : t -> unit
+(** One small fact-table transaction (1–4 inserts/deletes). *)
+
+val dim_txn : t -> unit
+(** One dimension update (modify an attribute of a random dimension row). *)
+
+val mixed_txns : t -> n:int -> dim_fraction:float -> unit
+(** Commit [n] transactions, each a dimension update with probability
+    [dim_fraction], otherwise a fact transaction. *)

@@ -1,0 +1,178 @@
+open Roll_relation
+module Prng = Roll_util.Prng
+module Vec = Roll_util.Vec
+module Database = Roll_storage.Database
+module Capture = Roll_capture.Capture
+module History = Roll_storage.History
+module View = Roll_core.View
+
+type config = {
+  n_regions : int;
+  nations_per_region : int;
+  n_customers : int;
+  initial_orders : int;
+  lines_per_order : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_regions = 5;
+    nations_per_region = 5;
+    n_customers = 100;
+    initial_orders = 300;
+    lines_per_order = 3;
+    seed = 29;
+  }
+
+let small_config =
+  {
+    n_regions = 2;
+    nations_per_region = 2;
+    n_customers = 8;
+    initial_orders = 15;
+    lines_per_order = 2;
+    seed = 29;
+  }
+
+type order = { okey : int; ckey : int; total : int; lines : Tuple.t list }
+
+type t = {
+  config : config;
+  db : Database.t;
+  capture : Capture.t;
+  history : History.t;
+  view : View.t;
+  rng : Prng.t;
+  live_orders : order Vec.t;
+  mutable next_okey : int;
+  mutable next_ckey : int;
+}
+
+let int_col name = { Schema.name; ty = Value.T_int }
+
+let create config =
+  let db = Database.create () in
+  let tables =
+    [
+      ("region", [ int_col "rkey"; int_col "rname" ]);
+      ("nation", [ int_col "nkey"; int_col "rkey" ]);
+      ("customer", [ int_col "ckey"; int_col "nkey" ]);
+      ("orders", [ int_col "okey"; int_col "ckey"; int_col "total" ]);
+      ("lineitem", [ int_col "okey"; int_col "qty" ]);
+    ]
+  in
+  List.iter
+    (fun (name, cols) -> ignore (Database.create_table db ~name (Schema.make cols)))
+    tables;
+  let capture = Capture.create db in
+  List.iter (fun (name, _) -> Capture.attach capture ~table:name) tables;
+  let sources =
+    [ ("region", "r"); ("nation", "n"); ("customer", "c"); ("orders", "o");
+      ("lineitem", "l") ]
+  in
+  let bind = View.binder db sources in
+  let view =
+    View.create db ~name:"global_orders" ~sources
+      ~predicate:
+        [
+          Predicate.join (bind "r" "rkey") (bind "n" "rkey");
+          Predicate.join (bind "n" "nkey") (bind "c" "nkey");
+          Predicate.join (bind "c" "ckey") (bind "o" "ckey");
+          Predicate.join (bind "o" "okey") (bind "l" "okey");
+        ]
+      ~project:
+        [ bind "r" "rname"; bind "n" "nkey"; bind "o" "okey"; bind "o" "total";
+          bind "l" "qty" ]
+  in
+  {
+    config;
+    db;
+    capture;
+    history = History.create db;
+    view;
+    rng = Prng.create ~seed:config.seed;
+    live_orders = Vec.create ();
+    next_okey = 0;
+    next_ckey = 0;
+  }
+
+let db t = t.db
+
+let capture t = t.capture
+
+let view t = t.view
+
+let history t = t.history
+
+let n_nations t = t.config.n_regions * t.config.nations_per_region
+
+let new_customer t txn =
+  let ckey = t.next_ckey in
+  t.next_ckey <- ckey + 1;
+  Database.insert txn ~table:"customer"
+    (Tuple.ints [ ckey; Prng.int t.rng (n_nations t) ])
+
+let new_order t =
+  let okey = t.next_okey in
+  t.next_okey <- okey + 1;
+  let ckey = Prng.int t.rng (max 1 t.next_ckey) in
+  let total = 5 + Prng.int t.rng 200 in
+  let n_lines = 1 + Prng.int t.rng (2 * t.config.lines_per_order) in
+  let lines = List.init n_lines (fun _ -> Tuple.ints [ okey; 1 + Prng.int t.rng 50 ]) in
+  { okey; ckey; total; lines }
+
+let insert_order txn (o : order) =
+  Database.insert txn ~table:"orders" (Tuple.ints [ o.okey; o.ckey; o.total ]);
+  List.iter (fun line -> Database.insert txn ~table:"lineitem" line) o.lines
+
+let delete_order txn (o : order) =
+  Database.delete txn ~table:"orders" (Tuple.ints [ o.okey; o.ckey; o.total ]);
+  List.iter (fun line -> Database.delete txn ~table:"lineitem" line) o.lines
+
+let load_initial t =
+  ignore
+    (Database.run t.db (fun txn ->
+         for rkey = 0 to t.config.n_regions - 1 do
+           Database.insert txn ~table:"region" (Tuple.ints [ rkey; 100 + rkey ])
+         done;
+         for nkey = 0 to n_nations t - 1 do
+           Database.insert txn ~table:"nation"
+             (Tuple.ints [ nkey; nkey mod t.config.n_regions ])
+         done));
+  ignore
+    (Database.run t.db (fun txn ->
+         for _ = 1 to t.config.n_customers do
+           new_customer t txn
+         done));
+  let remaining = ref t.config.initial_orders in
+  while !remaining > 0 do
+    let batch = min 50 !remaining in
+    ignore
+      (Database.run t.db (fun txn ->
+           for _ = 1 to batch do
+             let o = new_order t in
+             Vec.push t.live_orders o;
+             insert_order txn o
+           done));
+    remaining := !remaining - batch
+  done
+
+let churn t ~n =
+  for _ = 1 to n do
+    ignore
+      (Database.run t.db (fun txn ->
+           match Prng.int t.rng 20 with
+           | 0 -> new_customer t txn
+           | 1 | 2 | 3 when Vec.length t.live_orders > 0 ->
+               let i = Prng.int t.rng (Vec.length t.live_orders) in
+               let o = Vec.get t.live_orders i in
+               let last = Vec.length t.live_orders - 1 in
+               Vec.set t.live_orders i (Vec.get t.live_orders last);
+               ignore (Vec.pop t.live_orders);
+               delete_order txn o
+           | _ ->
+               let o = new_order t in
+               Vec.push t.live_orders o;
+               insert_order txn o))
+  done

@@ -1,0 +1,47 @@
+(** A five-table TPC-H-flavoured workload:
+
+    {v region(rkey, rname)
+       nation(nkey, rkey)
+       customer(ckey, nkey)
+       orders(okey, ckey, total)
+       lineitem(okey, qty) v}
+
+    The maintained view is the full five-way chain join — the widest case
+    the benches and tests exercise. Region and nation are static after
+    load; customers trickle in; orders and line items churn constantly, so
+    the five relations span the whole spectrum of update rates the rolling
+    algorithm's per-relation intervals are for. *)
+
+type config = {
+  n_regions : int;
+  nations_per_region : int;
+  n_customers : int;
+  initial_orders : int;
+  lines_per_order : int;
+  seed : int;
+}
+
+val default_config : config
+
+val small_config : config
+(** Tiny sizes whose five-way cross product the nested-loop oracle can
+    still enumerate — for correctness tests. *)
+
+type t
+
+val create : config -> t
+
+val db : t -> Roll_storage.Database.t
+
+val capture : t -> Roll_capture.Capture.t
+
+val view : t -> Roll_core.View.t
+(** Source order: region, nation, customer, orders, lineitem. *)
+
+val history : t -> Roll_storage.History.t
+
+val load_initial : t -> unit
+
+val churn : t -> n:int -> unit
+(** [n] transactions: mostly order placement/cancellation with line items,
+    occasionally a new customer. *)

@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest Database Hashtbl List Printf Prng QCheck QCheck_alcotest Relation Roll_core Roll_delta Roll_relation Schema Test_support Tuple Value

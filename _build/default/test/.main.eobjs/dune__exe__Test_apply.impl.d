@@ -1,0 +1,1 @@
+test/test_apply.ml: Alcotest Database List Prng QCheck QCheck_alcotest Roll_core Roll_delta Roll_relation Test_support

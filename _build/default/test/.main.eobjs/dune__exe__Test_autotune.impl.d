@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Database List Printf Roll_core Roll_delta Roll_workload String Test_support

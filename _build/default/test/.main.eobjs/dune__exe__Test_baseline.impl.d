@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Database Prng QCheck QCheck_alcotest Relation Roll_core Roll_delta Roll_relation Test_support Tuple

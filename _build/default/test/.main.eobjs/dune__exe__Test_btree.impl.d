@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Int List Map QCheck QCheck_alcotest Roll_storage Roll_util String

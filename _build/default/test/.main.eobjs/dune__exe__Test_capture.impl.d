@@ -1,0 +1,1 @@
+test/test_capture.ml: Alcotest List Roll_capture Roll_delta Roll_relation Roll_storage Schema Tuple Value

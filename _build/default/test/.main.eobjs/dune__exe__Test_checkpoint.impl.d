@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Database Filename Fun Prng Roll_capture Roll_core Roll_delta Roll_storage Sys Test_support

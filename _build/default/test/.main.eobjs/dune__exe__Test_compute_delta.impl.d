@@ -1,0 +1,1 @@
+test/test_compute_delta.ml: Alcotest Database List Predicate Printf Prng QCheck QCheck_alcotest Relation Roll_capture Roll_core Roll_delta Roll_relation Schema String Test_support Tuple Value

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Database List Prng Roll_core Roll_delta Test_support

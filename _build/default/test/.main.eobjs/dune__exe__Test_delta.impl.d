@@ -1,0 +1,1 @@
+test/test_delta.ml: Alcotest Hashtbl List Printf QCheck QCheck_alcotest Relation Roll_delta Roll_relation Schema String Test_support Tuple Value

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Bytes Char List Predicate Printf QCheck QCheck_alcotest Relation Roll_capture Roll_core Roll_dsl Roll_relation Roll_storage Schema Tuple Value

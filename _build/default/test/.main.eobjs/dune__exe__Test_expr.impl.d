@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Database Predicate Prng QCheck QCheck_alcotest Relation Roll_core Roll_delta Roll_dsl Roll_relation Roll_storage Schema Test_support Tuple Value

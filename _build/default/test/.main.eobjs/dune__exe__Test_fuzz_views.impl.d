@@ -1,0 +1,1 @@
+test/test_fuzz_views.ml: Array Database Option Prng QCheck QCheck_alcotest Roll_core Roll_delta Test_support

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest List Roll_core String

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Database List Printf Prng QCheck QCheck_alcotest Relation Roll_capture Roll_core Roll_delta Roll_relation Roll_storage Roll_workload Test_support Tuple Value

@@ -1,0 +1,1 @@
+test/test_propagate.ml: Alcotest Database Prng QCheck QCheck_alcotest Roll_capture Roll_core Roll_delta Roll_relation Test_support

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Format List Predicate QCheck QCheck_alcotest Relation Roll_relation Schema Test_support Tuple Value

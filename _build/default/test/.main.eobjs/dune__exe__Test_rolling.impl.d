@@ -1,0 +1,1 @@
+test/test_rolling.ml: Alcotest Database Option Printf Prng QCheck QCheck_alcotest Roll_core Roll_delta Roll_workload Test_support

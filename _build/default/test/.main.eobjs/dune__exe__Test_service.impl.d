@@ -1,0 +1,1 @@
+test/test_service.ml: Alcotest Database List Predicate Prng Relation Roll_core Roll_relation Test_support Value

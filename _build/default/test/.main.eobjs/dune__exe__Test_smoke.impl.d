@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest C Database Prng Roll_delta Test_support

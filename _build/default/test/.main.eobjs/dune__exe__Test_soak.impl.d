@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Database Filename Fun Prng Roll_capture Roll_core Roll_delta Roll_relation Roll_storage Sys Test_support

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array List QCheck QCheck_alcotest Relation Roll_delta Roll_relation Roll_storage Roll_util Schema Test_support Tuple Value

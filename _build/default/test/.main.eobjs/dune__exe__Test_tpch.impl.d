@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Database Roll_core Roll_delta Roll_relation Roll_workload Test_support

@@ -1,0 +1,1 @@
+test/test_trigger_capture.ml: Alcotest Database List Prng Relation Roll_capture Roll_delta Roll_relation Test_support Tuple

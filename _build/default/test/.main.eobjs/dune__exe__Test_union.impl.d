@@ -1,0 +1,1 @@
+test/test_union.ml: Alcotest Database List Predicate Prng Relation Roll_core Roll_delta Roll_relation Test_support Tuple Value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen List QCheck QCheck_alcotest Roll_core Roll_util String

@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Database Format List Predicate Roll_core Roll_relation Schema Test_support Tuple Value

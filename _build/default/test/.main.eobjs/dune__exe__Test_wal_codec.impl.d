@@ -1,0 +1,1 @@
+test/test_wal_codec.ml: Alcotest Database Filename Fun List Prng Roll_core Roll_relation Roll_storage Schema Sys Test_support Tuple Value

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Option Relation Roll_capture Roll_core Roll_delta Roll_relation Roll_storage Roll_util Roll_workload Tuple Value

@@ -1,0 +1,1 @@
+test/debug/dbg_explain.ml: Database Prng Roll_capture Roll_core Test_support

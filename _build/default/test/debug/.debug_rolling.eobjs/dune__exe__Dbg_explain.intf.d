@@ -1,0 +1,1 @@
+test/debug/dbg_explain.mli:

@@ -1,0 +1,1 @@
+test/debug/debug_rolling.ml: C Database List Option Printf Prng Roll_delta Roll_relation Test_support

@@ -1,0 +1,1 @@
+test/debug/debug_rolling.mli:

@@ -1,0 +1,1 @@
+test/debug/fuzz_soak.ml: Array Database Option Printf Prng Roll_core String Sys Test_support

@@ -1,0 +1,1 @@
+test/debug/fuzz_soak.mli:

@@ -1,0 +1,10 @@
+open Test_support.Helpers
+module C = Roll_core
+let () =
+  let s = three_table () in
+  random_txns (Prng.create ~seed:32) s 30;
+  let ctx = ctx_of s in
+  Roll_capture.Capture.advance s.capture;
+  let now = Database.now s.db in
+  print_string (C.Executor.explain ctx
+    (C.Pquery.replace (C.Pquery.all_base 3) 2 (C.Pquery.Win { lo = now - 3; hi = now })))

@@ -1,0 +1,78 @@
+(* Standalone debug driver for rolling-propagation coverage. *)
+open Test_support.Helpers
+module Time = Roll_delta.Time
+
+let () =
+  let s = three_table () in
+  let rng = Prng.create ~seed:3 in
+  random_txns rng s 25;
+  let ctx = ctx_of ~geometry:true ~t_initial:Time.origin s in
+  inject_updates (Prng.create ~seed:11) s ctx ~per_execute:1;
+  let rolling = C.Rolling.create ctx ~t_initial:Time.origin in
+  let target = Database.now s.db in
+  let policy = C.Rolling.per_relation [| 2; 4; 7 |] in
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && C.Rolling.hwm rolling < target do
+    (match C.Rolling.step rolling ~policy with
+    | `Advanced (i, hwm) ->
+        incr steps;
+        let g = Option.get ctx.C.Ctx.geometry in
+        Printf.printf "step %d: rel=%d hwm=%d tfwd=[%d;%d;%d] tcomp=[%d;%d;%d] boxes=%d\n"
+          !steps i hwm
+          (C.Rolling.tfwd rolling 0) (C.Rolling.tfwd rolling 1) (C.Rolling.tfwd rolling 2)
+          (C.Rolling.tfwd rolling 0) (C.Rolling.tfwd rolling 1) (C.Rolling.tfwd rolling 2)
+          (C.Geometry.n_boxes g);
+        (match C.Geometry.check g ~hwm with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.printf "GEOMETRY FAIL at step %d: %s\n" !steps msg;
+            continue := false)
+    | `Idle -> continue := false)
+  done;
+  Printf.printf "done: steps=%d hwm=%d target=%d\n" !steps (C.Rolling.hwm rolling) target;
+  match
+    C.Oracle.check_timed_view_delta s.history s.view ctx.C.Ctx.out
+      ~lo:Time.origin ~hi:(C.Rolling.hwm rolling)
+  with
+  | Ok () -> print_endline "oracle OK"
+  | Error msg -> print_endline ("ORACLE FAIL: " ^ msg)
+
+(* Dump the delta rows for the offending tuple, and the true change times. *)
+let () =
+  let s = three_table () in
+  let rng = Prng.create ~seed:3 in
+  random_txns rng s 25;
+  let ctx = ctx_of ~geometry:true ~t_initial:Time.origin s in
+  inject_updates (Prng.create ~seed:11) s ctx ~per_execute:1;
+  let bad = Roll_relation.Tuple.ints [ 4; 6; 2 ] in
+  ctx.C.Ctx.on_emit <-
+    (fun ~description tuple count ts ->
+      if Roll_relation.Tuple.equal tuple bad then
+        Printf.printf "EMIT %s -> (%+d, ts=%d)\n" description count ts);
+  let rolling = C.Rolling.create ctx ~t_initial:Time.origin in
+  let target = Database.now s.db in
+  let policy = C.Rolling.per_relation [| 2; 4; 7 |] in
+  C.Rolling.run_until rolling ~target ~policy;
+  (match ctx.C.Ctx.geometry with
+   | Some g ->
+       List.iter
+         (fun (sign, label) -> Printf.printf "COVER %+d %s\n" sign label)
+         (C.Geometry.boxes_covering g [| 1; 1; 27 |]);
+       (match C.Geometry.check g ~hwm:(C.Rolling.hwm rolling) with
+        | Ok () -> print_endline "hwm-region coverage OK"
+        | Error m -> print_endline ("hwm-region coverage FAIL: " ^ m))
+   | None -> print_endline "no geometry");
+  Printf.printf "\nrows for (4,6,2): ";
+  Roll_delta.Delta.iter
+    (fun (r : Roll_delta.Delta.row) ->
+      if Roll_relation.Tuple.equal r.tuple bad then
+        Printf.printf "(ts=%d,%+d) " r.ts r.count)
+    ctx.C.Ctx.out;
+  print_newline ();
+  (* When does the oracle say this tuple appears? *)
+  for t = 0 to C.Rolling.hwm rolling do
+    let v = C.Oracle.view_at s.history s.view t in
+    let c = Roll_relation.Relation.count v bad in
+    if c <> 0 then Printf.printf "oracle: V_%d has count %d\n" t c
+  done

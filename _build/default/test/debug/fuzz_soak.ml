@@ -1,0 +1,55 @@
+(* Heavy one-off fuzz run: many random scenarios through ComputeDelta and
+   Rolling with full (unsampled) oracle checks. Not part of dune runtest;
+   run manually when touching the propagation algorithms:
+
+     dune exec test/debug/fuzz_soak.exe -- [rounds]
+*)
+open Test_support.Helpers
+module Fuzz = Test_support.Fuzz
+module C = Roll_core
+
+let () =
+  let rounds = try int_of_string Sys.argv.(1) with _ -> 300 in
+  let failures = ref 0 in
+  for seed = 1 to rounds do
+    let rng = Prng.create ~seed in
+    let s = Fuzz.random_scenario rng in
+    random_txns rng s (5 + Prng.int rng 30);
+    let ctx = ctx_of ~geometry:true ~t_initial:0 s in
+    inject_updates (Prng.create ~seed:(seed * 13)) s ctx ~per_execute:(Prng.int rng 4);
+    let use_rolling = Prng.bool rng in
+    let hwm =
+      if use_rolling then begin
+        let r = C.Rolling.create ctx ~t_initial:0 in
+        let n = C.View.n_sources s.view in
+        let intervals = Array.init n (fun _ -> Prng.int_in rng ~lo:1 ~hi:11) in
+        for _ = 1 to 12 do
+          match C.Rolling.step r ~policy:(C.Rolling.per_relation intervals) with
+          | `Advanced _ | `Idle -> ()
+        done;
+        C.Rolling.hwm r
+      end
+      else begin
+        let hi = Database.now s.db in
+        C.Compute_delta.view_delta ctx ~lo:0 ~hi;
+        hi
+      end
+    in
+    (match C.Geometry.check (Option.get ctx.C.Ctx.geometry) ~hwm with
+    | Ok () -> ()
+    | Error msg ->
+        incr failures;
+        Printf.printf "seed %d GEOMETRY: %s\n%!" seed msg);
+    (match
+       C.Oracle.check_timed_view_delta s.history s.view ctx.C.Ctx.out ~lo:0 ~hi:hwm
+     with
+    | Ok () -> ()
+    | Error msg ->
+        incr failures;
+        Printf.printf "seed %d ORACLE (%s): %s\n%!" seed
+          (if use_rolling then "rolling" else "compute_delta")
+          (String.sub msg 0 (min 200 (String.length msg))));
+    if seed mod 50 = 0 then Printf.printf "...%d/%d done\n%!" seed rounds
+  done;
+  Printf.printf "fuzz soak: %d rounds, %d failures\n" rounds !failures;
+  if !failures > 0 then exit 1

@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "rolling_ivm"
+    [
+      ("util", Test_util.suite);
+      ("relation", Test_relation.suite);
+      ("delta", Test_delta.suite);
+      ("storage", Test_storage.suite);
+      ("btree", Test_btree.suite);
+      ("index", Test_index.suite);
+      ("capture", Test_capture.suite);
+      ("trigger_capture", Test_trigger_capture.suite);
+      ("wal_codec", Test_wal_codec.suite);
+      ("checkpoint", Test_checkpoint.suite);
+      ("view", Test_view.suite);
+      ("executor", Test_executor.suite);
+      ("compute_delta", Test_compute_delta.suite);
+      ("propagate", Test_propagate.suite);
+      ("rolling", Test_rolling.suite);
+      ("apply", Test_apply.suite);
+      ("baseline", Test_baseline.suite);
+      ("geometry", Test_geometry.suite);
+      ("controller", Test_controller.suite);
+      ("service", Test_service.suite);
+      ("autotune", Test_autotune.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("union", Test_union.suite);
+      ("dsl", Test_dsl.suite);
+      ("expr", Test_expr.suite);
+      ("workload", Test_workload.suite);
+      ("tpch", Test_tpch.suite);
+      ("sim", Test_sim.suite);
+      ("smoke", Test_smoke.suite);
+      ("soak", Test_soak.suite);
+      ("fuzz_views", Test_fuzz_views.suite);
+    ]

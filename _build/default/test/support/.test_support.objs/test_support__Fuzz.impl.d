@@ -1,0 +1,1 @@
+test/support/fuzz.ml: Helpers List Predicate Printf Roll_capture Roll_core Roll_relation Roll_storage Roll_util Schema Value

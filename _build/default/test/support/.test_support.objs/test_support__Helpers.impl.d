@@ -1,0 +1,1 @@
+test/support/helpers.ml: Alcotest Array Hashtbl List Predicate Relation Roll_capture Roll_core Roll_delta Roll_relation Roll_storage Roll_util Schema String Tuple Value

@@ -1,0 +1,66 @@
+(* Random SPJ scenario generation for theorem fuzzing: random table sets,
+   random view shapes (self-joins, cartesian corners, filters, computed
+   projections), driven by the shared churn helpers. *)
+
+open Roll_relation
+module Prng = Roll_util.Prng
+module Database = Roll_storage.Database
+module Capture = Roll_capture.Capture
+module History = Roll_storage.History
+module C = Roll_core
+
+let int_col name = { Schema.name; ty = Value.T_int }
+
+(* All tables are (a, b) over small int domains so the churn driver in
+   Helpers applies and joins collide often. *)
+let random_scenario rng =
+  let n_tables = Prng.int_in rng ~lo:1 ~hi:3 in
+  let db = Database.create () in
+  let capture = Capture.create db in
+  for i = 0 to n_tables - 1 do
+    let name = Printf.sprintf "t%d" i in
+    ignore (Database.create_table db ~name (Schema.make [ int_col "a"; int_col "b" ]));
+    Capture.attach capture ~table:name
+  done;
+  let n_sources = Prng.int_in rng ~lo:1 ~hi:3 in
+  let sources =
+    List.init n_sources (fun i ->
+        (Printf.sprintf "t%d" (Prng.int rng n_tables), Printf.sprintf "s%d" i))
+  in
+  let rand_col source = Predicate.col source (Prng.int rng 2) in
+  (* Mostly-connected equi-join graph, occasionally leaving a cartesian
+     corner; plus a few filters. *)
+  let joins =
+    List.concat
+      (List.init (n_sources - 1) (fun i ->
+           if Prng.chance rng 0.85 then
+             [ Predicate.join (rand_col (Prng.int rng (i + 1))) (rand_col (i + 1)) ]
+           else []))
+  in
+  let filters =
+    List.concat
+      (List.init (Prng.int rng 3) (fun _ ->
+           let source = Prng.int rng n_sources in
+           let op = Prng.pick rng [| Predicate.Le; Predicate.Ge; Predicate.Ne |] in
+           [
+             Predicate.cmp op
+               (Predicate.Col (rand_col source))
+               (Predicate.Const (Value.Int (Prng.int rng 8)));
+           ]))
+  in
+  let rand_operand () =
+    let source = Prng.int rng n_sources in
+    if Prng.chance rng 0.3 then
+      Predicate.Add
+        (Predicate.Col (rand_col source), Predicate.Const (Value.Int (Prng.int rng 5)))
+    else Predicate.Col (rand_col source)
+  in
+  let select =
+    List.init (Prng.int_in rng ~lo:1 ~hi:3) (fun i ->
+        (Printf.sprintf "o%d" i, rand_operand ()))
+  in
+  let view =
+    C.View.create_select db ~name:"fuzzed" ~sources
+      ~predicate:(joins @ filters) ~select
+  in
+  { Helpers.db; capture; history = History.create db; view }

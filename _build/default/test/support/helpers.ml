@@ -1,0 +1,147 @@
+(* Shared scenario builders for the test suites: small schemas with heavy
+   key collisions (to exercise joins), duplicate rows (multiset counts) and
+   random insert/delete/update streams, plus update injection hooks that
+   interleave transactions with propagation queries. *)
+
+open Roll_relation
+module Prng = Roll_util.Prng
+module Time = Roll_delta.Time
+module Delta = Roll_delta.Delta
+module Database = Roll_storage.Database
+module Table = Roll_storage.Table
+module History = Roll_storage.History
+module Capture = Roll_capture.Capture
+module C = Roll_core
+
+type scenario = {
+  db : Database.t;
+  capture : Capture.t;
+  history : History.t;
+  view : C.View.t;
+}
+
+let int_col name = { Schema.name; ty = Value.T_int }
+
+(* R(k, v) joined with S(k, w) on k, projecting all data columns. Keys are
+   drawn from a small domain (0..7) by [random_txn], so joins collide. *)
+let two_table () =
+  let db = Database.create () in
+  let _ = Database.create_table db ~name:"r" (Schema.make [ int_col "k"; int_col "v" ]) in
+  let _ = Database.create_table db ~name:"s" (Schema.make [ int_col "k"; int_col "w" ]) in
+  let capture = Capture.create db in
+  Capture.attach capture ~table:"r";
+  Capture.attach capture ~table:"s";
+  let b = C.View.binder db [ ("r", "r"); ("s", "s") ] in
+  let view =
+    C.View.create db ~name:"rs"
+      ~sources:[ ("r", "r"); ("s", "s") ]
+      ~predicate:[ Predicate.join (b "r" "k") (b "s" "k") ]
+      ~project:[ b "r" "k"; b "r" "v"; b "s" "w" ]
+  in
+  { db; capture; history = History.create db; view }
+
+(* Chain join: A(k, v) ⋈ B(k, l) ⋈ C(l, w). *)
+let three_table () =
+  let db = Database.create () in
+  let _ = Database.create_table db ~name:"a" (Schema.make [ int_col "k"; int_col "v" ]) in
+  let _ = Database.create_table db ~name:"b" (Schema.make [ int_col "k"; int_col "l" ]) in
+  let _ = Database.create_table db ~name:"c" (Schema.make [ int_col "l"; int_col "w" ]) in
+  let capture = Capture.create db in
+  List.iter (fun table -> Capture.attach capture ~table) [ "a"; "b"; "c" ];
+  let bind = C.View.binder db [ ("a", "a"); ("b", "b"); ("c", "c") ] in
+  let view =
+    C.View.create db ~name:"abc"
+      ~sources:[ ("a", "a"); ("b", "b"); ("c", "c") ]
+      ~predicate:
+        [
+          Predicate.join (bind "a" "k") (bind "b" "k");
+          Predicate.join (bind "b" "l") (bind "c" "l");
+        ]
+      ~project:[ bind "a" "v"; bind "b" "k"; bind "c" "w" ]
+  in
+  { db; capture; history = History.create db; view }
+
+(* Commit one small random transaction against the scenario's base tables:
+   inserts (possibly duplicating existing tuples), deletes of existing
+   tuples, and updates. Keys are drawn from a small range so joins hit. *)
+let random_txn rng s =
+  let tables =
+    Array.of_list (List.map (fun t -> Table.name t) (Database.tables s.db))
+  in
+  let table_name = Prng.pick rng tables in
+  let table = Database.table s.db table_name in
+  let random_tuple () = Tuple.ints [ Prng.int rng 8; Prng.int rng 5 ] in
+  (* Effective multiplicities: committed state plus this transaction's own
+     pending writes, so we never over-delete within one transaction. *)
+  let pending = Hashtbl.create 8 in
+  let effective tuple =
+    Table.count table tuple
+    + (match Hashtbl.find_opt pending tuple with Some d -> d | None -> 0)
+  in
+  let note tuple d =
+    Hashtbl.replace pending tuple
+      (d + (match Hashtbl.find_opt pending tuple with Some x -> x | None -> 0))
+  in
+  let deletable () =
+    let items =
+      List.filter
+        (fun (tuple, _) -> effective tuple > 0)
+        (Relation.to_list (Table.contents table))
+    in
+    match items with
+    | [] -> None
+    | _ -> Some (fst (List.nth items (Prng.int rng (List.length items))))
+  in
+  ignore
+    (Database.run s.db (fun txn ->
+         let ops = 1 + Prng.int rng 3 in
+         let ins tuple =
+           Database.insert txn ~table:table_name tuple;
+           note tuple 1
+         in
+         let del tuple =
+           Database.delete txn ~table:table_name tuple;
+           note tuple (-1)
+         in
+         for _ = 1 to ops do
+           match Prng.int rng 10 with
+           | 0 | 1 | 2 | 3 | 4 -> ins (random_tuple ())
+           | 5 | 6 | 7 -> (
+               match deletable () with
+               | Some tuple -> del tuple
+               | None -> ins (random_tuple ()))
+           | _ -> (
+               match deletable () with
+               | Some tuple ->
+                   del tuple;
+                   ins (random_tuple ())
+               | None -> ins (random_tuple ()))
+         done))
+
+let random_txns rng s n =
+  for _ = 1 to n do
+    random_txn rng s
+  done
+
+(* Make every propagation query race with fresh updates: before each
+   Execute, commit up to [per_execute] update transactions. *)
+let inject_updates rng s ctx ~per_execute =
+  ctx.C.Ctx.on_execute <-
+    (fun () -> random_txns rng s (Prng.int rng (per_execute + 1)))
+
+let ctx_of ?geometry ?t_initial s =
+  C.Ctx.create ?geometry ?t_initial s.db s.capture s.view
+
+let check_ok = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* Alcotest testables. *)
+let relation = Alcotest.testable Relation.pp Relation.equal
+
+let tuple = Alcotest.testable Tuple.pp Tuple.equal
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  loop 0

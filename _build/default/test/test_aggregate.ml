@@ -1,0 +1,238 @@
+(* Aggregate views via summary-delta tables: COUNT/SUM/AVG maintained from
+   the SPJ view delta, with point-in-time refresh, checked against a
+   group-by oracle recomputed from scratch. *)
+
+open Test_support.Helpers
+open Roll_relation
+module Time = Roll_delta.Time
+module C = Roll_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Group the two_table view's output (k, v, w) by k, summing v and w. *)
+let spec = C.Aggregate.simple ~group_by:[ 0 ] ~sums:[ 1; 2 ]
+
+let oracle_groups s t =
+  let view_state = C.Oracle.view_at s.history s.view t in
+  let groups = Hashtbl.create 8 in
+  Relation.iter
+    (fun tuple c ->
+      let key = Tuple.project tuple [ 0 ] in
+      let v = match Tuple.get tuple 1 with Value.Int v -> v | _ -> 0 in
+      let w = match Tuple.get tuple 2 with Value.Int w -> w | _ -> 0 in
+      let count, sv, sw =
+        match Hashtbl.find_opt groups key with
+        | Some x -> x
+        | None -> (0, 0, 0)
+      in
+      Hashtbl.replace groups key (count + c, sv + (c * v), sw + (c * w)))
+    view_state;
+  Hashtbl.fold
+    (fun key (c, sv, sw) acc -> if c <> 0 then (key, (c, sv, sw)) :: acc else acc)
+    groups []
+
+let groups_result s agg t =
+  let problems = ref [] in
+  List.iter
+    (fun (key, (c, sv, sw)) ->
+      if C.Aggregate.group_count agg key <> c then
+        problems := Printf.sprintf "count mismatch for %s at t=%d" (Tuple.to_string key) t :: !problems;
+      if C.Aggregate.group_sum agg key 0 <> sv then
+        problems := Printf.sprintf "sum v mismatch for %s at t=%d" (Tuple.to_string key) t :: !problems;
+      if C.Aggregate.group_sum agg key 1 <> sw then
+        problems := Printf.sprintf "sum w mismatch for %s at t=%d" (Tuple.to_string key) t :: !problems)
+    (oracle_groups s t);
+  let expected = List.length (oracle_groups s t) in
+  let got = Relation.distinct_count (C.Aggregate.contents agg) in
+  if expected <> got then
+    problems := Printf.sprintf "group count %d, expected %d at t=%d" got expected t :: !problems;
+  match !problems with [] -> Ok () | p :: _ -> Error p
+
+let check_against_oracle s agg t =
+  match groups_result s agg t with Ok () -> () | Error msg -> Alcotest.fail msg
+
+let propagated seed =
+  let s = two_table () in
+  random_txns (Prng.create ~seed) s 35;
+  let target = Database.now s.db in
+  let ctx = ctx_of s in
+  let p = C.Propagate.create ctx ~t_initial:Time.origin in
+  C.Propagate.run_until p ~target ~interval:5;
+  (s, ctx, target)
+
+let test_aggregate_rolls () =
+  let s, ctx, target = propagated 110 in
+  let agg = C.Aggregate.create ctx spec ~t_initial:Time.origin in
+  let t = ref 0 in
+  while !t < target do
+    t := min target (!t + 4);
+    C.Aggregate.roll_to agg ~hwm:target !t;
+    check_against_oracle s agg !t
+  done
+
+let prop_aggregate_matches_oracle =
+  QCheck.Test.make ~name:"aggregate matches group-by oracle" ~count:15
+    QCheck.small_int
+    (fun seed ->
+      let s, ctx, target = propagated seed in
+      let agg = C.Aggregate.create ctx spec ~t_initial:Time.origin in
+      C.Aggregate.roll_to agg ~hwm:target target;
+      match groups_result s agg target with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let test_average () =
+  let s = two_table () in
+  ignore
+    (Database.run s.db (fun txn ->
+         Database.insert txn ~table:"r" (Tuple.ints [ 1; 10 ]);
+         Database.insert txn ~table:"r" (Tuple.ints [ 1; 20 ]);
+         Database.insert txn ~table:"s" (Tuple.ints [ 1; 5 ])));
+  let target = Database.now s.db in
+  let ctx = ctx_of s in
+  let p = C.Propagate.create ctx ~t_initial:Time.origin in
+  C.Propagate.run_until p ~target ~interval:5;
+  let agg = C.Aggregate.create ctx spec ~t_initial:Time.origin in
+  C.Aggregate.roll_to agg ~hwm:target target;
+  let key = Tuple.ints [ 1 ] in
+  Alcotest.(check int) "count" 2 (C.Aggregate.group_count agg key);
+  Alcotest.(check (option (float 1e-9))) "avg v" (Some 15.0) (C.Aggregate.average agg key 0);
+  Alcotest.(check (option (float 1e-9))) "avg missing group" None
+    (C.Aggregate.average agg (Tuple.ints [ 99 ]) 0)
+
+let test_groups_vanish () =
+  let s = two_table () in
+  ignore
+    (Database.run s.db (fun txn ->
+         Database.insert txn ~table:"r" (Tuple.ints [ 3; 1 ]);
+         Database.insert txn ~table:"s" (Tuple.ints [ 3; 2 ])));
+  ignore
+    (Database.run s.db (fun txn -> Database.delete txn ~table:"r" (Tuple.ints [ 3; 1 ])));
+  let target = Database.now s.db in
+  let ctx = ctx_of s in
+  let p = C.Propagate.create ctx ~t_initial:Time.origin in
+  C.Propagate.run_until p ~target ~interval:5;
+  let agg = C.Aggregate.create ctx spec ~t_initial:Time.origin in
+  C.Aggregate.roll_to agg ~hwm:target 1;
+  Alcotest.(check int) "group exists mid-way" 1
+    (C.Aggregate.group_count agg (Tuple.ints [ 3 ]));
+  C.Aggregate.roll_to agg ~hwm:target target;
+  Alcotest.(check int) "group removed" 0
+    (C.Aggregate.group_count agg (Tuple.ints [ 3 ]));
+  Alcotest.(check bool) "contents empty" true
+    (Relation.is_empty (C.Aggregate.contents agg))
+
+let test_output_schema () =
+  let s = two_table () in
+  let ctx = ctx_of s in
+  let agg = C.Aggregate.create ctx spec ~t_initial:Time.origin in
+  let schema = C.Aggregate.output_schema agg in
+  Alcotest.(check int) "arity: key + count + 2 sums" 4 (Schema.arity schema);
+  Alcotest.(check string) "count col" "count" (Schema.column schema 1).Schema.name
+
+let test_spec_validation () =
+  let s = two_table () in
+  let ctx = ctx_of s in
+  Alcotest.(check bool) "column out of range" true
+    (try
+       ignore
+         (C.Aggregate.create ctx
+            (C.Aggregate.simple ~group_by:[ 9 ] ~sums:[])
+            ~t_initial:Time.origin);
+       false
+     with Invalid_argument _ -> true)
+
+let test_roll_guards () =
+  let _, ctx, target = propagated 111 in
+  let agg = C.Aggregate.create ctx spec ~t_initial:Time.origin in
+  C.Aggregate.roll_to agg ~hwm:target target;
+  Alcotest.(check bool) "behind rejected" true
+    (try
+       C.Aggregate.roll_to agg ~hwm:target 1;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "beyond hwm rejected" true
+    (try
+       C.Aggregate.roll_to agg ~hwm:target (target + 1);
+       false
+     with Invalid_argument _ -> true)
+
+(* MIN/MAX maintenance under deletions: the multiset makes it exact. *)
+let test_min_max () =
+  let s = two_table () in
+  let insert k v w =
+    ignore
+      (Database.run s.db (fun txn ->
+           Database.insert txn ~table:"r" (Tuple.ints [ k; v ]);
+           Database.insert txn ~table:"s" (Tuple.ints [ k; w ])))
+  in
+  insert 1 10 5;
+  ignore (Database.run s.db (fun txn -> Database.insert txn ~table:"r" (Tuple.ints [ 1; 3 ])));
+  ignore (Database.run s.db (fun txn -> Database.insert txn ~table:"r" (Tuple.ints [ 1; 99 ])));
+  (* Delete the current minimum v=3: MIN must recover to 10, not stick. *)
+  ignore (Database.run s.db (fun txn -> Database.delete txn ~table:"r" (Tuple.ints [ 1; 3 ])));
+  let target = Database.now s.db in
+  let ctx = ctx_of s in
+  let p = C.Propagate.create ctx ~t_initial:Time.origin in
+  C.Propagate.run_until p ~target ~interval:5;
+  let agg =
+    C.Aggregate.create ctx
+      { C.Aggregate.group_by = [ 0 ]; sums = []; mins = [ 1 ]; maxs = [ 1 ] }
+      ~t_initial:Time.origin
+  in
+  let key = Tuple.ints [ 1 ] in
+  (* Walk through time: before the deletion min is 3, after it is 10. *)
+  C.Aggregate.roll_to agg ~hwm:target 3;
+  Alcotest.(check (option (of_pp Value.pp))) "min is 3 before deletion"
+    (Some (Value.Int 3)) (C.Aggregate.group_min agg key 0);
+  C.Aggregate.roll_to agg ~hwm:target target;
+  Alcotest.(check (option (of_pp Value.pp))) "min recovers after deletion"
+    (Some (Value.Int 10)) (C.Aggregate.group_min agg key 0);
+  Alcotest.(check (option (of_pp Value.pp))) "max" (Some (Value.Int 99))
+    (C.Aggregate.group_max agg key 0);
+  Alcotest.(check (option (of_pp Value.pp))) "absent group" None
+    (C.Aggregate.group_min agg (Tuple.ints [ 42 ]) 0)
+
+(* MIN/MAX match a scan oracle on random streams. *)
+let prop_min_max_oracle =
+  QCheck.Test.make ~name:"min/max match scan oracle" ~count:12 QCheck.small_int
+    (fun seed ->
+      let s, ctx, target = propagated seed in
+      let agg =
+        C.Aggregate.create ctx
+          { C.Aggregate.group_by = [ 0 ]; sums = []; mins = [ 2 ]; maxs = [ 2 ] }
+          ~t_initial:Time.origin
+      in
+      C.Aggregate.roll_to agg ~hwm:target target;
+      let view_state = C.Oracle.view_at s.history s.view target in
+      let mins = Hashtbl.create 8 and maxs = Hashtbl.create 8 in
+      Relation.iter
+        (fun tuple _ ->
+          let k = Tuple.project tuple [ 0 ] in
+          let w = Tuple.get tuple 2 in
+          (match Hashtbl.find_opt mins k with
+          | Some m when Value.compare m w <= 0 -> ()
+          | _ -> Hashtbl.replace mins k w);
+          match Hashtbl.find_opt maxs k with
+          | Some m when Value.compare m w >= 0 -> ()
+          | _ -> Hashtbl.replace maxs k w)
+        view_state;
+      Hashtbl.fold
+        (fun k m acc ->
+          acc
+          && C.Aggregate.group_min agg k 0 = Some m
+          && C.Aggregate.group_max agg k 0 = Some (Hashtbl.find maxs k))
+        mins true)
+
+let suite =
+  [
+    Alcotest.test_case "aggregate rolls with the delta" `Quick test_aggregate_rolls;
+    Alcotest.test_case "min/max with deletions" `Quick test_min_max;
+    qtest prop_min_max_oracle;
+    qtest prop_aggregate_matches_oracle;
+    Alcotest.test_case "averages" `Quick test_average;
+    Alcotest.test_case "empty groups vanish" `Quick test_groups_vanish;
+    Alcotest.test_case "output schema" `Quick test_output_schema;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "roll guards" `Quick test_roll_guards;
+  ]

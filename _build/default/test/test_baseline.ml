@@ -1,0 +1,89 @@
+(* Synchronous-baseline tests (Section 3.1): Equation 1 (2^n - 1 queries),
+   Equation 2 (n queries), full recompute — all three must agree with each
+   other, with the oracle, and with the asynchronous algorithms' net
+   effect. *)
+
+open Test_support.Helpers
+open Roll_relation
+module Time = Roll_delta.Time
+module C = Roll_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let prop_baselines_agree =
+  QCheck.Test.make ~name:"eq1 = eq2 = recompute" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let s = if seed mod 2 = 0 then two_table () else three_table () in
+      let rng = Prng.create ~seed in
+      random_txns rng s 30;
+      let hi = Database.now s.db in
+      let lo = Prng.int rng hi in
+      let d1, _ = C.Baseline.eq1 s.history s.view ~lo ~hi in
+      let d2, _ = C.Baseline.eq2 s.history s.view ~lo ~hi in
+      let d3, _ = C.Baseline.recompute_diff s.history s.view ~lo ~hi in
+      Relation.equal d1 d2 && Relation.equal d2 d3)
+
+let test_query_counts () =
+  let s2 = two_table () in
+  random_txns (Prng.create ~seed:80) s2 10;
+  let _, c1 = C.Baseline.eq1 s2.history s2.view ~lo:0 ~hi:(Database.now s2.db) in
+  Alcotest.(check int) "eq1 n=2: 3 queries" 3 c1.C.Baseline.queries;
+  let _, c2 = C.Baseline.eq2 s2.history s2.view ~lo:0 ~hi:(Database.now s2.db) in
+  Alcotest.(check int) "eq2 n=2: 2 queries" 2 c2.C.Baseline.queries;
+  let s3 = three_table () in
+  random_txns (Prng.create ~seed:81) s3 10;
+  let _, c1 = C.Baseline.eq1 s3.history s3.view ~lo:0 ~hi:(Database.now s3.db) in
+  Alcotest.(check int) "eq1 n=3: 7 queries" 7 c1.C.Baseline.queries;
+  let _, c2 = C.Baseline.eq2 s3.history s3.view ~lo:0 ~hi:(Database.now s3.db) in
+  Alcotest.(check int) "eq2 n=3: 3 queries" 3 c2.C.Baseline.queries
+
+let test_empty_interval () =
+  let s = two_table () in
+  random_txns (Prng.create ~seed:82) s 10;
+  let t = Database.now s.db in
+  let d1, _ = C.Baseline.eq1 s.history s.view ~lo:t ~hi:t in
+  Alcotest.(check bool) "empty interval, empty delta" true (Relation.is_empty d1)
+
+(* The asynchronous algorithm's net effect equals the synchronous one. *)
+let prop_async_equals_sync =
+  QCheck.Test.make ~name:"ComputeDelta net = synchronous baselines" ~count:25
+    QCheck.small_int
+    (fun seed ->
+      let s = two_table () in
+      random_txns (Prng.create ~seed) s 25;
+      let hi = Database.now s.db in
+      let ctx = ctx_of s in
+      inject_updates (Prng.create ~seed:(seed + 17)) s ctx ~per_execute:2;
+      C.Compute_delta.view_delta ctx ~lo:0 ~hi;
+      let sync, _ = C.Baseline.eq1 s.history s.view ~lo:0 ~hi in
+      Relation.equal sync (Roll_delta.Delta.net_effect ctx.C.Ctx.out ~lo:0 ~hi))
+
+let test_deletion_heavy () =
+  (* Insert everything, then delete everything: the delta over the whole
+     interval nets to the empty change only if lo is before the inserts. *)
+  let s = two_table () in
+  ignore
+    (Database.run s.db (fun txn ->
+         Database.insert txn ~table:"r" (Tuple.ints [ 1; 1 ]);
+         Database.insert txn ~table:"s" (Tuple.ints [ 1; 2 ])));
+  let mid = Database.now s.db in
+  ignore
+    (Database.run s.db (fun txn ->
+         Database.delete txn ~table:"r" (Tuple.ints [ 1; 1 ]);
+         Database.delete txn ~table:"s" (Tuple.ints [ 1; 2 ])));
+  let hi = Database.now s.db in
+  let whole, _ = C.Baseline.eq1 s.history s.view ~lo:0 ~hi in
+  Alcotest.(check bool) "whole interval nets to zero" true (Relation.is_empty whole);
+  let tail, _ = C.Baseline.eq1 s.history s.view ~lo:mid ~hi in
+  Alcotest.(check int) "tail interval deletes the row" (-1)
+    (Relation.count tail (Tuple.ints [ 1; 1; 2 ]))
+
+let suite =
+  [
+    qtest prop_baselines_agree;
+    Alcotest.test_case "query counts (2^n-1 vs n)" `Quick test_query_counts;
+    Alcotest.test_case "empty interval" `Quick test_empty_interval;
+    qtest prop_async_equals_sync;
+    Alcotest.test_case "deletion-heavy interval" `Quick test_deletion_heavy;
+  ]

@@ -1,0 +1,178 @@
+(* B+-tree multimap: unit cases plus model-based property tests against a
+   stdlib-Map reference, with structural invariants checked throughout. *)
+
+module IntBtree = Roll_storage.Btree.Make (Int)
+module IntMap = Map.Make (Int)
+module Prng = Roll_util.Prng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let check_inv t =
+  match IntBtree.check_invariants t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invariant: " ^ msg)
+
+let test_basic () =
+  let t = IntBtree.create () in
+  Alcotest.(check bool) "empty" true (IntBtree.is_empty t);
+  IntBtree.add t 5 "a";
+  IntBtree.add t 3 "b";
+  IntBtree.add t 5 "c";
+  Alcotest.(check int) "length counts copies" 3 (IntBtree.length t);
+  Alcotest.(check (list string)) "find copies" [ "c"; "a" ] (IntBtree.find t 5);
+  Alcotest.(check (list string)) "find single" [ "b" ] (IntBtree.find t 3);
+  Alcotest.(check (list string)) "find missing" [] (IntBtree.find t 99);
+  Alcotest.(check bool) "mem" true (IntBtree.mem t 3);
+  check_inv t
+
+let test_remove () =
+  let t = IntBtree.create () in
+  IntBtree.add t 1 "x";
+  IntBtree.add t 1 "y";
+  Alcotest.(check bool) "remove one" true
+    (IntBtree.remove t ~equal:String.equal 1 "x");
+  Alcotest.(check (list string)) "one left" [ "y" ] (IntBtree.find t 1);
+  Alcotest.(check bool) "remove missing value" false
+    (IntBtree.remove t ~equal:String.equal 1 "z");
+  Alcotest.(check bool) "remove last" true
+    (IntBtree.remove t ~equal:String.equal 1 "y");
+  Alcotest.(check bool) "now empty" true (IntBtree.is_empty t);
+  Alcotest.(check bool) "remove from empty" false
+    (IntBtree.remove t ~equal:String.equal 1 "y");
+  check_inv t
+
+let test_many_inserts_splits () =
+  let t = IntBtree.create ~order:4 () in
+  for i = 0 to 999 do
+    IntBtree.add t ((i * 37) mod 1000) i
+  done;
+  Alcotest.(check int) "all present" 1000 (IntBtree.length t);
+  check_inv t;
+  (* Ordered iteration visits every key ascending. *)
+  let prev = ref (-1) in
+  let seen = ref 0 in
+  IntBtree.iter
+    (fun k _ ->
+      if k < !prev then Alcotest.fail "iteration out of order";
+      prev := k;
+      incr seen)
+    t;
+  Alcotest.(check int) "iterated all" 1000 !seen
+
+let test_range () =
+  let t = IntBtree.create ~order:4 () in
+  for i = 0 to 99 do
+    IntBtree.add t i (i * 2)
+  done;
+  let collect ~lo ~hi =
+    let acc = ref [] in
+    IntBtree.range t ~lo ~hi (fun k _ -> acc := k :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "inclusive bounds" [ 10; 11; 12 ]
+    (collect ~lo:(Some 10) ~hi:(Some 12));
+  Alcotest.(check int) "open low" 11 (List.length (collect ~lo:None ~hi:(Some 10)));
+  Alcotest.(check int) "open high" 10 (List.length (collect ~lo:(Some 90) ~hi:None));
+  Alcotest.(check (list int)) "empty range" [] (collect ~lo:(Some 50) ~hi:(Some 49))
+
+let test_min_max () =
+  let t = IntBtree.create ~order:4 () in
+  Alcotest.(check (option int)) "empty min" None (IntBtree.min_key t);
+  List.iter (fun k -> IntBtree.add t k ()) [ 42; 7; 99; 13 ];
+  Alcotest.(check (option int)) "min" (Some 7) (IntBtree.min_key t);
+  Alcotest.(check (option int)) "max" (Some 99) (IntBtree.max_key t)
+
+let test_order_validation () =
+  Alcotest.check_raises "tiny order rejected"
+    (Invalid_argument "Btree.create: order must be at least 4") (fun () ->
+      ignore (IntBtree.create ~order:2 ()))
+
+(* Model-based test: random add/remove/find against Map<int, int list>. *)
+let prop_model =
+  QCheck.Test.make ~name:"btree matches multimap model" ~count:60
+    QCheck.(pair small_int (int_range 4 8))
+    (fun (seed, order) ->
+      let rng = Prng.create ~seed in
+      let t = IntBtree.create ~order () in
+      let model = ref IntMap.empty in
+      let model_add k v =
+        model := IntMap.update k (function None -> Some [ v ] | Some l -> Some (v :: l)) !model
+      in
+      let model_remove k v =
+        match IntMap.find_opt k !model with
+        | None -> false
+        | Some l ->
+            if List.mem v l then begin
+              let removed = ref false in
+              let l' =
+                List.filter
+                  (fun x ->
+                    if (not !removed) && x = v then (removed := true; false) else true)
+                  l
+              in
+              (model :=
+                 if l' = [] then IntMap.remove k !model
+                 else IntMap.add k l' !model);
+              true
+            end
+            else false
+      in
+      let ok = ref true in
+      for step = 1 to 400 do
+        let k = Prng.int rng 40 in
+        let v = Prng.int rng 5 in
+        (match Prng.int rng 10 with
+        | 0 | 1 | 2 | 3 | 4 | 5 ->
+            IntBtree.add t k v;
+            model_add k v
+        | 6 | 7 | 8 ->
+            let a = IntBtree.remove t ~equal:Int.equal k v in
+            let b = model_remove k v in
+            if a <> b then ok := false
+        | _ ->
+            let got = List.sort compare (IntBtree.find t k) in
+            let expected =
+              List.sort compare
+                (match IntMap.find_opt k !model with Some l -> l | None -> [])
+            in
+            if got <> expected then ok := false);
+        if step mod 100 = 0 then
+          match IntBtree.check_invariants t with
+          | Ok () -> ()
+          | Error _ -> ok := false
+      done;
+      let total = IntMap.fold (fun _ l acc -> acc + List.length l) !model 0 in
+      !ok && IntBtree.length t = total
+      && IntBtree.check_invariants t = Ok ())
+
+let prop_iter_sorted_after_churn =
+  QCheck.Test.make ~name:"iteration sorted after heavy churn" ~count:30
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let t = IntBtree.create ~order:4 () in
+      for _ = 1 to 500 do
+        let k = Prng.int rng 60 in
+        if Prng.bool rng then IntBtree.add t k k
+        else ignore (IntBtree.remove t ~equal:Int.equal k k)
+      done;
+      let sorted = ref true in
+      let prev = ref min_int in
+      IntBtree.iter
+        (fun k _ ->
+          if k < !prev then sorted := false;
+          prev := k)
+        t;
+      !sorted && IntBtree.check_invariants t = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basic;
+    Alcotest.test_case "remove semantics" `Quick test_remove;
+    Alcotest.test_case "splits under load" `Quick test_many_inserts_splits;
+    Alcotest.test_case "range queries" `Quick test_range;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "order validation" `Quick test_order_validation;
+    qtest prop_model;
+    qtest prop_iter_sorted_after_churn;
+  ]

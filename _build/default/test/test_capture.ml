@@ -1,0 +1,169 @@
+(* Capture (DPropR analogue) tests: cursor semantics, lag, delta
+   population, relevance filtering, and the unit-of-work table. *)
+
+open Roll_relation
+module Time = Roll_delta.Time
+module Delta = Roll_delta.Delta
+module Database = Roll_storage.Database
+module Capture = Roll_capture.Capture
+module Uow = Roll_capture.Uow
+
+let schema = Schema.make [ { Schema.name = "k"; ty = Value.T_int } ]
+
+let t1 = Tuple.ints [ 1 ]
+
+let setup () =
+  let db = Database.create () in
+  let _ = Database.create_table db ~name:"r" schema in
+  let _ = Database.create_table db ~name:"other" schema in
+  let capture = Capture.create db in
+  Capture.attach capture ~table:"r";
+  (db, capture)
+
+let test_capture_populates_delta () =
+  let db, capture = setup () in
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"r" t1));
+  ignore (Database.run db (fun txn -> Database.delete txn ~table:"r" t1));
+  Capture.advance capture;
+  let d = Capture.delta capture ~table:"r" in
+  Alcotest.(check int) "two rows" 2 (Delta.length d);
+  let rows = Delta.to_list d in
+  Alcotest.(check (list (pair int int)))
+    "counts and timestamps"
+    [ (1, 1); (-1, 2) ]
+    (List.map (fun (r : Delta.row) -> (r.count, r.ts)) rows)
+
+let test_capture_lag_and_partial_advance () =
+  let db, capture = setup () in
+  for _ = 1 to 5 do
+    ignore (Database.run db (fun txn -> Database.insert txn ~table:"r" t1))
+  done;
+  Alcotest.(check int) "lag before" 5 (Capture.lag capture);
+  Capture.advance ~max_records:2 capture;
+  Alcotest.(check int) "partial hwm" 2 (Capture.hwm capture);
+  Alcotest.(check int) "lag after partial" 3 (Capture.lag capture);
+  Alcotest.(check int) "delta has 2" 2 (Delta.length (Capture.delta capture ~table:"r"));
+  Capture.advance capture;
+  Alcotest.(check int) "caught up" 0 (Capture.lag capture);
+  Alcotest.(check int) "hwm = now" (Database.now db) (Capture.hwm capture)
+
+let test_capture_ignores_unattached () =
+  let db, capture = setup () in
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"other" t1));
+  Capture.advance capture;
+  Alcotest.(check int) "nothing captured for r" 0
+    (Delta.length (Capture.delta capture ~table:"r"));
+  Alcotest.(check bool) "no delta table for other" true
+    (try
+       ignore (Capture.delta capture ~table:"other");
+       false
+     with Not_found -> true);
+  (* hwm still advances past irrelevant records *)
+  Alcotest.(check int) "hwm past irrelevant" 1 (Capture.hwm capture)
+
+let test_attach_guard () =
+  let db = Database.create () in
+  let _ = Database.create_table db ~name:"r" schema in
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"r" t1));
+  let capture = Capture.create db in
+  Alcotest.(check bool) "late attach rejected" true
+    (try
+       Capture.attach capture ~table:"r";
+       false
+     with Invalid_argument _ -> true)
+
+let test_attach_twice () =
+  let _, capture = setup () in
+  Alcotest.(check bool) "double attach rejected" true
+    (try
+       Capture.attach capture ~table:"r";
+       false
+     with Invalid_argument _ -> true)
+
+let test_attached_list () =
+  let db, capture = setup () in
+  ignore db;
+  Capture.attach capture ~table:"other";
+  Alcotest.(check (list string)) "attached" [ "other"; "r" ] (Capture.attached capture)
+
+let test_uow_relevance () =
+  let db, capture = setup () in
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"r" t1));
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"other" t1));
+  ignore (Database.commit_marker db ~tag:"m");
+  Capture.advance capture;
+  let uow = Capture.uow capture in
+  (* r's change and the marker are relevant; other's change is not. *)
+  Alcotest.(check int) "two relevant txns" 2 (Uow.length uow)
+
+let test_uow_wall_mapping () =
+  let db = Database.create ~wall_start:0.0 ~wall_tick:10.0 () in
+  let _ = Database.create_table db ~name:"r" schema in
+  let capture = Capture.create db in
+  Capture.attach capture ~table:"r";
+  for _ = 1 to 3 do
+    ignore (Database.run db (fun txn -> Database.insert txn ~table:"r" t1))
+  done;
+  Capture.advance capture;
+  let uow = Capture.uow capture in
+  (* commits at wall 10, 20, 30 with csn 1, 2, 3 *)
+  Alcotest.(check (option (float 0.0))) "wall of csn 2" (Some 20.0) (Uow.wall_of_csn uow 2);
+  Alcotest.(check (option (float 0.0))) "wall of unknown csn" None (Uow.wall_of_csn uow 99);
+  Alcotest.(check int) "csn at wall 25" 2 (Uow.csn_at_wall uow 25.0);
+  Alcotest.(check int) "csn at exact wall" 2 (Uow.csn_at_wall uow 20.0);
+  Alcotest.(check int) "csn before all" Time.origin (Uow.csn_at_wall uow 5.0);
+  Alcotest.(check int) "csn after all" 3 (Uow.csn_at_wall uow 1000.0)
+
+let test_uow_by_txn () =
+  let db, capture = setup () in
+  let txn = Database.begin_txn db in
+  let id = Database.txn_id txn in
+  Database.insert txn ~table:"r" t1;
+  let csn = Database.commit db txn in
+  Capture.advance capture;
+  match Uow.by_txn (Capture.uow capture) id with
+  | Some entry ->
+      Alcotest.(check int) "csn mapped" csn entry.Uow.csn
+  | None -> Alcotest.fail "expected uow entry"
+
+let test_uow_order_enforced () =
+  let uow = Uow.create () in
+  Uow.record uow { Uow.txn_id = 1; csn = 5; wall = 1.0 };
+  Alcotest.(check bool) "out of order rejected" true
+    (try
+       Uow.record uow { Uow.txn_id = 2; csn = 4; wall = 2.0 };
+       false
+     with Invalid_argument _ -> true)
+
+let test_multi_table_capture () =
+  let db = Database.create () in
+  let _ = Database.create_table db ~name:"a" schema in
+  let _ = Database.create_table db ~name:"b" schema in
+  let capture = Capture.create db in
+  Capture.attach capture ~table:"a";
+  Capture.attach capture ~table:"b";
+  ignore
+    (Database.run db (fun txn ->
+         Database.insert txn ~table:"a" t1;
+         Database.insert txn ~table:"b" t1));
+  Capture.advance capture;
+  Alcotest.(check int) "a delta" 1 (Delta.length (Capture.delta capture ~table:"a"));
+  Alcotest.(check int) "b delta" 1 (Delta.length (Capture.delta capture ~table:"b"));
+  let ra = List.hd (Delta.to_list (Capture.delta capture ~table:"a")) in
+  let rb = List.hd (Delta.to_list (Capture.delta capture ~table:"b")) in
+  Alcotest.(check int) "same commit time" ra.Delta.ts rb.Delta.ts
+
+let suite =
+  [
+    Alcotest.test_case "capture populates deltas" `Quick test_capture_populates_delta;
+    Alcotest.test_case "lag and partial advance" `Quick test_capture_lag_and_partial_advance;
+    Alcotest.test_case "unattached tables ignored" `Quick test_capture_ignores_unattached;
+    Alcotest.test_case "late attach rejected" `Quick test_attach_guard;
+    Alcotest.test_case "double attach rejected" `Quick test_attach_twice;
+    Alcotest.test_case "attached list" `Quick test_attached_list;
+    Alcotest.test_case "uow records relevant txns only" `Quick test_uow_relevance;
+    Alcotest.test_case "uow wall-clock mapping" `Quick test_uow_wall_mapping;
+    Alcotest.test_case "uow by txn id" `Quick test_uow_by_txn;
+    Alcotest.test_case "uow enforces csn order" `Quick test_uow_order_enforced;
+    Alcotest.test_case "one txn, two tables, same ts" `Quick test_multi_table_capture;
+  ]

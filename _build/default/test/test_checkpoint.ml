@@ -1,0 +1,138 @@
+(* Checkpoint/resume: the full crash-restart story — save the WAL and the
+   maintenance checkpoint, "restart" into fresh objects, keep updating, and
+   verify the resumed view is indistinguishable from one that never
+   stopped. *)
+
+open Test_support.Helpers
+module Time = Roll_delta.Time
+module Wal_codec = Roll_storage.Wal_codec
+module C = Roll_core
+
+let with_temp_files f =
+  let wal_path = Filename.temp_file "ckpt_wal" ".log" in
+  let ckpt_path = Filename.temp_file "ckpt" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove wal_path;
+      Sys.remove ckpt_path)
+    (fun () -> f wal_path ckpt_path)
+
+(* Run maintenance for a while and checkpoint mid-flight. *)
+let run_and_checkpoint wal_path ckpt_path =
+  let s = two_table () in
+  random_txns (Prng.create ~seed:150) s 30;
+  let ctx = ctx_of s in
+  let rolling = C.Rolling.create ctx ~t_initial:Time.origin in
+  let apply = C.Apply.create_empty ctx ~t_initial:Time.origin in
+  (* Propagate only part of the way, apply even less: both processes are
+     mid-flight at the checkpoint. *)
+  C.Rolling.run_until rolling ~target:(Database.now s.db / 2)
+    ~policy:(C.Rolling.per_relation [| 3; 7 |]);
+  let hwm = C.Rolling.hwm rolling in
+  C.Apply.roll_to apply ~hwm (hwm / 2);
+  Wal_codec.save_file (Database.wal s.db) wal_path;
+  C.Checkpoint.save ctx ~hwm ~apply ckpt_path;
+  (s, hwm)
+
+let restart wal_path ckpt_path =
+  let s2 = two_table () in
+  Wal_codec.restore s2.db (Wal_codec.load_file wal_path);
+  Roll_capture.Capture.advance s2.capture;
+  let ctx, apply, rolling = C.Checkpoint.resume s2.db s2.capture s2.view ckpt_path in
+  (s2, ctx, apply, rolling)
+
+let test_peek () =
+  with_temp_files (fun wal_path ckpt_path ->
+      let _, hwm = run_and_checkpoint wal_path ckpt_path in
+      let header = C.Checkpoint.peek ckpt_path in
+      Alcotest.(check string) "view name" "rs" header.C.Checkpoint.view_name;
+      Alcotest.(check int) "hwm" hwm header.C.Checkpoint.hwm;
+      Alcotest.(check int) "as_of" (hwm / 2) header.C.Checkpoint.as_of)
+
+let test_resume_state () =
+  with_temp_files (fun wal_path ckpt_path ->
+      let s, hwm = run_and_checkpoint wal_path ckpt_path in
+      let s2, _, apply, rolling = restart wal_path ckpt_path in
+      Alcotest.(check int) "as_of restored" (hwm / 2) (C.Apply.as_of apply);
+      Alcotest.(check int) "frontiers at hwm" hwm (C.Rolling.hwm rolling);
+      (* The restored apply contents match the oracle at as_of. *)
+      Alcotest.check relation "contents restored"
+        (C.Oracle.view_at s.history s.view (hwm / 2))
+        (C.Apply.contents apply);
+      ignore s2)
+
+let test_resume_continues_correctly () =
+  with_temp_files (fun wal_path ckpt_path ->
+      let _, _ = run_and_checkpoint wal_path ckpt_path in
+      let s2, ctx, apply, rolling = restart wal_path ckpt_path in
+      (* Life goes on after the restart. *)
+      random_txns (Prng.create ~seed:151) s2 25;
+      let target = Database.now s2.db in
+      C.Rolling.run_until rolling ~target ~policy:(C.Rolling.per_relation [| 4; 9 |]);
+      C.Apply.roll_to apply ~hwm:(C.Rolling.hwm rolling) target;
+      Alcotest.check relation "resumed view = oracle"
+        (C.Oracle.view_at s2.history s2.view target)
+        (C.Apply.contents apply);
+      (* Point-in-time still works across the restart boundary. *)
+      let mid = (C.Checkpoint.peek ckpt_path).C.Checkpoint.hwm in
+      C.Apply.roll_back_to apply mid;
+      Alcotest.check relation "roll back across restart"
+        (C.Oracle.view_at s2.history s2.view mid)
+        (C.Apply.contents apply);
+      ignore ctx)
+
+let test_resume_guards () =
+  with_temp_files (fun wal_path ckpt_path ->
+      let _, _ = run_and_checkpoint wal_path ckpt_path in
+      let s2 = two_table () in
+      Wal_codec.restore s2.db (Wal_codec.load_file wal_path);
+      (* Wrong view name. *)
+      let b = C.View.binder s2.db [ ("r", "r") ] in
+      let other =
+        C.View.create s2.db ~name:"other" ~sources:[ ("r", "r") ] ~predicate:[]
+          ~project:[ b "r" "k" ]
+      in
+      Alcotest.(check bool) "wrong view rejected" true
+        (try
+           ignore (C.Checkpoint.resume s2.db s2.capture other ckpt_path);
+           false
+         with Invalid_argument _ -> true))
+
+let test_save_guard () =
+  let s = two_table () in
+  random_txns (Prng.create ~seed:152) s 10;
+  let ctx = ctx_of s in
+  let rolling = C.Rolling.create ctx ~t_initial:Time.origin in
+  let apply = C.Apply.create_empty ctx ~t_initial:Time.origin in
+  let target = Database.now s.db in
+  C.Rolling.run_until rolling ~target ~policy:(C.Rolling.uniform 5);
+  C.Apply.roll_to apply ~hwm:(C.Rolling.hwm rolling) target;
+  Alcotest.(check bool) "apply ahead of claimed hwm rejected" true
+    (try
+       C.Checkpoint.save ctx ~hwm:(target / 2) ~apply "/tmp/never_written.ckpt";
+       false
+     with Invalid_argument _ -> true)
+
+let test_corrupt_checkpoint () =
+  let path = Filename.temp_file "ckpt" ".bad" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let out = open_out path in
+      output_string out "NOT A CHECKPOINT\n";
+      close_out out;
+      Alcotest.(check bool) "corrupt detected" true
+        (try
+           ignore (C.Checkpoint.peek path);
+           false
+         with Roll_storage.Wal_codec.Corrupt _ -> true))
+
+let suite =
+  [
+    Alcotest.test_case "peek header" `Quick test_peek;
+    Alcotest.test_case "resume restores state" `Quick test_resume_state;
+    Alcotest.test_case "resume continues correctly" `Quick test_resume_continues_correctly;
+    Alcotest.test_case "resume guards" `Quick test_resume_guards;
+    Alcotest.test_case "save guard" `Quick test_save_guard;
+    Alcotest.test_case "corrupt checkpoint" `Quick test_corrupt_checkpoint;
+  ]

@@ -1,0 +1,399 @@
+(* DSL tests: lexer tokens and errors, parser structure, name resolution,
+   and end-to-end equivalence with hand-built view definitions. *)
+
+open Roll_relation
+module Database = Roll_storage.Database
+module C = Roll_core
+module Sql = Roll_dsl.Sql
+module Lexer = Roll_dsl.Lexer
+
+let int_col name = { Schema.name; ty = Value.T_int }
+
+let str_col name = { Schema.name; ty = Value.T_string }
+
+let db_with_tables () =
+  let db = Database.create () in
+  let _ =
+    Database.create_table db ~name:"orders"
+      (Schema.make [ int_col "okey"; int_col "ckey"; int_col "total" ])
+  in
+  let _ =
+    Database.create_table db ~name:"customer"
+      (Schema.make [ int_col "ckey"; str_col "region" ])
+  in
+  db
+
+(* --- Lexer --- *)
+
+let test_lexer_tokens () =
+  let tokens = Lexer.tokenize "SELECT a.b, c.d FROM t x WHERE x.y >= -3.5" in
+  Alcotest.(check int) "token count" 19 (List.length tokens);
+  (match tokens with
+  | Lexer.Select :: Lexer.Ident "a" :: Lexer.Dot :: Lexer.Ident "b" :: Lexer.Comma :: _ -> ()
+  | _ -> Alcotest.fail "unexpected prefix");
+  (* Unary minus is a parser concern: the literal is unsigned. *)
+  match List.rev tokens with
+  | Lexer.Eof :: Lexer.Float f :: Lexer.Minus :: Lexer.Ge :: _ ->
+      Alcotest.(check (float 1e-9)) "unsigned float" 3.5 f
+  | _ -> Alcotest.fail "unexpected suffix"
+
+let test_lexer_keywords_case_insensitive () =
+  Alcotest.(check bool) "select" true
+    (List.hd (Lexer.tokenize "sElEcT x") = Lexer.Select)
+
+let test_lexer_strings () =
+  (match Lexer.tokenize "'hello'" with
+  | [ Lexer.String s; Lexer.Eof ] -> Alcotest.(check string) "simple" "hello" s
+  | _ -> Alcotest.fail "bad string");
+  (match Lexer.tokenize "'it''s'" with
+  | [ Lexer.String s; Lexer.Eof ] -> Alcotest.(check string) "escaped quote" "it's" s
+  | _ -> Alcotest.fail "bad escaped string");
+  Alcotest.(check bool) "unterminated raises" true
+    (try
+       ignore (Lexer.tokenize "'oops");
+       false
+     with Lexer.Error _ -> true)
+
+let test_lexer_operators () =
+  match Lexer.tokenize "= <> != < <= > >=" with
+  | [ Lexer.Eq; Lexer.Ne; Lexer.Ne; Lexer.Lt; Lexer.Le; Lexer.Gt; Lexer.Ge; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "operator tokens"
+
+let test_lexer_bad_char () =
+  Alcotest.(check bool) "bad char raises" true
+    (try
+       ignore (Lexer.tokenize "a ; b");
+       false
+     with Lexer.Error _ -> true)
+
+(* --- Parser --- *)
+
+let test_parse_simple_join () =
+  let db = db_with_tables () in
+  let view =
+    Sql.parse_view db ~name:"v"
+      "SELECT o.okey, c.region FROM orders o JOIN customer c ON o.ckey = c.ckey"
+  in
+  Alcotest.(check int) "two sources" 2 (C.View.n_sources view);
+  Alcotest.(check string) "first table" "orders" (C.View.source_table view 0);
+  Alcotest.(check int) "one join atom" 1 (List.length (C.View.predicate view));
+  (match C.View.predicate view with
+  | [ Predicate.Join _ ] -> ()
+  | _ -> Alcotest.fail "expected a Join atom");
+  let schema = C.View.output_schema view in
+  Alcotest.(check string) "output col name" "o_okey" (Schema.column schema 0).Schema.name
+
+let test_parse_where_and_theta () =
+  let db = db_with_tables () in
+  let view =
+    Sql.parse_view db ~name:"v"
+      "SELECT o.okey FROM orders o JOIN customer c ON o.ckey = c.ckey AND \
+       o.total > 100 WHERE c.region = 'EU'"
+  in
+  let joins, cmps =
+    List.partition (function Predicate.Join _ -> true | _ -> false)
+      (C.View.predicate view)
+  in
+  Alcotest.(check int) "one equi-join" 1 (List.length joins);
+  Alcotest.(check int) "two comparisons" 2 (List.length cmps)
+
+let test_parse_same_source_equality_is_cmp () =
+  let db = db_with_tables () in
+  let view =
+    Sql.parse_view db ~name:"v"
+      "SELECT o.okey FROM orders o WHERE o.okey = o.ckey"
+  in
+  match C.View.predicate view with
+  | [ Predicate.Cmp (Predicate.Eq, _, _) ] -> ()
+  | _ -> Alcotest.fail "same-source equality must be a filter, not a join"
+
+let test_parse_errors () =
+  let db = db_with_tables () in
+  let expect_error sql =
+    Alcotest.(check bool) (Printf.sprintf "error for %S" sql) true
+      (try
+         ignore (Sql.parse_view db ~name:"v" sql);
+         false
+       with Sql.Parse_error _ -> true)
+  in
+  expect_error "FROM orders o";
+  expect_error "SELECT o.okey FROM orders";
+  expect_error "SELECT o.okey FROM orders o JOIN customer c";
+  expect_error "SELECT o.okey FROM orders o WHERE";
+  expect_error "SELECT o.okey FROM nosuch o";
+  expect_error "SELECT o.nosuchcol FROM orders o";
+  expect_error "SELECT z.okey FROM orders o";
+  expect_error "SELECT o.okey FROM orders o extra";
+  expect_error "SELECT o.okey FROM orders o WHERE o.total >"
+
+let test_parse_equivalent_to_manual () =
+  let db = db_with_tables () in
+  let capture = Roll_capture.Capture.create db in
+  Roll_capture.Capture.attach capture ~table:"orders";
+  Roll_capture.Capture.attach capture ~table:"customer";
+  let parsed =
+    Sql.parse_view db ~name:"v"
+      "SELECT c.region, o.total FROM orders o JOIN customer c ON o.ckey = c.ckey \
+       WHERE o.total >= 50"
+  in
+  let b = C.View.binder db [ ("orders", "o"); ("customer", "c") ] in
+  let manual =
+    C.View.create db ~name:"v"
+      ~sources:[ ("orders", "o"); ("customer", "c") ]
+      ~predicate:
+        [
+          Predicate.join (b "o" "ckey") (b "c" "ckey");
+          Predicate.cmp Predicate.Ge (Predicate.Col (b "o" "total"))
+            (Predicate.Const (Value.Int 50));
+        ]
+      ~project:[ b "c" "region"; b "o" "total" ]
+  in
+  (* Load data and compare the two views' contents. *)
+  ignore
+    (Database.run db (fun txn ->
+         Database.insert txn ~table:"customer"
+           (Tuple.make [ Value.Int 1; Value.Str "EU" ]);
+         Database.insert txn ~table:"orders" (Tuple.ints [ 10; 1; 60 ]);
+         Database.insert txn ~table:"orders" (Tuple.ints [ 11; 1; 40 ])));
+  let history = Roll_storage.History.create db in
+  let state_of v = C.Oracle.view_at history v (Database.now db) in
+  Alcotest.(check bool) "same contents" true
+    (Relation.equal (state_of parsed) (state_of manual));
+  Alcotest.(check int) "filter applied" 1 (Relation.distinct_count (state_of parsed))
+
+let test_parse_constants () =
+  let db = db_with_tables () in
+  let view =
+    Sql.parse_view db ~name:"v"
+      "SELECT o.okey FROM orders o WHERE o.total <> -5 AND o.okey < 3"
+  in
+  Alcotest.(check int) "two atoms" 2 (List.length (C.View.predicate view))
+
+let test_end_to_end_maintenance_of_parsed_view () =
+  let db = db_with_tables () in
+  let capture = Roll_capture.Capture.create db in
+  Roll_capture.Capture.attach capture ~table:"orders";
+  Roll_capture.Capture.attach capture ~table:"customer";
+  let view =
+    Sql.parse_view db ~name:"v"
+      "SELECT c.region, o.okey FROM orders o JOIN customer c ON o.ckey = c.ckey"
+  in
+  let controller =
+    C.Controller.create db capture view
+      ~algorithm:(C.Controller.Rolling (C.Rolling.uniform 4))
+  in
+  let history = Roll_storage.History.create db in
+  ignore
+    (Database.run db (fun txn ->
+         Database.insert txn ~table:"customer" (Tuple.make [ Value.Int 1; Value.Str "EU" ])));
+  for i = 0 to 9 do
+    ignore
+      (Database.run db (fun txn ->
+           Database.insert txn ~table:"orders" (Tuple.ints [ i; 1; 10 * i ])))
+  done;
+  let t = C.Controller.refresh_latest controller in
+  Alcotest.(check bool) "maintained = oracle" true
+    (Relation.equal
+       (C.Oracle.view_at history view t)
+       (C.Controller.contents controller))
+
+let suite =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "keywords case-insensitive" `Quick test_lexer_keywords_case_insensitive;
+    Alcotest.test_case "string literals" `Quick test_lexer_strings;
+    Alcotest.test_case "operators" `Quick test_lexer_operators;
+    Alcotest.test_case "bad character" `Quick test_lexer_bad_char;
+    Alcotest.test_case "parse simple join" `Quick test_parse_simple_join;
+    Alcotest.test_case "parse WHERE and theta atoms" `Quick test_parse_where_and_theta;
+    Alcotest.test_case "same-source equality is a filter" `Quick
+      test_parse_same_source_equality_is_cmp;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parsed = manual view" `Quick test_parse_equivalent_to_manual;
+    Alcotest.test_case "constant operands" `Quick test_parse_constants;
+    Alcotest.test_case "maintain a parsed view" `Quick
+      test_end_to_end_maintenance_of_parsed_view;
+  ]
+
+(* --- printer round trips --- *)
+
+let test_print_view_roundtrip () =
+  let db = db_with_tables () in
+  let sql =
+    "SELECT c.region, o.total FROM orders o JOIN customer c ON o.ckey = c.ckey \
+     AND o.total >= 50 WHERE o.okey < 100"
+  in
+  let v1 = Sql.parse_view db ~name:"v" sql in
+  let printed = Sql.print_view v1 in
+  let v2 = Sql.parse_view db ~name:"v" printed in
+  Alcotest.(check int) "same arity" (C.View.n_sources v1) (C.View.n_sources v2);
+  Alcotest.(check int) "same atom count"
+    (List.length (C.View.predicate v1))
+    (List.length (C.View.predicate v2));
+  (* Behavioural equality on data. *)
+  ignore
+    (Database.run db (fun txn ->
+         Database.insert txn ~table:"customer" (Tuple.make [ Value.Int 1; Value.Str "EU" ]);
+         Database.insert txn ~table:"orders" (Tuple.ints [ 10; 1; 60 ]);
+         Database.insert txn ~table:"orders" (Tuple.ints [ 200; 1; 90 ])));
+  let history = Roll_storage.History.create db in
+  Alcotest.(check bool) "same results" true
+    (Relation.equal
+       (C.Oracle.view_at history v1 (Database.now db))
+       (C.Oracle.view_at history v2 (Database.now db)))
+
+let test_print_view_string_quoting () =
+  let db = db_with_tables () in
+  let v =
+    Sql.parse_view db ~name:"v"
+      "SELECT c.ckey FROM customer c WHERE c.region = 'it''s'"
+  in
+  let printed = Sql.print_view v in
+  let v2 = Sql.parse_view db ~name:"v" printed in
+  match C.View.predicate v2 with
+  | [ Predicate.Cmp (Predicate.Eq, _, Predicate.Const (Value.Str s)) ] ->
+      Alcotest.(check string) "quote survives" "it's" s
+  | _ -> Alcotest.fail "unexpected predicate shape"
+
+let test_print_view_no_predicate () =
+  let db = db_with_tables () in
+  let b = C.View.binder db [ ("orders", "o"); ("customer", "c") ] in
+  let v =
+    C.View.create db ~name:"v"
+      ~sources:[ ("orders", "o"); ("customer", "c") ]
+      ~predicate:[] ~project:[ b "o" "okey" ]
+  in
+  let printed = Sql.print_view v in
+  let v2 = Sql.parse_view db ~name:"v" printed in
+  (* The trivially-true ON clause parses to one constant atom. *)
+  Alcotest.(check bool) "parses back" true (C.View.n_sources v2 = 2)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "print/parse round trip" `Quick test_print_view_roundtrip;
+      Alcotest.test_case "printer quotes strings" `Quick test_print_view_string_quoting;
+      Alcotest.test_case "printer with empty predicate" `Quick test_print_view_no_predicate;
+    ]
+
+(* Fuzz: the lexer and parser must fail cleanly (their own exceptions, never
+   anything else) on arbitrary input. *)
+
+let garbage_gen =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (0 -- 60))
+
+let prop_lexer_total =
+  QCheck.Test.make ~name:"lexer is total (Error or tokens)" ~count:500
+    (QCheck.make ~print:(fun s -> s) garbage_gen)
+    (fun input ->
+      match Lexer.tokenize input with
+      | _ -> true
+      | exception Lexer.Error _ -> true)
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser is total (Parse_error or view)" ~count:500
+    (QCheck.make ~print:(fun s -> s) garbage_gen)
+    (fun input ->
+      let db = db_with_tables () in
+      match Sql.parse_view db ~name:"fuzz" input with
+      | _ -> true
+      | exception Sql.Parse_error _ -> true)
+
+(* Near-valid inputs: mutate one character of a valid statement. *)
+let prop_parser_total_near_valid =
+  QCheck.Test.make ~name:"parser total on mutated valid SQL" ~count:300
+    QCheck.(pair (int_range 0 200) (int_range 32 126))
+    (fun (pos, code) ->
+      let base =
+        "SELECT o.okey, c.region FROM orders o JOIN customer c ON o.ckey = \
+         c.ckey WHERE o.total > 10"
+      in
+      let b = Bytes.of_string base in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr code);
+      let db = db_with_tables () in
+      match Sql.parse_view db ~name:"fuzz" (Bytes.to_string b) with
+      | _ -> true
+      | exception Sql.Parse_error _ -> true)
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_lexer_total;
+      QCheck_alcotest.to_alcotest prop_parser_total;
+      QCheck_alcotest.to_alcotest prop_parser_total_near_valid;
+    ]
+
+(* --- UNION ALL --- *)
+
+let test_union_all_parses () =
+  let db = db_with_tables () in
+  let views =
+    Sql.parse_union db ~name:"u"
+      "SELECT o.okey FROM orders o WHERE o.total > 100 \
+       UNION ALL SELECT o.ckey FROM orders o WHERE o.total <= 100"
+  in
+  Alcotest.(check int) "two blocks" 2 (List.length views);
+  Alcotest.(check (list string)) "block names" [ "u#0"; "u#1" ]
+    (List.map C.View.name views)
+
+let test_union_all_maintained () =
+  let db = db_with_tables () in
+  let capture = Roll_capture.Capture.create db in
+  Roll_capture.Capture.attach capture ~table:"orders";
+  Roll_capture.Capture.attach capture ~table:"customer";
+  let views =
+    Sql.parse_union db ~name:"u"
+      "SELECT o.okey, c.region FROM orders o JOIN customer c ON o.ckey = c.ckey \
+       WHERE o.total > 50 \
+       UNION ALL \
+       SELECT o.okey, c.region FROM orders o JOIN customer c ON o.ckey = c.ckey \
+       WHERE o.total <= 50"
+  in
+  let u =
+    C.Union_view.create db capture ~views
+      ~policies:(List.map (fun _ -> C.Rolling.uniform 4) views)
+      ~t_initial:0
+  in
+  ignore
+    (Database.run db (fun txn ->
+         Database.insert txn ~table:"customer" (Tuple.make [ Value.Int 1; Value.Str "EU" ])));
+  for i = 0 to 9 do
+    ignore
+      (Database.run db (fun txn ->
+           Database.insert txn ~table:"orders" (Tuple.ints [ i; 1; 10 * i ])))
+  done;
+  let target = Database.now db in
+  C.Union_view.propagate_until u target;
+  C.Union_view.roll_to u target;
+  (* The partition covers every order exactly once. *)
+  Alcotest.(check int) "all ten orders" 10
+    (Relation.distinct_count (C.Union_view.contents u))
+
+let test_union_all_schema_mismatch () =
+  let db = db_with_tables () in
+  Alcotest.(check bool) "mismatched blocks rejected" true
+    (try
+       ignore
+         (Sql.parse_union db ~name:"u"
+            "SELECT o.okey FROM orders o UNION ALL SELECT c.region FROM customer c");
+       false
+     with Sql.Parse_error _ -> true)
+
+let test_union_in_parse_view_rejected () =
+  let db = db_with_tables () in
+  Alcotest.(check bool) "parse_view rejects UNION" true
+    (try
+       ignore
+         (Sql.parse_view db ~name:"u"
+            "SELECT o.okey FROM orders o UNION ALL SELECT o.okey FROM orders o");
+       false
+     with Sql.Parse_error _ -> true)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "UNION ALL parses" `Quick test_union_all_parses;
+      Alcotest.test_case "UNION ALL maintained" `Quick test_union_all_maintained;
+      Alcotest.test_case "UNION ALL schema mismatch" `Quick test_union_all_schema_mismatch;
+      Alcotest.test_case "parse_view rejects UNION" `Quick test_union_in_parse_view_rejected;
+    ]

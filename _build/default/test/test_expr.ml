@@ -1,0 +1,228 @@
+(* Arithmetic expressions: evaluation semantics, static typing, computed
+   columns in maintained views, and the DSL surface. *)
+
+open Test_support.Helpers
+open Roll_relation
+module Time = Roll_delta.Time
+module C = Roll_core
+module Sql = Roll_dsl.Sql
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let eval e = Predicate.eval_operand [| Tuple.ints [ 10; 3 ] |] e
+
+let c0 = Predicate.Col (Predicate.col 0 0)
+
+let c1 = Predicate.Col (Predicate.col 0 1)
+
+let i n = Predicate.Const (Value.Int n)
+
+let f x = Predicate.Const (Value.Float x)
+
+let test_eval_int_arith () =
+  Alcotest.(check bool) "add" true (eval (Predicate.Add (c0, c1)) = Value.Int 13);
+  Alcotest.(check bool) "sub" true (eval (Predicate.Sub (c0, c1)) = Value.Int 7);
+  Alcotest.(check bool) "mul" true (eval (Predicate.Mul (c0, c1)) = Value.Int 30);
+  Alcotest.(check bool) "div truncates" true (eval (Predicate.Div (c0, c1)) = Value.Int 3);
+  Alcotest.(check bool) "neg" true (eval (Predicate.Neg c0) = Value.Int (-10));
+  Alcotest.(check bool) "nested" true
+    (eval (Predicate.Mul (Predicate.Add (c0, c1), i 2)) = Value.Int 26)
+
+let test_eval_float_promotion () =
+  Alcotest.(check bool) "int+float is float" true
+    (eval (Predicate.Add (c0, f 0.5)) = Value.Float 10.5);
+  Alcotest.(check bool) "float div" true
+    (eval (Predicate.Div (f 7.0, i 2)) = Value.Float 3.5)
+
+let test_eval_null_propagation () =
+  let null = Predicate.Const Value.Null in
+  Alcotest.(check bool) "null + x" true (eval (Predicate.Add (null, c0)) = Value.Null);
+  Alcotest.(check bool) "neg null" true (eval (Predicate.Neg null) = Value.Null);
+  Alcotest.(check bool) "div by zero" true (eval (Predicate.Div (c0, i 0)) = Value.Null);
+  Alcotest.(check bool) "float div by zero" true
+    (eval (Predicate.Div (f 1.0, f 0.0)) = Value.Null);
+  Alcotest.(check bool) "string arith is null" true
+    (eval (Predicate.Add (Predicate.Const (Value.Str "x"), c0)) = Value.Null);
+  (* NULL-valued comparisons are false, so such rows filter out. *)
+  let bindings = [| Tuple.ints [ 10; 0 ] |] in
+  Alcotest.(check bool) "x/0 > -100 is false" false
+    (Predicate.eval_atom bindings
+       (Predicate.cmp Predicate.Gt (Predicate.Div (c0, c1)) (i (-100))))
+
+let test_infer_types () =
+  let col_type (c : Predicate.col) = if c.column = 0 then Value.T_int else Value.T_float in
+  let infer = Predicate.infer_type col_type in
+  Alcotest.(check bool) "int" true (infer (Predicate.Add (c0, i 1)) = Ok Value.T_int);
+  Alcotest.(check bool) "promoted" true (infer (Predicate.Add (c0, c1)) = Ok Value.T_float);
+  Alcotest.(check bool) "string arith rejected" true
+    (match infer (Predicate.Add (Predicate.Const (Value.Str "x"), c0)) with
+    | Error _ -> true
+    | Ok _ -> false);
+  Alcotest.(check bool) "null const rejected" true
+    (match infer (Predicate.Const Value.Null) with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "plain string col fine" true
+    (infer (Predicate.Const (Value.Str "x")) = Ok Value.T_string)
+
+(* A maintained view with computed columns stays correct. *)
+let test_computed_view_maintained () =
+  let s = two_table () in
+  let b = C.View.binder s.db [ ("r", "r"); ("s", "s") ] in
+  let view =
+    C.View.create_select s.db ~name:"computed"
+      ~sources:[ ("r", "r"); ("s", "s") ]
+      ~predicate:[ Predicate.join (b "r" "k") (b "s" "k") ]
+      ~select:
+        [
+          ("k", Predicate.Col (b "r" "k"));
+          ("vw", Predicate.Mul (Predicate.Col (b "r" "v"), Predicate.Col (b "s" "w")));
+          ("v2", Predicate.Add (Predicate.Col (b "r" "v"), Predicate.Const (Value.Int 100)));
+        ]
+  in
+  Alcotest.(check string) "computed column name" "vw"
+    (Schema.column (C.View.output_schema view) 1).Schema.name;
+  let controller =
+    C.Controller.create s.db s.capture view
+      ~algorithm:(C.Controller.Rolling (C.Rolling.uniform 5))
+  in
+  random_txns (Prng.create ~seed:170) s 40;
+  let t = C.Controller.refresh_latest controller in
+  Alcotest.check relation "computed view = oracle"
+    (C.Oracle.view_at s.history view t)
+    (C.Controller.contents controller)
+
+(* Computed columns through the asynchronous machinery with races. *)
+let prop_computed_view_timed_delta =
+  QCheck.Test.make ~name:"computed columns under racing updates" ~count:15
+    QCheck.small_int
+    (fun seed ->
+      let s = two_table () in
+      let b = C.View.binder s.db [ ("r", "r"); ("s", "s") ] in
+      let view =
+        C.View.create_select s.db ~name:"computed"
+          ~sources:[ ("r", "r"); ("s", "s") ]
+          ~predicate:[ Predicate.join (b "r" "k") (b "s" "k") ]
+          ~select:
+            [ ("diff", Predicate.Sub (Predicate.Col (b "r" "v"), Predicate.Col (b "s" "w"))) ]
+      in
+      random_txns (Prng.create ~seed) s 20;
+      let ctx = C.Ctx.create ~t_initial:Time.origin s.db s.capture view in
+      inject_updates (Prng.create ~seed:(seed + 2)) s ctx ~per_execute:2;
+      let hi = Database.now s.db in
+      C.Compute_delta.run ctx (C.Pquery.all_base 2) (Time.Vector.const 2 0) hi;
+      match
+        C.Oracle.check_timed_view_delta s.history view ctx.C.Ctx.out ~lo:0 ~hi
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let test_create_select_validation () =
+  let s = two_table () in
+  let b = C.View.binder s.db [ ("r", "r") ] in
+  Alcotest.(check bool) "string arithmetic rejected at create" true
+    (try
+       ignore
+         (C.View.create_select s.db ~name:"bad" ~sources:[ ("r", "r") ]
+            ~predicate:[]
+            ~select:
+              [ ("x", Predicate.Add (Predicate.Const (Value.Str "a"), Predicate.Col (b "r" "k"))) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- DSL surface --- *)
+
+let db_with_orders () =
+  let db = Database.create () in
+  let int_col name = { Schema.name; ty = Value.T_int } in
+  let _ =
+    Database.create_table db ~name:"orders"
+      (Schema.make [ int_col "okey"; int_col "price"; int_col "qty" ])
+  in
+  db
+
+let test_dsl_arithmetic () =
+  let db = db_with_orders () in
+  let view =
+    Sql.parse_view db ~name:"v"
+      "SELECT o.okey, o.price * o.qty AS revenue, (o.price + 1) / 2 AS half \
+       FROM orders o WHERE o.price * o.qty > 100 AND -o.okey < 0"
+  in
+  let schema = C.View.output_schema view in
+  Alcotest.(check string) "AS name" "revenue" (Schema.column schema 1).Schema.name;
+  Alcotest.(check string) "AS name 2" "half" (Schema.column schema 2).Schema.name;
+  (* Behaviour. *)
+  ignore
+    (Database.run db (fun txn ->
+         Database.insert txn ~table:"orders" (Tuple.ints [ 1; 50; 3 ]);
+         Database.insert txn ~table:"orders" (Tuple.ints [ 2; 10; 2 ])));
+  let history = Roll_storage.History.create db in
+  let result = C.Oracle.view_at history view (Database.now db) in
+  Alcotest.(check int) "only the big order" 1 (Relation.distinct_count result);
+  Alcotest.(check int) "revenue computed" 1
+    (Relation.count result (Tuple.ints [ 1; 150; 25 ]))
+
+let test_dsl_precedence () =
+  let db = db_with_orders () in
+  let view =
+    Sql.parse_view db ~name:"v"
+      "SELECT o.price + o.qty * 2 AS x FROM orders o"
+  in
+  ignore
+    (Database.run db (fun txn ->
+         Database.insert txn ~table:"orders" (Tuple.ints [ 1; 10; 3 ])));
+  let history = Roll_storage.History.create db in
+  let result = C.Oracle.view_at history view (Database.now db) in
+  (* 10 + 3*2 = 16, not (10+3)*2 = 26. *)
+  Alcotest.(check int) "precedence" 1 (Relation.count result (Tuple.ints [ 16 ]))
+
+let test_dsl_default_expr_names () =
+  let db = db_with_orders () in
+  let view = Sql.parse_view db ~name:"v" "SELECT o.price + 1, o.okey FROM orders o" in
+  let schema = C.View.output_schema view in
+  Alcotest.(check string) "positional default" "expr0" (Schema.column schema 0).Schema.name;
+  Alcotest.(check string) "column default" "o_okey" (Schema.column schema 1).Schema.name
+
+let test_dsl_expr_roundtrip () =
+  let db = db_with_orders () in
+  let sql =
+    "SELECT o.okey, o.price * o.qty AS revenue FROM orders o WHERE o.price - 5 > 0"
+  in
+  let v1 = Sql.parse_view db ~name:"v" sql in
+  let v2 = Sql.parse_view db ~name:"v" (Sql.print_view v1) in
+  ignore
+    (Database.run db (fun txn ->
+         Database.insert txn ~table:"orders" (Tuple.ints [ 1; 50; 3 ]);
+         Database.insert txn ~table:"orders" (Tuple.ints [ 2; 3; 2 ])));
+  let history = Roll_storage.History.create db in
+  Alcotest.(check bool) "round trip behaves identically" true
+    (Relation.equal
+       (C.Oracle.view_at history v1 (Database.now db))
+       (C.Oracle.view_at history v2 (Database.now db)))
+
+let test_negative_literal_still_works () =
+  let db = db_with_orders () in
+  let view =
+    Sql.parse_view db ~name:"v" "SELECT o.okey FROM orders o WHERE o.price > -5"
+  in
+  ignore
+    (Database.run db (fun txn ->
+         Database.insert txn ~table:"orders" (Tuple.ints [ 1; 0; 0 ])));
+  let history = Roll_storage.History.create db in
+  Alcotest.(check int) "0 > -5 passes" 1
+    (Relation.distinct_count (C.Oracle.view_at history view (Database.now db)))
+
+let suite =
+  [
+    Alcotest.test_case "integer arithmetic" `Quick test_eval_int_arith;
+    Alcotest.test_case "float promotion" `Quick test_eval_float_promotion;
+    Alcotest.test_case "NULL propagation" `Quick test_eval_null_propagation;
+    Alcotest.test_case "type inference" `Quick test_infer_types;
+    Alcotest.test_case "computed view maintained" `Quick test_computed_view_maintained;
+    qtest prop_computed_view_timed_delta;
+    Alcotest.test_case "create_select validation" `Quick test_create_select_validation;
+    Alcotest.test_case "DSL arithmetic and AS" `Quick test_dsl_arithmetic;
+    Alcotest.test_case "DSL precedence" `Quick test_dsl_precedence;
+    Alcotest.test_case "DSL default expression names" `Quick test_dsl_default_expr_names;
+    Alcotest.test_case "DSL expression round trip" `Quick test_dsl_expr_roundtrip;
+    Alcotest.test_case "negative literals still parse" `Quick
+      test_negative_literal_still_works;
+  ]

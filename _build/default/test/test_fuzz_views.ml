@@ -1,0 +1,97 @@
+(* Theorem fuzzing over random view shapes: self-joins, partial join
+   graphs, filters and computed projections, all under racing updates. *)
+
+open Test_support.Helpers
+module Fuzz = Test_support.Fuzz
+module Time = Roll_delta.Time
+module C = Roll_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let prop_compute_delta_fuzzed =
+  QCheck.Test.make ~name:"theorem 4.1 over random views" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let s = Fuzz.random_scenario rng in
+      random_txns rng s (10 + Prng.int rng 25);
+      let ctx = ctx_of s in
+      inject_updates (Prng.create ~seed:(seed + 31)) s ctx
+        ~per_execute:(Prng.int rng 3);
+      let hi = Database.now s.db in
+      C.Compute_delta.view_delta ctx ~lo:0 ~hi;
+      match
+        C.Oracle.check_timed_view_delta_sampled
+          ~sample:(fun t -> t mod 5 = 0)
+          s.history s.view ctx.C.Ctx.out ~lo:0 ~hi
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let prop_rolling_fuzzed =
+  QCheck.Test.make ~name:"theorem 4.3 over random views" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let s = Fuzz.random_scenario rng in
+      random_txns rng s (10 + Prng.int rng 25);
+      let ctx = ctx_of ~geometry:true ~t_initial:Time.origin s in
+      inject_updates (Prng.create ~seed:(seed + 77)) s ctx
+        ~per_execute:(Prng.int rng 3);
+      let r = C.Rolling.create ctx ~t_initial:Time.origin in
+      let n = C.View.n_sources s.view in
+      let intervals = Array.init n (fun _ -> Prng.int_in rng ~lo:1 ~hi:9) in
+      for _ = 1 to 10 do
+        match C.Rolling.step r ~policy:(C.Rolling.per_relation intervals) with
+        | `Advanced _ | `Idle -> ()
+      done;
+      let hwm = C.Rolling.hwm r in
+      (match C.Geometry.check (Option.get ctx.C.Ctx.geometry) ~hwm with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_report ("geometry: " ^ msg));
+      match
+        C.Oracle.check_timed_view_delta_sampled
+          ~sample:(fun t -> t mod 5 = 0)
+          s.history s.view ctx.C.Ctx.out ~lo:Time.origin ~hi:hwm
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let prop_deferred_fuzzed_two_way =
+  QCheck.Test.make ~name:"deferred Fig. 10 over random 2-way views" ~count:30
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      (* Draw scenarios until one has at most two sources. *)
+      let rec draw () =
+        let s = Fuzz.random_scenario rng in
+        if C.View.n_sources s.view <= 2 then s else draw ()
+      in
+      let s = draw () in
+      random_txns rng s (10 + Prng.int rng 20);
+      let ctx = ctx_of s in
+      inject_updates (Prng.create ~seed:(seed + 13)) s ctx ~per_execute:2;
+      let r = C.Rolling_deferred.create ctx ~t_initial:Time.origin in
+      let n = C.View.n_sources s.view in
+      let intervals = Array.init n (fun _ -> Prng.int_in rng ~lo:1 ~hi:9) in
+      for _ = 1 to 10 do
+        match
+          C.Rolling_deferred.step r ~policy:(C.Rolling_deferred.per_relation intervals)
+        with
+        | `Advanced _ | `Idle -> ()
+      done;
+      match
+        C.Oracle.check_timed_view_delta_sampled
+          ~sample:(fun t -> t mod 4 = 0)
+          s.history s.view ctx.C.Ctx.out ~lo:Time.origin
+          ~hi:(C.Rolling_deferred.hwm r)
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let suite =
+  [
+    qtest prop_compute_delta_fuzzed;
+    qtest prop_rolling_fuzzed;
+    qtest prop_deferred_fuzzed_two_way;
+  ]

@@ -1,0 +1,115 @@
+(* Geometry (Figures 6-9) unit tests: box recording, coverage counting,
+   the staircase check, and the ASCII rendering. *)
+
+module G = Roll_core.Geometry
+
+let test_single_forward_box () =
+  let g = G.create ~n:2 ~origin:0 in
+  (* R1 window (0,5] x R2 base read at 8 *)
+  G.record g ~sign:1 [| G.Window (0, 5); G.Full_upto 8 |];
+  Alcotest.(check int) "covers change pair" 1 (G.coverage g [| 3; 4 |]);
+  Alcotest.(check int) "covers original content on axis 2" 1 (G.coverage g [| 3; 0 |]);
+  Alcotest.(check int) "window excludes origin" 0 (G.coverage g [| 0; 4 |]);
+  Alcotest.(check int) "outside window" 0 (G.coverage g [| 6; 4 |]);
+  Alcotest.(check int) "beyond base read" 0 (G.coverage g [| 3; 9 |]);
+  Alcotest.(check int) "half-open lower bound" 1 (G.coverage g [| 1; 8 |])
+
+let test_signs_cancel () =
+  let g = G.create ~n:1 ~origin:0 in
+  G.record g ~sign:1 [| G.Window (0, 10) |];
+  G.record g ~sign:(-1) [| G.Window (0, 10) |];
+  Alcotest.(check int) "cancelled" 0 (G.coverage g [| 5 |]);
+  Alcotest.(check int) "two boxes recorded" 2 (G.n_boxes g)
+
+(* The Equation 3 / Figure 7 decomposition covers the L-region exactly. *)
+let test_equation_3_coverage () =
+  let g = G.create ~n:2 ~origin:2 in
+  let a = 2 and b = 6 and c = 9 and d = 12 in
+  (* +R1_{a,b} R2@c  -R1_{a,b} R2_{b,c}  +R1@d R2_{a,b}  -R1_{0,d} R2_{a,b} *)
+  G.record g ~sign:1 [| G.Window (a, b); G.Full_upto c |];
+  G.record g ~sign:(-1) [| G.Window (a, b); G.Window (b, c) |];
+  G.record g ~sign:1 [| G.Full_upto d; G.Window (a, b) |];
+  G.record g ~sign:(-1) [| G.Window (a, d); G.Window (a, b) |];
+  (match G.check g ~hwm:b with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (* Beyond the hwm the plane is not yet complete. *)
+  Alcotest.(check int) "uncompensated overshoot region" 0
+    (G.coverage g [| 7; 4 |])
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  loop 0
+
+let test_check_detects_overcoverage () =
+  let g = G.create ~n:2 ~origin:0 in
+  G.record g ~sign:1 [| G.Window (0, 5); G.Full_upto 5 |];
+  G.record g ~sign:1 [| G.Full_upto 5; G.Window (0, 5) |];
+  (* Missing compensation: the square (0,5]^2 is double-covered. *)
+  match G.check g ~hwm:5 with
+  | Ok () -> Alcotest.fail "expected failure"
+  | Error msg ->
+      Alcotest.(check bool) "mentions coverage 2" true
+        (contains_substring msg "coverage 2")
+
+let test_check_detects_gap () =
+  let g = G.create ~n:2 ~origin:0 in
+  G.record g ~sign:1 [| G.Window (0, 3); G.Full_upto 5 |];
+  (* axis-2 changes in (0,5] with axis-1 at origin are uncovered *)
+  match G.check g ~hwm:3 with
+  | Ok () -> Alcotest.fail "expected gap"
+  | Error _ -> ()
+
+let test_check_trivial_hwm () =
+  let g = G.create ~n:2 ~origin:5 in
+  match G.check g ~hwm:5 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_reversed_window_rejected () =
+  let g = G.create ~n:1 ~origin:0 in
+  Alcotest.check_raises "reversed"
+    (Invalid_argument "Geometry.record: reversed window") (fun () ->
+      G.record g ~sign:1 [| G.Window (5, 3) |])
+
+let test_arity_enforced () =
+  let g = G.create ~n:2 ~origin:0 in
+  Alcotest.check_raises "record arity" (Invalid_argument "Geometry.record: arity")
+    (fun () -> G.record g ~sign:1 [| G.Window (0, 1) |]);
+  Alcotest.check_raises "coverage arity"
+    (Invalid_argument "Geometry.coverage: arity") (fun () ->
+      ignore (G.coverage g [| 1 |]))
+
+let test_render_2d () =
+  let g = G.create ~n:2 ~origin:0 in
+  G.record g ~sign:1 [| G.Window (0, 10); G.Full_upto 10 |];
+  let art = G.render_2d g ~width:8 ~upto:10 in
+  let lines = String.split_on_char '\n' art |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "8 rows" 8 (List.length lines);
+  Alcotest.(check int) "8 cols" 8 (String.length (List.hd lines));
+  Alcotest.(check bool) "has covered cells" true (String.contains art '1')
+
+let test_boxes_covering_labels () =
+  let g = G.create ~n:1 ~origin:0 in
+  G.record ~label:"fwd" g ~sign:1 [| G.Window (0, 10) |];
+  G.record ~label:"comp" g ~sign:(-1) [| G.Window (3, 7) |];
+  Alcotest.(check (list (pair int string))) "labels in order"
+    [ (1, "fwd"); (-1, "comp") ]
+    (G.boxes_covering g [| 5 |]);
+  Alcotest.(check (list (pair int string))) "outside comp" [ (1, "fwd") ]
+    (G.boxes_covering g [| 9 |])
+
+let suite =
+  [
+    Alcotest.test_case "forward box semantics" `Quick test_single_forward_box;
+    Alcotest.test_case "signs cancel" `Quick test_signs_cancel;
+    Alcotest.test_case "Equation 3 covers the L-region" `Quick test_equation_3_coverage;
+    Alcotest.test_case "check detects over-coverage" `Quick test_check_detects_overcoverage;
+    Alcotest.test_case "check detects gaps" `Quick test_check_detects_gap;
+    Alcotest.test_case "check trivial at origin" `Quick test_check_trivial_hwm;
+    Alcotest.test_case "reversed window rejected" `Quick test_reversed_window_rejected;
+    Alcotest.test_case "arity enforced" `Quick test_arity_enforced;
+    Alcotest.test_case "2d rendering" `Quick test_render_2d;
+    Alcotest.test_case "boxes_covering labels" `Quick test_boxes_covering_labels;
+  ]

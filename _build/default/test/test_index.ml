@@ -1,0 +1,155 @@
+(* Secondary indexes: maintenance under churn, executor index probing
+   (same results, smaller footprints), and auto-indexed controllers. *)
+
+open Test_support.Helpers
+open Roll_relation
+module Time = Roll_delta.Time
+module Table = Roll_storage.Table
+module C = Roll_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_index_backfill_and_probe () =
+  let s = two_table () in
+  ignore
+    (Database.run s.db (fun txn ->
+         Database.insert txn ~table:"r" (Tuple.ints [ 1; 10 ]);
+         Database.insert txn ~table:"r" (Tuple.ints [ 1; 20 ]);
+         Database.insert txn ~table:"r" (Tuple.ints [ 2; 30 ]);
+         (* duplicate copy *)
+         Database.insert txn ~table:"r" (Tuple.ints [ 1; 10 ])));
+  let table = Database.table s.db "r" in
+  Table.create_index table ~columns:[ 0 ];
+  Alcotest.(check bool) "has index" true (Table.has_index table ~columns:[ 0 ]);
+  Alcotest.(check bool) "no other index" false (Table.has_index table ~columns:[ 1 ]);
+  let probe k = Table.index_probe table ~columns:[ 0 ] (Tuple.ints [ k ]) in
+  Alcotest.(check int) "key 1 copies" 3 (List.length (probe 1));
+  Alcotest.(check int) "key 2 copies" 1 (List.length (probe 2));
+  Alcotest.(check int) "key 9 absent" 0 (List.length (probe 9))
+
+let test_index_maintained_by_commits () =
+  let s = two_table () in
+  let table = Database.table s.db "r" in
+  Table.create_index table ~columns:[ 0 ];
+  ignore (Database.run s.db (fun txn -> Database.insert txn ~table:"r" (Tuple.ints [ 5; 1 ])));
+  ignore (Database.run s.db (fun txn -> Database.insert txn ~table:"r" (Tuple.ints [ 5; 2 ])));
+  ignore (Database.run s.db (fun txn -> Database.delete txn ~table:"r" (Tuple.ints [ 5; 1 ])));
+  let probe = Table.index_probe table ~columns:[ 0 ] (Tuple.ints [ 5 ]) in
+  Alcotest.(check int) "one row left" 1 (List.length probe);
+  Alcotest.check tuple "the right one" (Tuple.ints [ 5; 2 ]) (List.hd probe)
+
+(* The index always agrees with the table contents, under random churn. *)
+let prop_index_consistent =
+  QCheck.Test.make ~name:"index agrees with contents under churn" ~count:25
+    QCheck.small_int
+    (fun seed ->
+      let s = two_table () in
+      let table = Database.table s.db "r" in
+      Table.create_index table ~columns:[ 0 ];
+      random_txns (Prng.create ~seed) s 60;
+      let ok = ref true in
+      for k = 0 to 8 do
+        let probed = List.length (Table.index_probe table ~columns:[ 0 ] (Tuple.ints [ k ])) in
+        let scanned =
+          Relation.fold
+            (fun tuple c acc ->
+              if Value.equal (Tuple.get tuple 0) (Value.Int k) then acc + c else acc)
+            (Table.contents table) 0
+        in
+        if probed <> scanned then ok := false
+      done;
+      !ok)
+
+let test_index_validation () =
+  let s = two_table () in
+  let table = Database.table s.db "r" in
+  Alcotest.(check bool) "bad column rejected" true
+    (try
+       Table.create_index table ~columns:[ 7 ];
+       false
+     with Invalid_argument _ -> true);
+  (* Idempotent creation. *)
+  Table.create_index table ~columns:[ 0 ];
+  Table.create_index table ~columns:[ 0 ];
+  Alcotest.(check int) "one index" 1 (List.length (Table.indexed_columns table))
+
+let test_executor_uses_index () =
+  (* A wide key space: probes fetch a few matching rows; a hash join has to
+     materialize the whole table. *)
+  let module W = Roll_workload.Nway in
+  let run_with_index indexed =
+    let w = W.create (W.config ~key_range:200 ~initial_rows:400 ~seed:180 ~n:2 ()) in
+    W.load_initial w;
+    W.churn w ~n:30;
+    if indexed then
+      Table.create_index (Database.table (W.db w) "t1") ~columns:[ 0 ];
+    let ctx = C.Ctx.create ~t_initial:Time.origin (W.db w) (W.capture w) (W.view w) in
+    Roll_capture.Capture.advance (W.capture w);
+    let now = Database.now (W.db w) in
+    let q =
+      C.Pquery.replace (C.Pquery.all_base 2) 0 (C.Pquery.Win { lo = now - 5; hi = now })
+    in
+    let plan = C.Executor.explain ctx q in
+    let rows, reads = C.Executor.evaluate ctx q in
+    let net = Relation.create (C.View.output_schema (W.view w)) in
+    List.iter (fun (t, c, _) -> Relation.add net t c) rows;
+    (plan, net, List.assoc "t1" reads)
+  in
+  let plan_no, net_no, touched_no = run_with_index false in
+  let plan_ix, net_ix, touched_ix = run_with_index true in
+  Alcotest.(check bool) "hash join without index" true (contains plan_no "hash-join t1");
+  Alcotest.(check bool) "index probe with index" true (contains plan_ix "index-probe t1");
+  Alcotest.check relation "same results" net_no net_ix;
+  Alcotest.(check bool)
+    (Printf.sprintf "probing touches fewer rows (%d < %d)" touched_ix touched_no)
+    true
+    (touched_ix < touched_no)
+
+let test_auto_indexed_controller_correct () =
+  let s = three_table () in
+  random_txns (Prng.create ~seed:181) s 30;
+  let controller =
+    C.Controller.create ~auto_index:true s.db s.capture s.view
+      ~algorithm:(C.Controller.Rolling (C.Rolling.per_relation [| 3; 6; 10 |]))
+  in
+  (* Join columns got indexes. *)
+  Alcotest.(check bool) "index on b.k" true
+    (Table.has_index (Database.table s.db "b") ~columns:[ 0 ]);
+  random_txns (Prng.create ~seed:182) s 40;
+  let t = C.Controller.refresh_latest controller in
+  Alcotest.check relation "auto-indexed view = oracle"
+    (C.Oracle.view_at s.history s.view t)
+    (C.Controller.contents controller)
+
+(* Full theorem check with indexes on: the probed fast path must not change
+   any timestamps or counts. *)
+let prop_indexed_rolling_timed_delta =
+  QCheck.Test.make ~name:"indexed rolling still a timed delta" ~count:15
+    QCheck.small_int
+    (fun seed ->
+      let s = two_table () in
+      Table.create_index (Database.table s.db "r") ~columns:[ 0 ];
+      Table.create_index (Database.table s.db "s") ~columns:[ 0 ];
+      random_txns (Prng.create ~seed) s 25;
+      let ctx = ctx_of s in
+      inject_updates (Prng.create ~seed:(seed + 8)) s ctx ~per_execute:2;
+      let r = C.Rolling.create ctx ~t_initial:Time.origin in
+      let target = Database.now s.db in
+      C.Rolling.run_until r ~target ~policy:(C.Rolling.per_relation [| 3; 7 |]);
+      match
+        C.Oracle.check_timed_view_delta s.history s.view ctx.C.Ctx.out
+          ~lo:Time.origin ~hi:(C.Rolling.hwm r)
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let suite =
+  [
+    Alcotest.test_case "backfill and probe" `Quick test_index_backfill_and_probe;
+    Alcotest.test_case "maintained by commits" `Quick test_index_maintained_by_commits;
+    qtest prop_index_consistent;
+    Alcotest.test_case "validation and idempotence" `Quick test_index_validation;
+    Alcotest.test_case "executor uses index" `Quick test_executor_uses_index;
+    Alcotest.test_case "auto-indexed controller" `Quick test_auto_indexed_controller_correct;
+    qtest prop_indexed_rolling_timed_delta;
+  ]

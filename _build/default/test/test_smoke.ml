@@ -1,0 +1,86 @@
+(* End-to-end smoke tests: the fastest way to catch semantic bugs in the
+   propagation algorithms before the detailed suites run. *)
+
+open Test_support.Helpers
+module Time = Roll_delta.Time
+
+let test_compute_delta_simple () =
+  let s = two_table () in
+  let rng = Prng.create ~seed:42 in
+  random_txns rng s 20;
+  let t0 = Time.origin in
+  let t1 = Database.now s.db in
+  let ctx = ctx_of s in
+  (* Updates keep flowing while the delta is being computed. *)
+  inject_updates (Prng.create ~seed:7) s ctx ~per_execute:2;
+  C.Compute_delta.view_delta ctx ~lo:t0 ~hi:t1;
+  check_ok (C.Oracle.check_timed_view_delta s.history s.view ctx.C.Ctx.out ~lo:t0 ~hi:t1)
+
+let test_rolling_simple () =
+  let s = two_table () in
+  let rng = Prng.create ~seed:1 in
+  random_txns rng s 30;
+  let ctx = ctx_of s in
+  inject_updates (Prng.create ~seed:9) s ctx ~per_execute:2;
+  let rolling = C.Rolling.create ctx ~t_initial:Time.origin in
+  let target = Database.now s.db in
+  C.Rolling.run_until rolling ~target ~policy:(C.Rolling.per_relation [| 3; 5 |]);
+  let hwm = C.Rolling.hwm rolling in
+  Alcotest.(check bool) "hwm reached target" true (hwm >= target);
+  check_ok
+    (C.Oracle.check_timed_view_delta s.history s.view ctx.C.Ctx.out
+       ~lo:Time.origin ~hi:hwm)
+
+let test_rolling_three_way () =
+  let s = three_table () in
+  let rng = Prng.create ~seed:3 in
+  random_txns rng s 25;
+  let ctx = ctx_of s in
+  inject_updates (Prng.create ~seed:11) s ctx ~per_execute:1;
+  let rolling = C.Rolling.create ctx ~t_initial:Time.origin in
+  let target = Database.now s.db in
+  C.Rolling.run_until rolling ~target
+    ~policy:(C.Rolling.per_relation [| 2; 4; 7 |]);
+  check_ok
+    (C.Oracle.check_timed_view_delta s.history s.view ctx.C.Ctx.out
+       ~lo:Time.origin ~hi:(C.Rolling.hwm rolling))
+
+let suite =
+  [
+    Alcotest.test_case "compute-delta 2-way with races" `Quick
+      test_compute_delta_simple;
+    Alcotest.test_case "rolling 2-way with races" `Quick test_rolling_simple;
+    Alcotest.test_case "rolling 3-way with races" `Quick test_rolling_three_way;
+  ]
+
+let test_rolling_deferred_two_way () =
+  let s = two_table () in
+  let rng = Prng.create ~seed:5 in
+  random_txns rng s 30;
+  let ctx = ctx_of s in
+  inject_updates (Prng.create ~seed:13) s ctx ~per_execute:2;
+  let rolling = C.Rolling_deferred.create ctx ~t_initial:Time.origin in
+  let target = Database.now s.db in
+  C.Rolling_deferred.run_until rolling ~target
+    ~policy:(C.Rolling_deferred.per_relation [| 3; 7 |]);
+  check_ok
+    (C.Oracle.check_timed_view_delta s.history s.view ctx.C.Ctx.out
+       ~lo:Time.origin ~hi:(C.Rolling_deferred.hwm rolling))
+
+let test_rolling_deferred_rejects_wide () =
+  let s = three_table () in
+  let ctx = ctx_of s in
+  Alcotest.check_raises "n >= 3 rejected"
+    (Invalid_argument
+       "Rolling_deferred.create: the deferred compensation rule of Figure 10 \
+        is only exact for views over at most two relations; use Rolling")
+    (fun () -> ignore (C.Rolling_deferred.create ctx ~t_initial:Time.origin))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "deferred rolling 2-way with races" `Quick
+        test_rolling_deferred_two_way;
+      Alcotest.test_case "deferred rolling rejects 3-way" `Quick
+        test_rolling_deferred_rejects_wide;
+    ]

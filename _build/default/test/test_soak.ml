@@ -1,0 +1,129 @@
+(* Soak tests: long randomized end-to-end runs exercising every process
+   (updates, capture lag, propagation, apply, GC, checkpoint/restart) with
+   failure injection, checked against the oracle at every refresh. *)
+
+open Test_support.Helpers
+module Time = Roll_delta.Time
+module Wal_codec = Roll_storage.Wal_codec
+module C = Roll_core
+
+(* A long adversarial schedule on the 3-way view: random bursts of updates,
+   manual capture that lags behind and catches up in chunks, propagation in
+   unpredictable dribbles, applies to random reachable targets, periodic
+   GC. *)
+let test_adversarial_schedule () =
+  let s = three_table () in
+  let rng = Prng.create ~seed:160 in
+  random_txns rng s 15;
+  let ctx = ctx_of s in
+  (* Manual capture: the driver advances it, sometimes only partially
+     between propagation steps, always fully before a step runs (the
+     "propagate waits for capture" protocol). *)
+  ctx.C.Ctx.auto_capture <- false;
+  ctx.C.Ctx.on_execute <-
+    (fun () ->
+      if Prng.chance rng 0.5 then random_txns rng s (Prng.int rng 3);
+      Roll_capture.Capture.advance s.capture);
+  let rolling = C.Rolling.create ctx ~t_initial:Time.origin in
+  let apply = C.Apply.create_empty ctx ~t_initial:Time.origin in
+  let policy i = [| 2; 5; 9 |].(i) in
+  for round = 1 to 60 do
+    (* Updates arrive in bursts; capture lags behind. *)
+    random_txns rng s (Prng.int rng 6);
+    Roll_capture.Capture.advance ~max_records:(Prng.int rng 8) s.capture;
+    (* Propagation dribbles. *)
+    Roll_capture.Capture.advance s.capture;
+    for _ = 1 to Prng.int rng 4 do
+      match C.Rolling.step rolling ~policy with `Advanced _ | `Idle -> ()
+    done;
+    (* Apply to a random reachable point. *)
+    let hwm = C.Rolling.hwm rolling in
+    if hwm > C.Apply.as_of apply && Prng.chance rng 0.6 then begin
+      let target = Prng.int_in rng ~lo:(C.Apply.as_of apply) ~hi:hwm in
+      C.Apply.roll_to apply ~hwm target;
+      let expected = C.Oracle.view_at s.history s.view target in
+      if not (Roll_relation.Relation.equal expected (C.Apply.contents apply)) then
+        Alcotest.failf "round %d: view diverged at t=%d" round target
+    end;
+    (* Occasionally garbage-collect applied delta rows. *)
+    if round mod 15 = 0 then ignore (C.Apply.prune_applied apply)
+  done
+
+(* Checkpoint/restart mid-soak, twice, with churn around each restart. *)
+let test_soak_with_restarts () =
+  let wal_path = Filename.temp_file "soak_wal" ".log" in
+  let ckpt_path = Filename.temp_file "soak" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove wal_path;
+      Sys.remove ckpt_path)
+    (fun () ->
+      let rng = Prng.create ~seed:161 in
+      (* Generation 0. *)
+      let s = ref (two_table ()) in
+      random_txns rng !s 20;
+      let ctx = ref (ctx_of !s) in
+      let rolling = ref (C.Rolling.create !ctx ~t_initial:Time.origin) in
+      let apply = ref (C.Apply.create_empty !ctx ~t_initial:Time.origin) in
+      for generation = 1 to 3 do
+        (* Work for a while. *)
+        random_txns rng !s (10 + Prng.int rng 20);
+        let target = Database.now !s.db in
+        C.Rolling.run_until !rolling ~target
+          ~policy:(C.Rolling.per_relation [| 3; 8 |]);
+        let hwm = C.Rolling.hwm !rolling in
+        let roll_target = Prng.int_in rng ~lo:(C.Apply.as_of !apply) ~hi:hwm in
+        C.Apply.roll_to !apply ~hwm roll_target;
+        (* Crash: persist WAL + checkpoint, restart everything. *)
+        Wal_codec.save_file (Database.wal !s.db) wal_path;
+        C.Checkpoint.save !ctx ~hwm ~apply:!apply ckpt_path;
+        let s2 = two_table () in
+        Wal_codec.restore s2.db (Wal_codec.load_file wal_path);
+        Roll_capture.Capture.advance s2.capture;
+        let ctx2, apply2, rolling2 =
+          C.Checkpoint.resume s2.db s2.capture s2.view ckpt_path
+        in
+        s := s2;
+        ctx := ctx2;
+        apply := apply2;
+        rolling := rolling2;
+        (* Verify immediately after restart. *)
+        let expected = C.Oracle.view_at s2.history s2.view (C.Apply.as_of apply2) in
+        if not (Roll_relation.Relation.equal expected (C.Apply.contents apply2)) then
+          Alcotest.failf "generation %d: state wrong after restart" generation
+      done;
+      (* Final convergence. *)
+      random_txns rng !s 15;
+      let target = Database.now !s.db in
+      C.Rolling.run_until !rolling ~target ~policy:(C.Rolling.uniform 5);
+      C.Apply.roll_to !apply ~hwm:(C.Rolling.hwm !rolling) target;
+      Alcotest.check relation "final state across 3 restarts"
+        (C.Oracle.view_at !s.history !s.view target)
+        (C.Apply.contents !apply))
+
+(* Alternate propagation processes over one delta: Propagate for a while,
+   then rolling, then deferred would be invalid (different bookkeeping),
+   but Propagate -> Rolling is legal when the rolling frontiers start at
+   Propagate's hwm. *)
+let test_process_handoff () =
+  let s = two_table () in
+  let rng = Prng.create ~seed:162 in
+  random_txns rng s 25;
+  let ctx = ctx_of s in
+  let p = C.Propagate.create ctx ~t_initial:Time.origin in
+  C.Propagate.run_until p ~target:(Database.now s.db / 2) ~interval:6;
+  let handoff = C.Propagate.hwm p in
+  random_txns rng s 25;
+  let rolling = C.Rolling.create ctx ~t_initial:handoff in
+  let target = Database.now s.db in
+  C.Rolling.run_until rolling ~target ~policy:(C.Rolling.per_relation [| 4; 11 |]);
+  check_ok
+    (C.Oracle.check_timed_view_delta s.history s.view ctx.C.Ctx.out
+       ~lo:Time.origin ~hi:(C.Rolling.hwm rolling))
+
+let suite =
+  [
+    Alcotest.test_case "adversarial schedule, 60 rounds" `Slow test_adversarial_schedule;
+    Alcotest.test_case "soak with restarts" `Slow test_soak_with_restarts;
+    Alcotest.test_case "Propagate -> Rolling handoff" `Quick test_process_handoff;
+  ]

@@ -1,0 +1,253 @@
+(* Storage-engine tests: transactional semantics, WAL, commit markers,
+   simulated wall clock, and temporal history reconstruction. *)
+
+open Roll_relation
+module Time = Roll_delta.Time
+module Database = Roll_storage.Database
+module Table = Roll_storage.Table
+module Wal = Roll_storage.Wal
+module History = Roll_storage.History
+module Prng = Roll_util.Prng
+module H = Test_support.Helpers
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let schema = Schema.make [ { Schema.name = "k"; ty = Value.T_int } ]
+
+let fresh () =
+  let db = Database.create () in
+  let _ = Database.create_table db ~name:"t" schema in
+  db
+
+let t1 = Tuple.ints [ 1 ]
+
+let t2 = Tuple.ints [ 2 ]
+
+let test_commit_applies () =
+  let db = fresh () in
+  let csn = Database.run db (fun txn -> Database.insert txn ~table:"t" t1) in
+  Alcotest.(check int) "first csn" 1 csn;
+  Alcotest.(check int) "applied" 1 (Table.count (Database.table db "t") t1);
+  Alcotest.(check int) "now" 1 (Database.now db)
+
+let test_txn_buffering () =
+  let db = fresh () in
+  let txn = Database.begin_txn db in
+  Database.insert txn ~table:"t" t1;
+  Alcotest.(check int) "not yet visible" 0 (Table.count (Database.table db "t") t1);
+  ignore (Database.commit db txn);
+  Alcotest.(check int) "visible after commit" 1 (Table.count (Database.table db "t") t1)
+
+let test_abort () =
+  let db = fresh () in
+  let txn = Database.begin_txn db in
+  Database.insert txn ~table:"t" t1;
+  Database.abort txn;
+  Alcotest.(check int) "nothing applied" 0 (Table.count (Database.table db "t") t1);
+  Alcotest.(check int) "no commit" 0 (Database.now db);
+  Alcotest.(check bool) "closed txn rejected" true
+    (try
+       Database.insert txn ~table:"t" t1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_run_rolls_back_on_exception () =
+  let db = fresh () in
+  (try
+     ignore
+       (Database.run db (fun txn ->
+            Database.insert txn ~table:"t" t1;
+            failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check int) "no partial effects" 0 (Table.count (Database.table db "t") t1)
+
+let test_over_delete_rejected_atomically () =
+  let db = fresh () in
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"t" t1));
+  let txn = Database.begin_txn db in
+  Database.insert txn ~table:"t" t2;
+  Database.delete txn ~table:"t" t1;
+  Database.delete txn ~table:"t" t1;
+  Alcotest.(check bool) "validation fails" true
+    (try
+       ignore (Database.commit db txn);
+       false
+     with Invalid_argument _ -> true);
+  (* Nothing from the failed transaction may be visible. *)
+  Alcotest.(check int) "t1 untouched" 1 (Table.count (Database.table db "t") t1);
+  Alcotest.(check int) "t2 not inserted" 0 (Table.count (Database.table db "t") t2)
+
+let test_same_txn_delete_then_insert () =
+  let db = fresh () in
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"t" t1));
+  (* Delete the only copy then re-insert it: valid, since validation follows
+     operation order with running counts. *)
+  ignore
+    (Database.run db (fun txn ->
+         Database.delete txn ~table:"t" t1;
+         Database.insert txn ~table:"t" t1));
+  Alcotest.(check int) "net one copy" 1 (Table.count (Database.table db "t") t1)
+
+let test_unknown_table () =
+  let db = fresh () in
+  let txn = Database.begin_txn db in
+  Database.insert txn ~table:"nope" t1;
+  Alcotest.(check bool) "unknown table rejected" true
+    (try
+       ignore (Database.commit db txn);
+       false
+     with Invalid_argument _ -> true)
+
+let test_update_is_delete_plus_insert () =
+  let db = fresh () in
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"t" t1));
+  ignore
+    (Database.run db (fun txn ->
+         Database.update txn ~table:"t" ~old_tuple:t1 ~new_tuple:t2));
+  Alcotest.(check int) "old gone" 0 (Table.count (Database.table db "t") t1);
+  Alcotest.(check int) "new there" 1 (Table.count (Database.table db "t") t2);
+  let record = Wal.get (Database.wal db) 1 in
+  Alcotest.(check int) "two changes in record" 2 (List.length record.Wal.changes)
+
+let test_marker () =
+  let db = fresh () in
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"t" t1));
+  let csn = Database.commit_marker db ~tag:"probe" in
+  Alcotest.(check int) "marker consumes csn" 2 csn;
+  let record = Wal.get (Database.wal db) 1 in
+  Alcotest.(check (option string)) "marker tag" (Some "probe") record.Wal.marker;
+  Alcotest.(check int) "no changes" 0 (List.length record.Wal.changes)
+
+let test_wall_clock () =
+  let db = Database.create ~wall_start:100.0 ~wall_tick:2.5 () in
+  let _ = Database.create_table db ~name:"t" schema in
+  Alcotest.(check (float 0.0)) "start" 100.0 (Database.wall_now db);
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"t" t1));
+  Alcotest.(check (float 1e-9)) "tick on commit" 102.5 (Database.wall_now db);
+  Database.advance_wall db 10.0;
+  Alcotest.(check (float 1e-9)) "manual advance" 112.5 (Database.wall_now db);
+  Alcotest.check_raises "negative advance"
+    (Invalid_argument "Database.advance_wall: negative") (fun () ->
+      Database.advance_wall db (-1.0))
+
+let test_wal_monotone_csn () =
+  let db = fresh () in
+  for _ = 1 to 5 do
+    ignore (Database.run db (fun txn -> Database.insert txn ~table:"t" t1))
+  done;
+  let wal = Database.wal db in
+  Alcotest.(check int) "length" 5 (Wal.length wal);
+  for i = 0 to 3 do
+    if (Wal.get wal i).Wal.csn >= (Wal.get wal (i + 1)).Wal.csn then
+      Alcotest.fail "CSNs must increase"
+  done;
+  Alcotest.(check int) "last_csn" 5 (Wal.last_csn wal)
+
+let test_create_table_duplicate () =
+  let db = fresh () in
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Database.create_table db ~name:"t" schema);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- History --- *)
+
+let test_history_states () =
+  let db = fresh () in
+  let history = History.create db in
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"t" t1));
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"t" t1));
+  ignore (Database.run db (fun txn -> Database.delete txn ~table:"t" t1));
+  let count_at t =
+    Relation.count (History.state_at history ~table:"t" t) t1
+  in
+  Alcotest.(check int) "at origin" 0 (count_at Time.origin);
+  Alcotest.(check int) "at 1" 1 (count_at 1);
+  Alcotest.(check int) "at 2" 2 (count_at 2);
+  Alcotest.(check int) "at 3" 1 (count_at 3);
+  (* Backwards queries rebuild from scratch. *)
+  Alcotest.(check int) "backwards" 1 (count_at 1);
+  Alcotest.(check int) "forwards again" 1 (count_at 3)
+
+let test_history_matches_live () =
+  let db = fresh () in
+  let history = History.create db in
+  let rng = Prng.create ~seed:4 in
+  for _ = 1 to 40 do
+    ignore
+      (Database.run db (fun txn ->
+           let k = Prng.int rng 5 in
+           let tuple = Tuple.ints [ k ] in
+           if Table.count (Database.table db "t") tuple > 0 && Prng.bool rng then
+             Database.delete txn ~table:"t" tuple
+           else Database.insert txn ~table:"t" tuple))
+  done;
+  Alcotest.check H.relation "state_at now = live"
+    (Table.contents (Database.table db "t"))
+    (History.state_at history ~table:"t" (Database.now db))
+
+let test_history_changes_between () =
+  let db = fresh () in
+  let history = History.create db in
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"t" t1));
+  ignore (Database.run db (fun txn -> Database.insert txn ~table:"t" t2));
+  ignore (Database.run db (fun txn -> Database.delete txn ~table:"t" t1));
+  let changes = History.changes_between history ~table:"t" ~lo:1 ~hi:3 in
+  Alcotest.(check int) "two changes in (1,3]" 2 (List.length changes);
+  (match changes with
+  | [ (tup, c, ts); (tup', c', ts') ] ->
+      Alcotest.check H.tuple "first" t2 tup;
+      Alcotest.(check int) "insert" 1 c;
+      Alcotest.(check int) "ts" 2 ts;
+      Alcotest.check H.tuple "second" t1 tup';
+      Alcotest.(check int) "delete" (-1) c';
+      Alcotest.(check int) "ts'" 3 ts'
+  | _ -> Alcotest.fail "unexpected shape")
+
+let prop_history_replay =
+  QCheck.Test.make ~name:"history state_at is prefix of WAL" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let db = fresh () in
+      let history = History.create db in
+      let rng = Prng.create ~seed in
+      let reference = ref [] in
+      (* Build a random history, snapshotting the table after each commit. *)
+      for _ = 1 to 25 do
+        ignore
+          (Database.run db (fun txn ->
+               let k = Prng.int rng 4 in
+               let tuple = Tuple.ints [ k ] in
+               if Table.count (Database.table db "t") tuple > 0 && Prng.bool rng
+               then Database.delete txn ~table:"t" tuple
+               else Database.insert txn ~table:"t" tuple));
+        reference := Relation.copy (Table.contents (Database.table db "t")) :: !reference
+      done;
+      let snapshots = Array.of_list (List.rev !reference) in
+      (* Query times in a scrambled order to stress the cache. *)
+      let order = Array.init 25 (fun i -> i + 1) in
+      Prng.shuffle rng order;
+      Array.for_all
+        (fun t -> Relation.equal snapshots.(t - 1) (History.state_at history ~table:"t" t))
+        order)
+
+let suite =
+  [
+    Alcotest.test_case "commit applies changes" `Quick test_commit_applies;
+    Alcotest.test_case "txn buffers until commit" `Quick test_txn_buffering;
+    Alcotest.test_case "abort discards" `Quick test_abort;
+    Alcotest.test_case "run rolls back on exception" `Quick test_run_rolls_back_on_exception;
+    Alcotest.test_case "over-delete rejected atomically" `Quick test_over_delete_rejected_atomically;
+    Alcotest.test_case "delete then insert in one txn" `Quick test_same_txn_delete_then_insert;
+    Alcotest.test_case "unknown table rejected" `Quick test_unknown_table;
+    Alcotest.test_case "update = delete + insert" `Quick test_update_is_delete_plus_insert;
+    Alcotest.test_case "commit markers" `Quick test_marker;
+    Alcotest.test_case "simulated wall clock" `Quick test_wall_clock;
+    Alcotest.test_case "WAL CSNs increase" `Quick test_wal_monotone_csn;
+    Alcotest.test_case "duplicate table rejected" `Quick test_create_table_duplicate;
+    Alcotest.test_case "history reconstructs states" `Quick test_history_states;
+    Alcotest.test_case "history matches live state" `Quick test_history_matches_live;
+    Alcotest.test_case "history changes_between" `Quick test_history_changes_between;
+    qtest prop_history_replay;
+  ]

@@ -1,0 +1,104 @@
+(* Five-way TPC-lite workload: the widest views in the suite, maintained by
+   every algorithm and checked against the oracle on small sizes. *)
+
+open Test_support.Helpers
+module Time = Roll_delta.Time
+module C = Roll_core
+module T = Roll_workload.Tpch_lite
+
+let small () =
+  let t = T.create T.small_config in
+  T.load_initial t;
+  t
+
+let check_controller t controller =
+  let time = C.Controller.as_of controller in
+  Alcotest.(check bool) "vs oracle" true
+    (Roll_relation.Relation.equal
+       (C.Oracle.view_at (T.history t) (T.view t) time)
+       (C.Controller.contents controller))
+
+let test_rolling_five_way () =
+  let t = small () in
+  let controller =
+    C.Controller.create (T.db t) (T.capture t) (T.view t)
+      ~algorithm:
+        (C.Controller.Rolling (C.Rolling.per_relation [| 500; 500; 60; 6; 6 |]))
+  in
+  T.churn t ~n:40;
+  ignore (C.Controller.refresh_latest controller);
+  check_controller t controller;
+  (* And again after more churn — incremental from the previous state. *)
+  T.churn t ~n:30;
+  ignore (C.Controller.refresh_latest controller);
+  check_controller t controller
+
+let test_uniform_five_way () =
+  let t = small () in
+  let controller =
+    C.Controller.create (T.db t) (T.capture t) (T.view t)
+      ~algorithm:(C.Controller.Uniform 12)
+  in
+  T.churn t ~n:40;
+  ignore (C.Controller.refresh_latest controller);
+  check_controller t controller
+
+let test_adaptive_five_way () =
+  let t = small () in
+  let ctx = C.Ctx.create ~t_initial:Time.origin (T.db t) (T.capture t) (T.view t) in
+  T.churn t ~n:50;
+  let tuner = C.Autotune.create ~target_rows:25 ctx in
+  let r = C.Rolling.create ctx ~t_initial:Time.origin in
+  let target = Database.now (T.db t) in
+  C.Rolling.run_until r ~target ~policy:(C.Autotune.policy tuner);
+  check_ok
+    (C.Oracle.check_timed_view_delta_sampled
+       ~sample:(fun time -> time mod 13 = 0)
+       (T.history t) (T.view t) ctx.C.Ctx.out ~lo:Time.origin
+       ~hi:(C.Rolling.hwm r));
+  (* Static region/nation must get wide intervals, hot lineitem narrow. *)
+  Alcotest.(check bool) "lineitem tighter than region" true
+    (C.Autotune.interval_for tuner 4 < C.Autotune.interval_for tuner 0)
+
+let test_point_in_time_five_way () =
+  let t = small () in
+  let controller =
+    C.Controller.create (T.db t) (T.capture t) (T.view t)
+      ~algorithm:(C.Controller.Rolling (C.Rolling.uniform 10))
+  in
+  let t0 = C.Controller.as_of controller in
+  T.churn t ~n:30;
+  let mid = t0 + 15 in
+  C.Controller.refresh_to controller mid;
+  Alcotest.(check bool) "mid state vs oracle" true
+    (Roll_relation.Relation.equal
+       (C.Oracle.view_at (T.history t) (T.view t) mid)
+       (C.Controller.contents controller))
+
+let test_larger_run_no_oracle () =
+  (* Production-ish sizes, no oracle (too wide); internal invariants only. *)
+  let t = T.create { T.default_config with initial_orders = 200 } in
+  T.load_initial t;
+  let controller =
+    C.Controller.create (T.db t) (T.capture t) (T.view t)
+      ~algorithm:
+        (C.Controller.Rolling (C.Rolling.per_relation [| 2000; 2000; 200; 15; 15 |]))
+  in
+  T.churn t ~n:300;
+  let time = C.Controller.refresh_latest controller in
+  Alcotest.(check bool) "nonempty view" true
+    (Roll_relation.Relation.distinct_count (C.Controller.contents controller) > 100);
+  Alcotest.(check int) "as_of = refresh target" time (C.Controller.as_of controller);
+  (* Row counts in the view cannot be negative anywhere. *)
+  Roll_relation.Relation.iter
+    (fun _ c -> if c <= 0 then Alcotest.fail "non-positive multiplicity in view")
+    (C.Controller.contents controller)
+
+let suite =
+  [
+    Alcotest.test_case "rolling, 5-way" `Quick test_rolling_five_way;
+    Alcotest.test_case "uniform, 5-way" `Quick test_uniform_five_way;
+    Alcotest.test_case "adaptive, 5-way" `Quick test_adaptive_five_way;
+    Alcotest.test_case "point-in-time, 5-way" `Quick test_point_in_time_five_way;
+    Alcotest.test_case "larger run invariants" `Quick test_larger_run_no_oracle;
+  ]

@@ -1,0 +1,100 @@
+(* Trigger-based capture (Section 5): demonstrate concretely why naive
+   write-time triggers cannot stamp deltas correctly, and that the
+   commit-trigger remedy agrees with log capture. *)
+
+open Test_support.Helpers
+open Roll_relation
+module Delta = Roll_delta.Delta
+module Capture = Roll_capture.Capture
+module Trigger_capture = Roll_capture.Trigger_capture
+
+(* Two transactions that begin in one order and commit in the other — the
+   exact situation Section 5 says breaks write-time timestamps. *)
+let out_of_order_commits stamping =
+  let s = two_table () in
+  let tc = Trigger_capture.attach s.db ~stamping [ "r" ] in
+  let t1 = Database.begin_txn s.db in
+  let t2 = Database.begin_txn s.db in
+  Database.insert t1 ~table:"r" (Tuple.ints [ 1; 1 ]);
+  Database.insert t2 ~table:"r" (Tuple.ints [ 2; 2 ]);
+  let csn2 = Database.commit s.db t2 in
+  let csn1 = Database.commit s.db t1 in
+  Capture.advance s.capture;
+  (s, tc, csn2, csn1)
+
+let test_write_time_misorders () =
+  let _, tc, csn2, _ = out_of_order_commits `Write_time in
+  let d = Trigger_capture.delta tc ~table:"r" in
+  (* Roll table r to the first commit time using the trigger delta: the
+     write-time stamps claim tuple (1,1) came first, but the true state
+     after csn2 is { (2,2) }. *)
+  let state = Delta.net_effect d ~lo:0 ~hi:csn2 in
+  Alcotest.(check bool) "write-time delta is wrong at csn2" false
+    (Relation.count state (Tuple.ints [ 2; 2 ]) = 1
+    && Relation.count state (Tuple.ints [ 1; 1 ]) = 0)
+
+let test_commit_time_correct () =
+  let s, tc, csn2, csn1 = out_of_order_commits `Commit_time in
+  let d = Trigger_capture.delta tc ~table:"r" in
+  let state = Delta.net_effect d ~lo:0 ~hi:csn2 in
+  Alcotest.(check int) "t2's row there" 1 (Relation.count state (Tuple.ints [ 2; 2 ]));
+  Alcotest.(check int) "t1's row not yet" 0 (Relation.count state (Tuple.ints [ 1; 1 ]));
+  let state = Delta.net_effect d ~lo:0 ~hi:csn1 in
+  Alcotest.(check int) "both after csn1" 2 (Relation.total_count state);
+  Alcotest.(check bool) "equals log capture" true
+    (Trigger_capture.matches_log_capture tc s.capture ~table:"r")
+
+let test_aborts_pollute_write_time () =
+  let s = two_table () in
+  let tc_w = Trigger_capture.attach s.db ~stamping:`Write_time [ "r" ] in
+  let txn = Database.begin_txn s.db in
+  Database.insert txn ~table:"r" (Tuple.ints [ 9; 9 ]);
+  Database.abort txn;
+  Alcotest.(check int) "aborted write captured anyway" 1
+    (Delta.length (Trigger_capture.delta tc_w ~table:"r"))
+
+let test_aborts_clean_with_commit_trigger () =
+  let s = two_table () in
+  let tc_c = Trigger_capture.attach s.db ~stamping:`Commit_time [ "r" ] in
+  let txn = Database.begin_txn s.db in
+  Database.insert txn ~table:"r" (Tuple.ints [ 9; 9 ]);
+  Database.abort txn;
+  ignore (Database.run s.db (fun t -> Database.insert t ~table:"r" (Tuple.ints [ 1; 1 ])));
+  Capture.advance s.capture;
+  Alcotest.(check int) "only the committed row" 1
+    (Delta.length (Trigger_capture.delta tc_c ~table:"r"));
+  Alcotest.(check bool) "equals log capture" true
+    (Trigger_capture.matches_log_capture tc_c s.capture ~table:"r")
+
+let test_commit_time_equals_log_capture_random () =
+  let s = two_table () in
+  let tc = Trigger_capture.attach s.db ~stamping:`Commit_time [ "r"; "s" ] in
+  random_txns (Prng.create ~seed:190) s 50;
+  Capture.advance s.capture;
+  List.iter
+    (fun table ->
+      Alcotest.(check bool) (table ^ " matches") true
+        (Trigger_capture.matches_log_capture tc s.capture ~table))
+    [ "r"; "s" ]
+
+let test_attach_guard () =
+  let s = two_table () in
+  random_txns (Prng.create ~seed:191) s 2;
+  Alcotest.(check bool) "late attach rejected" true
+    (try
+       ignore (Trigger_capture.attach s.db ~stamping:`Commit_time [ "r" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "write-time stamps misorder" `Quick test_write_time_misorders;
+    Alcotest.test_case "commit-time stamps correct" `Quick test_commit_time_correct;
+    Alcotest.test_case "aborts pollute write-time capture" `Quick
+      test_aborts_pollute_write_time;
+    Alcotest.test_case "aborts clean with commit trigger" `Quick
+      test_aborts_clean_with_commit_trigger;
+    Alcotest.test_case "commit-time = log capture on random streams" `Quick
+      test_commit_time_equals_log_capture_random;
+    Alcotest.test_case "late attach rejected" `Quick test_attach_guard;
+  ]

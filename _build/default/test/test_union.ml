@@ -1,0 +1,141 @@
+(* Union views: multiset union of SPJ blocks, each rolled by its own
+   rolling process, checked against the union of oracle states. *)
+
+open Test_support.Helpers
+open Roll_relation
+module Time = Roll_delta.Time
+module C = Roll_core
+
+(* Two blocks over the same pair of tables: low-keyed joins and high-keyed
+   joins; their union is the full join filtered to k < 3 or k >= 5. *)
+let union_scenario () =
+  let s = two_table () in
+  let b = C.View.binder s.db [ ("r", "r"); ("s", "s") ] in
+  let block cmp_op bound name =
+    C.View.create s.db ~name
+      ~sources:[ ("r", "r"); ("s", "s") ]
+      ~predicate:
+        [
+          Predicate.join (b "r" "k") (b "s" "k");
+          Predicate.cmp cmp_op (Predicate.Col (b "r" "k")) (Predicate.Const (Value.Int bound));
+        ]
+      ~project:[ b "r" "k"; b "r" "v"; b "s" "w" ]
+  in
+  (s, [ block Predicate.Lt 3 "low"; block Predicate.Ge 5 "high" ])
+
+let oracle_union s views t =
+  List.fold_left
+    (fun acc v -> Relation.union acc (C.Oracle.view_at s.history v t))
+    (Relation.create (C.View.output_schema (List.hd views)))
+    views
+
+let test_union_end_to_end () =
+  let s, views = union_scenario () in
+  let u =
+    C.Union_view.create s.db s.capture ~views
+      ~policies:[ C.Rolling.uniform 3; C.Rolling.uniform 7 ]
+      ~t_initial:Time.origin
+  in
+  random_txns (Prng.create ~seed:121) s 40;
+  let target = Database.now s.db in
+  C.Union_view.propagate_until u target;
+  Alcotest.(check bool) "hwm covers target" true (C.Union_view.hwm u >= target);
+  (* Roll through intermediate points. *)
+  let t = ref 0 in
+  while !t < target do
+    t := min target (!t + 6);
+    C.Union_view.roll_to u !t;
+    if not (Relation.equal (oracle_union s views !t) (C.Union_view.contents u)) then
+      Alcotest.failf "union state wrong at t=%d" !t
+  done
+
+let test_union_validation () =
+  let s, views = union_scenario () in
+  Alcotest.(check bool) "policy count mismatch" true
+    (try
+       ignore
+         (C.Union_view.create s.db s.capture ~views
+            ~policies:[ C.Rolling.uniform 3 ]
+            ~t_initial:Time.origin);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "no blocks" true
+    (try
+       ignore
+         (C.Union_view.create s.db s.capture ~views:[] ~policies:[]
+            ~t_initial:Time.origin);
+       false
+     with Invalid_argument _ -> true)
+
+let test_union_schema_mismatch () =
+  let s = two_table () in
+  let b = C.View.binder s.db [ ("r", "r"); ("s", "s") ] in
+  let v1 =
+    C.View.create s.db ~name:"a"
+      ~sources:[ ("r", "r"); ("s", "s") ]
+      ~predicate:[ Predicate.join (b "r" "k") (b "s" "k") ]
+      ~project:[ b "r" "k" ]
+  in
+  let v2 =
+    C.View.create s.db ~name:"b"
+      ~sources:[ ("r", "r"); ("s", "s") ]
+      ~predicate:[ Predicate.join (b "r" "k") (b "s" "k") ]
+      ~project:[ b "s" "w" ]
+  in
+  Alcotest.(check bool) "schema mismatch rejected" true
+    (try
+       ignore
+         (C.Union_view.create s.db s.capture ~views:[ v1; v2 ]
+            ~policies:[ C.Rolling.uniform 2; C.Rolling.uniform 2 ]
+            ~t_initial:Time.origin);
+       false
+     with Invalid_argument _ -> true)
+
+let test_union_roll_guards () =
+  let s, views = union_scenario () in
+  let u =
+    C.Union_view.create s.db s.capture ~views
+      ~policies:[ C.Rolling.uniform 3; C.Rolling.uniform 3 ]
+      ~t_initial:Time.origin
+  in
+  random_txns (Prng.create ~seed:122) s 10;
+  Alcotest.(check bool) "beyond hwm rejected" true
+    (try
+       C.Union_view.roll_to u (Database.now s.db);
+       false
+     with Invalid_argument _ -> true)
+
+let test_overlapping_blocks_double_count () =
+  (* Union is multiset: overlapping blocks count rows twice — by design. *)
+  let s = two_table () in
+  let b = C.View.binder s.db [ ("r", "r"); ("s", "s") ] in
+  let block name =
+    C.View.create s.db ~name
+      ~sources:[ ("r", "r"); ("s", "s") ]
+      ~predicate:[ Predicate.join (b "r" "k") (b "s" "k") ]
+      ~project:[ b "r" "k" ]
+  in
+  let u =
+    C.Union_view.create s.db s.capture ~views:[ block "x"; block "y" ]
+      ~policies:[ C.Rolling.uniform 4; C.Rolling.uniform 4 ]
+      ~t_initial:Time.origin
+  in
+  ignore
+    (Database.run s.db (fun txn ->
+         Database.insert txn ~table:"r" (Tuple.ints [ 1; 0 ]);
+         Database.insert txn ~table:"s" (Tuple.ints [ 1; 0 ])));
+  let target = Database.now s.db in
+  C.Union_view.propagate_until u target;
+  C.Union_view.roll_to u target;
+  Alcotest.(check int) "count doubled" 2
+    (Relation.count (C.Union_view.contents u) (Tuple.ints [ 1 ]))
+
+let suite =
+  [
+    Alcotest.test_case "union end-to-end with point-in-time" `Quick test_union_end_to_end;
+    Alcotest.test_case "union validation" `Quick test_union_validation;
+    Alcotest.test_case "union schema mismatch" `Quick test_union_schema_mismatch;
+    Alcotest.test_case "union roll guards" `Quick test_union_roll_guards;
+    Alcotest.test_case "overlapping blocks multiset union" `Quick
+      test_overlapping_blocks_double_count;
+  ]

@@ -1,0 +1,111 @@
+(* View-definition tests: binder resolution, validation, accessors,
+   projection application, and pretty-printing. *)
+
+open Test_support.Helpers
+open Roll_relation
+module C = Roll_core
+
+let test_binder () =
+  let s = two_table () in
+  let b = C.View.binder s.db [ ("r", "left"); ("s", "right") ] in
+  let c = b "right" "w" in
+  Alcotest.(check int) "source index" 1 c.Predicate.source;
+  Alcotest.(check int) "column index" 1 c.Predicate.column;
+  Alcotest.(check bool) "unknown alias" true
+    (try
+       ignore (b "nope" "w");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown column" true
+    (try
+       ignore (b "left" "zzz");
+       false
+     with Invalid_argument _ -> true)
+
+let test_accessors () =
+  let s = three_table () in
+  let v = s.view in
+  Alcotest.(check int) "n_sources" 3 (C.View.n_sources v);
+  Alcotest.(check string) "table" "b" (C.View.source_table v 1);
+  Alcotest.(check string) "alias" "c" (C.View.alias v 2);
+  Alcotest.(check int) "source schema arity" 2
+    (Schema.arity (C.View.source_schema v 0));
+  Alcotest.(check int) "predicate atoms" 2 (List.length (C.View.predicate v));
+  Alcotest.(check int) "projection columns" 3 (List.length (C.View.projection v))
+
+let test_validation_errors () =
+  let s = two_table () in
+  let expect_invalid label f =
+    Alcotest.(check bool) label true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  let b = C.View.binder s.db [ ("r", "r"); ("s", "s") ] in
+  expect_invalid "no sources" (fun () ->
+      C.View.create s.db ~name:"x" ~sources:[] ~predicate:[] ~project:[]);
+  expect_invalid "empty projection" (fun () ->
+      C.View.create s.db ~name:"x" ~sources:[ ("r", "r") ] ~predicate:[] ~project:[]);
+  expect_invalid "column out of range" (fun () ->
+      C.View.create s.db ~name:"x" ~sources:[ ("r", "r") ] ~predicate:[]
+        ~project:[ Predicate.col 0 9 ]);
+  expect_invalid "source out of range in predicate" (fun () ->
+      C.View.create s.db ~name:"x" ~sources:[ ("r", "r") ]
+        ~predicate:[ Predicate.join (Predicate.col 0 0) (Predicate.col 5 0) ]
+        ~project:[ Predicate.col 0 0 ]);
+  expect_invalid "duplicate output names" (fun () ->
+      C.View.create s.db ~name:"x"
+        ~sources:[ ("r", "r"); ("s", "s") ]
+        ~predicate:[ Predicate.join (b "r" "k") (b "s" "k") ]
+        ~project:[ b "r" "k"; b "r" "k" ])
+
+let test_join_type_check () =
+  let db = Database.create () in
+  let _ =
+    Database.create_table db ~name:"a"
+      (Schema.make [ { Schema.name = "x"; ty = Value.T_int } ])
+  in
+  let _ =
+    Database.create_table db ~name:"b"
+      (Schema.make [ { Schema.name = "y"; ty = Value.T_string } ])
+  in
+  Alcotest.(check bool) "cross-type equi-join rejected" true
+    (try
+       ignore
+         (C.View.create db ~name:"x"
+            ~sources:[ ("a", "a"); ("b", "b") ]
+            ~predicate:[ Predicate.join (Predicate.col 0 0) (Predicate.col 1 0) ]
+            ~project:[ Predicate.col 0 0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_output_schema_names () =
+  let s = two_table () in
+  let schema = C.View.output_schema s.view in
+  Alcotest.(check string) "prefixed names" "r_k" (Schema.column schema 0).Schema.name;
+  Alcotest.(check string) "prefixed names" "s_w" (Schema.column schema 2).Schema.name
+
+let test_project_bindings () =
+  let s = two_table () in
+  let out =
+    C.View.project_bindings s.view [| Tuple.ints [ 1; 2 ]; Tuple.ints [ 1; 9 ] |]
+  in
+  Alcotest.check tuple "projected" (Tuple.ints [ 1; 2; 9 ]) out
+
+let test_pp () =
+  let s = two_table () in
+  let text = Format.asprintf "%a" C.View.pp s.view in
+  Alcotest.(check bool) "mentions name and tables" true
+    (contains text "rs" && contains text "r, s")
+
+let suite =
+  [
+    Alcotest.test_case "binder" `Quick test_binder;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "validation errors" `Quick test_validation_errors;
+    Alcotest.test_case "join type checking" `Quick test_join_type_check;
+    Alcotest.test_case "output schema names" `Quick test_output_schema_names;
+    Alcotest.test_case "project_bindings" `Quick test_project_bindings;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

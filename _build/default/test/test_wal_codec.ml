@@ -1,0 +1,168 @@
+(* WAL persistence: save/load round trips, full database restore, resumed
+   maintenance after restore, and corruption detection. *)
+
+open Test_support.Helpers
+open Roll_relation
+module Wal = Roll_storage.Wal
+module Wal_codec = Roll_storage.Wal_codec
+module C = Roll_core
+
+let with_temp_file f =
+  let path = Filename.temp_file "rollwal" ".log" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let records_equal (a : Wal.record) (b : Wal.record) =
+  a.csn = b.csn && a.txn_id = b.txn_id && a.wall = b.wall && a.marker = b.marker
+  && List.length a.changes = List.length b.changes
+  && List.for_all2
+       (fun (x : Wal.change) (y : Wal.change) ->
+         x.table = y.table && x.count = y.count && Tuple.equal x.tuple y.tuple)
+       a.changes b.changes
+
+let test_roundtrip () =
+  let s = two_table () in
+  random_txns (Prng.create ~seed:130) s 30;
+  ignore (Database.commit_marker s.db ~tag:"checkpoint \"quoted\"\nline");
+  with_temp_file (fun path ->
+      Wal_codec.save_file (Database.wal s.db) path;
+      let records = Wal_codec.load_file path in
+      Alcotest.(check int) "record count" (Wal.length (Database.wal s.db))
+        (List.length records);
+      List.iteri
+        (fun i record ->
+          if not (records_equal (Wal.get (Database.wal s.db) i) record) then
+            Alcotest.failf "record %d differs after round trip" i)
+        records)
+
+let test_value_edge_cases () =
+  let db = Database.create () in
+  let schema =
+    Schema.make
+      [
+        { Schema.name = "a"; ty = Value.T_string };
+        { Schema.name = "b"; ty = Value.T_float };
+        { Schema.name = "c"; ty = Value.T_bool };
+      ]
+  in
+  let _ = Database.create_table db ~name:"t" schema in
+  let tricky =
+    Tuple.make [ Value.Str "with 'quotes'\n\ttabs and \\"; Value.Float 0.1; Value.Bool false ]
+  in
+  let nulls = Tuple.make [ Value.Null; Value.Null; Value.Null ] in
+  ignore
+    (Database.run db (fun txn ->
+         Database.insert txn ~table:"t" tricky;
+         Database.insert txn ~table:"t" nulls));
+  with_temp_file (fun path ->
+      Wal_codec.save_file (Database.wal db) path;
+      let records = Wal_codec.load_file path in
+      match records with
+      | [ r ] -> (
+          match r.Wal.changes with
+          | [ c1; c2 ] ->
+              Alcotest.check tuple "tricky string/float" tricky c1.Wal.tuple;
+              Alcotest.check tuple "nulls" nulls c2.Wal.tuple
+          | _ -> Alcotest.fail "expected two changes")
+      | _ -> Alcotest.fail "expected one record")
+
+let test_restore_reproduces_database () =
+  let s = two_table () in
+  random_txns (Prng.create ~seed:131) s 40;
+  with_temp_file (fun path ->
+      Wal_codec.save_file (Database.wal s.db) path;
+      let records = Wal_codec.load_file path in
+      (* Fresh database, same table definitions. *)
+      let s2 = two_table () in
+      Wal_codec.restore s2.db records;
+      Alcotest.(check int) "now restored" (Database.now s.db) (Database.now s2.db);
+      Alcotest.(check (float 0.0)) "wall restored" (Database.wall_now s.db)
+        (Database.wall_now s2.db);
+      List.iter
+        (fun name ->
+          Alcotest.check relation
+            ("table " ^ name)
+            (Roll_storage.Table.contents (Database.table s.db name))
+            (Roll_storage.Table.contents (Database.table s2.db name)))
+        [ "r"; "s" ])
+
+let test_maintenance_resumes_after_restore () =
+  (* Save a history, restore it elsewhere, then run maintenance over the
+     whole (restored + new) history. *)
+  let s = two_table () in
+  random_txns (Prng.create ~seed:132) s 25;
+  with_temp_file (fun path ->
+      Wal_codec.save_file (Database.wal s.db) path;
+      let s2 = two_table () in
+      Wal_codec.restore s2.db (Wal_codec.load_file path);
+      (* New life: more transactions after the restore. *)
+      random_txns (Prng.create ~seed:133) s2 25;
+      let ctx = ctx_of s2 in
+      let r = C.Rolling.create ctx ~t_initial:0 in
+      let target = Database.now s2.db in
+      C.Rolling.run_until r ~target ~policy:(C.Rolling.uniform 7);
+      check_ok
+        (C.Oracle.check_timed_view_delta s2.history s2.view ctx.C.Ctx.out ~lo:0
+           ~hi:target))
+
+let test_restore_guards () =
+  let s = two_table () in
+  random_txns (Prng.create ~seed:134) s 5;
+  with_temp_file (fun path ->
+      Wal_codec.save_file (Database.wal s.db) path;
+      let records = Wal_codec.load_file path in
+      (* Non-empty target. *)
+      let s2 = two_table () in
+      random_txns (Prng.create ~seed:135) s2 1;
+      Alcotest.(check bool) "non-fresh target rejected" true
+        (try
+           Wal_codec.restore s2.db records;
+           false
+         with Invalid_argument _ -> true);
+      (* Missing table. *)
+      let db3 = Database.create () in
+      Alcotest.(check bool) "unknown table rejected" true
+        (try
+           Wal_codec.restore db3 records;
+           false
+         with Invalid_argument _ -> true))
+
+let test_corruption_detected () =
+  let check_corrupt content =
+    let path = Filename.temp_file "rollwal" ".log" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let out = open_out path in
+        output_string out content;
+        close_out out;
+        try
+          ignore (Wal_codec.load_file path);
+          false
+        with Wal_codec.Corrupt _ -> true)
+  in
+  Alcotest.(check bool) "bad header" true (check_corrupt "NOTAWAL\n");
+  Alcotest.(check bool) "empty file" true (check_corrupt "");
+  Alcotest.(check bool) "truncated record" true
+    (check_corrupt "ROLLWAL 1\nR 1 1 0x1p0\n");
+  Alcotest.(check bool) "garbage line" true
+    (check_corrupt "ROLLWAL 1\nR 1 1 0x1p0\nX nonsense\nE\n");
+  Alcotest.(check bool) "bad value" true
+    (check_corrupt "ROLLWAL 1\nR 1 1 0x1p0\nC \"t\" 1 1\nV wat\nE\n")
+
+let test_empty_wal () =
+  let db = Database.create () in
+  with_temp_file (fun path ->
+      Wal_codec.save_file (Database.wal db) path;
+      Alcotest.(check int) "no records" 0 (List.length (Wal_codec.load_file path)))
+
+let suite =
+  [
+    Alcotest.test_case "save/load round trip" `Quick test_roundtrip;
+    Alcotest.test_case "value edge cases" `Quick test_value_edge_cases;
+    Alcotest.test_case "restore reproduces database" `Quick test_restore_reproduces_database;
+    Alcotest.test_case "maintenance resumes after restore" `Quick
+      test_maintenance_resumes_after_restore;
+    Alcotest.test_case "restore guards" `Quick test_restore_guards;
+    Alcotest.test_case "corruption detected" `Quick test_corruption_detected;
+    Alcotest.test_case "empty wal" `Quick test_empty_wal;
+  ]
