@@ -11,7 +11,8 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   if List.mem "--list" args then begin
     List.iter (fun (name, _) -> print_endline name) Experiments.all;
-    print_endline "micro"
+    print_endline "micro";
+    print_endline "json"
   end
   else begin
     let wanted name =
@@ -32,5 +33,10 @@ let () =
         end)
       Experiments.all;
     if wanted "micro" then Micro.run ();
+    if wanted "json" then begin
+      let t = Unix.gettimeofday () in
+      Bench_json.run ();
+      Printf.printf "[json: %.1fs]\n%!" (Unix.gettimeofday () -. t)
+    end;
     Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)
   end

@@ -198,10 +198,15 @@ let explain_cmd txns =
   print_endline "plan for the view's defining query:";
   print_string (C.Executor.explain ctx (C.Pquery.all_base 3));
   print_endline "plan for a forward propagation query (delta window drives the join):";
-  print_string
-    (C.Executor.explain ctx
-       (C.Pquery.replace (C.Pquery.all_base 3) 1
-          (C.Pquery.Win { lo = now - 10; hi = now })))
+  let forward =
+    C.Pquery.replace (C.Pquery.all_base 3) 1
+      (C.Pquery.Win { lo = now - 10; hi = now })
+  in
+  print_string (C.Executor.explain ctx forward);
+  print_endline "";
+  print_endline "estimated vs. actual (runs the queries, commits nothing):";
+  print_string (C.Executor.explain_analyze ctx (C.Pquery.all_base 3));
+  print_string (C.Executor.explain_analyze ctx forward)
 
 let explain_term =
   let txns = Arg.(value & opt int 50 & info [ "txns"; "n" ] ~doc:"update transactions") in

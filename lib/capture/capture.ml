@@ -50,6 +50,14 @@ let delta t ~table =
   | Some d -> d
   | None -> raise Not_found
 
+let window_cursor t ~table ~lo ~hi =
+  if hi > t.hwm then
+    invalid_arg
+      (Printf.sprintf
+         "Capture.window_cursor: window (%d,%d] beyond capture high-water mark %d"
+         lo hi t.hwm);
+  Delta.window_cursor (delta t ~table) ~lo ~hi
+
 let uow t = t.uow
 
 let capture_record t (record : Wal.record) =

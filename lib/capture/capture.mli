@@ -23,6 +23,19 @@ val attached : t -> string list
 val delta : t -> table:string -> Roll_delta.Delta.t
 (** Δ^R for an attached table. @raise Not_found otherwise. *)
 
+val window_cursor :
+  t ->
+  table:string ->
+  lo:Roll_delta.Time.t ->
+  hi:Roll_delta.Time.t ->
+  Roll_relation.Cursor.t
+(** Lazy cursor over σ_{lo,hi}(Δ^R) — the captured-change source the
+    execution pipeline pulls forward-query windows from.
+    @raise Not_found if the table is not attached.
+    @raise Invalid_argument if the window extends beyond the capture
+    high-water mark (changes past [hwm t] have not been captured yet, so
+    the window would silently under-report). *)
+
 val uow : t -> Uow.t
 
 val advance : ?max_records:int -> t -> unit

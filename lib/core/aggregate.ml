@@ -92,8 +92,8 @@ let group_is_empty g =
   && Array.for_all ValueMap.is_empty g.minsets
   && Array.for_all ValueMap.is_empty g.maxsets
 
-let apply_row t (row : Delta.row) =
-  let key = Tuple.project row.tuple t.spec.group_by in
+let apply_change t tuple count =
+  let key = Tuple.project tuple t.spec.group_by in
   let group =
     match H.find_opt t.groups key with
     | Some g -> g
@@ -109,27 +109,29 @@ let apply_row t (row : Delta.row) =
         H.add t.groups key g;
         g
   in
-  group.count <- group.count + row.count;
+  group.count <- group.count + count;
   List.iteri
     (fun k col ->
-      match Tuple.get row.tuple col with
-      | Value.Int v -> group.sums.(k) <- group.sums.(k) + (row.count * v)
+      match Tuple.get tuple col with
+      | Value.Int v -> group.sums.(k) <- group.sums.(k) + (count * v)
       | _ -> ())
     t.spec.sums;
   List.iteri
     (fun k col ->
-      group.minsets.(k) <- multiset_add group.minsets.(k) (Tuple.get row.tuple col) row.count)
+      group.minsets.(k) <- multiset_add group.minsets.(k) (Tuple.get tuple col) count)
     t.spec.mins;
   List.iteri
     (fun k col ->
-      group.maxsets.(k) <- multiset_add group.maxsets.(k) (Tuple.get row.tuple col) row.count)
+      group.maxsets.(k) <- multiset_add group.maxsets.(k) (Tuple.get tuple col) count)
     t.spec.maxs;
   if group_is_empty group then H.remove t.groups key
 
 let roll_to t ~hwm target =
   if target < t.as_of then invalid_arg "Aggregate.roll_to: target is behind";
   if target > hwm then invalid_arg "Aggregate.roll_to: target beyond high-water mark";
-  Delta.window_iter t.delta ~lo:t.as_of ~hi:target (fun row -> apply_row t row);
+  Cursor.iter
+    (fun (r : Cursor.row) -> apply_change t r.tuple r.count)
+    (Delta.window_cursor t.delta ~lo:t.as_of ~hi:target);
   t.as_of <- target
 
 let min_of set = match ValueMap.min_binding_opt set with Some (v, _) -> v | None -> Value.Null

@@ -14,6 +14,7 @@ type t = {
   mutable auto_capture : bool;
   mutable skip_empty_windows : bool;
   mutable timestamp_rule : [ `Min | `Max ];
+  mutable last_report : Exec.report option;
 }
 
 let create ?(geometry = false) ?t_initial db capture view =
@@ -41,4 +42,5 @@ let create ?(geometry = false) ?t_initial db capture view =
     auto_capture = true;
     skip_empty_windows = true;
     timestamp_rule = `Min;
+    last_report = None;
   }

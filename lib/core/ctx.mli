@@ -33,6 +33,11 @@ type t = {
           [`Min] is the paper's (correct) rule from Section 3.3; [`Max] is
           kept as an ablation that the benches show to break
           transaction-consistent point-in-time states. *)
+  mutable last_report : Exec.report option;
+      (** instrumented report of the most recent pipeline run in this
+          context (per-step estimated vs. actual cardinalities, reads,
+          hash builds, wall time) — what [Executor.explain_analyze] and
+          [rollctl explain] read back *)
 }
 
 val create :

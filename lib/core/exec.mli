@@ -1,0 +1,85 @@
+(** The streaming execution engine: cursor-based join operators.
+
+    [run] turns a {!Planner.t} into a pull-based operator tree — scan,
+    index-probe, hash-join and nested-loop steps composed as cursor
+    combinators — and drains it. Inputs are {!source}s: anything that can
+    open a {!Roll_relation.Cursor.t} (base tables, delta-log windows, plain
+    relations), so the propagation executor, the oracle and the baselines
+    all execute through this one pipeline instead of private join loops.
+
+    Nothing is materialized on the forward-query path: the driving input
+    streams through the operator chain row by row, hash indexes are built
+    directly from a scan cursor (no intermediate row array), and secondary
+    index probes fetch only matching copies. The only remaining buffering is
+    the nested-loop fallback, which pins its inner input once.
+
+    Every step is instrumented: rows fetched from its input, partial rows
+    emitted, hash builds, and wall time exclusive of child steps — the
+    numbers [Executor.explain_analyze] reports against the planner's
+    estimates. *)
+
+open Roll_relation
+
+type source = {
+  info : Planner.source_info;
+  scan : unit -> Cursor.t;  (** open a fresh full-scan cursor *)
+  probe : (columns:int list -> Tuple.t -> Cursor.t) option;
+      (** open an index-probe cursor, when a secondary index exists *)
+}
+
+val source_of_table : Roll_storage.Table.t -> source
+(** Lazy scan/probe over a base table's current committed state. *)
+
+val source_of_relation : name:string -> Relation.t -> source
+(** Scan over an in-memory relation (the oracle's historical states). *)
+
+val source_of_delta_window :
+  name:string ->
+  Roll_delta.Delta.t ->
+  lo:Roll_delta.Time.t ->
+  hi:Roll_delta.Time.t ->
+  source
+(** Scan over σ_{lo,hi} of a delta log, in timestamp order. *)
+
+(** {1 Instrumentation} *)
+
+type step_stat = {
+  source : int;  (** input index (parallel to the plan's step) *)
+  resource : string;
+  access : Planner.access;
+  est_rows : float;  (** planner's estimated rows out of this step *)
+  mutable actual_rows : int;  (** partial rows this step emitted *)
+  mutable rows_in : int;  (** rows fetched from this step's input *)
+  mutable hash_builds : int;
+  mutable wall : float;  (** seconds spent in this step, excluding children *)
+}
+
+type report = {
+  steps : step_stat array;  (** in plan order *)
+  mutable emitted : int;  (** rows out of the final step *)
+  mutable total_wall : float;  (** seconds for the whole drain *)
+}
+
+type totals = {
+  scanned : int;  (** rows fetched by scan, hash-build and nested-loop steps *)
+  probed : int;  (** rows fetched through secondary-index probes *)
+  emitted : int;
+  hash_builds : int;
+  wall : float;
+}
+
+val totals : report -> totals
+
+(** {1 Running} *)
+
+val run :
+  rule:[ `Min | `Max ] ->
+  sources:source array ->
+  plan:Planner.t ->
+  emit:(Tuple.t array -> int -> Cursor.ts -> unit) ->
+  report
+(** Build the operator tree for [plan] and drain it, calling [emit] with
+    one binding vector per result row: count = product of input counts,
+    timestamp combined under [rule] ({!Roll_relation.Cursor.no_ts} marks
+    base rows and is neutral; callers must map a surviving [no_ts] to the
+    origin time before the row escapes into a view delta). *)

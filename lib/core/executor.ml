@@ -2,57 +2,18 @@ open Roll_relation
 module Time = Roll_delta.Time
 module Delta = Roll_delta.Delta
 module Database = Roll_storage.Database
-module Table = Roll_storage.Table
 module Capture = Roll_capture.Capture
-module Vec = Roll_util.Vec
 
 let log_src = Logs.Src.create "roll.executor" ~doc:"propagation-query execution"
 
 module Log = (val Logs.src_log log_src)
 
-(* Timestamp sentinel for rows that carry no delta timestamp (base rows). *)
-let no_ts = max_int
-
-type row = { tuple : Tuple.t; count : int; ts : int }
-
-(* Inputs are lazy: a base table that ends up being probed through a
-   secondary index is never materialized, and its row footprint is what the
-   probes actually touched. *)
-type input = {
-  rows : row array Lazy.t;
-  size : int;
-  resource : string;
-  is_delta : bool;
-  table : Table.t option;
-  mutable touched : int;
-}
-
-let force_rows (inp : input) =
-  let rows = Lazy.force inp.rows in
-  inp.touched <- max inp.touched (Array.length rows);
-  rows
-
-let input_of_term (ctx : Ctx.t) i = function
+(* One pipeline input per query term: base tables are probed or scanned
+   lazily through cursors; delta windows stream out of the capture logs. *)
+let source_of_term (ctx : Ctx.t) i = function
   | Pquery.Base ->
       let table_name = View.source_table ctx.view i in
-      let table = Database.table ctx.db table_name in
-      let relation = Table.contents table in
-      let rows =
-        lazy
-          (let acc = Vec.create () in
-           Relation.iter
-             (fun tuple count -> Vec.push acc { tuple; count; ts = no_ts })
-             relation;
-           Array.of_list (Vec.to_list acc))
-      in
-      {
-        rows;
-        size = Relation.distinct_count relation;
-        resource = table_name;
-        is_delta = false;
-        table = Some table;
-        touched = 0;
-      }
+      Exec.source_of_table (Database.table ctx.db table_name)
   | Pquery.Win { lo; hi } ->
       if lo > hi then invalid_arg "Executor: empty window bounds reversed";
       if hi > Capture.hwm ctx.capture then
@@ -61,302 +22,116 @@ let input_of_term (ctx : Ctx.t) i = function
              "Executor: window (%d,%d] beyond capture high-water mark %d" lo hi
              (Capture.hwm ctx.capture));
       let table = View.source_table ctx.view i in
-      let delta = Capture.delta ctx.capture ~table in
-      let acc = Vec.create () in
-      Delta.window_iter delta ~lo ~hi (fun (r : Delta.row) ->
-          Vec.push acc { tuple = r.tuple; count = r.count; ts = r.ts });
-      let rows = Array.of_list (Vec.to_list acc) in
-      {
-        rows = Lazy.from_val rows;
-        size = Array.length rows;
-        resource = "\xce\x94" ^ table;
-        is_delta = true;
-        table = None;
-        touched = Array.length rows;
-      }
+      Exec.source_of_delta_window
+        ~name:("\xce\x94" ^ table)
+        (Capture.delta ctx.capture ~table)
+        ~lo ~hi
 
-(* Greedy join order: smallest input first (delta windows are usually tiny),
-   then prefer sources connected to the bound set by an equi-join atom. *)
-let plan (pred : Predicate.t) (inputs : input array) =
-  let n = Array.length inputs in
-  let size i = inputs.(i).size in
-  let remaining = ref (List.init n (fun i -> i)) in
-  let bound = Array.make n false in
-  let connected i =
-    List.exists
-      (fun atom ->
-        match atom with
-        | Predicate.Join (a, b) ->
-            (a.source = i && b.source <> i && bound.(b.source))
-            || (b.source = i && a.source <> i && bound.(a.source))
-        | Predicate.Cmp _ -> false)
-      pred
-  in
-  let better i best =
-    match best with
-    | None -> true
-    | Some j ->
-        let si = size i and sj = size j in
-        si < sj
-        || (si = sj && inputs.(i).is_delta && not inputs.(j).is_delta)
-        || (si = sj && inputs.(i).is_delta = inputs.(j).is_delta && i < j)
-  in
-  let pick want_connected =
-    List.fold_left
-      (fun best i ->
-        if want_connected && not (connected i) then best
-        else if better i best then Some i
-        else best)
-      None !remaining
-  in
-  let order = ref [] in
-  for step = 0 to n - 1 do
-    let choice =
-      if step = 0 then pick false
-      else match pick true with Some i -> Some i | None -> pick false
-    in
-    match choice with
-    | Some i ->
-        bound.(i) <- true;
-        remaining := List.filter (fun j -> j <> i) !remaining;
-        order := i :: !order
-    | None -> assert false
-  done;
-  List.rev !order
+let plan_parts (ctx : Ctx.t) (q : Pquery.t) =
+  if Array.length q <> View.n_sources ctx.view then
+    invalid_arg "Executor.evaluate: query arity mismatch";
+  let sources = Array.mapi (fun i term -> source_of_term ctx i term) q in
+  let infos = Array.map (fun (s : Exec.source) -> s.info) sources in
+  (sources, Planner.plan (View.predicate ctx.view) infos)
 
-(* Atoms are applied at the step that binds their last source. *)
-let atoms_for pred ~bound_after ~just_bound =
-  List.filter
-    (fun atom ->
-      let sources = Predicate.sources_of_atom atom in
-      List.mem just_bound sources
-      && List.for_all (fun s -> bound_after.(s)) sources)
-    pred
+let plan_of ctx q = snd (plan_parts ctx q)
 
-(* Equi-join atoms usable as hash keys for the step binding [s]: one side on
-   [s], other side already bound. Sorted by the [s]-side column so the key
-   layout matches the canonical index column order. *)
-let equi_pairs pred ~bound ~s =
-  List.filter_map
-    (fun atom ->
-      match atom with
-      | Predicate.Join (a, b) when a.source = s && b.source <> s && bound.(b.source)
-        -> Some (b, a.column)
-      | Predicate.Join (a, b) when b.source = s && a.source <> s && bound.(a.source)
-        -> Some (a, b.column)
-      | _ -> None)
-    pred
-  |> List.sort (fun (_, c1) (_, c2) -> Int.compare c1 c2)
+(* Per-input read counts in input order (the footprint shape Stats and the
+   contention simulator expect). *)
+let reads_of (sources : Exec.source array) (report : Exec.report) =
+  let reads = Array.make (Array.length sources) 0 in
+  Array.iter
+    (fun (st : Exec.step_stat) ->
+      reads.(st.source) <- reads.(st.source) + st.rows_in)
+    report.steps;
+  Array.to_list
+    (Array.mapi (fun i r -> (sources.(i).Exec.info.Planner.name, r)) reads)
 
-(* An index is usable when it covers exactly the probed columns and those
-   are distinct (duplicated probe columns fall back to hashing). *)
-let usable_index (inp : input) pairs =
-  match inp.table with
-  | None -> None
-  | Some table ->
-      let columns = List.map snd pairs in
-      let rec distinct = function
-        | [] | [ _ ] -> true
-        | a :: (b :: _ as rest) -> a <> b && distinct rest
+let record_report (ctx : Ctx.t) (report : Exec.report) =
+  ctx.last_report <- Some report;
+  let t = Exec.totals report in
+  Stats.record_exec ctx.stats ~scanned:t.scanned ~probed:t.probed
+    ~hash_builds:t.hash_builds ~wall:t.wall;
+  Array.iter
+    (fun (st : Exec.step_stat) ->
+      let scanned, probed =
+        match st.access with
+        | Planner.Index_probe _ -> (0, st.rows_in)
+        | Planner.Scan | Planner.Hash_join _ | Planner.Nested_loop ->
+            (st.rows_in, 0)
       in
-      if pairs <> [] && distinct columns && Table.has_index table ~columns then
-        Some (table, columns)
-      else None
+      Stats.record_resource ctx.stats st.resource ~scanned ~probed
+        ~wall:st.wall)
+    report.steps
 
-module Key = struct
-  type t = Tuple.t
-
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end
-
-module KeyTbl = Hashtbl.Make (Key)
-
-let key_of_values values =
-  if Array.exists (fun v -> v = Value.Null) values then None else Some values
-
-type partial = { bindings : Tuple.t array; count : int; ts : int }
-
-type access = Scan | Hash_join | Index_probe | Nested_loop
-
-(* Combine row timestamps under the configured rule; [no_ts] marks base
-   rows, which carry no timestamp and are neutral. *)
-let combine_ts rule a b =
-  match rule with
-  | `Min -> min a b
-  | `Max -> if a = no_ts then b else if b = no_ts then a else max a b
-
-let evaluate_plan rule view pred (inputs : input array) order =
-  let n = Array.length inputs in
-  match order with
-  | [] -> invalid_arg "Executor: empty plan"
-  | first :: rest ->
-      let bound = Array.make n false in
-      bound.(first) <- true;
-      let init_atoms = atoms_for pred ~bound_after:bound ~just_bound:first in
-      let partials = ref (Vec.create ()) in
-      Array.iter
-        (fun (r : row) ->
-          let bindings = Array.make n [||] in
-          bindings.(first) <- r.tuple;
-          if List.for_all (Predicate.eval_atom bindings) init_atoms then
-            Vec.push !partials { bindings; count = r.count; ts = r.ts })
-        (force_rows inputs.(first));
-      let step s =
-        let pairs = equi_pairs pred ~bound ~s in
-        bound.(s) <- true;
-        let atoms = atoms_for pred ~bound_after:bound ~just_bound:s in
-        (* Atoms already used as hash-key pairs must not be re-checked; the
-           remaining atoms include within-source filters and theta atoms. *)
-        let atoms =
-          List.filter
-            (fun atom ->
-              not
-                (List.exists
-                   (fun (bcol, scol) ->
-                     match atom with
-                     | Predicate.Join (a, b) ->
-                         (a = bcol && b = Predicate.col s scol)
-                         || (b = bcol && a = Predicate.col s scol)
-                     | Predicate.Cmp _ -> false)
-                   pairs))
-            atoms
-        in
-        let next = Vec.create () in
-        let emit (p : partial) (r : row) =
-          let bindings = Array.copy p.bindings in
-          bindings.(s) <- r.tuple;
-          if List.for_all (Predicate.eval_atom bindings) atoms then
-            Vec.push next
-              { bindings; count = p.count * r.count; ts = combine_ts rule p.ts r.ts }
-        in
-        let probe_key (p : partial) =
-          key_of_values
-            (Array.of_list
-               (List.map
-                  (fun ((bcol : Predicate.col), _) ->
-                    Tuple.get p.bindings.(bcol.source) bcol.column)
-                  pairs))
-        in
-        (match usable_index inputs.(s) pairs with
-        | Some (table, columns) ->
-            (* Probe the table's B+-tree index: no materialization, and the
-               footprint counts only the copies actually fetched. *)
-            Vec.iter
-              (fun (p : partial) ->
-                match probe_key p with
-                | None -> ()
-                | Some key ->
-                    List.iter
-                      (fun tuple ->
-                        inputs.(s).touched <- inputs.(s).touched + 1;
-                        emit p { tuple; count = 1; ts = no_ts })
-                      (Table.index_probe table ~columns key))
-              !partials
-        | None ->
-            let rows = force_rows inputs.(s) in
-            if pairs = [] then
-              Vec.iter (fun p -> Array.iter (fun r -> emit p r) rows) !partials
-            else begin
-              let index = KeyTbl.create (Array.length rows) in
-              Array.iter
-                (fun (r : row) ->
-                  let key_values =
-                    Array.of_list (List.map (fun (_, c) -> Tuple.get r.tuple c) pairs)
-                  in
-                  match key_of_values key_values with
-                  | None -> ()
-                  | Some key ->
-                      KeyTbl.replace index key
-                        (r :: (try KeyTbl.find index key with Not_found -> [])))
-                rows;
-              Vec.iter
-                (fun (p : partial) ->
-                  match probe_key p with
-                  | None -> ()
-                  | Some key -> (
-                      match KeyTbl.find_opt index key with
-                      | None -> ()
-                      | Some rows -> List.iter (fun r -> emit p r) rows))
-                !partials
-            end);
-        partials := next
-      in
-      List.iter step rest;
-      let out = ref [] in
-      Vec.iter
-        (fun (p : partial) ->
-          let tuple = View.project_bindings view p.bindings in
-          let ts = if p.ts = no_ts then Time.origin else p.ts in
-          out := (tuple, p.count, ts) :: !out)
-        !partials;
-      List.rev !out
+let evaluate_parts (ctx : Ctx.t) (q : Pquery.t) =
+  let view = ctx.view in
+  let sources, plan = plan_parts ctx q in
+  let out = ref [] in
+  let report =
+    Exec.run ~rule:ctx.Ctx.timestamp_rule ~sources ~plan
+      ~emit:(fun bindings count ts ->
+        let tuple = View.project_bindings view bindings in
+        (* Base rows carry the no-timestamp sentinel; it is neutral under
+           the combination rule but must never escape into a view delta
+           (Section 4.2's min-of-contributors convention): a row produced
+           purely from base rows is part of the original content and is
+           stamped with the origin time. *)
+        let ts = if ts = Cursor.no_ts then Time.origin else ts in
+        out := (tuple, count, ts) :: !out)
+  in
+  record_report ctx report;
+  (List.rev !out, sources, report)
 
 let evaluate (ctx : Ctx.t) (q : Pquery.t) =
-  let view = ctx.view in
-  if Array.length q <> View.n_sources view then
-    invalid_arg "Executor.evaluate: query arity mismatch";
-  let inputs = Array.mapi (fun i term -> input_of_term ctx i term) q in
-  let order = plan (View.predicate view) inputs in
-  let rows =
-    evaluate_plan ctx.Ctx.timestamp_rule view (View.predicate view) inputs order
-  in
-  let reads =
-    Array.to_list (Array.map (fun inp -> (inp.resource, inp.touched)) inputs)
-  in
-  (rows, reads)
-
-(* The access path each plan step would use, for explain output. *)
-let access_of pred (inputs : input array) order =
-  let bound = Array.make (Array.length inputs) false in
-  List.mapi
-    (fun step s ->
-      let access =
-        if step = 0 then (Scan, [])
-        else
-          let pairs = equi_pairs pred ~bound ~s in
-          if pairs = [] then (Nested_loop, [])
-          else
-            match usable_index inputs.(s) pairs with
-            | Some (_, columns) -> (Index_probe, columns)
-            | None -> (Hash_join, List.map snd pairs)
-      in
-      bound.(s) <- true;
-      (s, access))
-    order
+  let rows, sources, report = evaluate_parts ctx q in
+  (rows, reads_of sources report)
 
 let explain (ctx : Ctx.t) (q : Pquery.t) =
-  let view = ctx.view in
-  let pred = View.predicate view in
-  let inputs = Array.mapi (fun i term -> input_of_term ctx i term) q in
-  let order = plan pred inputs in
-  let buf = Buffer.create 128 in
-  Buffer.add_string buf (Pquery.describe view q);
+  let sources, plan = plan_parts ctx q in
+  let infos = Array.map (fun (s : Exec.source) -> s.info) sources in
+  Pquery.describe ctx.view q ^ "\n" ^ Planner.describe infos plan
+
+let explain_analyze (ctx : Ctx.t) (q : Pquery.t) =
+  let _rows, _sources, report = evaluate_parts ctx q in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Pquery.describe ctx.view q);
   Buffer.add_char buf '\n';
-  List.iter
-    (fun (s, (access, columns)) ->
-      let inp = inputs.(s) in
-      let cols = String.concat "," (List.map string_of_int columns) in
-      let line =
-        match access with
-        | Scan -> Printf.sprintf "  scan %s (%d rows)" inp.resource inp.size
-        | Nested_loop ->
-            Printf.sprintf "  nested-loop %s (%d rows)" inp.resource inp.size
-        | Hash_join ->
-            Printf.sprintf "  hash-join %s (%d rows) on columns [%s]"
-              inp.resource inp.size cols
-        | Index_probe ->
-            Printf.sprintf "  index-probe %s on columns [%s]" inp.resource cols
+  Array.iter
+    (fun (st : Exec.step_stat) ->
+      let keys =
+        match st.access with
+        | Planner.Hash_join pairs ->
+            Printf.sprintf " on columns [%s]"
+              (String.concat "," (List.map (fun (_, c) -> string_of_int c) pairs))
+        | Planner.Index_probe (_, columns) ->
+            Printf.sprintf " on columns [%s]"
+              (String.concat "," (List.map string_of_int columns))
+        | Planner.Scan | Planner.Nested_loop -> ""
       in
-      Buffer.add_string buf line;
-      Buffer.add_char buf '\n')
-    (access_of pred inputs order);
+      let builds =
+        if st.hash_builds > 0 then
+          Printf.sprintf ", %d hash build%s" st.hash_builds
+            (if st.hash_builds > 1 then "s" else "")
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %s %s%s: est %.0f rows, actual %d rows, read %d%s, %.3f ms\n"
+           (Planner.access_name st.access)
+           st.resource keys st.est_rows st.actual_rows st.rows_in builds
+           (st.wall *. 1000.)))
+    report.steps;
+  Buffer.add_string buf
+    (Printf.sprintf "  => %d rows emitted in %.3f ms\n" report.emitted
+       (report.total_wall *. 1000.));
   Buffer.contents buf
 
 let execute (ctx : Ctx.t) ~sign (q : Pquery.t) =
   ctx.on_execute ();
   if ctx.auto_capture then Capture.advance ctx.capture;
-  let rows, reads = evaluate ctx q in
+  let rows, sources, report = evaluate_parts ctx q in
+  let reads = reads_of sources report in
   let description = Pquery.describe ctx.view q in
   let tag = (if sign < 0 then "-" else "+") ^ description in
   List.iter

@@ -7,21 +7,17 @@ let join_all view relations =
   let n = View.n_sources view in
   if Array.length relations <> n then invalid_arg "Oracle.join_all: arity";
   let out = Relation.create (View.output_schema view) in
-  let predicate = View.predicate view in
-  let bindings = Array.make n [||] in
-  let rec enumerate i count =
-    if i = n then begin
-      if Predicate.holds predicate bindings then
-        Relation.add out (View.project_bindings view bindings) count
-    end
-    else
-      Relation.iter
-        (fun tuple c ->
-          bindings.(i) <- tuple;
-          enumerate (i + 1) (count * c))
-        relations.(i)
+  let sources =
+    Array.mapi
+      (fun i r -> Exec.source_of_relation ~name:(View.alias view i) r)
+      relations
   in
-  enumerate 0 1;
+  let infos = Array.map (fun (s : Exec.source) -> s.Exec.info) sources in
+  let plan = Planner.plan (View.predicate view) infos in
+  let (_ : Exec.report) =
+    Exec.run ~rule:`Min ~sources ~plan ~emit:(fun bindings count _ts ->
+        Relation.add out (View.project_bindings view bindings) count)
+  in
   out
 
 let view_at history view time =

@@ -1,15 +1,18 @@
 (** Reference semantics and correctness checking.
 
-    The oracle recomputes view states from the temporal history by naive
-    nested-loop joins — a code path deliberately independent of the
-    executor's planner — and checks Definition 4.2 (timed delta tables)
-    directly. The property tests for Theorems 4.1–4.3 are built on these
-    functions. *)
+    The oracle recomputes view states from the temporal history and checks
+    Definition 4.2 (timed delta tables) directly. The property tests for
+    Theorems 4.1–4.3 are built on these functions.
+
+    Joins run through the same [Planner]/[Exec] cursor pipeline as the
+    propagation executor (over historical relation snapshots instead of
+    live tables); the planner-independent nested-loop reference the tests
+    compare both against lives in the test suite itself. *)
 
 val join_all :
   View.t -> Roll_relation.Relation.t array -> Roll_relation.Relation.t
 (** n-way join of one relation per source under the view's predicate and
-    projection, counts multiplying. Nested-loop; reference only. *)
+    projection, counts multiplying. *)
 
 val view_at :
   Roll_storage.History.t -> View.t -> Roll_delta.Time.t ->

@@ -1,0 +1,206 @@
+open Roll_relation
+
+type source_info = {
+  name : string;
+  card : int;
+  is_delta : bool;
+  indexed : int list list;
+}
+
+type access =
+  | Scan
+  | Hash_join of (Predicate.col * int) list
+  | Index_probe of (Predicate.col * int) list * int list
+  | Nested_loop
+
+type step = {
+  source : int;
+  access : access;
+  atoms : Predicate.atom list;
+  est_in : float;
+  est_out : float;
+}
+
+type t = { steps : step list }
+
+(* Atoms are applied at the step that binds their last source. Atoms that
+   reference no source at all (constant comparisons) are never applied —
+   view validation rejects them, so none reach the planner. *)
+let atoms_for pred ~bound_after ~just_bound =
+  List.filter
+    (fun atom ->
+      let sources = Predicate.sources_of_atom atom in
+      List.mem just_bound sources
+      && List.for_all (fun s -> bound_after.(s)) sources)
+    pred
+
+(* Equi-join atoms usable as hash/index keys for the step binding [s]: one
+   side on [s], other side already bound. Sorted by the [s]-side column so
+   the key layout matches the canonical index column order. *)
+let equi_pairs pred ~bound ~s =
+  List.filter_map
+    (fun atom ->
+      match atom with
+      | Predicate.Join (a, b) when a.source = s && b.source <> s && bound.(b.source)
+        -> Some (b, a.column)
+      | Predicate.Join (a, b) when b.source = s && a.source <> s && bound.(a.source)
+        -> Some (a, b.column)
+      | _ -> None)
+    pred
+  |> List.sort (fun (_, c1) (_, c2) -> Int.compare c1 c2)
+
+(* Atoms already used as key pairs must not be re-checked; the remainder
+   are within-source filters and theta atoms. *)
+let residual_atoms atoms pairs ~s =
+  List.filter
+    (fun atom ->
+      not
+        (List.exists
+           (fun (bcol, scol) ->
+             match atom with
+             | Predicate.Join (a, b) ->
+                 (a = bcol && b = Predicate.col s scol)
+                 || (b = bcol && a = Predicate.col s scol)
+             | Predicate.Cmp _ -> false)
+           pairs))
+    atoms
+
+(* An index is usable when it covers exactly the probed columns and those
+   are distinct (duplicated probe columns fall back to hashing). *)
+let usable_index info pairs =
+  let columns = List.map snd pairs in
+  let rec distinct = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a <> b && distinct rest
+  in
+  if pairs <> [] && distinct columns && List.mem columns info.indexed then
+    Some columns
+  else None
+
+let cmp_selectivity = function
+  | Predicate.Eq -> 0.1
+  | Predicate.Ne -> 0.9
+  | Predicate.Lt | Predicate.Le | Predicate.Gt | Predicate.Ge -> 1. /. 3.
+
+let atom_selectivity (infos : source_info array) = function
+  | Predicate.Join (a, b) ->
+      1.
+      /. float_of_int
+           (max 1 (max infos.(a.source).card infos.(b.source).card))
+  | Predicate.Cmp (op, _, _) -> cmp_selectivity op
+
+let selectivity infos atoms =
+  List.fold_left (fun acc atom -> acc *. atom_selectivity infos atom) 1.0 atoms
+
+let pair_selectivity (infos : source_info array) ~s pairs =
+  List.fold_left
+    (fun acc ((bcol : Predicate.col), _) ->
+      acc
+      /. float_of_int (max 1 (max infos.(bcol.source).card infos.(s).card)))
+    1.0 pairs
+
+let plan pred (infos : source_info array) =
+  let n = Array.length infos in
+  if n = 0 then invalid_arg "Planner.plan: no sources";
+  let bound = Array.make n false in
+  let remaining = ref (List.init n Fun.id) in
+  (* Candidate step for binding [s] given the current bound set and the
+     estimated cardinality [est] of the partial stream so far. *)
+  let candidate ~first est s =
+    let card = float_of_int infos.(s).card in
+    bound.(s) <- true;
+    let all_atoms = atoms_for pred ~bound_after:bound ~just_bound:s in
+    bound.(s) <- false;
+    if first then
+      { source = s; access = Scan; atoms = all_atoms; est_in = card;
+        est_out = card *. selectivity infos all_atoms }
+    else
+      let pairs = equi_pairs pred ~bound ~s in
+      if pairs = [] then
+        { source = s; access = Nested_loop; atoms = all_atoms; est_in = card;
+          est_out = est *. card *. selectivity infos all_atoms }
+      else begin
+        let atoms = residual_atoms all_atoms pairs ~s in
+        let matched = est *. card *. pair_selectivity infos ~s pairs in
+        let est_out = matched *. selectivity infos atoms in
+        match usable_index infos.(s) pairs with
+        | Some columns ->
+            { source = s; access = Index_probe (pairs, columns); atoms;
+              est_in = matched; est_out }
+        | None ->
+            { source = s; access = Hash_join pairs; atoms; est_in = card;
+              est_out }
+      end
+  in
+  (* Greedy: the step with the smallest estimated output wins; ties prefer
+     connected (keyed) steps, then delta inputs, then smaller inputs, then
+     the lower index — the same order the size-greedy planner used, so
+     plans are deterministic. *)
+  let better (a : step) (b : step) =
+    let keyed = function
+      | Hash_join _ | Index_probe _ -> 1
+      | Scan | Nested_loop -> 0
+    in
+    if a.est_out <> b.est_out then a.est_out < b.est_out
+    else if keyed a.access <> keyed b.access then keyed a.access > keyed b.access
+    else if infos.(a.source).is_delta <> infos.(b.source).is_delta then
+      infos.(a.source).is_delta
+    else if infos.(a.source).card <> infos.(b.source).card then
+      infos.(a.source).card < infos.(b.source).card
+    else a.source < b.source
+  in
+  let steps = ref [] in
+  let est = ref 1.0 in
+  for k = 0 to n - 1 do
+    let choice =
+      List.fold_left
+        (fun best s ->
+          let c = candidate ~first:(k = 0) !est s in
+          match best with
+          | None -> Some c
+          | Some b -> if better c b then Some c else best)
+        None !remaining
+    in
+    match choice with
+    | Some c ->
+        bound.(c.source) <- true;
+        remaining := List.filter (fun j -> j <> c.source) !remaining;
+        est := c.est_out;
+        steps := c :: !steps
+    | None -> assert false
+  done;
+  { steps = List.rev !steps }
+
+let access_name = function
+  | Scan -> "scan"
+  | Hash_join _ -> "hash-join"
+  | Index_probe _ -> "index-probe"
+  | Nested_loop -> "nested-loop"
+
+let describe infos t =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun st ->
+      let info = infos.(st.source) in
+      let cols columns = String.concat "," (List.map string_of_int columns) in
+      let line =
+        match st.access with
+        | Scan ->
+            Printf.sprintf "  scan %s (%d rows, est %.0f)" info.name info.card
+              st.est_out
+        | Nested_loop ->
+            Printf.sprintf "  nested-loop %s (%d rows, est %.0f)" info.name
+              info.card st.est_out
+        | Hash_join pairs ->
+            Printf.sprintf "  hash-join %s (%d rows) on columns [%s] (est %.0f)"
+              info.name info.card
+              (cols (List.map snd pairs))
+              st.est_out
+        | Index_probe (_, columns) ->
+            Printf.sprintf "  index-probe %s on columns [%s] (est %.0f)"
+              info.name (cols columns) st.est_out
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    t.steps;
+  Buffer.contents buf

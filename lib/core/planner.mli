@@ -1,0 +1,60 @@
+(** Cost-based planning of propagation queries.
+
+    Given the view predicate and a description of each input (estimated
+    cardinality, whether it is a delta window, which secondary indexes
+    exist), the planner picks a join order and an access path per step,
+    greedily minimizing the estimated intermediate cardinality. Delta
+    windows are usually the smallest input and therefore drive the join —
+    the property that makes propagation queries cost O(delta × matching
+    rows) instead of O(product of table sizes).
+
+    Estimates use textbook (System R-flavoured) selectivities: an equi-join
+    atom keeps 1 / max(cardinality of its endpoints), an equality filter
+    1/10, an inequality 9/10, a range comparison 1/3. Each step records its
+    estimated input and output cardinality so explain output can show
+    estimated vs. actual side by side (see {!Exec} and
+    [Executor.explain_analyze]). *)
+
+open Roll_relation
+
+type source_info = {
+  name : string;  (** resource name; delta windows use the "ΔR" convention *)
+  card : int;  (** estimated cardinality (distinct rows / window length) *)
+  is_delta : bool;
+  indexed : int list list;  (** column sets with a secondary index *)
+}
+
+type access =
+  | Scan  (** first step: full scan of the driving input *)
+  | Hash_join of (Predicate.col * int) list
+      (** build a hash index over this input keyed on the given
+          (bound-side column, this-side column) pairs, probe with each
+          partial *)
+  | Index_probe of (Predicate.col * int) list * int list
+      (** probe an existing secondary index on the given columns — no
+          per-query build, no materialization *)
+  | Nested_loop  (** no connecting equi-join atom: scan per partial *)
+
+type step = {
+  source : int;  (** input index this step binds *)
+  access : access;
+  atoms : Predicate.atom list;
+      (** residual atoms evaluated at this step (the atoms whose last
+          source this step binds, minus any used as equi-join keys) *)
+  est_in : float;  (** estimated rows fetched from this input *)
+  est_out : float;  (** estimated partial rows after this step *)
+}
+
+type t = { steps : step list }
+
+val plan : Predicate.t -> source_info array -> t
+(** Join order and access paths. The step list binds every input exactly
+    once; the first step is always a [Scan].
+    @raise Invalid_argument on an empty source array. *)
+
+val access_name : access -> string
+(** ["scan"], ["hash-join"], ["index-probe"] or ["nested-loop"]. *)
+
+val describe : source_info array -> t -> string
+(** One line per step, e.g.
+    ["  hash-join R2 (1000 rows) on columns [0] (est 5)"]. *)

@@ -7,11 +7,22 @@ type footprint = {
   emitted : int;
 }
 
+type resource_counters = {
+  mutable scanned : int;
+  mutable probed : int;
+  mutable wall : float;
+}
+
 type t = {
   mutable queries : int;
   mutable rows_read : int;
   mutable rows_emitted : int;
   mutable compute_delta_calls : int;
+  mutable rows_scanned : int;
+  mutable rows_probed : int;
+  mutable hash_builds : int;
+  mutable exec_wall : float;
+  resources : (string, resource_counters) Hashtbl.t;
   mutable keep_footprints : bool;
   footprints : footprint Vec.t;
 }
@@ -22,6 +33,11 @@ let create () =
     rows_read = 0;
     rows_emitted = 0;
     compute_delta_calls = 0;
+    rows_scanned = 0;
+    rows_probed = 0;
+    hash_builds = 0;
+    exec_wall = 0.;
+    resources = Hashtbl.create 8;
     keep_footprints = true;
     footprints = Vec.create ();
   }
@@ -34,6 +50,14 @@ let rows_emitted t = t.rows_emitted
 
 let compute_delta_calls t = t.compute_delta_calls
 
+let rows_scanned t = t.rows_scanned
+
+let rows_probed t = t.rows_probed
+
+let hash_builds t = t.hash_builds
+
+let exec_wall t = t.exec_wall
+
 let incr_compute_delta_calls t = t.compute_delta_calls <- t.compute_delta_calls + 1
 
 let record_query t fp =
@@ -41,6 +65,31 @@ let record_query t fp =
   t.rows_read <- t.rows_read + List.fold_left (fun acc (_, n) -> acc + n) 0 fp.reads;
   t.rows_emitted <- t.rows_emitted + fp.emitted;
   if t.keep_footprints then Vec.push t.footprints fp
+
+let record_exec t ~scanned ~probed ~hash_builds ~wall =
+  t.rows_scanned <- t.rows_scanned + scanned;
+  t.rows_probed <- t.rows_probed + probed;
+  t.hash_builds <- t.hash_builds + hash_builds;
+  t.exec_wall <- t.exec_wall +. wall
+
+let record_resource t name ~scanned ~probed ~wall =
+  let rc =
+    match Hashtbl.find_opt t.resources name with
+    | Some rc -> rc
+    | None ->
+        let rc = { scanned = 0; probed = 0; wall = 0. } in
+        Hashtbl.add t.resources name rc;
+        rc
+  in
+  rc.scanned <- rc.scanned + scanned;
+  rc.probed <- rc.probed + probed;
+  rc.wall <- rc.wall +. wall
+
+let resource_profile t =
+  Hashtbl.fold
+    (fun name rc acc -> (name, (rc.scanned, rc.probed, rc.wall)) :: acc)
+    t.resources []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let footprints t = Vec.to_list t.footprints
 
@@ -51,8 +100,16 @@ let reset t =
   t.rows_read <- 0;
   t.rows_emitted <- 0;
   t.compute_delta_calls <- 0;
+  t.rows_scanned <- 0;
+  t.rows_probed <- 0;
+  t.hash_builds <- 0;
+  t.exec_wall <- 0.;
+  Hashtbl.reset t.resources;
   Vec.clear t.footprints
 
 let pp ppf t =
-  Format.fprintf ppf "queries=%d rows_read=%d rows_emitted=%d compute_delta=%d"
-    t.queries t.rows_read t.rows_emitted t.compute_delta_calls
+  Format.fprintf ppf
+    "queries=%d rows_read=%d (scanned=%d probed=%d) rows_emitted=%d \
+     hash_builds=%d compute_delta=%d"
+    t.queries t.rows_read t.rows_scanned t.rows_probed t.rows_emitted
+    t.hash_builds t.compute_delta_calls

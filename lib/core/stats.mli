@@ -3,7 +3,12 @@
     Counters drive the benches; footprints (which resources a propagation
     transaction read and how many rows) feed the contention simulator, so
     the lock-queueing model runs on measured rather than assumed transaction
-    sizes. *)
+    sizes.
+
+    The execution pipeline additionally reports how rows were reached —
+    scanned (full scans, hash builds, nested loops) versus probed through a
+    secondary index — plus hash builds and wall time, both in aggregate and
+    per resource. *)
 
 type footprint = {
   exec : Roll_delta.Time.t;  (** serialization time of the query *)
@@ -26,9 +31,33 @@ val rows_emitted : t -> int
 
 val compute_delta_calls : t -> int
 
+val rows_scanned : t -> int
+(** Rows fetched by scan, hash-build and nested-loop steps. *)
+
+val rows_probed : t -> int
+(** Rows fetched through secondary-index probes. *)
+
+val hash_builds : t -> int
+(** Per-query hash indexes built (each one is a full scan of its input —
+    the cost a secondary index avoids). *)
+
+val exec_wall : t -> float
+(** Total wall-clock seconds spent draining execution pipelines. *)
+
 val incr_compute_delta_calls : t -> unit
 
 val record_query : t -> footprint -> unit
+
+val record_exec :
+  t -> scanned:int -> probed:int -> hash_builds:int -> wall:float -> unit
+(** Fold one pipeline run's totals (see [Exec.totals]) into the counters. *)
+
+val record_resource :
+  t -> string -> scanned:int -> probed:int -> wall:float -> unit
+(** Fold one plan step's reads into the per-resource profile. *)
+
+val resource_profile : t -> (string * (int * int * float)) list
+(** Per-resource (scanned, probed, wall seconds), sorted by resource name. *)
 
 val footprints : t -> footprint list
 

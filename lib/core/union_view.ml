@@ -56,6 +56,9 @@ let roll_to t target =
   if target > hwm t then
     invalid_arg "Union_view.roll_to: target beyond high-water mark";
   Array.iter
-    (fun b -> Delta.apply_window b.ctx.Ctx.out ~lo:t.as_of ~hi:target t.store)
+    (fun b ->
+      Cursor.iter
+        (fun (r : Cursor.row) -> Relation.add t.store r.tuple r.count)
+        (Delta.window_cursor b.ctx.Ctx.out ~lo:t.as_of ~hi:target))
     t.blocks;
   t.as_of <- target

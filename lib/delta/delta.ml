@@ -63,17 +63,28 @@ let lower_bound t ts =
   done;
   !lo
 
-let window_iter t ~lo ~hi f =
-  if hi > lo && Vec.length t.rows > 0 then begin
+(* The single traversal core: a lazy sequence over the timestamp-sorted
+   index. The thunk re-checks the index on every replay, so a cursor rewound
+   after new appends sees a consistent (rebuilt) ordering. *)
+let window_seq t ~lo ~hi () =
+  if hi <= lo || Vec.length t.rows = 0 then Seq.Nil
+  else begin
     ensure_index t;
-    let start = lower_bound t (lo + 1) in
     let n = Array.length t.index in
-    let k = ref start in
-    while !k < n && ts_at t !k <= hi do
-      f (Vec.get t.rows t.index.(!k));
-      incr k
-    done
+    let rec go k () =
+      if k >= n || ts_at t k > hi then Seq.Nil
+      else Seq.Cons (Vec.get t.rows t.index.(k), go (k + 1))
+    in
+    go (lower_bound t (lo + 1)) ()
   end
+
+let window_cursor t ~lo ~hi =
+  Cursor.of_seq (fun () ->
+      Seq.map
+        (fun (r : row) -> { Cursor.tuple = r.tuple; count = r.count; ts = r.ts })
+        (fun () -> window_seq t ~lo ~hi ()))
+
+let window_iter t ~lo ~hi f = Seq.iter f (fun () -> window_seq t ~lo ~hi ())
 
 let window t ~lo ~hi =
   let acc = ref [] in

@@ -42,6 +42,12 @@ val window : t -> lo:Time.t -> hi:Time.t -> row list
 
 val window_iter : t -> lo:Time.t -> hi:Time.t -> (row -> unit) -> unit
 
+val window_cursor : t -> lo:Time.t -> hi:Time.t -> Roll_relation.Cursor.t
+(** σ_{lo,hi}(d) as a lazy pull cursor, in timestamp order — the delta-side
+    source of the execution pipeline. Rows are produced on demand; rewinding
+    restarts the window (and picks up a rebuilt index if rows were appended
+    in between). *)
+
 val window_count : t -> lo:Time.t -> hi:Time.t -> int
 
 val net_effect : t -> lo:Time.t -> hi:Time.t -> Roll_relation.Relation.t

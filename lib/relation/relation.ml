@@ -38,6 +38,8 @@ let iter f t = H.iter f t.tbl
 
 let fold f t acc = H.fold f t.tbl acc
 
+let to_seq t = H.to_seq t.tbl
+
 let to_list t =
   let items = H.fold (fun tuple c acc -> (tuple, c) :: acc) t.tbl [] in
   List.sort (fun (a, _) (b, _) -> Tuple.compare a b) items

@@ -39,6 +39,10 @@ val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> (Tuple.t * int) list
 (** Sorted by tuple, for deterministic output. *)
 
+val to_seq : t -> (Tuple.t * int) Seq.t
+(** Lazy, unordered. The relation must not be mutated while the sequence is
+    being consumed. *)
+
 val of_list : Schema.t -> (Tuple.t * int) list -> t
 
 val copy : t -> t

@@ -192,6 +192,35 @@ struct
     in
     (try walk (Some start) with Done -> ())
 
+  let range_seq t ~lo ~hi =
+    let below_hi key =
+      match hi with None -> true | Some h -> Key.compare key h <= 0
+    in
+    let at_or_above_lo key =
+      match lo with None -> true | Some l -> Key.compare key l >= 0
+    in
+    (* Walk the leaf chain lazily: each forcing advances one entry, so a
+       consumer that stops early never touches the rest of the tree. *)
+    let rec entry leaf i vs () =
+      match vs with
+      | v :: rest -> Seq.Cons ((leaf.lkeys.(i), v), entry leaf i rest)
+      | [] -> slot leaf (i + 1) ()
+    and slot leaf i () =
+      if i >= Array.length leaf.lkeys then
+        match leaf.next with None -> Seq.Nil | Some right -> slot right 0 ()
+      else
+        let key = leaf.lkeys.(i) in
+        if not (at_or_above_lo key) then slot leaf (i + 1) ()
+        else if not (below_hi key) then Seq.Nil
+        else entry leaf i leaf.lvals.(i) ()
+    in
+    let start =
+      match lo with None -> leftmost t.root | Some key -> leaf_for t.root key
+    in
+    fun () -> slot start 0 ()
+
+  let to_seq t = range_seq t ~lo:None ~hi:None
+
   let min_key t =
     let rec first = function
       | None -> None

@@ -44,6 +44,14 @@ end) : sig
   val range : 'v t -> lo:Key.t option -> hi:Key.t option -> (Key.t -> 'v -> unit) -> unit
   (** Entries with lo <= key <= hi (each bound optional), ascending. *)
 
+  val range_seq : 'v t -> lo:Key.t option -> hi:Key.t option -> (Key.t * 'v) Seq.t
+  (** Lazy version of {!range}: entries are produced on demand as the
+      sequence is forced, so early termination never walks the rest of the
+      tree. The tree must not be mutated while the sequence is consumed. *)
+
+  val to_seq : 'v t -> (Key.t * 'v) Seq.t
+  (** [range_seq] over the whole tree. *)
+
   val min_key : 'v t -> Key.t option
 
   val max_key : 'v t -> Key.t option

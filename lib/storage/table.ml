@@ -66,7 +66,25 @@ let has_index t ~columns = List.exists (fun ix -> ix.columns = columns) t.indexe
 
 let indexed_columns t = List.map (fun ix -> ix.columns) t.indexes
 
-let index_probe t ~columns key =
+let find_index t ~columns =
   match List.find_opt (fun ix -> ix.columns = columns) t.indexes with
-  | Some ix -> TupleBtree.find ix.data key
+  | Some ix -> ix
   | None -> raise Not_found
+
+let index_probe t ~columns key = TupleBtree.find (find_index t ~columns).data key
+
+let scan_cursor t = Cursor.of_relation t.data
+
+let probe_cursor t ~columns key =
+  let ix = find_index t ~columns in
+  Cursor.of_seq (fun () ->
+      Seq.map
+        (fun tuple -> { Cursor.tuple; count = 1; ts = Cursor.no_ts })
+        (List.to_seq (TupleBtree.find ix.data key)))
+
+let index_range_cursor t ~columns ~lo ~hi =
+  let ix = find_index t ~columns in
+  Cursor.of_seq (fun () ->
+      Seq.map
+        (fun (_key, tuple) -> { Cursor.tuple; count = 1; ts = Cursor.no_ts })
+        (TupleBtree.range_seq ix.data ~lo ~hi))

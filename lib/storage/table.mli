@@ -42,3 +42,29 @@ val indexed_columns : t -> int list list
 val index_probe : t -> columns:int list -> Roll_relation.Tuple.t -> Roll_relation.Tuple.t list
 (** All row copies whose projection on [columns] equals the key (one list
     element per multiset copy). @raise Not_found if no such index. *)
+
+(** {1 Cursors}
+
+    Lazy access paths for the execution pipeline: rows are pulled on demand
+    (timestamped with {!Roll_relation.Cursor.no_ts}, since base rows carry
+    no delta timestamp), so a table probed through an index — or a scan a
+    query abandons early — is never materialized into an array. The table
+    must not be mutated while a cursor on it is live. *)
+
+val scan_cursor : t -> Roll_relation.Cursor.t
+(** Full-table scan: one row per distinct tuple with its multiset count. *)
+
+val probe_cursor :
+  t -> columns:int list -> Roll_relation.Tuple.t -> Roll_relation.Cursor.t
+(** Index point probe: one count-1 row per stored copy matching the key.
+    @raise Not_found if no such index. *)
+
+val index_range_cursor :
+  t ->
+  columns:int list ->
+  lo:Roll_relation.Tuple.t option ->
+  hi:Roll_relation.Tuple.t option ->
+  Roll_relation.Cursor.t
+(** Ordered range scan over a secondary index: copies with
+    [lo <= key <= hi] (each bound optional), ascending by key.
+    @raise Not_found if no such index. *)

@@ -13,6 +13,7 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("view", Test_view.suite);
       ("executor", Test_executor.suite);
+      ("planner", Test_planner.suite);
       ("compute_delta", Test_compute_delta.suite);
       ("propagate", Test_propagate.suite);
       ("rolling", Test_rolling.suite);

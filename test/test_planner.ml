@@ -1,0 +1,241 @@
+(* Planner and pipeline tests: access-path selection on edge-case view
+   shapes (single source, no equi-join, empty delta windows), equality
+   against a planner-independent nested-loop reference, and the
+   no-timestamp sentinel regression (base rows must surface as the origin
+   time, never as max_int). *)
+
+open Test_support.Helpers
+open Roll_relation
+module Time = Roll_delta.Time
+module Table = Roll_storage.Table
+module C = Roll_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Naive nested-loop join, deliberately independent of Planner/Exec: the
+   reference both the executor and Oracle.join_all are compared against
+   now that the oracle itself runs through the shared pipeline. *)
+let reference_join view relations =
+  let n = C.View.n_sources view in
+  let out = Relation.create (C.View.output_schema view) in
+  let predicate = C.View.predicate view in
+  let bindings = Array.make n [||] in
+  let rec enumerate i count =
+    if i = n then begin
+      if Predicate.holds predicate bindings then
+        Relation.add out (C.View.project_bindings view bindings) count
+    end
+    else
+      Relation.iter
+        (fun tuple c ->
+          bindings.(i) <- tuple;
+          enumerate (i + 1) (count * c))
+        relations.(i)
+  in
+  enumerate 0 1;
+  out
+
+let current_states s =
+  Array.init (C.View.n_sources s.view) (fun i ->
+      Table.contents (Database.table s.db (C.View.source_table s.view i)))
+
+let net_of rows schema =
+  let r = Relation.create schema in
+  List.iter (fun (tuple, count, _) -> Relation.add r tuple count) rows;
+  r
+
+let access_of plan k =
+  let step = List.nth plan.C.Planner.steps k in
+  step.C.Planner.access
+
+(* Both the oracle and the executor (which now share the pipeline) must
+   agree with the independent nested-loop reference under random churn. *)
+let prop_pipeline_matches_reference =
+  QCheck.Test.make ~name:"pipeline matches nested-loop reference" ~count:30
+    QCheck.small_int
+    (fun seed ->
+      let s = if seed mod 2 = 0 then two_table () else three_table () in
+      random_txns (Prng.create ~seed) s 40;
+      let expected = reference_join s.view (current_states s) in
+      let oracle = C.Oracle.join_all s.view (current_states s) in
+      let ctx = ctx_of s in
+      let rows, _ =
+        C.Executor.evaluate ctx (C.Pquery.all_base (C.View.n_sources s.view))
+      in
+      Relation.equal oracle expected
+      && Relation.equal (net_of rows (C.View.output_schema s.view)) expected)
+
+let int_col name = { Schema.name; ty = Value.T_int }
+
+(* Single source, filter only: the plan must be exactly one Scan step. *)
+let single_source_scenario () =
+  let db = Database.create () in
+  let _ =
+    Database.create_table db ~name:"f" (Schema.make [ int_col "k"; int_col "v" ])
+  in
+  let capture = Capture.create db in
+  Capture.attach capture ~table:"f";
+  let b = C.View.binder db [ ("f", "f") ] in
+  let view =
+    C.View.create db ~name:"f_small"
+      ~sources:[ ("f", "f") ]
+      ~predicate:
+        [ Predicate.cmp Predicate.Lt (Predicate.Col (b "f" "v")) (Predicate.Const (Value.Int 3)) ]
+      ~project:[ b "f" "k"; b "f" "v" ]
+  in
+  { db; capture; history = History.create db; view }
+
+let test_single_source () =
+  let s = single_source_scenario () in
+  ignore
+    (Database.run s.db (fun txn ->
+         for k = 0 to 9 do
+           Database.insert txn ~table:"f" (Tuple.ints [ k; k mod 5 ])
+         done));
+  let ctx = ctx_of s in
+  let plan = C.Executor.plan_of ctx (C.Pquery.all_base 1) in
+  Alcotest.(check int) "one step" 1 (List.length plan.C.Planner.steps);
+  (match access_of plan 0 with
+  | C.Planner.Scan -> ()
+  | a -> Alcotest.failf "expected scan, got %s" (C.Planner.access_name a));
+  let rows, _ = C.Executor.evaluate ctx (C.Pquery.all_base 1) in
+  let expected = reference_join s.view (current_states s) in
+  Alcotest.check relation "filter applied"
+    expected
+    (net_of rows (C.View.output_schema s.view));
+  Alcotest.check relation "oracle agrees" expected
+    (C.Oracle.join_all s.view (current_states s))
+
+(* Theta join only (r.v < s.w, no equi atom): the non-driving step must
+   fall back to a nested loop. *)
+let theta_scenario () =
+  let db = Database.create () in
+  let _ =
+    Database.create_table db ~name:"r" (Schema.make [ int_col "k"; int_col "v" ])
+  in
+  let _ =
+    Database.create_table db ~name:"s" (Schema.make [ int_col "k"; int_col "w" ])
+  in
+  let capture = Capture.create db in
+  Capture.attach capture ~table:"r";
+  Capture.attach capture ~table:"s";
+  let b = C.View.binder db [ ("r", "r"); ("s", "s") ] in
+  let view =
+    C.View.create db ~name:"r_lt_s"
+      ~sources:[ ("r", "r"); ("s", "s") ]
+      ~predicate:
+        [ Predicate.cmp Predicate.Lt (Predicate.Col (b "r" "v")) (Predicate.Col (b "s" "w")) ]
+      ~project:[ b "r" "k"; b "s" "k" ]
+  in
+  { db; capture; history = History.create db; view }
+
+let test_no_equi_join_nested_loop () =
+  let s = theta_scenario () in
+  random_txns (Prng.create ~seed:411) s 30;
+  let ctx = ctx_of s in
+  let plan = C.Executor.plan_of ctx (C.Pquery.all_base 2) in
+  Alcotest.(check int) "two steps" 2 (List.length plan.C.Planner.steps);
+  (match access_of plan 1 with
+  | C.Planner.Nested_loop -> ()
+  | a -> Alcotest.failf "expected nested-loop, got %s" (C.Planner.access_name a));
+  let rows, _ = C.Executor.evaluate ctx (C.Pquery.all_base 2) in
+  let expected = reference_join s.view (current_states s) in
+  Alcotest.check relation "theta join result"
+    expected
+    (net_of rows (C.View.output_schema s.view));
+  Alcotest.check relation "oracle agrees" expected
+    (C.Oracle.join_all s.view (current_states s))
+
+(* With a secondary index on the joined column, the plan must probe it. *)
+let test_access_path_prefers_index () =
+  let s = two_table () in
+  random_txns (Prng.create ~seed:412) s 40;
+  let ctx = ctx_of s in
+  Capture.advance s.capture;
+  let now = Database.now s.db in
+  let q =
+    C.Pquery.replace (C.Pquery.all_base 2) 1
+      (C.Pquery.Win { lo = now - 5; hi = now })
+  in
+  (match access_of (C.Executor.plan_of ctx q) 1 with
+  | C.Planner.Hash_join [ (_, 0) ] -> ()
+  | a -> Alcotest.failf "expected hash-join on column 0, got %s" (C.Planner.access_name a));
+  Table.create_index (Database.table s.db "r") ~columns:[ 0 ];
+  match access_of (C.Executor.plan_of ctx q) 1 with
+  | C.Planner.Index_probe (_, [ 0 ]) -> ()
+  | a -> Alcotest.failf "expected index-probe on column 0, got %s" (C.Planner.access_name a)
+
+(* An empty delta window plans as the (empty) driving input and evaluates
+   to nothing without touching the base side. *)
+let test_empty_window () =
+  let s = two_table () in
+  random_txns (Prng.create ~seed:413) s 30;
+  let ctx = ctx_of s in
+  Capture.advance s.capture;
+  let now = Database.now s.db in
+  let q = C.Pquery.replace (C.Pquery.all_base 2) 1 (C.Pquery.Win { lo = now; hi = now }) in
+  let plan = C.Executor.plan_of ctx q in
+  (match plan.C.Planner.steps with
+  | { C.Planner.source = 1; access = C.Planner.Scan; _ } :: _ -> ()
+  | _ -> Alcotest.fail "empty window should drive the join");
+  let rows, reads = C.Executor.evaluate ctx q in
+  Alcotest.(check int) "no rows" 0 (List.length rows);
+  (* Lazy hash build: the base table is never read for an empty window. *)
+  Alcotest.(check int) "base side untouched" 0 (List.assoc "r" reads)
+
+(* Regression: the internal no-timestamp sentinel (max_int) must never
+   surface as an apply timestamp — all-base rows map to Time.origin, under
+   both timestamp-combination rules. *)
+let test_no_ts_sentinel_never_escapes () =
+  List.iter
+    (fun rule ->
+      let s = two_table () in
+      random_txns (Prng.create ~seed:414) s 40;
+      let ctx = ctx_of s in
+      ctx.C.Ctx.timestamp_rule <- rule;
+      let rows, _ = C.Executor.evaluate ctx (C.Pquery.all_base 2) in
+      Alcotest.(check bool) "got some rows" true (rows <> []);
+      List.iter
+        (fun (_, _, ts) ->
+          Alcotest.(check int) "all-base row at origin" Time.origin ts)
+        rows;
+      (* Through execute and into the accumulated view delta too. *)
+      ignore (C.Executor.execute ctx ~sign:1 (C.Pquery.all_base 2));
+      Roll_delta.Delta.iter
+        (fun (r : Roll_delta.Delta.row) ->
+          if r.ts = max_int then
+            Alcotest.failf "sentinel timestamp escaped into the view delta")
+        ctx.C.Ctx.out)
+    [ `Min; `Max ]
+
+(* Forward queries (delta drives, base completes) must stamp rows with the
+   delta's timestamps, which are real commit times, never the sentinel. *)
+let test_forward_ts_are_commit_times () =
+  let s = two_table () in
+  random_txns (Prng.create ~seed:415) s 40;
+  let ctx = ctx_of s in
+  Capture.advance s.capture;
+  let now = Database.now s.db in
+  let q = C.Pquery.replace (C.Pquery.all_base 2) 0 (C.Pquery.Win { lo = 0; hi = now }) in
+  let rows, _ = C.Executor.evaluate ctx q in
+  Alcotest.(check bool) "got some rows" true (rows <> []);
+  List.iter
+    (fun (_, _, ts) ->
+      if ts <= 0 || ts > now then
+        Alcotest.failf "timestamp %d outside (0,%d]" ts now)
+    rows
+
+let suite =
+  [
+    qtest prop_pipeline_matches_reference;
+    Alcotest.test_case "single-source plan" `Quick test_single_source;
+    Alcotest.test_case "no equi-join falls back to nested loop" `Quick
+      test_no_equi_join_nested_loop;
+    Alcotest.test_case "access path prefers index" `Quick
+      test_access_path_prefers_index;
+    Alcotest.test_case "empty window" `Quick test_empty_window;
+    Alcotest.test_case "no_ts sentinel never escapes" `Quick
+      test_no_ts_sentinel_never_escapes;
+    Alcotest.test_case "forward timestamps are commit times" `Quick
+      test_forward_ts_are_commit_times;
+  ]
