@@ -143,8 +143,8 @@ let status_cmd txns =
   W.Star.load_initial star;
   let db = W.Star.db star in
   let service = C.Service.create db (W.Star.capture star) in
-  let _ =
-    C.Service.register service
+  let star_ctl =
+    C.Service.register ~durable:true service
       ~algorithm:(C.Controller.Rolling (C.Rolling.per_relation [| 10; 80; 80 |]))
       (W.Star.view star)
   in
@@ -158,10 +158,25 @@ let status_cmd txns =
   in
   W.Star.mixed_txns star ~n:txns ~dim_fraction:0.05;
   C.Service.pause service "fact_copy";
-  ignore (C.Service.step_all service ~budget:50);
+  (* Demonstrate reliable stepping: the star view's third propagation query
+     fails twice with a transient error before succeeding on retry. *)
+  (C.Controller.ctx star_ctl).C.Ctx.fault <-
+    Roll_util.Fault.transient_at "exec.query" ~hit:3 ~failures:2;
+  (match
+     C.Service.try_step_all service ~budget:50
+       ~retry:(Roll_util.Retry.policy ~max_attempts:4 ())
+   with
+  | Ok _ -> ()
+  | Error (e : C.Service.step_error) ->
+      Printf.printf "permanent failure: view %s at %s after %d attempts\n"
+        e.view e.point e.attempts);
   let print_status header =
     Tablefmt.print ~title:header
-      ~header:[ "view"; "as of"; "hwm"; "staleness"; "delta rows"; "state" ]
+      ~header:
+        [
+          "view"; "as of"; "hwm"; "staleness"; "delta rows";
+          "retry/abort/recover"; "state";
+        ]
       (List.map
          (fun (st : C.Service.status) ->
            [
@@ -170,6 +185,7 @@ let status_cmd txns =
              string_of_int st.hwm;
              string_of_int st.staleness;
              string_of_int st.delta_rows;
+             Printf.sprintf "%d/%d/%d" st.retries st.aborts st.recoveries;
              (if st.paused then "paused" else "running");
            ])
          (C.Service.status service))

@@ -12,6 +12,7 @@ type t = {
   uow : Uow.t;
   mutable cursor : int;  (** next WAL position to read *)
   mutable hwm : Time.t;
+  mutable fault : Roll_util.Fault.t;
 }
 
 let create db =
@@ -21,24 +22,32 @@ let create db =
     uow = Uow.create ();
     cursor = 0;
     hwm = Time.origin;
+    fault = Roll_util.Fault.none;
   }
+
+let set_fault t fault = t.fault <- fault
 
 let attach t ~table =
   if Hashtbl.mem t.deltas table then
     invalid_arg ("Capture.attach: already attached: " ^ table);
   let tbl = Database.table t.db table in
-  (* Refuse to attach if changes to this table are already past the cursor:
-     they would never be captured and the delta would be silently wrong. *)
+  (* Refuse to attach if changes to this table are already behind the
+     cursor: they would never be captured and the delta would be silently
+     wrong. Logged changes the cursor has not reached yet are fine — a
+     restarted capture process (cursor at 0) re-reads the whole log, which
+     is exactly how crash recovery rebuilds the delta tables. *)
   let wal = Database.wal t.db in
   let missed = ref false in
-  Wal.iter_from wal ~pos:0 (fun record ->
-      if
-        List.exists
-          (fun (c : Wal.change) -> String.equal c.table table)
-          record.changes
-      then missed := true);
+  for pos = 0 to t.cursor - 1 do
+    if
+      List.exists
+        (fun (c : Wal.change) -> String.equal c.table table)
+        (Wal.get wal pos).changes
+    then missed := true
+  done;
   if !missed then
-    invalid_arg ("Capture.attach: table already has logged changes: " ^ table);
+    invalid_arg
+      ("Capture.attach: cursor already passed logged changes of: " ^ table);
   Hashtbl.add t.deltas table (Delta.create (Table.schema tbl))
 
 let attached t =
@@ -61,6 +70,7 @@ let window_cursor t ~table ~lo ~hi =
 let uow t = t.uow
 
 let capture_record t (record : Wal.record) =
+  Roll_util.Fault.hit t.fault "capture.record";
   let relevant = ref (record.marker <> None) in
   List.iter
     (fun (c : Wal.change) ->

@@ -12,11 +12,18 @@ type t
 val create : Roll_storage.Database.t -> t
 
 val attach : t -> table:string -> unit
-(** Start capturing changes of [table]. Must be called before any change to
-    the table is committed (the paper's deltas cover the view's whole
-    propagation interval; attaching late would silently lose changes, so
-    [attach] raises if the table already has committed changes in the log
-    beyond the cursor). *)
+(** Start capturing changes of [table]. Must be called before the cursor
+    passes any change to the table (the paper's deltas cover the view's
+    whole propagation interval; attaching late would silently lose changes,
+    so [attach] raises if the cursor has already read past committed
+    changes to the table). Attaching a fresh capture (cursor at 0) to a
+    database that already has history is allowed: advancing replays the
+    whole log, which is how a restarted capture process rebuilds its delta
+    tables after a crash. *)
+
+val set_fault : t -> Roll_util.Fault.t -> unit
+(** Install a fault-injection handle; the capture loop visits
+    ["capture.record"] once per log record it captures. *)
 
 val attached : t -> string list
 

@@ -3,6 +3,7 @@ module Time = Roll_delta.Time
 module Delta = Roll_delta.Delta
 
 type t = {
+  ctx : Ctx.t;  (** for the live fault handle *)
   delta : Delta.t;
   store : Relation.t;
   mutable as_of : Time.t;
@@ -10,6 +11,7 @@ type t = {
 
 let create_empty (ctx : Ctx.t) ~t_initial =
   {
+    ctx;
     delta = ctx.out;
     store = Relation.create (View.output_schema ctx.view);
     as_of = t_initial;
@@ -17,12 +19,12 @@ let create_empty (ctx : Ctx.t) ~t_initial =
 
 let create_materialized (ctx : Ctx.t) =
   let store, t_exec = Executor.materialize ctx in
-  { delta = ctx.out; store; as_of = t_exec }
+  { ctx; delta = ctx.out; store; as_of = t_exec }
 
 let create_restored (ctx : Ctx.t) ~contents ~as_of =
   if not (Roll_relation.Schema.equal (Relation.schema contents) (View.output_schema ctx.view))
   then invalid_arg "Apply.create_restored: schema mismatch";
-  { delta = ctx.out; store = Relation.copy contents; as_of }
+  { ctx; delta = ctx.out; store = Relation.copy contents; as_of }
 
 let contents t = t.store
 
@@ -35,6 +37,7 @@ let roll_to t ~hwm target =
     invalid_arg
       (Printf.sprintf "Apply.roll_to: target %d beyond high-water mark %d"
          target hwm);
+  Roll_util.Fault.hit t.ctx.Ctx.fault "apply.roll";
   Delta.apply_window t.delta ~lo:t.as_of ~hi:target t.store;
   t.as_of <- target
 

@@ -39,17 +39,27 @@ let save (ctx : Ctx.t) ~hwm ~apply path =
         | Some ts -> min (ts - 1) (Apply.as_of apply)
         | None -> Apply.as_of apply
       in
+      Roll_util.Fault.hit ctx.Ctx.fault "ckpt.header";
       Printf.fprintf out "%s\n" magic;
       Printf.fprintf out "H %S %d %d %d %d\n" (View.name view) t_initial hwm
         (Apply.as_of apply) arity;
+      let rows = ref 0 in
       Delta.window_iter ctx.Ctx.out ~lo:min_int ~hi:hwm (fun (row : Delta.row) ->
+          Roll_util.Fault.hit ctx.Ctx.fault "ckpt.row";
+          incr rows;
           Printf.fprintf out "D %d %d\n" row.count row.ts;
           write_tuple out row.tuple);
       Relation.iter
         (fun tuple count ->
+          Roll_util.Fault.hit ctx.Ctx.fault "ckpt.row";
+          incr rows;
           Printf.fprintf out "S %d\n" count;
           write_tuple out tuple)
-        (Apply.contents apply))
+        (Apply.contents apply);
+      (* Trailer with the row count: a checkpoint truncated at a row
+         boundary would otherwise parse as a complete, silently smaller
+         snapshot. *)
+      Printf.fprintf out "E %d\n" !rows)
 
 type reader = { input : in_channel; mutable line_no : int }
 
@@ -106,15 +116,17 @@ let resume db capture view path =
         invalid_arg "Checkpoint.resume: output schema arity mismatch";
       let ctx = Ctx.create ~t_initial:header.t_initial db capture view in
       let contents = Relation.create (View.output_schema view) in
+      let rows = ref 0 in
       let rec read_rows () =
         match next_line reader with
-        | None -> ()
+        | None -> corrupt reader "missing trailer (torn checkpoint)"
         | Some line when String.length line > 2 && String.sub line 0 2 = "D " ->
             let count, ts =
               try Scanf.sscanf line "D %d %d" (fun c t -> (c, t))
               with Scanf.Scan_failure _ | End_of_file -> corrupt reader "bad D line"
             in
             Delta.append ctx.Ctx.out (read_tuple reader arity) ~count ~ts;
+            incr rows;
             read_rows ()
         | Some line when String.length line > 2 && String.sub line 0 2 = "S " ->
             let count =
@@ -122,7 +134,18 @@ let resume db capture view path =
               with Scanf.Scan_failure _ | End_of_file -> corrupt reader "bad S line"
             in
             Relation.add contents (read_tuple reader arity) count;
+            incr rows;
             read_rows ()
+        | Some line when String.length line >= 2 && String.sub line 0 2 = "E " ->
+            let expected =
+              try Scanf.sscanf line "E %d" (fun n -> n)
+              with Scanf.Scan_failure _ | End_of_file -> corrupt reader "bad trailer"
+            in
+            if expected <> !rows then
+              corrupt reader
+                (Printf.sprintf "trailer claims %d rows, read %d" expected !rows);
+            if next_line reader <> None then
+              corrupt reader "data after trailer"
         | Some line -> corrupt reader ("unexpected line: " ^ line)
       in
       read_rows ();

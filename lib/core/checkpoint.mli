@@ -13,7 +13,12 @@
     more and no less.
 
     [resume] rebuilds a ready-to-run (context, apply, rolling) triple over a
-    database restored from its own WAL (see {!Roll_storage.Wal_codec}). *)
+    database restored from its own WAL (see {!Roll_storage.Wal_codec}).
+
+    The file ends with a row-count trailer; a checkpoint torn by a crash
+    mid-save — even one cut exactly at a row boundary — fails [resume] with
+    [Corrupt] instead of silently resuming a smaller snapshot
+    ([Controller.recover] then falls back to WAL-only recovery). *)
 
 type t = {
   view_name : string;

@@ -41,6 +41,7 @@ let rec run ?(sign = 1) (ctx : Ctx.t) (q : Pquery.t) tau_old t_new =
   if t_new > Database.now ctx.db then
     invalid_arg "ComputeDelta: target time has not elapsed yet";
   if ctx.auto_capture then Capture.advance ctx.capture;
+  Roll_util.Fault.hit ctx.fault "compensate.enter";
   Stats.incr_compute_delta_calls ctx.stats;
   let n = Array.length q in
   for i = 0 to n - 1 do

@@ -1,7 +1,11 @@
 module Time = Roll_delta.Time
+module Delta = Roll_delta.Delta
 module Database = Roll_storage.Database
+module History = Roll_storage.History
 module Capture = Roll_capture.Capture
 module Uow = Roll_capture.Uow
+module Fault = Roll_util.Fault
+module Retry = Roll_util.Retry
 
 let log_src = Logs.Src.create "roll.controller" ~doc:"view-maintenance controller"
 
@@ -18,22 +22,88 @@ type process =
   | P_rolling of Rolling.t * Rolling.policy
   | P_deferred of Rolling_deferred.t * Rolling_deferred.policy
 
-type t = { ctx : Ctx.t; apply : Apply.t; process : process }
+type t = {
+  ctx : Ctx.t;
+  apply : Apply.t;
+  process : process;
+  mutable durable : bool;
+}
 
-let create ?(geometry = false) ?(auto_index = false) db capture view ~algorithm =
-  if auto_index then
-    List.iter
-      (fun atom ->
-        match atom with
-        | Roll_relation.Predicate.Join (a, b) ->
-            List.iter
-              (fun (c : Roll_relation.Predicate.col) ->
-                Roll_storage.Table.create_index
-                  (Database.table db (View.source_table view c.source))
-                  ~columns:[ c.column ])
-              [ a; b ]
-        | Roll_relation.Predicate.Cmp _ -> ())
-      (View.predicate view);
+let ctx t = t.ctx
+
+let view t = t.ctx.Ctx.view
+
+let contents t = Apply.contents t.apply
+
+let as_of t = Apply.as_of t.apply
+
+let hwm t =
+  match t.process with
+  | P_uniform (p, _) -> Propagate.hwm p
+  | P_rolling (r, _) -> Rolling.hwm r
+  | P_deferred (r, _) -> Rolling_deferred.hwm r
+
+let frontier t =
+  let view = View.name t.ctx.Ctx.view in
+  let as_of = Apply.as_of t.apply in
+  match t.process with
+  | P_uniform (p, _) ->
+      let h = Propagate.hwm p in
+      let n = View.n_sources t.ctx.Ctx.view in
+      {
+        Frontier.view;
+        tfwd = Array.make n h;
+        tcomp = Array.make n h;
+        hwm = h;
+        as_of;
+      }
+  | P_rolling (r, _) ->
+      let tfwd = Rolling.frontiers r in
+      {
+        Frontier.view;
+        tfwd;
+        tcomp = Array.copy tfwd;
+        hwm = Rolling.hwm r;
+        as_of;
+      }
+  | P_deferred (r, _) ->
+      {
+        Frontier.view;
+        tfwd = Rolling_deferred.frontiers r;
+        tcomp = Rolling_deferred.comp_frontiers r;
+        hwm = Rolling_deferred.hwm r;
+        as_of;
+      }
+
+let record_frontier t =
+  Fault.hit t.ctx.Ctx.fault "frontier.record";
+  ignore
+    (Database.commit_marker t.ctx.Ctx.db ~tag:(Frontier.to_tag (frontier t)))
+
+let durable t = t.durable
+
+let set_durable t durable =
+  let was = t.durable in
+  t.durable <- durable;
+  if durable && not was then record_frontier t
+
+let build_join_indexes db view =
+  List.iter
+    (fun atom ->
+      match atom with
+      | Roll_relation.Predicate.Join (a, b) ->
+          List.iter
+            (fun (c : Roll_relation.Predicate.col) ->
+              Roll_storage.Table.create_index
+                (Database.table db (View.source_table view c.source))
+                ~columns:[ c.column ])
+            [ a; b ]
+      | Roll_relation.Predicate.Cmp _ -> ())
+    (View.predicate view)
+
+let create ?(geometry = false) ?(auto_index = false) ?(durable = false) db
+    capture view ~algorithm =
+  if auto_index then build_join_indexes db view;
   let ctx = Ctx.create db capture view in
   let apply = Apply.create_materialized ctx in
   let t_initial = Apply.as_of apply in
@@ -52,42 +122,61 @@ let create ?(geometry = false) ?(auto_index = false) db capture view ~algorithm 
         let tuner = Autotune.create ~target_rows ctx in
         P_rolling (Rolling.create ctx ~t_initial, Autotune.policy tuner)
   in
-  { ctx; apply; process }
-
-let ctx t = t.ctx
-
-let view t = t.ctx.Ctx.view
-
-let contents t = Apply.contents t.apply
-
-let as_of t = Apply.as_of t.apply
-
-let hwm t =
-  match t.process with
-  | P_uniform (p, _) -> Propagate.hwm p
-  | P_rolling (r, _) -> Rolling.hwm r
-  | P_deferred (r, _) -> Rolling_deferred.hwm r
+  let t = { ctx; apply; process; durable = false } in
+  if durable then set_durable t true;
+  t
 
 let propagate_step t =
-  match t.process with
-  | P_uniform (p, interval) -> (
-      match Propagate.step p ~interval with `Advanced _ -> true | `Idle -> false)
-  | P_rolling (r, policy) -> (
-      match Rolling.step r ~policy with `Advanced _ -> true | `Idle -> false)
-  | P_deferred (r, policy) -> (
-      match Rolling_deferred.step r ~policy with
-      | `Advanced _ -> true
-      | `Idle -> false)
+  let db = t.ctx.Ctx.db in
+  let before = Database.now db in
+  let advanced =
+    match t.process with
+    | P_uniform (p, interval) -> (
+        match Propagate.step p ~interval with
+        | `Advanced _ -> true
+        | `Idle -> false)
+    | P_rolling (r, policy) -> (
+        match Rolling.step r ~policy with `Advanced _ -> true | `Idle -> false)
+    | P_deferred (r, policy) -> (
+        match Rolling_deferred.step r ~policy with
+        | `Advanced _ -> true
+        | `Idle -> false)
+  in
+  (* Quiet-window steps commit nothing, and recording a marker for them
+     would advance the clock, leaving the propagator forever chasing its
+     own frontier markers. A quiet advance lost to a crash replays
+     deterministically (the window is still provably empty on restart), so
+     only steps that committed work need to be made durable. *)
+  if advanced && t.durable && Database.now db > before then record_frontier t;
+  advanced
 
 let propagate_until t target =
-  match t.process with
-  | P_uniform (p, interval) -> Propagate.run_until p ~target ~interval
-  | P_rolling (r, policy) -> Rolling.run_until r ~target ~policy
-  | P_deferred (r, policy) -> Rolling_deferred.run_until r ~target ~policy
+  if t.durable then begin
+    (* Loop through [propagate_step] so every advancing step records its
+       frontier; the processes' own [run_until] would bypass recording. *)
+    if target > Database.now t.ctx.Ctx.db then
+      invalid_arg "Controller.propagate_until: target in the future";
+    let continue = ref (hwm t < target) in
+    while !continue do
+      let advanced = propagate_step t in
+      if not (advanced || hwm t >= target) then
+        invalid_arg "Controller.propagate_until: unreachable target";
+      continue := advanced && hwm t < target
+    done
+  end
+  else
+    match t.process with
+    | P_uniform (p, interval) -> Propagate.run_until p ~target ~interval
+    | P_rolling (r, policy) -> Rolling.run_until r ~target ~policy
+    | P_deferred (r, policy) -> Rolling_deferred.run_until r ~target ~policy
 
 let refresh_to t target =
+  let before_as_of = Apply.as_of t.apply in
   if target > hwm t then propagate_until t target;
   Apply.roll_to t.apply ~hwm:(hwm t) target;
+  (* The apply position is part of the durable control state: recovery
+     rolls the restored view forward to the recorded [as_of]. *)
+  if t.durable && Apply.as_of t.apply <> before_as_of then record_frontier t;
   Log.info (fun m ->
       m "view %s refreshed to t=%d (hwm=%d)" (View.name t.ctx.Ctx.view) target
         (hwm t))
@@ -107,3 +196,197 @@ let refresh_latest t =
 let gc t = Apply.prune_applied t.apply
 
 let stats t = t.ctx.Ctx.stats
+
+(* Checkpointing is a durability event: record the frontier first so the
+   WAL's latest marker is always at least as fresh as any snapshot.
+   Without this, quiet-window advances (never recorded as markers) could
+   be captured by a snapshot and recovery would land beyond the last
+   marker. *)
+let checkpoint t path =
+  if t.durable then record_frontier t;
+  Checkpoint.save t.ctx ~hwm:(hwm t) ~apply:t.apply path
+
+(* ------------------------------------------------------------------ *)
+(* Reliable stepping                                                   *)
+
+let propagate_step_reliable t ~retry ~sleep =
+  let stats = t.ctx.Ctx.stats in
+  let mark = Delta.length t.ctx.Ctx.out in
+  let retried = ref false in
+  let rollback () = Delta.truncate t.ctx.Ctx.out mark in
+  let result =
+    Retry.run retry ~sleep
+      ~on_retry:(fun ~attempt:_ ~delay:_ ->
+        retried := true;
+        Stats.incr_retries stats;
+        (* Abort the failed attempt's transaction: drop the partial brick
+           it emitted, so the re-run starts from a clean view delta. The
+           process frontiers are untouched — every injection point in
+           [Propagate] and [Rolling] fires before the frontier advances. *)
+        rollback ())
+      (fun () -> propagate_step t)
+  in
+  match result with
+  | Ok advanced ->
+      if !retried then Stats.incr_recoveries stats;
+      Ok advanced
+  | Error failure ->
+      rollback ();
+      Stats.incr_aborts stats;
+      Log.err (fun m ->
+          m "view %s: propagation step aborted at %s (hit %d) after %d attempts"
+            (View.name t.ctx.Ctx.view) failure.Retry.point failure.Retry.hit
+            failure.Retry.attempts);
+      Error failure
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+(* Bring a [Rolling] process from its current frontier vector to [target]
+   by replaying the recorded trajectory axis by axis. Each recorded vector
+   is a monotone staircase refinement of the previous one, and any schedule
+   of [step_relation] calls over the same vectors regenerates an exact
+   tiling of the same region — the bricks differ from the original run's,
+   but their union (and hence the accumulated delta's net effect) is
+   identical. *)
+let replay_rolling rolling (target : Time.t array) =
+  Array.iteri
+    (fun i target_i ->
+      let cur = Rolling.tfwd rolling i in
+      if target_i > cur then
+        match Rolling.step_relation rolling i ~interval:(target_i - cur) with
+        | `Advanced _ -> ()
+        | `Idle ->
+            invalid_arg
+              "Controller.recover: recorded frontier beyond restored log")
+    target
+
+(* Regenerate the view delta from a rolling process positioned at some
+   uniform time up to the recorded frontier, following the recorded
+   trajectory so per-relation frontiers land exactly where they were. *)
+let regenerate rolling ~(trajectory : Frontier.t list) ~(last : Frontier.t)
+    ~uniform_target =
+  if uniform_target then begin
+    (* Uniform and deferred processes restart from a uniform vector at the
+       recovered high-water mark; only replay up to hwm on every axis. *)
+    let n = Array.length last.Frontier.tfwd in
+    replay_rolling rolling (Array.make n last.Frontier.hwm)
+  end
+  else begin
+    List.iter (fun (f : Frontier.t) -> replay_rolling rolling f.Frontier.tfwd)
+      trajectory;
+    replay_rolling rolling last.Frontier.tfwd
+  end
+
+let recover ?(geometry = false) ?(auto_index = false) ?checkpoint db capture
+    view ~algorithm =
+  (* Secondary indexes are in-memory state and die with the process. *)
+  if auto_index then build_join_indexes db view;
+  let name = View.name view in
+  Capture.advance capture;
+  let wal = Database.wal db in
+  let recorded = Frontier.latest wal ~view:name in
+  let trajectory = Frontier.history wal ~view:name in
+  (* Checkpoint fast path: resume delta rows and stored contents from the
+     snapshot, then roll forward. A torn or damaged checkpoint falls back
+     to WAL-only recovery rather than failing the restart. *)
+  let resumed =
+    match checkpoint with
+    | None -> None
+    | Some path -> (
+        match Checkpoint.resume db capture view path with
+        | resumed -> Some resumed
+        | exception Roll_storage.Wal_codec.Corrupt reason ->
+            Log.warn (fun m ->
+                m "view %s: checkpoint %s unusable (%s); recovering from WAL"
+                  name path reason);
+            None
+        | exception Sys_error reason ->
+            Log.warn (fun m ->
+                m "view %s: checkpoint %s unreadable (%s); recovering from WAL"
+                  name path reason);
+            None)
+  in
+  let ctx, apply, rolling =
+    match resumed with
+    | Some (ctx, apply, rolling) -> (ctx, apply, rolling)
+    | None -> (
+        (* WAL-only recovery: rebuild V_t0 from the restored history at the
+           first recorded frontier time, then regenerate the whole delta by
+           replaying the trajectory. *)
+        match trajectory with
+        | [] ->
+            invalid_arg
+              (Printf.sprintf
+                 "Controller.recover: no durable state for view %s (no \
+                  checkpoint, no frontier markers)"
+                 name)
+        | first :: _ ->
+            let t0 = first.Frontier.hwm in
+            let ctx = Ctx.create ~t_initial:t0 db capture view in
+            let contents = Oracle.view_at (History.create db) view t0 in
+            let apply = Apply.create_restored ctx ~contents ~as_of:t0 in
+            (ctx, apply, Rolling.create ctx ~t_initial:t0))
+  in
+  if geometry then
+    ctx.Ctx.geometry <-
+      Some
+        (Geometry.create ~n:(View.n_sources view)
+           ~origin:(Rolling.hwm rolling));
+  let last =
+    match recorded with
+    | Some f -> f
+    | None ->
+        (* Checkpoint but no markers: the durable frontier is the
+           checkpoint's own uniform position. *)
+        let h = Rolling.hwm rolling in
+        {
+          Frontier.view = name;
+          tfwd = Array.make (View.n_sources view) h;
+          tcomp = Array.make (View.n_sources view) h;
+          hwm = h;
+          as_of = Apply.as_of apply;
+        }
+  in
+  let uniform_target =
+    match algorithm with
+    | Uniform _ | Deferred _ -> true
+    | Rolling _ | Adaptive _ -> false
+  in
+  (* Only replay trajectory suffix beyond the resume point; earlier
+     recorded vectors are already inside the resumed coverage. *)
+  let beyond =
+    List.filter
+      (fun (f : Frontier.t) ->
+        let tfwd = f.Frontier.tfwd in
+        let any = ref false in
+        Array.iteri
+          (fun i v -> if v > Rolling.tfwd rolling i then any := true)
+          tfwd;
+        !any)
+      trajectory
+  in
+  regenerate rolling ~trajectory:beyond ~last ~uniform_target;
+  let process =
+    match algorithm with
+    | Uniform interval ->
+        P_uniform (Propagate.create ctx ~t_initial:(Rolling.hwm rolling), interval)
+    | Rolling policy -> P_rolling (rolling, policy)
+    | Deferred policy ->
+        P_deferred
+          (Rolling_deferred.create ctx ~t_initial:(Rolling.hwm rolling), policy)
+    | Adaptive target_rows ->
+        let tuner = Autotune.create ~target_rows ctx in
+        P_rolling (rolling, Autotune.policy tuner)
+  in
+  let t = { ctx; apply; process; durable = true } in
+  (* Roll the stored view forward to the recorded apply position. *)
+  let target_as_of = Time.min last.Frontier.as_of (hwm t) in
+  if target_as_of > Apply.as_of t.apply then
+    Apply.roll_to t.apply ~hwm:(hwm t) target_as_of;
+  Stats.incr_recoveries ctx.Ctx.stats;
+  record_frontier t;
+  Log.info (fun m ->
+      m "view %s recovered: hwm=%d as_of=%d (%s)" name (hwm t) (as_of t)
+        (if resumed = None then "WAL replay" else "checkpoint + WAL replay"));
+  t

@@ -5,7 +5,22 @@
     [RollingPropagate]) and the apply driver, and keeps the control-table
     state: the view's materialization time and the view-delta high-water
     mark. Provides the user-facing refresh operations, including
-    point-in-time refresh by logical time or by wall-clock time. *)
+    point-in-time refresh by logical time or by wall-clock time.
+
+    {2 Durability and recovery}
+
+    A {e durable} controller persists its control-table state — the
+    per-relation frontier vectors, the high-water mark and the apply
+    position — as {!Frontier} marker commits in the WAL after every
+    advancing propagation step. Because the view delta itself is
+    process-local (only base tables and the WAL survive a crash),
+    recovery ({!recover}) restores the {e coverage} rather than the rows:
+    it replays the recorded frontier trajectory through fresh rolling
+    steps. The brick laid by each step is determined entirely by the
+    frontier vectors around it — never by the wall-clock moment the query
+    runs — so the replay regenerates a delta with exactly the net effect
+    of the lost one (the tiling argument of Theorem 4.3). A {!checkpoint}
+    snapshot short-circuits the replay prefix. *)
 
 type algorithm =
   | Uniform of int  (** [Propagate] with this interval *)
@@ -23,6 +38,7 @@ type t
 val create :
   ?geometry:bool ->
   ?auto_index:bool ->
+  ?durable:bool ->
   Roll_storage.Database.t ->
   Roll_capture.Capture.t ->
   View.t ->
@@ -33,7 +49,41 @@ val create :
     [auto_index] (default false), a single-column secondary index is created
     on every base-table column the view equi-joins on, so propagation
     queries probe instead of scanning
-    (see {!Roll_storage.Table.create_index}). *)
+    (see {!Roll_storage.Table.create_index}). With [durable] (default
+    false), the controller records its initial frontier and every advancing
+    step's frontier as WAL markers, making the maintenance state
+    recoverable with {!recover}. *)
+
+val recover :
+  ?geometry:bool ->
+  ?auto_index:bool ->
+  ?checkpoint:string ->
+  Roll_storage.Database.t ->
+  Roll_capture.Capture.t ->
+  View.t ->
+  algorithm:algorithm ->
+  t
+(** Restart maintenance of a view from durable state after a crash. The
+    database must have been {!Roll_storage.Database.restore}d from its WAL
+    and the capture process freshly attached (at cursor zero).
+
+    With [checkpoint], the snapshot's delta rows and stored contents are
+    resumed and only the trajectory recorded {e after} the snapshot is
+    replayed; a torn or unreadable checkpoint file logs a warning and
+    falls back to WAL-only recovery. Without a usable checkpoint, the
+    stored view is recomputed at the first recorded frontier time t₀ and
+    the full trajectory is replayed from there.
+
+    Under [Rolling]/[Adaptive] the replay lands every per-relation
+    frontier exactly where the last marker recorded it; under
+    [Uniform]/[Deferred] the process restarts at the recorded high-water
+    mark (their coverage below the frontier is uniform by construction).
+    The recovered controller is durable, has rolled the stored view
+    forward to the recorded apply position, counts one recovery in
+    {!stats}, and has recorded a fresh frontier marker.
+
+    @raise Invalid_argument when there is no durable state at all (no
+    usable checkpoint and no frontier markers for the view). *)
 
 val ctx : t -> Ctx.t
 
@@ -49,9 +99,41 @@ val hwm : t -> Roll_delta.Time.t
 (** View-delta high-water mark: latest time the view can be rolled to right
     now. *)
 
+val frontier : t -> Frontier.t
+(** The current control-table state as one frontier record (what a durable
+    controller persists). *)
+
+val durable : t -> bool
+
+val set_durable : t -> bool -> unit
+(** Switching durability on records the current frontier immediately. *)
+
+val record_frontier : t -> unit
+(** Commit the current frontier as a WAL marker now (done automatically
+    after advancing steps when durable). *)
+
+val checkpoint : t -> string -> unit
+(** Snapshot the applied delta prefix and stored contents to a file (see
+    {!Checkpoint.save}); [recover ~checkpoint] resumes from it instead of
+    replaying the full trajectory. *)
+
 val propagate_step : t -> bool
 (** One propagation transaction (plus its compensations). [false] when the
-    propagation process is fully caught up. *)
+    propagation process is fully caught up. When durable, an advancing
+    step that committed work also records its frontier. *)
+
+val propagate_step_reliable :
+  t ->
+  retry:Roll_util.Retry.policy ->
+  sleep:(float -> unit) ->
+  (bool, Roll_util.Retry.failure) result
+(** {!propagate_step} under a retry policy: a step failing with
+    {!Roll_util.Fault.Transient} has its partial emissions rolled back
+    (the aborted transaction's writes) and is re-run after backoff,
+    counting a retry in {!stats}; eventual success after retries counts a
+    recovery. Exhausting the budget rolls back, counts an abort and
+    returns the typed failure. Other exceptions (including
+    {!Roll_util.Fault.Crash}) propagate. *)
 
 val propagate_until : t -> Roll_delta.Time.t -> unit
 (** Run propagation steps until [hwm] reaches the target (which must have

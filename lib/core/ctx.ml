@@ -15,6 +15,7 @@ type t = {
   mutable skip_empty_windows : bool;
   mutable timestamp_rule : [ `Min | `Max ];
   mutable last_report : Exec.report option;
+  mutable fault : Roll_util.Fault.t;
 }
 
 let create ?(geometry = false) ?t_initial db capture view =
@@ -43,4 +44,5 @@ let create ?(geometry = false) ?t_initial db capture view =
     skip_empty_windows = true;
     timestamp_rule = `Min;
     last_report = None;
+    fault = Roll_util.Fault.none;
   }

@@ -38,6 +38,12 @@ type t = {
           context (per-step estimated vs. actual cardinalities, reads,
           hash builds, wall time) — what [Executor.explain_analyze] and
           [rollctl explain] read back *)
+  mutable fault : Roll_util.Fault.t;
+      (** fault-injection handle visited by every maintenance hot path
+          (executor queries, compensation, frontier advances, apply,
+          checkpoint writes); {!Roll_util.Fault.none} (the default) makes
+          the visits free. The capture process carries its own handle
+          ([Roll_capture.Capture.set_fault]). *)
 }
 
 val create :

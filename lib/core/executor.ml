@@ -130,15 +130,18 @@ let explain_analyze (ctx : Ctx.t) (q : Pquery.t) =
 let execute (ctx : Ctx.t) ~sign (q : Pquery.t) =
   ctx.on_execute ();
   if ctx.auto_capture then Capture.advance ctx.capture;
+  Roll_util.Fault.hit ctx.fault "exec.query";
   let rows, sources, report = evaluate_parts ctx q in
   let reads = reads_of sources report in
   let description = Pquery.describe ctx.view q in
   let tag = (if sign < 0 then "-" else "+") ^ description in
+  Roll_util.Fault.hit ctx.fault "exec.emit";
   List.iter
     (fun (tuple, count, ts) ->
       ctx.on_emit ~description:tag tuple (sign * count) ts;
       Delta.append ctx.out tuple ~count:(sign * count) ~ts)
     rows;
+  Roll_util.Fault.hit ctx.fault "exec.marker";
   let t_exec = Database.commit_marker ctx.db ~tag in
   Log.debug (fun m ->
       m "executed %s at t=%d: %d rows emitted" tag t_exec (List.length rows));

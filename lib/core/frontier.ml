@@ -1,0 +1,70 @@
+module Time = Roll_delta.Time
+module Wal = Roll_storage.Wal
+
+type t = {
+  view : string;
+  tfwd : Time.t array;
+  tcomp : Time.t array;
+  hwm : Time.t;
+  as_of : Time.t;
+}
+
+let prefix = "!frontier "
+
+let encode_vector v =
+  String.concat "," (Array.to_list (Array.map string_of_int v))
+
+let decode_vector s =
+  try Array.of_list (List.map int_of_string (String.split_on_char ',' s))
+  with Failure _ -> invalid_arg ("Frontier: bad vector: " ^ s)
+
+let to_tag t =
+  Printf.sprintf "%s%S hwm=%d as_of=%d fwd=%s comp=%s" prefix t.view t.hwm
+    t.as_of (encode_vector t.tfwd) (encode_vector t.tcomp)
+
+let is_prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let of_tag tag =
+  if not (is_prefix tag) then None
+  else
+    try
+      Scanf.sscanf tag "!frontier %S hwm=%d as_of=%d fwd=%s comp=%s"
+        (fun view hwm as_of fwd comp ->
+          Some
+            {
+              view;
+              hwm;
+              as_of;
+              tfwd = decode_vector fwd;
+              tcomp = decode_vector comp;
+            })
+    with Scanf.Scan_failure _ | Failure _ | End_of_file | Invalid_argument _ ->
+      None
+
+let of_record (record : Wal.record) ~view =
+  match record.marker with
+  | None -> None
+  | Some tag -> (
+      match of_tag tag with
+      | Some f when String.equal f.view view -> Some f
+      | Some _ | None -> None)
+
+let latest wal ~view =
+  let rec scan i =
+    if i < 0 then None
+    else
+      match of_record (Wal.get wal i) ~view with
+      | Some f -> Some f
+      | None -> scan (i - 1)
+  in
+  scan (Wal.length wal - 1)
+
+let history wal ~view =
+  let acc = ref [] in
+  Wal.iter_from wal ~pos:0 (fun record ->
+      match of_record record ~view with
+      | Some f -> acc := f :: !acc
+      | None -> ());
+  List.rev !acc

@@ -1,0 +1,43 @@
+(** Durable propagation frontiers: the control-table rows of Figure 11,
+    persisted through the WAL.
+
+    In the paper's prototype the control tables live inside the database and
+    are durable for free. Here the durable channel is the WAL itself: after
+    each advancing propagation step, the controller commits a marker record
+    whose tag encodes the per-relation forward-query frontiers ([tfwd]),
+    the compensation frontiers ([tcomp], equal to [tfwd] except under the
+    deferred algorithm), the view-delta high-water mark and the apply
+    position. Because markers are ordinary commits, they ride every WAL
+    save/restore unchanged, and a restarted controller reads its last
+    durable frontier straight out of the restored log
+    ({!latest}) — or the whole trajectory ({!history}) when it wants to
+    replay propagation exactly (see [Controller.recover]). *)
+
+type t = {
+  view : string;
+  tfwd : Roll_delta.Time.t array;  (** forward-query frontier per relation *)
+  tcomp : Roll_delta.Time.t array;
+      (** compensation frontier per relation; equals [tfwd] outside the
+          deferred algorithm *)
+  hwm : Roll_delta.Time.t;  (** view-delta high-water mark at record time *)
+  as_of : Roll_delta.Time.t;  (** apply position at record time *)
+}
+
+val to_tag : t -> string
+(** Encode as a WAL marker tag (prefix ["!frontier "]). *)
+
+val of_tag : string -> t option
+(** [None] when the tag is not a frontier marker; a malformed frontier
+    marker also yields [None] (recovery treats it as absent rather than
+    crashing on a damaged control row). *)
+
+val of_record : Roll_storage.Wal.record -> view:string -> t option
+(** The frontier carried by one WAL record, if it is a frontier marker for
+    [view]. *)
+
+val latest : Roll_storage.Wal.t -> view:string -> t option
+(** The most recent durable frontier for [view] (backward scan). *)
+
+val history : Roll_storage.Wal.t -> view:string -> t list
+(** Every durable frontier for [view], oldest first — the full recorded
+    trajectory. *)

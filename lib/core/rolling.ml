@@ -17,6 +17,8 @@ let hwm t = Array.fold_left Time.min t.tfwd.(0) t.tfwd
 
 let tfwd t i = t.tfwd.(i)
 
+let frontiers t = Array.copy t.tfwd
+
 let step_relation t i ~interval =
   if interval <= 0 then invalid_arg "Rolling.step_relation: interval must be positive";
   let now = Database.now t.ctx.Ctx.db in
@@ -48,12 +50,14 @@ let step_relation t i ~interval =
         (Pquery.Win { lo = start; hi = start + delta })
     in
     let t_exec = Executor.execute t.ctx ~sign:1 fwd in
+    Roll_util.Fault.hit t.ctx.Ctx.fault "rolling.post_forward";
     (* The forward query saw every other relation at t_exec; its intended
        view of relation j is R^j at the current frontier tfwd.(j), so one
        ComputeDelta repairs the whole difference. Net effect of the step:
        the brick (start, start+delta] x prod_{j<>i} [t0, tfwd.(j)]. *)
     let tau = Array.init t.n (fun j -> if j = i then t_exec else t.tfwd.(j)) in
     Compute_delta.run ~sign:(-1) t.ctx fwd tau t_exec;
+    Roll_util.Fault.hit t.ctx.Ctx.fault "rolling.pre_advance";
     t.tfwd.(i) <- start + delta;
     `Advanced (hwm t)
     end

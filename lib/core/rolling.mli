@@ -47,6 +47,10 @@ val hwm : t -> Roll_delta.Time.t
 
 val tfwd : t -> int -> Roll_delta.Time.t
 
+val frontiers : t -> Roll_delta.Time.t array
+(** A copy of the full forward-frontier vector [tfwd], in source order —
+    what the durable controller persists through WAL frontier markers. *)
+
 val step : t -> policy:policy -> [ `Advanced of int * Roll_delta.Time.t | `Idle ]
 (** One iteration: pick the relation with the smallest frontier, run its
     forward query, compensate. [`Advanced (i, h)] reports the chosen

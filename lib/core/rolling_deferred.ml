@@ -40,6 +40,10 @@ let tfwd t i = t.tfwd.(i)
 
 let tcomp t i = t.tcomp.(i)
 
+let frontiers t = Array.copy t.tfwd
+
+let comp_frontiers t = Array.copy t.tcomp
+
 let outstanding t =
   Array.fold_left (fun acc ql -> acc + List.length !ql) 0 t.querylists
 
@@ -115,6 +119,7 @@ let step t ~policy =
         (Pquery.Win { lo = start; hi = start + delta })
     in
     let t_exec = Executor.execute t.ctx ~sign:1 fwd in
+    Roll_util.Fault.hit t.ctx.Ctx.fault "deferred.post_forward";
     if i < t.n - 1 then
       t.querylists.(i) :=
         !(t.querylists.(i))
@@ -138,6 +143,7 @@ let step t ~policy =
       done
     end
     else t.tfwd.(i) <- start + delta;
+    Roll_util.Fault.hit t.ctx.Ctx.fault "deferred.pre_advance";
     refresh_tcomp t i;
     `Advanced (i, hwm t)
     end

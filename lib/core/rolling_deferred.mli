@@ -37,6 +37,13 @@ val tfwd : t -> int -> Roll_delta.Time.t
 
 val tcomp : t -> int -> Roll_delta.Time.t
 
+val frontiers : t -> Roll_delta.Time.t array
+(** Copy of the forward-frontier vector [tfwd]. *)
+
+val comp_frontiers : t -> Roll_delta.Time.t array
+(** Copy of the compensation-frontier vector [tcomp]; [hwm] is its
+    minimum. *)
+
 val outstanding : t -> int
 (** Total queries across all query lists (not yet fully compensated). *)
 

@@ -11,7 +11,12 @@ type status = {
   staleness : int;
   delta_rows : int;
   paused : bool;
+  retries : int;
+  aborts : int;
+  recoveries : int;
 }
+
+type step_error = { view : string; point : string; hit : int; attempts : int }
 
 type t = {
   db : Database.t;
@@ -21,11 +26,21 @@ type t = {
 
 let create db capture = { db; capture; entries = [] }
 
-let register t ~algorithm view =
+let register ?(durable = false) t ~algorithm view =
   let name = View.name view in
   if List.exists (fun (e : entry) -> String.equal e.name name) t.entries then
     invalid_arg ("Service.register: view already registered: " ^ name);
-  let controller = Controller.create t.db t.capture view ~algorithm in
+  let controller = Controller.create ~durable t.db t.capture view ~algorithm in
+  t.entries <- t.entries @ [ { name; controller; paused = false } ];
+  controller
+
+let register_recovered ?checkpoint t ~algorithm view =
+  let name = View.name view in
+  if List.exists (fun (e : entry) -> String.equal e.name name) t.entries then
+    invalid_arg ("Service.register_recovered: view already registered: " ^ name);
+  let controller =
+    Controller.recover ?checkpoint t.db t.capture view ~algorithm
+  in
   t.entries <- t.entries @ [ { name; controller; paused = false } ];
   controller
 
@@ -43,6 +58,7 @@ let status t =
   List.map
     (fun (e : entry) ->
       let hwm = Controller.hwm e.controller in
+      let stats = Controller.stats e.controller in
       {
         name = e.name;
         as_of = Controller.as_of e.controller;
@@ -50,6 +66,9 @@ let status t =
         staleness = now - hwm;
         delta_rows = Roll_delta.Delta.length (Controller.ctx e.controller).Ctx.out;
         paused = e.paused;
+        retries = Stats.retries stats;
+        aborts = Stats.aborts stats;
+        recoveries = Stats.recoveries stats;
       })
     t.entries
 
@@ -72,6 +91,38 @@ let step_all t ~budget =
       t.entries
   done;
   !steps
+
+let try_step_all ?sleep t ~budget ~retry =
+  let sleep =
+    match sleep with
+    | Some f -> f
+    | None -> fun d -> Database.advance_wall t.db d
+  in
+  let steps = ref 0 in
+  let made_progress = ref true in
+  let failure = ref None in
+  while !failure = None && !steps < budget && !made_progress do
+    made_progress := false;
+    List.iter
+      (fun (e : entry) ->
+        if !failure = None && (not e.paused) && !steps < budget then
+          match Controller.propagate_step_reliable e.controller ~retry ~sleep with
+          | Ok true ->
+              incr steps;
+              made_progress := true
+          | Ok false -> ()
+          | Error (f : Roll_util.Retry.failure) ->
+              failure :=
+                Some
+                  {
+                    view = e.name;
+                    point = f.Roll_util.Retry.point;
+                    hit = f.Roll_util.Retry.hit;
+                    attempts = f.Roll_util.Retry.attempts;
+                  })
+      t.entries
+  done;
+  match !failure with Some f -> Error f | None -> Ok !steps
 
 let refresh_all t =
   List.iter

@@ -19,14 +19,35 @@ type status = {
   staleness : int;  (** current time minus hwm, in commits *)
   delta_rows : int;  (** rows currently held in the view delta *)
   paused : bool;
+  retries : int;  (** step attempts re-run after transient failures *)
+  aborts : int;  (** steps abandoned after exhausting the retry budget *)
+  recoveries : int;
+      (** transient-failed steps that eventually succeeded, plus controller
+          restarts recovered from durable state *)
+}
+
+type step_error = {
+  view : string;  (** which registered view's step failed permanently *)
+  point : string;  (** fault point of the last failing attempt *)
+  hit : int;
+  attempts : int;
 }
 
 val create : Roll_storage.Database.t -> Roll_capture.Capture.t -> t
 
 val register :
-  t -> algorithm:Controller.algorithm -> View.t -> Controller.t
-(** Materializes and registers a view under its own name.
+  ?durable:bool -> t -> algorithm:Controller.algorithm -> View.t -> Controller.t
+(** Materializes and registers a view under its own name. [durable]
+    (default false) is passed through to {!Controller.create}.
     @raise Invalid_argument if the name is already registered. *)
+
+val register_recovered :
+  ?checkpoint:string ->
+  t -> algorithm:Controller.algorithm -> View.t -> Controller.t
+(** Registers a view by recovering its durable maintenance state instead of
+    re-materializing (see {!Controller.recover}).
+    @raise Invalid_argument if the name is already registered or there is
+    no durable state for the view. *)
 
 val controller : t -> string -> Controller.t
 (** @raise Not_found *)
@@ -45,6 +66,19 @@ val resume : t -> string -> unit
 val step_all : t -> budget:int -> int
 (** Run up to [budget] propagation steps, round-robin over non-paused
     views, stopping early when every one is idle. Returns steps executed. *)
+
+val try_step_all :
+  ?sleep:(float -> unit) ->
+  t ->
+  budget:int ->
+  retry:Roll_util.Retry.policy ->
+  (int, step_error) result
+(** {!step_all} with each step run under {!Controller.propagate_step_reliable}:
+    transient step failures are retried with backoff (sleeping through
+    [sleep], which defaults to advancing the database's simulated wall
+    clock), and the first step to exhaust its retry budget stops the
+    round-robin and surfaces as a typed [step_error]. [Ok steps] otherwise,
+    like {!step_all}. *)
 
 val refresh_all : t -> unit
 (** Refresh every non-paused view to the current time. *)

@@ -22,6 +22,9 @@ type t = {
   mutable rows_probed : int;
   mutable hash_builds : int;
   mutable exec_wall : float;
+  mutable retries : int;
+  mutable aborts : int;
+  mutable recoveries : int;
   resources : (string, resource_counters) Hashtbl.t;
   mutable keep_footprints : bool;
   footprints : footprint Vec.t;
@@ -37,6 +40,9 @@ let create () =
     rows_probed = 0;
     hash_builds = 0;
     exec_wall = 0.;
+    retries = 0;
+    aborts = 0;
+    recoveries = 0;
     resources = Hashtbl.create 8;
     keep_footprints = true;
     footprints = Vec.create ();
@@ -57,6 +63,18 @@ let rows_probed t = t.rows_probed
 let hash_builds t = t.hash_builds
 
 let exec_wall t = t.exec_wall
+
+let retries t = t.retries
+
+let aborts t = t.aborts
+
+let recoveries t = t.recoveries
+
+let incr_retries t = t.retries <- t.retries + 1
+
+let incr_aborts t = t.aborts <- t.aborts + 1
+
+let incr_recoveries t = t.recoveries <- t.recoveries + 1
 
 let incr_compute_delta_calls t = t.compute_delta_calls <- t.compute_delta_calls + 1
 
@@ -104,6 +122,9 @@ let reset t =
   t.rows_probed <- 0;
   t.hash_builds <- 0;
   t.exec_wall <- 0.;
+  t.retries <- 0;
+  t.aborts <- 0;
+  t.recoveries <- 0;
   Hashtbl.reset t.resources;
   Vec.clear t.footprints
 
@@ -112,4 +133,7 @@ let pp ppf t =
     "queries=%d rows_read=%d (scanned=%d probed=%d) rows_emitted=%d \
      hash_builds=%d compute_delta=%d"
     t.queries t.rows_read t.rows_scanned t.rows_probed t.rows_emitted
-    t.hash_builds t.compute_delta_calls
+    t.hash_builds t.compute_delta_calls;
+  if t.retries > 0 || t.aborts > 0 || t.recoveries > 0 then
+    Format.fprintf ppf " retries=%d aborts=%d recoveries=%d" t.retries
+      t.aborts t.recoveries

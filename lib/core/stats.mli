@@ -44,6 +44,22 @@ val hash_builds : t -> int
 val exec_wall : t -> float
 (** Total wall-clock seconds spent draining execution pipelines. *)
 
+val retries : t -> int
+(** Propagation-step attempts re-run after a transient failure. *)
+
+val aborts : t -> int
+(** Propagation steps abandoned after exhausting their retry budget. *)
+
+val recoveries : t -> int
+(** Successful recoveries: transient-failed steps that eventually
+    succeeded, plus controller restarts recovered from durable state. *)
+
+val incr_retries : t -> unit
+
+val incr_aborts : t -> unit
+
+val incr_recoveries : t -> unit
+
 val incr_compute_delta_calls : t -> unit
 
 val record_query : t -> footprint -> unit

@@ -32,6 +32,15 @@ let append t tuple ~count ~ts = append_row t { tuple; count; ts }
 
 let length t = Vec.length t.rows
 
+let truncate t n =
+  if n < 0 then invalid_arg "Delta.truncate: negative length";
+  while Vec.length t.rows > n do
+    ignore (Vec.pop t.rows)
+  done;
+  (* [ensure_index] rebuilds on any length mismatch, but mark dirty anyway
+     so a same-length rebuildless path can never see stale indices. *)
+  if Array.length t.index <> Vec.length t.rows then t.index_dirty <- true
+
 let iter f t = Vec.iter f t.rows
 
 let to_list t = Vec.to_list t.rows

@@ -27,6 +27,14 @@ val append_row : t -> row -> unit
 val length : t -> int
 (** Number of stored rows (not net tuples). *)
 
+val truncate : t -> int -> unit
+(** [truncate d n] drops every row after the first [n] (arrival order),
+    undoing the appends made since [length d] was [n]. This is the abort
+    path of a propagation transaction: a step that fails mid-way may have
+    emitted part of its brick, and the retry logic rolls the view delta
+    back to the pre-step mark before re-running the step. No-op when
+    [length d <= n]. *)
+
 val iter : (row -> unit) -> t -> unit
 (** Arrival order. *)
 

@@ -31,10 +31,11 @@ let decode_value line =
 
 (* --- save --- *)
 
-let save wal out =
+let save ?(fault = Roll_util.Fault.none) wal out =
   output_string out magic;
   output_char out '\n';
   Wal.iter_from wal ~pos:0 (fun record ->
+      Roll_util.Fault.hit fault "wal.record";
       Printf.fprintf out "R %d %d %h\n" record.Wal.csn record.Wal.txn_id
         record.Wal.wall;
       (match record.Wal.marker with
@@ -53,87 +54,147 @@ let save wal out =
               output_string out (Buffer.contents buf))
             c.tuple)
         record.Wal.changes;
+      Roll_util.Fault.hit fault "wal.terminator";
       output_string out "E\n")
 
-let save_file wal path =
+let save_file ?fault wal path =
   let out = open_out path in
-  Fun.protect ~finally:(fun () -> close_out out) (fun () -> save wal out)
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> save ?fault wal out)
 
 (* --- load --- *)
 
-type reader = { input : in_channel; mutable line_no : int }
+(* Both loaders parse an in-memory line array: the strict one turns any
+   parse failure into [Corrupt]; the recovering one distinguishes a torn
+   tail (a partial final write — the failure point is followed by no "E"
+   terminator, because a truncation cuts the byte stream before the
+   record's own terminator) from corruption in the middle of the log. *)
 
-let next_line reader =
-  match input_line reader.input with
-  | line ->
-      reader.line_no <- reader.line_no + 1;
-      Some line
-  | exception End_of_file -> None
+exception Fail of int * string
+(* (0-based line index of the failure, reason) — internal. *)
 
-let corrupt reader msg =
-  raise (Corrupt (Printf.sprintf "line %d: %s" reader.line_no msg))
+let read_lines input =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line input :: !lines
+     done
+   with End_of_file -> ());
+  Array.of_list (List.rev !lines)
+
+let fail pos msg = raise (Fail (pos, msg))
+
+(* Parse one record starting at [pos]; returns (record, next position). *)
+let parse_record lines pos =
+  let n = Array.length lines in
+  let csn, txn_id, wall =
+    try Scanf.sscanf lines.(pos) "R %d %d %h" (fun a b c -> (a, b, c))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      fail pos ("expected record header, got: " ^ lines.(pos))
+  in
+  let marker = ref None in
+  let changes = ref [] in
+  let pos = ref (pos + 1) in
+  let rec body () =
+    if !pos >= n then fail !pos "unterminated record"
+    else
+      let line = lines.(!pos) in
+      if line = "E" then incr pos
+      else if String.length line > 2 && String.sub line 0 2 = "M " then begin
+        (marker :=
+           try Scanf.sscanf line "M %S" (fun t -> Some t)
+           with Scanf.Scan_failure _ | End_of_file -> fail !pos "bad marker");
+        incr pos;
+        body ()
+      end
+      else if String.length line > 2 && String.sub line 0 2 = "C " then begin
+        let table, count, arity =
+          try Scanf.sscanf line "C %S %d %d" (fun t c a -> (t, c, a))
+          with Scanf.Scan_failure _ | End_of_file -> fail !pos "bad change header"
+        in
+        incr pos;
+        let values =
+          Array.init arity (fun _ ->
+              if !pos >= n then fail !pos "unterminated change"
+              else
+                let line = lines.(!pos) in
+                if String.length line > 2 && String.sub line 0 2 = "V " then begin
+                  let v =
+                    try decode_value (String.sub line 2 (String.length line - 2))
+                    with Corrupt msg -> fail !pos msg
+                  in
+                  incr pos;
+                  v
+                end
+                else fail !pos ("expected value, got: " ^ line))
+        in
+        changes := { Wal.table; tuple = values; count } :: !changes;
+        body ()
+      end
+      else fail !pos ("unexpected line: " ^ line)
+  in
+  body ();
+  ( { Wal.csn; txn_id; wall; changes = List.rev !changes; marker = !marker },
+    !pos )
+
+let corrupt pos msg = raise (Corrupt (Printf.sprintf "line %d: %s" (pos + 1) msg))
 
 let load input =
-  let reader = { input; line_no = 0 } in
-  (match next_line reader with
-  | Some line when line = magic -> ()
-  | Some line -> corrupt reader ("bad header: " ^ line)
-  | None -> corrupt reader "empty file");
-  let records = ref [] in
-  let rec read_record () =
-    match next_line reader with
-    | None -> ()
-    | Some line ->
-        let csn, txn_id, wall =
-          try Scanf.sscanf line "R %d %d %h" (fun a b c -> (a, b, c))
-          with Scanf.Scan_failure _ | Failure _ | End_of_file ->
-            corrupt reader ("expected record header, got: " ^ line)
-        in
-        let marker = ref None in
-        let changes = ref [] in
-        let rec read_body () =
-          match next_line reader with
-          | None -> corrupt reader "unterminated record"
-          | Some "E" -> ()
-          | Some line when String.length line > 2 && String.sub line 0 2 = "M " ->
-              (marker :=
-                 try Scanf.sscanf line "M %S" (fun t -> Some t)
-                 with Scanf.Scan_failure _ | End_of_file ->
-                   corrupt reader "bad marker");
-              read_body ()
-          | Some line when String.length line > 2 && String.sub line 0 2 = "C " ->
-              let table, count, arity =
-                try Scanf.sscanf line "C %S %d %d" (fun t c a -> (t, c, a))
-                with Scanf.Scan_failure _ | End_of_file ->
-                  corrupt reader "bad change header"
-              in
-              let values =
-                Array.init arity (fun _ ->
-                    match next_line reader with
-                    | Some line
-                      when String.length line > 2 && String.sub line 0 2 = "V "
-                      -> (
-                        try decode_value (String.sub line 2 (String.length line - 2))
-                        with Corrupt msg -> corrupt reader msg)
-                    | Some line -> corrupt reader ("expected value, got: " ^ line)
-                    | None -> corrupt reader "unterminated change")
-              in
-              changes := { Wal.table; tuple = values; count } :: !changes;
-              read_body ()
-          | Some line -> corrupt reader ("unexpected line: " ^ line)
-        in
-        read_body ();
-        records :=
-          { Wal.csn; txn_id; wall; changes = List.rev !changes; marker = !marker }
-          :: !records;
-        read_record ()
+  let lines = read_lines input in
+  if Array.length lines = 0 then corrupt (-1) "empty file";
+  if lines.(0) <> magic then corrupt 0 ("bad header: " ^ lines.(0));
+  let rec loop acc pos =
+    if pos >= Array.length lines then List.rev acc
+    else
+      match parse_record lines pos with
+      | record, next -> loop (record :: acc) next
+      | exception Fail (p, msg) -> corrupt p msg
   in
-  read_record ();
-  List.rev !records
+  loop [] 1
 
 let load_file path =
   let input = open_in path in
   Fun.protect ~finally:(fun () -> close_in input) (fun () -> load input)
+
+type recovery = { records : Wal.record list; torn : string option }
+
+let is_prefix_of s full =
+  String.length s <= String.length full && String.sub full 0 (String.length s) = s
+
+let recover input =
+  let lines = read_lines input in
+  let n = Array.length lines in
+  if n = 0 then { records = []; torn = Some "empty file" }
+  else if lines.(0) <> magic then
+    if n = 1 && is_prefix_of lines.(0) magic then
+      { records = []; torn = Some "torn header" }
+    else corrupt 0 ("bad header: " ^ lines.(0))
+  else begin
+    let rec loop acc pos =
+      if pos >= n then { records = List.rev acc; torn = None }
+      else
+        match parse_record lines pos with
+        | record, next -> loop (record :: acc) next
+        | exception Fail (p, msg) ->
+            (* A later "E" means complete records follow the failure point:
+               that is mid-log corruption, not a torn tail, and silently
+               dropping committed records would be far worse than failing. *)
+            let complete_tail = ref false in
+            for k = p to n - 1 do
+              if lines.(k) = "E" then complete_tail := true
+            done;
+            if !complete_tail then corrupt p msg
+            else
+              {
+                records = List.rev acc;
+                torn = Some (Printf.sprintf "line %d: %s" (p + 1) msg);
+              }
+    in
+    loop [] 1
+  end
+
+let recover_file path =
+  let input = open_in path in
+  Fun.protect ~finally:(fun () -> close_in input) (fun () -> recover input)
 
 let restore db records = Database.restore db records
 

@@ -29,13 +29,34 @@ val encode_value : Buffer.t -> Roll_relation.Value.t -> string -> unit
 val decode_value : string -> Roll_relation.Value.t
 (** Inverse of {!encode_value} (without the suffix). @raise Corrupt *)
 
-val save : Wal.t -> out_channel -> unit
+val save : ?fault:Roll_util.Fault.t -> Wal.t -> out_channel -> unit
+(** Fault points ["wal.record"] (before each record) and
+    ["wal.terminator"] (before each record's "E" line) let tests produce
+    genuinely torn files: a crash mid-save leaves a valid prefix plus a
+    partial final record. *)
 
-val save_file : Wal.t -> string -> unit
+val save_file : ?fault:Roll_util.Fault.t -> Wal.t -> string -> unit
 
 val load : in_channel -> Wal.record list
+(** Strict: any malformed or truncated input raises {!Corrupt}. *)
 
 val load_file : string -> Wal.record list
+
+type recovery = {
+  records : Wal.record list;  (** the complete records, in log order *)
+  torn : string option;  (** [Some reason] if a partial final record (or a
+      truncated header) was detected and dropped *)
+}
+
+val recover : in_channel -> recovery
+(** Tolerant loader for restart: a torn {e final} record — the signature of
+    a crash mid-append, recognized because nothing after the failure point
+    carries a record terminator — is truncated away instead of raising.
+    Corruption {e followed by} further complete records still raises
+    {!Corrupt}: dropping committed records silently would be worse than
+    failing loudly. *)
+
+val recover_file : string -> recovery
 
 val restore : Database.t -> Wal.record list -> unit
 (** Replay records into a database whose tables exist and whose log is

@@ -1,0 +1,128 @@
+exception Crash of string * int
+
+exception Transient of string * int
+
+type rule =
+  | Crash_at of { point : string; hit : int }
+  | Transient_at of { point : string; first : int; failures : int }
+  | Crash_random of { p : float }
+  | Transient_random of { p : float }
+
+type t = {
+  enabled : bool;
+  rules : rule list;
+  prng : Prng.t option;
+  counts : (string, int ref) Hashtbl.t;
+  mutable total : int;
+  mutable injected : int;
+  mutable last_injected : (string * int) option;
+}
+
+let none =
+  {
+    enabled = false;
+    rules = [];
+    prng = None;
+    counts = Hashtbl.create 1;
+    total = 0;
+    injected = 0;
+    last_injected = None;
+  }
+
+let create ?seed ~rules () =
+  let needs_prng =
+    List.exists
+      (function
+        | Crash_random _ | Transient_random _ -> true
+        | Crash_at _ | Transient_at _ -> false)
+      rules
+  in
+  let prng =
+    match (needs_prng, seed) with
+    | false, _ -> None
+    | true, Some seed -> Some (Prng.create ~seed)
+    | true, None -> invalid_arg "Fault.create: random rules require ~seed"
+  in
+  {
+    enabled = true;
+    rules;
+    prng;
+    counts = Hashtbl.create 16;
+    total = 0;
+    injected = 0;
+    last_injected = None;
+  }
+
+let observer () = create ~rules:[] ()
+
+let crash_at point ~hit = create ~rules:[ Crash_at { point; hit } ] ()
+
+let transient_at point ~hit ~failures =
+  create ~rules:[ Transient_at { point; first = hit; failures } ] ()
+
+let hit t point =
+  if t.enabled then begin
+    let count =
+      match Hashtbl.find_opt t.counts point with
+      | Some r ->
+          incr r;
+          !r
+      | None ->
+          Hashtbl.add t.counts point (ref 1);
+          1
+    in
+    t.total <- t.total + 1;
+    let inject exn =
+      t.injected <- t.injected + 1;
+      t.last_injected <- Some (point, count);
+      raise exn
+    in
+    List.iter
+      (fun rule ->
+        match rule with
+        | Crash_at r ->
+            if String.equal r.point point && r.hit = count then
+              inject (Crash (point, count))
+        | Transient_at r ->
+            if
+              String.equal r.point point && count >= r.first
+              && count < r.first + r.failures
+            then inject (Transient (point, count))
+        | Crash_random { p } ->
+            if Prng.chance (Option.get t.prng) p then inject (Crash (point, count))
+        | Transient_random { p } ->
+            if Prng.chance (Option.get t.prng) p then
+              inject (Transient (point, count)))
+      t.rules
+  end
+
+let count t point =
+  match Hashtbl.find_opt t.counts point with Some r -> !r | None -> 0
+
+let sites t =
+  Hashtbl.fold (fun point r acc -> (point, !r) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let total t = t.total
+
+let injected t = t.injected
+
+let last_injected t = t.last_injected
+
+let reset t =
+  if t.enabled then begin
+    Hashtbl.reset t.counts;
+    t.total <- 0;
+    t.injected <- 0;
+    t.last_injected <- None
+  end
+
+let pp ppf t =
+  if not t.enabled then Format.fprintf ppf "(faults disabled)"
+  else begin
+    Format.fprintf ppf "@[<v>";
+    List.iter
+      (fun (point, n) -> Format.fprintf ppf "%s: %d@," point n)
+      (sites t);
+    Format.fprintf ppf "total=%d injected=%d@]" t.total t.injected
+  end

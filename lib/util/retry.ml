@@ -1,0 +1,41 @@
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+}
+
+let default =
+  { max_attempts = 4; base_delay = 0.01; multiplier = 2.0; max_delay = 1.0 }
+
+let policy ?(max_attempts = default.max_attempts)
+    ?(base_delay = default.base_delay) ?(multiplier = default.multiplier)
+    ?(max_delay = default.max_delay) () =
+  if max_attempts < 1 then invalid_arg "Retry.policy: max_attempts must be >= 1";
+  if base_delay < 0.0 || max_delay < 0.0 || multiplier < 1.0 then
+    invalid_arg "Retry.policy: negative delay or multiplier < 1";
+  { max_attempts; base_delay; multiplier; max_delay }
+
+let delay p ~attempt =
+  if attempt < 1 then invalid_arg "Retry.delay: attempt is 1-based";
+  Float.min p.max_delay
+    (p.base_delay *. (p.multiplier ** float_of_int (attempt - 1)))
+
+let schedule p = List.init (p.max_attempts - 1) (fun i -> delay p ~attempt:(i + 1))
+
+type failure = { point : string; hit : int; attempts : int }
+
+let run p ~sleep ?(on_retry = fun ~attempt:_ ~delay:_ -> ()) f =
+  let rec go attempt =
+    match f () with
+    | v -> Ok v
+    | exception Fault.Transient (point, hit) ->
+        if attempt >= p.max_attempts then Error { point; hit; attempts = attempt }
+        else begin
+          let d = delay p ~attempt in
+          on_retry ~attempt ~delay:d;
+          sleep d;
+          go (attempt + 1)
+        end
+  in
+  go 1

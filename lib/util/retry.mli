@@ -1,0 +1,55 @@
+(** Bounded retry with exponential backoff for transient step failures.
+
+    Propagation runs as many small transactions, so any one of them can
+    fail transiently (deadlock victim, lock timeout); the right response is
+    to retry the step a bounded number of times with growing delays, then
+    surface a typed permanent failure. Only {!Fault.Transient} is treated
+    as retryable — a {!Fault.Crash} (process death) and real programming
+    errors propagate untouched.
+
+    The sleep function is injected so tests can run the schedule under a
+    fake clock and the service can advance the simulated wall clock. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts including the first (>= 1) *)
+  base_delay : float;  (** delay after the first failure, seconds *)
+  multiplier : float;  (** delay growth factor per failure (>= 1) *)
+  max_delay : float;  (** delay ceiling *)
+}
+
+val default : policy
+(** 4 attempts, 10 ms doubling, capped at 1 s. *)
+
+val policy :
+  ?max_attempts:int ->
+  ?base_delay:float ->
+  ?multiplier:float ->
+  ?max_delay:float ->
+  unit ->
+  policy
+(** @raise Invalid_argument on non-positive attempts, negative delays or a
+    multiplier below 1. *)
+
+val delay : policy -> attempt:int -> float
+(** Backoff slept after the [attempt]-th failed attempt (1-based):
+    [min max_delay (base_delay *. multiplier^(attempt-1))]. *)
+
+val schedule : policy -> float list
+(** The full deterministic backoff schedule: delays slept between the
+    [max_attempts] attempts ([max_attempts - 1] entries). *)
+
+type failure = {
+  point : string;  (** fault point that kept failing *)
+  hit : int;  (** its visit index at the last failure *)
+  attempts : int;  (** attempts consumed (= [max_attempts]) *)
+}
+
+val run :
+  policy ->
+  sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay:float -> unit) ->
+  (unit -> 'a) ->
+  ('a, failure) result
+(** [run p ~sleep f] calls [f] up to [max_attempts] times, sleeping the
+    backoff schedule between attempts; [on_retry] fires before each sleep.
+    Catches only {!Fault.Transient}; everything else propagates. *)

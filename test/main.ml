@@ -30,7 +30,8 @@ let () =
       ("workload", Test_workload.suite);
       ("tpch", Test_tpch.suite);
       ("sim", Test_sim.suite);
+      ("retry", Test_retry.suite);
+      ("fault", Test_fault.suite);
       ("smoke", Test_smoke.suite);
-      ("soak", Test_soak.suite);
       ("fuzz_views", Test_fuzz_views.suite);
     ]

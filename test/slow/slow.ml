@@ -1,0 +1,25 @@
+(* Slow suites, run via [dune build @slow] (not part of tier-1
+   [dune runtest]): the soak schedules and an extended crash-recovery fuzz
+   over seeds disjoint from the tier-1 fault suite's 0..99, with longer
+   runs and a denser oracle sample. *)
+
+let test_fault_fuzz_extended () =
+  let points =
+    Test_support.Fault_harness.run_seeds
+      ~sample:(fun b -> b mod 2 = 0)
+      ~txns:25 ~first:100 ~count:250 ()
+  in
+  if List.length points < 8 then
+    Alcotest.failf "only %d distinct crash sites exercised: %s"
+      (List.length points)
+      (String.concat ", " points)
+
+let fault_fuzz_suite =
+  [
+    Alcotest.test_case "fuzz: 250 extended crash-recovery runs" `Slow
+      test_fault_fuzz_extended;
+  ]
+
+let () =
+  Alcotest.run "rolling_ivm_slow"
+    [ ("soak", Test_soak.suite); ("fault_fuzz", fault_fuzz_suite) ]

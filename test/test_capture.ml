@@ -64,11 +64,23 @@ let test_capture_ignores_unattached () =
 let test_attach_guard () =
   let db = Database.create () in
   let _ = Database.create_table db ~name:"r" schema in
+  let _ = Database.create_table db ~name:"other" schema in
   ignore (Database.run db (fun txn -> Database.insert txn ~table:"r" t1));
-  let capture = Capture.create db in
+  (* A fresh capture (cursor at zero) may attach over existing history: it
+     will replay the log from the start. *)
+  let fresh = Capture.create db in
+  Capture.attach fresh ~table:"r";
+  Capture.advance fresh;
+  Alcotest.(check int) "history replayed on late attach" 1
+    (Delta.length (Capture.delta fresh ~table:"r"));
+  (* But once the cursor has passed logged changes of a table, attaching it
+     would silently drop them — rejected. *)
+  let late = Capture.create db in
+  Capture.attach late ~table:"other";
+  Capture.advance late;
   Alcotest.(check bool) "late attach rejected" true
     (try
-       Capture.attach capture ~table:"r";
+       Capture.attach late ~table:"r";
        false
      with Invalid_argument _ -> true)
 
