@@ -1,0 +1,33 @@
+(* Machine-readable scheduler-policy benchmark: runs the Schedsim policy
+   evaluation (Slack vs Round_robin on the skewed star workload) and writes
+   BENCH_scheduler.json with per-policy staleness and DES contention
+   figures, so scheduling regressions can be tracked across revisions. *)
+
+module S = Roll_sim.Schedsim
+
+let json_of_view (v : S.view_metrics) =
+  Printf.sprintf
+    "        {\"view\": \"%s\", \"sla\": %d, \"max_staleness\": %d, \
+     \"mean_staleness\": %.2f, \"violations\": %d}"
+    v.S.view v.S.sla v.S.max_staleness v.S.mean_staleness v.S.violations
+
+let json_of_result (r : S.policy_result) =
+  Printf.sprintf
+    "    {\"policy\": \"%s\", \"total_steps\": %d, \"max_staleness\": %d, \
+     \"mean_staleness\": %.2f, \"deferred\": %d, \"backpressured\": %d, \
+     \"des_makespan\": %.2f, \"des_update_wait_p95\": %.4f,\n\
+     \     \"views\": [\n%s\n     ]}"
+    r.S.policy r.S.total_steps r.S.max_staleness r.S.mean_staleness
+    r.S.deferred r.S.backpressured r.S.makespan r.S.update_wait_p95
+    (String.concat ",\n" (List.map json_of_view r.S.views))
+
+let run () =
+  let results = S.run () in
+  let path = "BENCH_scheduler.json" in
+  let oc = open_out path in
+  output_string oc "{\n  \"benchmark\": \"scheduler\",\n  \"policies\": [\n";
+  output_string oc (String.concat ",\n" (List.map json_of_result results));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  List.iter (fun r -> Format.printf "  @[%a@]@." S.pp_result r) results;
+  Printf.printf "  wrote %s\n" path

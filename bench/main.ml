@@ -12,7 +12,8 @@ let () =
   if List.mem "--list" args then begin
     List.iter (fun (name, _) -> print_endline name) Experiments.all;
     print_endline "micro";
-    print_endline "json"
+    print_endline "json";
+    print_endline "sched"
   end
   else begin
     let wanted name =
@@ -37,6 +38,11 @@ let () =
       let t = Unix.gettimeofday () in
       Bench_json.run ();
       Printf.printf "[json: %.1fs]\n%!" (Unix.gettimeofday () -. t)
+    end;
+    if wanted "sched" then begin
+      let t = Unix.gettimeofday () in
+      Bench_sched.run ();
+      Printf.printf "[sched: %.1fs]\n%!" (Unix.gettimeofday () -. t)
     end;
     Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)
   end

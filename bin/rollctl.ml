@@ -174,7 +174,7 @@ let status_cmd txns =
     Tablefmt.print ~title:header
       ~header:
         [
-          "view"; "as of"; "hwm"; "staleness"; "delta rows";
+          "view"; "as of"; "hwm"; "staleness"; "sla"; "slack"; "delta rows";
           "retry/abort/recover"; "state";
         ]
       (List.map
@@ -184,6 +184,8 @@ let status_cmd txns =
              string_of_int st.as_of;
              string_of_int st.hwm;
              string_of_int st.staleness;
+             string_of_int st.sla;
+             string_of_int st.slack;
              string_of_int st.delta_rows;
              Printf.sprintf "%d/%d/%d" st.retries st.aborts st.recoveries;
              (if st.paused then "paused" else "running");
@@ -199,6 +201,81 @@ let status_cmd txns =
 let status_term =
   let txns = Arg.(value & opt int 200 & info [ "txns"; "n" ] ~doc:"update transactions") in
   Term.(const (fun () n -> status_cmd n) $ verbose_term $ txns)
+
+(* --- schedule (work-queue inspection) --- *)
+
+let schedule_cmd txns policy budget =
+  let star = W.Star.create W.Star.default_config in
+  W.Star.load_initial star;
+  let db = W.Star.db star in
+  let policy =
+    match policy with
+    | "slack" -> C.Scheduler.Slack
+    | "round-robin" -> C.Scheduler.Round_robin
+    | other -> failwith ("unknown policy: " ^ other)
+  in
+  let service = C.Service.create ~policy ~default_sla:40 db (W.Star.capture star) in
+  let _ =
+    C.Service.register service
+      ~algorithm:(C.Controller.Rolling (C.Rolling.per_relation [| 10; 80; 80 |]))
+      (W.Star.view star)
+  in
+  let b = C.View.binder db [ ("fact", "f") ] in
+  let fact_only =
+    C.View.create db ~name:"fact_copy" ~sources:[ ("fact", "f") ] ~predicate:[]
+      ~project:[ b "f" "measure" ]
+  in
+  let _ =
+    C.Service.register service ~algorithm:(C.Controller.Uniform 20) fact_only
+  in
+  C.Service.set_sla service "fact_copy" 120;
+  W.Star.mixed_txns star ~n:txns ~dim_fraction:0.05;
+  let print_queue header =
+    Tablefmt.print ~title:header
+      ~header:[ "item"; "score"; "staleness"; "slack"; "est rows"; "est cost"; "state" ]
+      (List.map
+         (fun (s : C.Scheduler.scored) ->
+           [
+             Format.asprintf "%a" C.Scheduler.pp_item s.C.Scheduler.item;
+             Printf.sprintf "%.2f" s.C.Scheduler.score;
+             string_of_int s.C.Scheduler.staleness;
+             string_of_int s.C.Scheduler.slack;
+             string_of_int s.C.Scheduler.est_rows;
+             Printf.sprintf "%.0f" s.C.Scheduler.est_cost;
+             (if s.C.Scheduler.deferred then "deferred" else "runnable");
+           ])
+         (C.Service.schedule ~full:true service))
+  in
+  print_queue
+    (Printf.sprintf "work queue before drain (policy=%s)"
+       (match policy with C.Scheduler.Slack -> "slack" | C.Scheduler.Round_robin -> "round-robin"));
+  (match C.Service.maintain service ~budget with
+  | Ok items -> Printf.printf "maintain: executed %d work items\n" items
+  | Error (e : C.Service.step_error) ->
+      Printf.printf "permanent failure: view %s at %s\n" e.view e.point);
+  print_queue "work queue after drain";
+  let stats = C.Scheduler.stats (C.Service.scheduler service) in
+  Tablefmt.print ~title:"scheduler counters"
+    ~header:[ "kind"; "scheduled"; "ran"; "deferred"; "backpressured"; "wall ms" ]
+    (List.map
+       (fun (kind, (c : C.Stats.sched_counters)) ->
+         [
+           kind;
+           string_of_int c.C.Stats.scheduled;
+           string_of_int c.C.Stats.ran;
+           string_of_int c.C.Stats.deferred;
+           string_of_int c.C.Stats.backpressured;
+           Printf.sprintf "%.2f" (c.C.Stats.wall *. 1000.0);
+         ])
+       (C.Stats.sched_kinds stats))
+
+let schedule_term =
+  let txns = Arg.(value & opt int 200 & info [ "txns"; "n" ] ~doc:"update transactions") in
+  let policy =
+    Arg.(value & opt string "slack" & info [ "policy"; "p" ] ~doc:"slack or round-robin")
+  in
+  let budget = Arg.(value & opt int 30 & info [ "budget"; "b" ] ~doc:"work items per drain") in
+  Term.(const (fun () n p b -> schedule_cmd n p b) $ verbose_term $ txns $ policy $ budget)
 
 (* --- explain --- *)
 
@@ -271,6 +348,10 @@ let () =
            "parse a view definition against the demo catalog (orders, customer, lineitem)")
         parse_term;
       Cmd.v (info "status" "run a two-view maintenance service and print its control-table status") status_term;
+      Cmd.v
+        (info "schedule"
+           "show the maintenance scheduler's work queue, scores and counters")
+        schedule_term;
       Cmd.v (info "explain" "show executor plans for base and propagation queries") explain_term;
     ]
   in

@@ -23,10 +23,21 @@ let density t i =
 
 let interval_for t i =
   if t.ctx.Ctx.auto_capture then Capture.advance t.ctx.Ctx.capture;
-  let d = density t i in
-  if d <= 0.0 then t.max_interval
+  let span = Capture.hwm t.ctx.Ctx.capture in
+  if span <= 0 then
+    (* Cold start: nothing has been observed yet, so the relation's rate is
+       unknown. Step cautiously at the minimum interval rather than taking a
+       maximal bite — a hot relation's first window at max_interval could
+       dwarf the row budget. *)
+    t.min_interval
   else
-    let ideal = int_of_float (float_of_int t.target_rows /. d) in
-    max t.min_interval (min t.max_interval ideal)
+    let d = density t i in
+    if d <= 0.0 then
+      (* A genuinely quiet relation: observed for [span] commits with no
+         captured changes. Sweep it in maximal strides. *)
+      t.max_interval
+    else
+      let ideal = int_of_float (float_of_int t.target_rows /. d) in
+      max t.min_interval (min t.max_interval ideal)
 
 let policy t i = interval_for t i

@@ -25,8 +25,11 @@ val create :
 
 val interval_for : t -> int -> int
 (** [interval_for t i]: the interval to use for relation [i]'s next forward
-    query, computed from the change density observed so far (falls back to
-    [max_interval] for relations with no captured changes yet). *)
+    query, computed from the change density observed so far. Before anything
+    has been captured (cold start) the relation's rate is unknown and the
+    fallback is [min_interval] — a cautious first bite, since a maximal one
+    could dwarf the row budget on a hot relation. A relation that stayed
+    quiet over a nonzero observed span falls back to [max_interval]. *)
 
 val policy : t -> Rolling.policy
 (** The adaptive policy, for {!Rolling.step} / {!Controller.create}. *)

@@ -197,6 +197,104 @@ let gc t = Apply.prune_applied t.apply
 
 let stats t = t.ctx.Ctx.stats
 
+(* ------------------------------------------------------------------ *)
+(* Step candidates and cost estimation (scheduler interface)           *)
+
+type candidate = {
+  relation : int;
+  lo : Time.t;
+  hi : Time.t;
+  est_rows : int;
+  est_cost : float;
+}
+
+(* Planner-estimated rows touched by the forward query that windows
+   [relation] over (lo, hi]: the delta window drives the join, every other
+   source is read as a base table. Built from catalog statistics alone so
+   it never touches the capture cursors — estimating a window that is not
+   fully captured yet must not raise. *)
+let estimate_step_cost t ~relation ~lo ~hi =
+  let view = t.ctx.Ctx.view in
+  let n = View.n_sources view in
+  let infos =
+    Array.init n (fun j ->
+        let table_name = View.source_table view j in
+        if j = relation then
+          {
+            Planner.name = "\xce\x94" ^ table_name;
+            card =
+              Delta.window_count
+                (Capture.delta t.ctx.Ctx.capture ~table:table_name)
+                ~lo ~hi;
+            is_delta = true;
+            indexed = [];
+          }
+        else
+          let table = Database.table t.ctx.Ctx.db table_name in
+          {
+            Planner.name = table_name;
+            card =
+              Roll_relation.Relation.distinct_count
+                (Roll_storage.Table.contents table);
+            is_delta = false;
+            indexed = Roll_storage.Table.indexed_columns table;
+          })
+  in
+  let plan = Planner.plan (View.predicate view) infos in
+  List.fold_left
+    (fun acc (s : Planner.step) -> acc +. s.Planner.est_in)
+    0. plan.Planner.steps
+
+let candidate t i ~start ~interval ~now =
+  let hi = Time.min (start + interval) now in
+  let table = View.source_table t.ctx.Ctx.view i in
+  let est_rows =
+    Delta.window_count (Capture.delta t.ctx.Ctx.capture ~table) ~lo:start ~hi
+  in
+  (* An empty window is a quiet advance: no query runs, no rows move. *)
+  let est_cost =
+    if est_rows = 0 then 0.
+    else estimate_step_cost t ~relation:i ~lo:start ~hi
+  in
+  { relation = i; lo = start; hi; est_rows; est_cost }
+
+let rolling_candidates t frontiers ~policy ~now =
+  let n = Array.length frontiers in
+  List.init n Fun.id
+  |> List.filter (fun i -> frontiers.(i) < now)
+  (* Stable sort on the frontier alone: ties keep the lower relation index
+     first, matching the strict-minimum choice the step functions make. *)
+  |> List.stable_sort (fun a b -> Time.compare frontiers.(a) frontiers.(b))
+  |> List.map (fun i -> candidate t i ~start:frontiers.(i) ~interval:(policy i) ~now)
+
+let step_candidates t =
+  let now = Database.now t.ctx.Ctx.db in
+  match t.process with
+  | P_uniform (p, interval) ->
+      let start = Propagate.hwm p in
+      if start >= now then []
+      else
+        (* One uniform step propagates every relation's window at once:
+           fold the per-relation candidates into a single item driven by
+           the busiest relation. *)
+        let n = View.n_sources t.ctx.Ctx.view in
+        let per = List.init n (fun i -> candidate t i ~start ~interval ~now) in
+        let driving =
+          List.fold_left
+            (fun best c -> if c.est_rows > best.est_rows then c else best)
+            (List.hd per) per
+        in
+        [
+          {
+            driving with
+            est_rows = List.fold_left (fun a c -> a + c.est_rows) 0 per;
+            est_cost = List.fold_left (fun a c -> a +. c.est_cost) 0. per;
+          };
+        ]
+  | P_rolling (r, policy) -> rolling_candidates t (Rolling.frontiers r) ~policy ~now
+  | P_deferred (r, policy) ->
+      rolling_candidates t (Rolling_deferred.frontiers r) ~policy ~now
+
 (* Checkpointing is a durability event: record the frontier first so the
    WAL's latest marker is always at least as fresh as any snapshot.
    Without this, quiet-window advances (never recorded as markers) could

@@ -155,3 +155,36 @@ val gc : t -> int
 (** Prune applied view-delta rows; returns rows removed. *)
 
 val stats : t -> Stats.t
+
+(** {2 Scheduler interface}
+
+    The maintenance scheduler plans work items from candidate descriptions
+    rather than reaching into the propagation processes' frontier state. *)
+
+type candidate = {
+  relation : int;  (** source index whose delta window drives the step *)
+  lo : Roll_delta.Time.t;
+  hi : Roll_delta.Time.t;  (** the window (lo, hi] the step would propagate *)
+  est_rows : int;  (** captured delta rows currently inside the window *)
+  est_cost : float;
+      (** planner-estimated rows the forward query would touch (0 for a
+          quiet advance) *)
+}
+
+val step_candidates : t -> candidate list
+(** The forward steps the propagation process could take next, the
+    process's actual next choice first; empty when fully caught up (exactly
+    when {!propagate_step} would return [false]). Rolling-family processes
+    report one candidate per relation still behind the current time;
+    [Uniform] folds its all-relations step into a single candidate driven
+    by the busiest relation. The candidate window is computed against the
+    current database time, so it may extend past the capture high-water
+    mark — schedulers compare [hi] against [Roll_capture.Capture.hwm] to
+    detect capture backpressure before running the step. *)
+
+val estimate_step_cost :
+  t -> relation:int -> lo:Roll_delta.Time.t -> hi:Roll_delta.Time.t -> float
+(** Cost-model estimate (rows touched) of the forward query windowing
+    [relation] over (lo, hi], from catalog statistics and the captured
+    window row count; never touches capture cursors, so estimating an
+    uncaptured window is safe. *)

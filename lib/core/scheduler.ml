@@ -1,0 +1,286 @@
+module Time = Roll_delta.Time
+module Delta = Roll_delta.Delta
+module Database = Roll_storage.Database
+module Capture = Roll_capture.Capture
+module Heap = Roll_util.Heap
+
+let log_src = Logs.Src.create "roll.scheduler" ~doc:"maintenance-task scheduler"
+
+module Log = (val Logs.src_log log_src)
+
+type policy = Slack | Round_robin
+
+type item =
+  | Capture_advance
+  | Propagate_step of { view : string; relation : int }
+  | Apply_refresh of string
+  | Checkpoint of string
+  | Gc of string
+
+type scored = {
+  item : item;
+  score : float;
+  staleness : int;
+  slack : int;
+  est_rows : int;
+  est_cost : float;
+  deferred : bool;
+}
+
+type source = {
+  name : string;
+  controller : Controller.t;
+  paused : bool;
+  sla : int;
+  apply_due : bool;
+  checkpoint_due : bool;
+  gc_due : bool;
+}
+
+type t = {
+  db : Database.t;
+  capture : Capture.t;
+  mutable policy : policy;
+  cost_weight : float;
+  capture_batch : int option;
+  stats : Stats.t;
+  (* Per-drain round-robin state: how many propagate turns each view has
+     taken since [begin_drain]. *)
+  rounds : (string, int) Hashtbl.t;
+}
+
+(* Score bands: every runnable item's score stays far below [deferred_band],
+   so a deferred propagate step can never outrank runnable work. *)
+let background_band = 1.0e6
+let gc_band = 1.0e9
+let rr_sweep_band = 1.0e4
+let deferred_band = 1.0e15
+
+let create ?(policy = Slack) ?(cost_weight = 0.01) ?capture_batch db capture =
+  (match capture_batch with
+  | Some n when n <= 0 ->
+      invalid_arg "Scheduler.create: capture_batch must be positive"
+  | _ -> ());
+  {
+    db;
+    capture;
+    policy;
+    cost_weight;
+    capture_batch;
+    stats = Stats.create ();
+    rounds = Hashtbl.create 8;
+  }
+
+let policy t = t.policy
+
+let set_policy t policy = t.policy <- policy
+
+let stats t = t.stats
+
+let capture_batch t = t.capture_batch
+
+let kind_name = function
+  | Capture_advance -> "capture"
+  | Propagate_step _ -> "propagate"
+  | Apply_refresh _ -> "apply"
+  | Checkpoint _ -> "checkpoint"
+  | Gc _ -> "gc"
+
+let pp_item ppf = function
+  | Capture_advance -> Format.pp_print_string ppf "capture-advance"
+  | Propagate_step { view; relation } ->
+      Format.fprintf ppf "propagate %s/R%d" view relation
+  | Apply_refresh view -> Format.fprintf ppf "apply %s" view
+  | Checkpoint view -> Format.fprintf ppf "checkpoint %s" view
+  | Gc view -> Format.fprintf ppf "gc %s" view
+
+let begin_drain t = Hashtbl.reset t.rounds
+
+let rounds_of t name =
+  match Hashtbl.find_opt t.rounds name with Some n -> n | None -> 0
+
+let note_ran t item ~wall =
+  let c = Stats.sched_kind t.stats (kind_name item) in
+  c.Stats.ran <- c.Stats.ran + 1;
+  c.Stats.wall <- c.Stats.wall +. wall;
+  match item with
+  | Propagate_step { view; _ } ->
+      Hashtbl.replace t.rounds view (rounds_of t view + 1)
+  | Capture_advance | Apply_refresh _ | Checkpoint _ | Gc _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Planning                                                            *)
+
+(* One propagate item per steppable non-paused view. A step whose window
+   reaches past the capture high-water mark is marked deferred: running it
+   would make the executor read an under-captured window. *)
+let propagate_items t ~now ~capture_hwm sources =
+  List.concat
+    (List.mapi
+       (fun reg_index (src : source) ->
+         if src.paused then []
+         else
+           match Controller.step_candidates src.controller with
+           | [] -> []
+           | c :: _ ->
+               let hwm = Controller.hwm src.controller in
+               let staleness = now - hwm in
+               let slack = src.sla - staleness in
+               let deferred = c.Controller.hi > capture_hwm in
+               let score =
+                 if deferred then deferred_band +. float_of_int reg_index
+                 else
+                   match t.policy with
+                   | Slack ->
+                       float_of_int slack
+                       +. (t.cost_weight *. c.Controller.est_cost)
+                   | Round_robin ->
+                       (float_of_int (rounds_of t src.name) *. rr_sweep_band)
+                       +. float_of_int reg_index
+               in
+               [
+                 {
+                   item =
+                     Propagate_step
+                       { view = src.name; relation = c.Controller.relation };
+                   score;
+                   staleness;
+                   slack;
+                   est_rows = c.Controller.est_rows;
+                   est_cost = c.Controller.est_cost;
+                   deferred;
+                 };
+               ])
+       sources)
+
+let capture_item t =
+  let lag = Capture.lag t.capture in
+  if lag = 0 then []
+  else
+    let score =
+      match t.policy with
+      | Slack -> -.float_of_int lag
+      | Round_robin ->
+          (* The legacy loop advanced capture inside each step; explicit
+             capture work runs after the sweep unless backpressure boosts
+             it. *)
+          background_band
+    in
+    [
+      {
+        item = Capture_advance;
+        score;
+        staleness = lag;
+        slack = -lag;
+        est_rows = lag;
+        est_cost = 0.;
+        deferred = false;
+      };
+    ]
+
+(* Apply, checkpoint and gc are background freshness work: apply rolls the
+   stored view forward to coverage that already exists, the others are
+   housekeeping. They are only offered to full drains. *)
+let background_items t ~now sources =
+  List.concat_map
+    (fun (src : source) ->
+      if src.paused then []
+      else begin
+        let ctl = src.controller in
+        let hwm = Controller.hwm ctl in
+        let as_of = Controller.as_of ctl in
+        let apply =
+          if (not src.apply_due) || hwm <= as_of then []
+          else
+            let staleness = now - as_of in
+            let slack = src.sla - staleness in
+            let rows =
+              Delta.window_count (Controller.ctx ctl).Ctx.out ~lo:as_of ~hi:hwm
+            in
+            let score =
+              match t.policy with
+              | Slack -> float_of_int slack +. 0.5
+              | Round_robin -> background_band +. 1.
+            in
+            [
+              {
+                item = Apply_refresh src.name;
+                score;
+                staleness;
+                slack;
+                est_rows = rows;
+                est_cost = float_of_int rows;
+                deferred = false;
+              };
+            ]
+        in
+        let fixed item band =
+          {
+            item;
+            score = band;
+            staleness = 0;
+            slack = src.sla;
+            est_rows = Delta.length (Controller.ctx ctl).Ctx.out;
+            est_cost = 0.;
+            deferred = false;
+          }
+        in
+        let checkpoint =
+          if src.checkpoint_due then [ fixed (Checkpoint src.name) (background_band +. 2.) ]
+          else []
+        in
+        let gc = if src.gc_due then [ fixed (Gc src.name) gc_band ] else [] in
+        apply @ checkpoint @ gc
+      end)
+    sources
+
+let plan ?(full = false) t sources =
+  let now = Database.now t.db in
+  let capture_hwm = Capture.hwm t.capture in
+  let items =
+    propagate_items t ~now ~capture_hwm sources
+    @ capture_item t
+    @ (if full then background_items t ~now sources else [])
+  in
+  (* Heap order: lowest score first; insertion order breaks ties, keeping
+     registration order deterministic. *)
+  let heap = Heap.create () in
+  List.iter (fun s -> Heap.add heap ~priority:s.score s) items;
+  let rec drain acc =
+    match Heap.pop heap with
+    | Some (_, s) -> drain (s :: acc)
+    | None -> List.rev acc
+  in
+  drain []
+
+let take ?full t sources =
+  let items = plan ?full t sources in
+  List.iter
+    (fun s ->
+      let c = Stats.sched_kind t.stats (kind_name s.item) in
+      c.Stats.scheduled <- c.Stats.scheduled + 1)
+    items;
+  let deferred, runnable = List.partition (fun s -> s.deferred) items in
+  List.iter
+    (fun s ->
+      let c = Stats.sched_kind t.stats (kind_name s.item) in
+      c.Stats.deferred <- c.Stats.deferred + 1)
+    deferred;
+  if deferred <> [] && Capture.lag t.capture > 0 then begin
+    (* Backpressure: some propagate step is waiting on capture. Boost
+       capture to the front of the queue regardless of policy, so capture
+       lag can never deadlock propagation — every boosted advance strictly
+       reduces the lag until the deferred windows are fully captured. *)
+    match List.find_opt (fun s -> s.item = Capture_advance) runnable with
+    | Some capture ->
+        let c = Stats.sched_kind t.stats "capture" in
+        c.Stats.backpressured <- c.Stats.backpressured + 1;
+        Log.debug (fun m ->
+            m "backpressure: %d propagate step(s) deferred, boosting capture \
+               (lag=%d)"
+              (List.length deferred)
+              (Capture.lag t.capture));
+        Some { capture with score = -.deferred_band }
+    | None -> (match runnable with [] -> None | s :: _ -> Some s)
+  end
+  else match runnable with [] -> None | s :: _ -> Some s

@@ -1,0 +1,132 @@
+(** Unified maintenance-task scheduler.
+
+    The paper leaves propagation pacing as hand-tuned knobs: one interval
+    per relation (§3.4), chosen "to balance query execution overhead
+    against data contention" (§3.3). This module closes that loop. All
+    maintenance work — capture advances, propagation steps, apply
+    refreshes, checkpoints, garbage collection — is expressed as one
+    {!item} vocabulary, and a drain repeatedly picks the best next item
+    from a priority queue scored by per-view staleness against an SLA,
+    planner-estimated step cost, and capture backpressure.
+
+    {2 Policies}
+
+    - {!Slack} (default): earliest-deadline-first on staleness slack
+      ([sla - staleness], in commits), with a small cost penalty
+      ([cost_weight * estimated rows touched]) so that among equally
+      urgent steps the cheaper one runs first. Apply refreshes score on
+      the stored view's own slack, slightly behind propagation.
+    - {!Round_robin}: reproduces the legacy [Service.step_all] behavior —
+      views take propagate turns in registration order, each view stepping
+      at most once more than any other non-idle view per drain.
+
+    {2 Backpressure}
+
+    A propagate step whose forward-query window would reach past the
+    capture high-water mark is {e deferred} (running it would read an
+    under-captured delta window, which the executor rejects), and the
+    pending {!Capture_advance} item is boosted to the front of the queue.
+    Each boosted advance strictly reduces the capture lag, so capture lag
+    can never deadlock propagation: once the deferred windows are fully
+    captured the steps become runnable again. With [capture_batch] set,
+    each advance captures at most that many log records, bounding the
+    latency any single work item can add to the loop.
+
+    The scheduler only plans and scores; the {!Service} drain executes the
+    chosen items (so retry, durability and pause semantics stay where they
+    are) and reports back through {!note_ran}. Counters live in a
+    {!Stats.t} under per-kind groups (see {!Stats.sched_kind}). *)
+
+type policy = Slack | Round_robin
+
+type item =
+  | Capture_advance  (** advance the capture cursor (one batch) *)
+  | Propagate_step of { view : string; relation : int }
+      (** run the view's next propagation step; [relation]'s delta window
+          drives the forward query *)
+  | Apply_refresh of string  (** roll the stored view forward to its hwm *)
+  | Checkpoint of string  (** snapshot the view's maintenance state *)
+  | Gc of string  (** prune applied view-delta rows *)
+
+type scored = {
+  item : item;
+  score : float;  (** queue priority; lower runs first *)
+  staleness : int;
+      (** commits behind current time (capture items report their lag) *)
+  slack : int;  (** [sla - staleness]; negative means the SLA is violated *)
+  est_rows : int;  (** delta rows the item would move *)
+  est_cost : float;  (** planner-estimated rows touched *)
+  deferred : bool;
+      (** capture backpressure: the window is not fully captured yet *)
+}
+
+type source = {
+  name : string;
+  controller : Controller.t;
+  paused : bool;  (** paused views contribute no items *)
+  sla : int;  (** staleness target, in commits *)
+  apply_due : bool;
+      (** offer an [Apply_refresh] item when the view also has unapplied
+          coverage (full drains only). Drains gate this to once per view
+          per drain: a durable apply records a frontier marker, which
+          re-stales the view by one commit — re-offering immediately would
+          ping-pong apply against propagate until the budget is gone. *)
+  checkpoint_due : bool;  (** offer a [Checkpoint] item (full drains only) *)
+  gc_due : bool;  (** offer a [Gc] item (full drains only) *)
+}
+
+type t
+
+val create :
+  ?policy:policy ->
+  ?cost_weight:float ->
+  ?capture_batch:int ->
+  Roll_storage.Database.t ->
+  Roll_capture.Capture.t ->
+  t
+(** [cost_weight] (default 0.01) converts estimated rows touched into
+    slack-commit units: with the default, 100 estimated rows weigh as much
+    as one commit of staleness. [capture_batch] bounds the log records one
+    [Capture_advance] item captures (default: unbounded — one advance
+    catches up fully).
+    @raise Invalid_argument if [capture_batch] is not positive. *)
+
+val policy : t -> policy
+
+val set_policy : t -> policy -> unit
+
+val capture_batch : t -> int option
+
+val stats : t -> Stats.t
+(** Scheduler counters: per-kind scheduled/ran/deferred/backpressured and
+    execution wall time (see {!Stats.sched_kind}). *)
+
+val plan : ?full:bool -> t -> source list -> scored list
+(** Score every currently available work item, best (lowest score) first —
+    the queue a drain would consume, including deferred items (at the
+    back, marked). With [full = false] (default) only propagation and
+    capture work is offered — the [step_all] drain; [full = true] also
+    offers apply/checkpoint/gc items. Planning is read-only and can be
+    called at any time to inspect the queue. *)
+
+val take : ?full:bool -> t -> source list -> scored option
+(** Pop the best runnable item (replanning against current state) and
+    count scheduled/deferred/backpressured. Deferred propagate items are
+    never returned; when any exist and capture lags, the capture item is
+    returned with a boosted score instead. [None] when nothing is
+    runnable — every view is caught up (or paused) and capture has no
+    lag. *)
+
+val note_ran : t -> item -> wall:float -> unit
+(** Record that a taken item was executed, folding [wall] seconds into its
+    kind's latency counter and advancing the round-robin turn state. *)
+
+val begin_drain : t -> unit
+(** Reset per-drain round-robin turn state. Call at the start of every
+    budgeted drain. *)
+
+val kind_name : item -> string
+(** ["capture"], ["propagate"], ["apply"], ["checkpoint"] or ["gc"] — the
+    {!Stats.sched_kind} group the item is counted under. *)
+
+val pp_item : Format.formatter -> item -> unit

@@ -1,14 +1,28 @@
 module Time = Roll_delta.Time
+module Delta = Roll_delta.Delta
 module Database = Roll_storage.Database
 module Capture = Roll_capture.Capture
 
-type entry = { name : string; controller : Controller.t; mutable paused : bool }
+let log_src = Logs.Src.create "roll.service" ~doc:"multi-view maintenance service"
+
+module Log = (val Logs.src_log log_src)
+
+type entry = {
+  name : string;
+  controller : Controller.t;
+  mutable paused : bool;
+  mutable sla : int;
+  mutable checkpoint : (string * int) option;  (** path, commits between *)
+  mutable last_checkpoint : Time.t;
+}
 
 type status = {
   name : string;
   as_of : Time.t;
   hwm : Time.t;
   staleness : int;
+  sla : int;
+  slack : int;
   delta_rows : int;
   paused : bool;
   retries : int;
@@ -21,17 +35,46 @@ type step_error = { view : string; point : string; hit : int; attempts : int }
 type t = {
   db : Database.t;
   capture : Capture.t;
+  scheduler : Scheduler.t;
+  default_sla : int;
+  mutable gc_threshold : int;
   mutable entries : entry list;  (** registration order *)
 }
 
-let create db capture = { db; capture; entries = [] }
+let create ?policy ?cost_weight ?capture_batch ?(default_sla = 100)
+    ?(gc_threshold = max_int) db capture =
+  if default_sla <= 0 then invalid_arg "Service.create: default_sla";
+  {
+    db;
+    capture;
+    scheduler = Scheduler.create ?policy ?cost_weight ?capture_batch db capture;
+    default_sla;
+    gc_threshold;
+    entries = [];
+  }
+
+let scheduler t = t.scheduler
+
+let add_entry t name controller =
+  t.entries <-
+    t.entries
+    @ [
+        {
+          name;
+          controller;
+          paused = false;
+          sla = t.default_sla;
+          checkpoint = None;
+          last_checkpoint = Database.now t.db;
+        };
+      ]
 
 let register ?(durable = false) t ~algorithm view =
   let name = View.name view in
   if List.exists (fun (e : entry) -> String.equal e.name name) t.entries then
     invalid_arg ("Service.register: view already registered: " ^ name);
   let controller = Controller.create ~durable t.db t.capture view ~algorithm in
-  t.entries <- t.entries @ [ { name; controller; paused = false } ];
+  add_entry t name controller;
   controller
 
 let register_recovered ?checkpoint t ~algorithm view =
@@ -41,7 +84,7 @@ let register_recovered ?checkpoint t ~algorithm view =
   let controller =
     Controller.recover ?checkpoint t.db t.capture view ~algorithm
   in
-  t.entries <- t.entries @ [ { name; controller; paused = false } ];
+  add_entry t name controller;
   controller
 
 let find t name =
@@ -53,18 +96,37 @@ let controller t name = (find t name).controller
 
 let names t = List.map (fun (e : entry) -> e.name) t.entries
 
+let set_sla t name sla =
+  if sla <= 0 then invalid_arg "Service.set_sla";
+  (find t name).sla <- sla
+
+let sla t name = (find t name).sla
+
+let set_checkpoint t name ~path ~every =
+  if every <= 0 then invalid_arg "Service.set_checkpoint: every";
+  let e = find t name in
+  e.checkpoint <- Some (path, every);
+  e.last_checkpoint <- Database.now t.db
+
+let set_gc_threshold t rows =
+  if rows <= 0 then invalid_arg "Service.set_gc_threshold";
+  t.gc_threshold <- rows
+
 let status t =
   let now = Database.now t.db in
   List.map
     (fun (e : entry) ->
       let hwm = Controller.hwm e.controller in
       let stats = Controller.stats e.controller in
+      let staleness = now - hwm in
       {
         name = e.name;
         as_of = Controller.as_of e.controller;
         hwm;
-        staleness = now - hwm;
-        delta_rows = Roll_delta.Delta.length (Controller.ctx e.controller).Ctx.out;
+        staleness;
+        sla = e.sla;
+        slack = e.sla - staleness;
+        delta_rows = Delta.length (Controller.ctx e.controller).Ctx.out;
         paused = e.paused;
         retries = Stats.retries stats;
         aborts = Stats.aborts stats;
@@ -76,21 +138,143 @@ let pause t name = (find t name).paused <- true
 
 let resume t name = (find t name).paused <- false
 
-let step_all t ~budget =
-  let steps = ref 0 in
-  let made_progress = ref true in
-  while !steps < budget && !made_progress do
-    made_progress := false;
-    List.iter
-      (fun (e : entry) ->
-        if (not e.paused) && !steps < budget then
-          if Controller.propagate_step e.controller then begin
-            incr steps;
-            made_progress := true
-          end)
-      t.entries
+(* ------------------------------------------------------------------ *)
+(* Scheduler drain                                                     *)
+
+(* Applied view-delta rows: rows at or before the apply position are the
+   only ones gc can reclaim. *)
+let applied_rows (e : entry) =
+  let out = (Controller.ctx e.controller).Ctx.out in
+  Delta.length out
+  - Delta.window_count out ~lo:(Controller.as_of e.controller) ~hi:max_int
+
+let sources ?(skip = fun _ -> false) ?(bg_done = fun _ _ -> false) t =
+  let now = Database.now t.db in
+  List.map
+    (fun (e : entry) ->
+      {
+        Scheduler.name = e.name;
+        controller = e.controller;
+        paused = e.paused || skip e.name;
+        sla = e.sla;
+        apply_due = not (bg_done "apply" e.name);
+        checkpoint_due =
+          (match e.checkpoint with
+          | Some (_, every) -> now - e.last_checkpoint >= every
+          | None -> false)
+          && not (bg_done "checkpoint" e.name);
+        gc_due =
+          applied_rows e >= t.gc_threshold && not (bg_done "gc" e.name);
+      })
+    t.entries
+
+let schedule ?full t = Scheduler.plan ?full t.scheduler (sources t)
+
+(* Work-item execution shared by the plain and reliable drains. [step]
+   runs one propagation step for a view and [capture_run] one capture
+   advance (wrapped in the retry policy on the reliable path); everything
+   else is common. Views whose propagate step reports idle are skipped for
+   the rest of the drain as a defensive guard — by construction a view with
+   candidates always advances. Background items mark themselves done in
+   [bg_done] so each runs at most once per view per drain: a durable apply
+   or checkpoint commits a frontier marker, which re-stales the view by one
+   commit and would otherwise re-offer the item forever. *)
+let exec_item t ~skipped ~bg_done ~step ~capture_run (scored : Scheduler.scored)
+    =
+  let mark_bg kind view = Hashtbl.replace bg_done (kind, view) () in
+  match scored.Scheduler.item with
+  | Scheduler.Capture_advance -> (
+      match capture_run () with Ok () -> Ok false | Error e -> Error e)
+  | Scheduler.Propagate_step { view; _ } -> (
+      match step (find t view).controller with
+      | Ok true -> Ok true
+      | Ok false ->
+          Log.warn (fun m ->
+              m "view %s: scheduled step was idle; skipping for this drain"
+                view);
+          Hashtbl.replace skipped view ();
+          Ok false
+      | Error e -> Error e)
+  | Scheduler.Apply_refresh view ->
+      mark_bg "apply" view;
+      let ctl = (find t view).controller in
+      Controller.refresh_to ctl (Controller.hwm ctl);
+      Ok true
+  | Scheduler.Checkpoint view -> (
+      mark_bg "checkpoint" view;
+      let e = find t view in
+      match e.checkpoint with
+      | Some (path, _) ->
+          Controller.checkpoint e.controller path;
+          e.last_checkpoint <- Database.now t.db;
+          Ok true
+      | None -> Ok false)
+  | Scheduler.Gc view ->
+      mark_bg "gc" view;
+      ignore (Controller.gc (find t view).controller);
+      Ok true
+
+let advance_capture t =
+  Capture.advance ?max_records:(Scheduler.capture_batch t.scheduler) t.capture
+
+(* Capture advances under the retry policy: the capture fault point fires
+   before any delta mutation, so a failed advance left nothing behind and
+   can simply be re-run. Capture retries are counted on the scheduler's
+   stats (capture has no per-view controller to count them on). *)
+let reliable_capture t ~retry ~sleep () =
+  let sched_stats = Scheduler.stats t.scheduler in
+  match
+    Roll_util.Retry.run retry ~sleep
+      ~on_retry:(fun ~attempt:_ ~delay:_ -> Stats.incr_retries sched_stats)
+      (fun () -> advance_capture t)
+  with
+  | Ok () -> Ok ()
+  | Error (f : Roll_util.Retry.failure) ->
+      Stats.incr_aborts sched_stats;
+      Error
+        {
+          view = "(capture)";
+          point = f.Roll_util.Retry.point;
+          hit = f.Roll_util.Retry.hit;
+          attempts = f.Roll_util.Retry.attempts;
+        }
+
+let drain_items ?full t ~budget ~step ~capture_run =
+  let skipped = Hashtbl.create 4 in
+  let bg_done = Hashtbl.create 4 in
+  (* The tables are re-read through [sources] on every take. *)
+  Scheduler.begin_drain t.scheduler;
+  let skip name = Hashtbl.mem skipped name in
+  let done_bg kind name = Hashtbl.mem bg_done (kind, name) in
+  let executed = ref 0 in
+  let failure = ref None in
+  let continue = ref true in
+  while !continue && !failure = None && !executed < budget do
+    match Scheduler.take ?full t.scheduler (sources ~skip ~bg_done:done_bg t) with
+    | None -> continue := false
+    | Some scored -> (
+        let t0 = Unix.gettimeofday () in
+        let result = exec_item t ~skipped ~bg_done ~step ~capture_run scored in
+        Scheduler.note_ran t.scheduler scored.Scheduler.item
+          ~wall:(Unix.gettimeofday () -. t0);
+        match result with
+        | Ok counts -> if counts then incr executed
+        | Error f -> failure := Some f)
   done;
-  !steps
+  match !failure with Some f -> Error f | None -> Ok !executed
+
+let plain_capture t () =
+  advance_capture t;
+  Ok ()
+
+let step_all t ~budget =
+  match
+    drain_items ~full:false t ~budget
+      ~step:(fun ctl -> Ok (Controller.propagate_step ctl))
+      ~capture_run:(plain_capture t)
+  with
+  | Ok steps -> steps
+  | Error (_ : step_error) -> assert false
 
 let try_step_all ?sleep t ~budget ~retry =
   let sleep =
@@ -98,31 +282,46 @@ let try_step_all ?sleep t ~budget ~retry =
     | Some f -> f
     | None -> fun d -> Database.advance_wall t.db d
   in
-  let steps = ref 0 in
-  let made_progress = ref true in
-  let failure = ref None in
-  while !failure = None && !steps < budget && !made_progress do
-    made_progress := false;
-    List.iter
-      (fun (e : entry) ->
-        if !failure = None && (not e.paused) && !steps < budget then
-          match Controller.propagate_step_reliable e.controller ~retry ~sleep with
-          | Ok true ->
-              incr steps;
-              made_progress := true
-          | Ok false -> ()
-          | Error (f : Roll_util.Retry.failure) ->
-              failure :=
-                Some
-                  {
-                    view = e.name;
-                    point = f.Roll_util.Retry.point;
-                    hit = f.Roll_util.Retry.hit;
-                    attempts = f.Roll_util.Retry.attempts;
-                  })
-      t.entries
-  done;
-  match !failure with Some f -> Error f | None -> Ok !steps
+  let to_error view (f : Roll_util.Retry.failure) =
+    {
+      view;
+      point = f.Roll_util.Retry.point;
+      hit = f.Roll_util.Retry.hit;
+      attempts = f.Roll_util.Retry.attempts;
+    }
+  in
+  drain_items ~full:false t ~budget
+    ~step:(fun ctl ->
+      match Controller.propagate_step_reliable ctl ~retry ~sleep with
+      | Ok advanced -> Ok advanced
+      | Error f -> Error (to_error (View.name (Controller.view ctl)) f))
+    ~capture_run:(reliable_capture t ~retry ~sleep)
+
+let maintain ?retry ?sleep t ~budget =
+  match retry with
+  | None ->
+      drain_items ~full:true t ~budget
+        ~step:(fun ctl -> Ok (Controller.propagate_step ctl))
+        ~capture_run:(plain_capture t)
+  | Some retry ->
+      let sleep =
+        match sleep with
+        | Some f -> f
+        | None -> fun d -> Database.advance_wall t.db d
+      in
+      drain_items ~full:true t ~budget
+        ~step:(fun ctl ->
+          match Controller.propagate_step_reliable ctl ~retry ~sleep with
+          | Ok advanced -> Ok advanced
+          | Error f ->
+              Error
+                {
+                  view = View.name (Controller.view ctl);
+                  point = f.Roll_util.Retry.point;
+                  hit = f.Roll_util.Retry.hit;
+                  attempts = f.Roll_util.Retry.attempts;
+                })
+        ~capture_run:(reliable_capture t ~retry ~sleep)
 
 let refresh_all t =
   List.iter

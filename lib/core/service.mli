@@ -7,8 +7,14 @@
     each with its own propagation algorithm and apply state, plus the
     operational controls a DBA would expect — status, per-view
     pause/resume (either process "can be suspended during periods of high
-    system load"), budgeted round-robin propagation, and garbage
-    collection. *)
+    system load"), budgeted propagation, and garbage collection.
+
+    Since the scheduler refactor, every budgeted drain ({!step_all},
+    {!try_step_all}, {!maintain}) pulls its work items from one
+    {!Scheduler} queue scored by staleness against a per-view SLA,
+    estimated step cost and capture backpressure. The legacy
+    registration-order sweep is preserved as {!Scheduler.Round_robin};
+    the default policy is {!Scheduler.Slack}. *)
 
 type t
 
@@ -17,6 +23,8 @@ type status = {
   as_of : Roll_delta.Time.t;  (** materialization time of the stored view *)
   hwm : Roll_delta.Time.t;  (** view-delta high-water mark *)
   staleness : int;  (** current time minus hwm, in commits *)
+  sla : int;  (** staleness target, in commits *)
+  slack : int;  (** [sla - staleness]; negative means the SLA is violated *)
   delta_rows : int;  (** rows currently held in the view delta *)
   paused : bool;
   retries : int;  (** step attempts re-run after transient failures *)
@@ -27,13 +35,31 @@ type status = {
 }
 
 type step_error = {
-  view : string;  (** which registered view's step failed permanently *)
+  view : string;
+      (** which registered view's step failed permanently; ["(capture)"]
+          when a retried capture advance exhausted its budget *)
   point : string;  (** fault point of the last failing attempt *)
   hit : int;
   attempts : int;
 }
 
-val create : Roll_storage.Database.t -> Roll_capture.Capture.t -> t
+val create :
+  ?policy:Scheduler.policy ->
+  ?cost_weight:float ->
+  ?capture_batch:int ->
+  ?default_sla:int ->
+  ?gc_threshold:int ->
+  Roll_storage.Database.t ->
+  Roll_capture.Capture.t ->
+  t
+(** [policy] (default {!Scheduler.Slack}), [cost_weight] and
+    [capture_batch] configure the underlying {!Scheduler}. [default_sla]
+    (default 100 commits) is the staleness target newly registered views
+    start with; override per view with {!set_sla}. [gc_threshold]
+    (default: disabled) makes {!maintain} offer a gc item once a view
+    holds at least that many applied delta rows.
+    @raise Invalid_argument on non-positive [default_sla], [gc_threshold]
+    or [capture_batch]. *)
 
 val register :
   ?durable:bool -> t -> algorithm:Controller.algorithm -> View.t -> Controller.t
@@ -54,8 +80,36 @@ val controller : t -> string -> Controller.t
 
 val names : t -> string list
 
+val scheduler : t -> Scheduler.t
+(** The service's work queue — inspect its policy and {!Scheduler.stats}
+    counters. *)
+
+val set_sla : t -> string -> int -> unit
+(** Set one view's staleness target, in commits.
+    @raise Not_found
+    @raise Invalid_argument on a non-positive target. *)
+
+val sla : t -> string -> int
+(** @raise Not_found *)
+
+val set_checkpoint : t -> string -> path:string -> every:int -> unit
+(** Make {!maintain} checkpoint the view to [path] whenever at least
+    [every] commits have elapsed since its last checkpoint.
+    @raise Not_found
+    @raise Invalid_argument on non-positive [every]. *)
+
+val set_gc_threshold : t -> int -> unit
+(** Applied delta rows per view above which {!maintain} offers a gc item.
+    @raise Invalid_argument on a non-positive threshold. *)
+
 val status : t -> status list
 (** One row per registered view, in registration order. *)
+
+val schedule : ?full:bool -> t -> Scheduler.scored list
+(** Snapshot of the current work queue, best first (see
+    {!Scheduler.plan}). [full] defaults to [false]: the queue a
+    {!step_all} drain would consume; pass [true] for the {!maintain}
+    queue including apply/checkpoint/gc items. *)
 
 val pause : t -> string -> unit
 (** Suspend propagation for one view ([step_all] skips it; explicit
@@ -64,8 +118,12 @@ val pause : t -> string -> unit
 val resume : t -> string -> unit
 
 val step_all : t -> budget:int -> int
-(** Run up to [budget] propagation steps, round-robin over non-paused
-    views, stopping early when every one is idle. Returns steps executed. *)
+(** Drain the scheduler, running up to [budget] propagation steps over
+    non-paused views and stopping early when every one is idle. Capture
+    advances triggered by backpressure are free — they do not count
+    against the budget. Returns steps executed. Under
+    {!Scheduler.Round_robin} this reproduces the legacy
+    registration-order sweep. *)
 
 val try_step_all :
   ?sleep:(float -> unit) ->
@@ -77,8 +135,21 @@ val try_step_all :
     transient step failures are retried with backoff (sleeping through
     [sleep], which defaults to advancing the database's simulated wall
     clock), and the first step to exhaust its retry budget stops the
-    round-robin and surfaces as a typed [step_error]. [Ok steps] otherwise,
+    drain and surfaces as a typed [step_error]. [Ok steps] otherwise,
     like {!step_all}. *)
+
+val maintain :
+  ?retry:Roll_util.Retry.policy ->
+  ?sleep:(float -> unit) ->
+  t ->
+  budget:int ->
+  (int, step_error) result
+(** Full maintenance drain: like {!step_all} but the queue also offers
+    apply refreshes (roll each stored view forward to its high-water
+    mark), due checkpoints (see {!set_checkpoint}) and due gc (see
+    {!set_gc_threshold}); each such item counts one unit of [budget].
+    With [retry], propagation steps run under the retry policy as in
+    {!try_step_all}. Returns items executed. *)
 
 val refresh_all : t -> unit
 (** Refresh every non-paused view to the current time. *)

@@ -13,6 +13,14 @@ type resource_counters = {
   mutable wall : float;
 }
 
+type sched_counters = {
+  mutable scheduled : int;
+  mutable ran : int;
+  mutable deferred : int;
+  mutable backpressured : int;
+  mutable wall : float;
+}
+
 type t = {
   mutable queries : int;
   mutable rows_read : int;
@@ -26,6 +34,7 @@ type t = {
   mutable aborts : int;
   mutable recoveries : int;
   resources : (string, resource_counters) Hashtbl.t;
+  sched : (string, sched_counters) Hashtbl.t;
   mutable keep_footprints : bool;
   footprints : footprint Vec.t;
 }
@@ -44,6 +53,7 @@ let create () =
     aborts = 0;
     recoveries = 0;
     resources = Hashtbl.create 8;
+    sched = Hashtbl.create 8;
     keep_footprints = true;
     footprints = Vec.create ();
   }
@@ -103,6 +113,18 @@ let record_resource t name ~scanned ~probed ~wall =
   rc.probed <- rc.probed + probed;
   rc.wall <- rc.wall +. wall
 
+let sched_kind t kind =
+  match Hashtbl.find_opt t.sched kind with
+  | Some c -> c
+  | None ->
+      let c = { scheduled = 0; ran = 0; deferred = 0; backpressured = 0; wall = 0. } in
+      Hashtbl.add t.sched kind c;
+      c
+
+let sched_kinds t =
+  Hashtbl.fold (fun kind c acc -> (kind, c) :: acc) t.sched []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let resource_profile t =
   Hashtbl.fold
     (fun name rc acc -> (name, (rc.scanned, rc.probed, rc.wall)) :: acc)
@@ -126,6 +148,7 @@ let reset t =
   t.aborts <- 0;
   t.recoveries <- 0;
   Hashtbl.reset t.resources;
+  Hashtbl.reset t.sched;
   Vec.clear t.footprints
 
 let pp ppf t =

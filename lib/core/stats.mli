@@ -19,6 +19,19 @@ type footprint = {
   emitted : int;  (** rows added to the view delta *)
 }
 
+type sched_counters = {
+  mutable scheduled : int;
+      (** times an item of this kind was offered to the work queue *)
+  mutable ran : int;  (** times an item of this kind was executed *)
+  mutable deferred : int;
+      (** propagate items pushed behind capture because their window was not
+          yet fully captured *)
+  mutable backpressured : int;
+      (** capture items boosted to the front of the queue by a deferred
+          propagate step *)
+  mutable wall : float;  (** total wall-clock seconds executing this kind *)
+}
+
 type t
 
 val create : unit -> t
@@ -74,6 +87,14 @@ val record_resource :
 
 val resource_profile : t -> (string * (int * int * float)) list
 (** Per-resource (scanned, probed, wall seconds), sorted by resource name. *)
+
+val sched_kind : t -> string -> sched_counters
+(** The maintenance-scheduler counter group for one work-item kind
+    ("capture", "propagate", "apply", "checkpoint", "gc"), created on first
+    use. The returned record is live: callers mutate it in place. *)
+
+val sched_kinds : t -> (string * sched_counters) list
+(** Every scheduler counter group, sorted by kind name. *)
 
 val footprints : t -> footprint list
 

@@ -1,0 +1,56 @@
+(** Scheduling-policy evaluation on a skewed star workload.
+
+    Drives the same maintenance scenario once per {!Roll_core.Scheduler}
+    policy: two views over one star database — a {e hot} join whose
+    propagation interval demands many steps per round and a {e cold} join
+    that needs few — maintained by a budgeted {!Roll_core.Service} drain
+    while fact-heavy transactions keep committing. The budget is set below
+    the combined step demand, so the policies must choose which view falls
+    behind; per-round staleness samples record the consequences.
+
+    The measured propagation footprints are then replayed through the
+    {!Des} lock-contention simulator against a Poisson updater stream
+    (the Section 5 story: propagation's shared base-table locks vs
+    updaters' exclusive locks), giving makespan and updater wait times
+    under each policy's transaction mix. *)
+
+type config = {
+  rounds : int;  (** drain/sample cycles *)
+  txns_per_round : int;  (** workload transactions committed per round *)
+  budget : int;  (** propagation steps allowed per drain *)
+  dim_fraction : float;  (** probability a transaction is a dimension update *)
+  sla : int;  (** staleness target for both views, in commits *)
+  hot_interval : int;  (** hot view's uniform propagation interval *)
+  cold_interval : int;  (** cold view's uniform propagation interval *)
+  seed : int;
+}
+
+val default_config : config
+
+type view_metrics = {
+  view : string;
+  sla : int;
+  max_staleness : int;
+  mean_staleness : float;
+  violations : int;  (** samples with staleness above the SLA *)
+}
+
+type policy_result = {
+  policy : string;  (** ["slack"] or ["round_robin"] *)
+  views : view_metrics list;
+  total_steps : int;  (** propagation steps executed across all drains *)
+  max_staleness : int;  (** worst staleness sample across views *)
+  mean_staleness : float;  (** mean over all samples of all views *)
+  deferred : int;  (** propagate items deferred by capture backpressure *)
+  backpressured : int;  (** capture advances boosted by backpressure *)
+  makespan : float;  (** DES replay: time to drain the transaction mix *)
+  update_wait_p95 : float;
+      (** DES replay: 95th-percentile updater lock-wait *)
+}
+
+val run : ?config:config -> unit -> policy_result list
+(** Evaluate {!Roll_core.Scheduler.Slack} and
+    {!Roll_core.Scheduler.Round_robin} on identically seeded workloads;
+    results in that order. *)
+
+val pp_result : Format.formatter -> policy_result -> unit

@@ -22,6 +22,7 @@ let () =
       ("geometry", Test_geometry.suite);
       ("controller", Test_controller.suite);
       ("service", Test_service.suite);
+      ("scheduler", Test_scheduler.suite);
       ("autotune", Test_autotune.suite);
       ("aggregate", Test_aggregate.suite);
       ("union", Test_union.suite);

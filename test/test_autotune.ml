@@ -42,12 +42,38 @@ let test_bounds_respected () =
     if v < 7 || v > 9 then Alcotest.failf "interval %d out of bounds" v
   done
 
-let test_no_changes_means_max () =
+(* Regression: a cold-start tuner (nothing captured yet) must not hand out
+   max_interval — the relation's rate is unknown and a maximal first window
+   on a hot relation would dwarf the row budget. It steps at min_interval
+   until it has observed something. *)
+let test_cold_start_means_min () =
   let s = two_table () in
   let ctx = ctx_of s in
+  let tuner =
+    C.Autotune.create ~min_interval:3 ~max_interval:123 ~target_rows:10 ctx
+  in
+  Alcotest.(check int) "cold start: min interval" 3
+    (C.Autotune.interval_for tuner 0);
+  let default_min = C.Autotune.create ~max_interval:123 ~target_rows:10 ctx in
+  Alcotest.(check int) "default min interval is 1" 1
+    (C.Autotune.interval_for default_min 0)
+
+(* Once a span has been observed, a relation with no captured changes in it
+   really is quiet and gets the maximal stride. *)
+let test_quiet_relation_means_max () =
+  let s = two_table () in
+  (* Change only r; s stays quiet over a nonzero observed span. *)
+  for i = 0 to 4 do
+    ignore
+      (Database.run s.db (fun txn ->
+           Database.insert txn ~table:"r" (Roll_relation.Tuple.ints [ i; i ])))
+  done;
+  let ctx = ctx_of s in
   let tuner = C.Autotune.create ~max_interval:123 ~target_rows:10 ctx in
-  Alcotest.(check int) "no data yet: max interval" 123
-    (C.Autotune.interval_for tuner 0)
+  Alcotest.(check int) "quiet relation: max interval" 123
+    (C.Autotune.interval_for tuner 1);
+  Alcotest.(check bool) "busy relation: bounded interval" true
+    (C.Autotune.interval_for tuner 0 < 123)
 
 let test_validation () =
   let s = two_table () in
@@ -102,7 +128,8 @@ let suite =
     Alcotest.test_case "intervals reflect density" `Quick test_intervals_reflect_density;
     Alcotest.test_case "target scales interval" `Quick test_target_scales_interval;
     Alcotest.test_case "bounds respected" `Quick test_bounds_respected;
-    Alcotest.test_case "no changes means max" `Quick test_no_changes_means_max;
+    Alcotest.test_case "cold start means min" `Quick test_cold_start_means_min;
+    Alcotest.test_case "quiet relation means max" `Quick test_quiet_relation_means_max;
     Alcotest.test_case "validation" `Quick test_validation;
     Alcotest.test_case "adaptive rolling is correct" `Quick test_adaptive_rolling_correct;
     Alcotest.test_case "window sizes near target" `Quick test_window_sizes_near_target;
