@@ -13,7 +13,8 @@ let () =
     List.iter (fun (name, _) -> print_endline name) Experiments.all;
     print_endline "micro";
     print_endline "json";
-    print_endline "sched"
+    print_endline "sched";
+    print_endline "share"
   end
   else begin
     let wanted name =
@@ -43,6 +44,11 @@ let () =
       let t = Unix.gettimeofday () in
       Bench_sched.run ();
       Printf.printf "[sched: %.1fs]\n%!" (Unix.gettimeofday () -. t)
+    end;
+    if wanted "share" then begin
+      let t = Unix.gettimeofday () in
+      Bench_share.run ();
+      Printf.printf "[share: %.1fs]\n%!" (Unix.gettimeofday () -. t)
     end;
     Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)
   end

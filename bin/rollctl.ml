@@ -175,7 +175,7 @@ let status_cmd txns =
       ~header:
         [
           "view"; "as of"; "hwm"; "staleness"; "sla"; "slack"; "delta rows";
-          "retry/abort/recover"; "state";
+          "retry/abort/recover"; "memo h/m"; "shared"; "state";
         ]
       (List.map
          (fun (st : C.Service.status) ->
@@ -188,6 +188,8 @@ let status_cmd txns =
              string_of_int st.slack;
              string_of_int st.delta_rows;
              Printf.sprintf "%d/%d/%d" st.retries st.aborts st.recoveries;
+             Printf.sprintf "%d/%d" st.memo_hits st.memo_misses;
+             string_of_int st.shared_builds;
              (if st.paused then "paused" else "running");
            ])
          (C.Service.status service))
@@ -256,7 +258,11 @@ let schedule_cmd txns policy budget =
   print_queue "work queue after drain";
   let stats = C.Scheduler.stats (C.Service.scheduler service) in
   Tablefmt.print ~title:"scheduler counters"
-    ~header:[ "kind"; "scheduled"; "ran"; "deferred"; "backpressured"; "wall ms" ]
+    ~header:
+      [
+        "kind"; "scheduled"; "ran"; "deferred"; "backpressured"; "batched";
+        "wall ms";
+      ]
     (List.map
        (fun (kind, (c : C.Stats.sched_counters)) ->
          [
@@ -265,6 +271,7 @@ let schedule_cmd txns policy budget =
            string_of_int c.C.Stats.ran;
            string_of_int c.C.Stats.deferred;
            string_of_int c.C.Stats.backpressured;
+           string_of_int c.C.Stats.batched;
            Printf.sprintf "%.2f" (c.C.Stats.wall *. 1000.0);
          ])
        (C.Stats.sched_kinds stats))

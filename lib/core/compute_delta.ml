@@ -35,11 +35,63 @@ let record_virtual_box (ctx : Ctx.t) ~sign (q : Pquery.t) tau_old i t_new =
       in
       Geometry.record ~label:"(skipped empty window)" g ~sign spans
 
-let rec run ?(sign = 1) (ctx : Ctx.t) (q : Pquery.t) tau_old t_new =
-  if Array.length tau_old <> Array.length q then
-    invalid_arg "ComputeDelta: timestamp vector arity mismatch";
-  if t_new > Database.now ctx.db then
-    invalid_arg "ComputeDelta: target time has not elapsed yet";
+(* ------------------------------------------------------------------ *)
+(* Memoization                                                         *)
+
+(* The memo is sound because the net result of a compensated computation is
+   a mathematically fixed timed delta: the windows it reads are fixed row
+   sets (their [hi] is at or below the capture high-water mark) and
+   base-table history is immutable, so the appended rows depend only on the
+   canonical query, the time vector at Base positions, the target time and
+   the sign — never on the wall-clock moments the queries physically
+   execute. Components of the vector at window positions are normalized to
+   0: they are never read by the recursion, and callers pass differing
+   unused values there. *)
+let memo_tau (q : Pquery.t) tau =
+  Array.mapi
+    (fun i v -> match q.(i) with Pquery.Win _ -> 0 | Pquery.Base -> v)
+    tau
+
+let memo_key (ctx : Ctx.t) q tau t_new sign =
+  {
+    Memo.signature = Pquery.signature ctx.view ~rule:ctx.timestamp_rule q;
+    tau = memo_tau q tau;
+    t_new;
+    sign;
+  }
+
+(* A memo hit replays literal rows and records no geometry boxes, so the
+   memo stands down whenever a geometry trace is attached (coverage
+   checking needs the real brick structure). *)
+let memo_active (ctx : Ctx.t) = Memo.enabled ctx.memo && ctx.geometry = None
+
+let replay (ctx : Ctx.t) rows =
+  Stats.incr_memo_hits ctx.stats;
+  Array.iter
+    (fun (r : Delta.row) ->
+      ctx.on_emit ~description:"(memo replay)" r.Delta.tuple r.Delta.count
+        r.Delta.ts;
+      Delta.append_row ctx.out r)
+    rows
+
+let with_memo (ctx : Ctx.t) key f =
+  match Memo.find ctx.memo key with
+  | Some rows -> replay ctx rows
+  | None ->
+      Stats.incr_memo_misses ctx.stats;
+      let from = Delta.length ctx.out in
+      f ();
+      Memo.add ctx.memo key
+        (Delta.sub ctx.out ~pos:from ~len:(Delta.length ctx.out - from))
+
+(* ------------------------------------------------------------------ *)
+(* The recursion                                                       *)
+
+(* [run_body] is the original Figure 4 loop; [run] and [eval_at] wrap it
+   with the memo consult/fill. The recursion routes every execute +
+   compensate pair through [eval_at], whose net effect — "q' as of the
+   intended vector v" — is the deterministic unit worth sharing. *)
+let rec run_body ~sign (ctx : Ctx.t) (q : Pquery.t) tau_old t_new =
   if ctx.auto_capture then Capture.advance ctx.capture;
   Roll_util.Fault.hit ctx.fault "compensate.enter";
   Stats.incr_compute_delta_calls ctx.stats;
@@ -52,21 +104,46 @@ let rec run ?(sign = 1) (ctx : Ctx.t) (q : Pquery.t) tau_old t_new =
           if window_known_empty ctx i ~lo:tau_old.(i) ~hi:t_new then
             record_virtual_box ctx ~sign q tau_old i t_new
           else begin
-          let q' = Pquery.replace q i (Pquery.Win { lo = tau_old.(i); hi = t_new }) in
-          let t_exec = Executor.execute ctx ~sign q' in
-          if Pquery.has_base q' then begin
+            let q' =
+              Pquery.replace q i (Pquery.Win { lo = tau_old.(i); hi = t_new })
+            in
             (* Per Equation 2's convention, tables left of the delta were
-               intended at their old times, tables right of it at t_new; the
-               query actually saw everything at t_exec, so compensate the
-               difference, negated. *)
-            let tau_intended =
+               intended at their old times, tables right of it at t_new;
+               [eval_at] executes now and compensates back to that
+               vector. *)
+            let v =
               Array.init n (fun j -> if j < i then tau_old.(j) else t_new)
             in
-            run ~sign:(-sign) ctx q' tau_intended t_exec
-          end
+            eval_at ~sign ctx q' v
           end
         end
   done
+
+and eval_at ?(sign = 1) ?on_executed (ctx : Ctx.t) (q : Pquery.t) v =
+  if Array.length v <> Array.length q then
+    invalid_arg "ComputeDelta.eval_at: timestamp vector arity mismatch";
+  if Pquery.n_deltas q = 0 then
+    invalid_arg "ComputeDelta.eval_at: query has no window term";
+  let go () =
+    let t_exec = Executor.execute ctx ~sign q in
+    (match on_executed with Some f -> f () | None -> ());
+    if Pquery.has_base q then run_body ~sign:(-sign) ctx q v t_exec
+  in
+  if memo_active ctx then
+    (* t_new = -1 marks eval-at entries; [run] keys use t_new >= 0, so the
+       two families can never collide. *)
+    with_memo ctx (memo_key ctx q v (-1) sign) go
+  else go ()
+
+let run ?(sign = 1) (ctx : Ctx.t) (q : Pquery.t) tau_old t_new =
+  if Array.length tau_old <> Array.length q then
+    invalid_arg "ComputeDelta: timestamp vector arity mismatch";
+  if t_new > Database.now ctx.db then
+    invalid_arg "ComputeDelta: target time has not elapsed yet";
+  let go () = run_body ~sign ctx q tau_old t_new in
+  if memo_active ctx then
+    with_memo ctx (memo_key ctx q tau_old t_new sign) go
+  else go ()
 
 let view_delta (ctx : Ctx.t) ~lo ~hi =
   let n = View.n_sources ctx.view in

@@ -30,7 +30,33 @@ val run :
   unit
 (** @raise Invalid_argument if [t_new] exceeds the database's current time
     (the interval being propagated must already have elapsed — asynchrony,
-    not prediction). *)
+    not prediction).
+
+    When the context carries an enabled {!Memo} (and no geometry trace),
+    the whole computation is consulted/filled there under the query's
+    canonical {!Pquery.signature}: a hit replays the memoized rows into
+    [ctx.out] without executing anything. *)
+
+val eval_at :
+  ?sign:int ->
+  ?on_executed:(unit -> unit) ->
+  Ctx.t ->
+  Pquery.t ->
+  Roll_delta.Time.Vector.t ->
+  unit
+(** [eval_at ctx q v] appends the rows of "[q] evaluated as of the intended
+    vector [v]": it executes [q] now (at whatever time the query
+    serializes) and immediately compensates the difference back to [v] with
+    a negated recursive [run] — the execute-plus-compensate pair every
+    propagation step performs, factored out because its net effect is
+    independent of the execution time and therefore memoizable as one unit.
+    Components of [v] at window positions are ignored. [on_executed] fires
+    right after the forward query commits, before compensation — the hook
+    [Rolling] uses to keep its fault-injection point in exactly the legacy
+    position. On a memo hit nothing executes and [on_executed] does not
+    fire.
+    @raise Invalid_argument if [q] has no window term or [v] has the wrong
+    arity. *)
 
 val view_delta : Ctx.t -> lo:Roll_delta.Time.t -> hi:Roll_delta.Time.t -> unit
 (** [view_delta ctx ~lo ~hi] runs [ComputeDelta] for the whole view over

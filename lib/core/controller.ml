@@ -197,6 +197,22 @@ let gc t = Apply.prune_applied t.apply
 
 let stats t = t.ctx.Ctx.stats
 
+(* Window alignment snaps step targets to the propagation-interval grid so
+   sibling views maintained with the same intervals produce identical delta
+   windows — the precondition for the service's cross-view delta memo to
+   hit. Deferred processes keep their literal Figure 10 pacing. *)
+let window_alignment t =
+  match t.process with
+  | P_uniform (p, _) -> Propagate.align p
+  | P_rolling (r, _) -> Rolling.align r
+  | P_deferred _ -> false
+
+let set_window_alignment t aligned =
+  match t.process with
+  | P_uniform (p, _) -> Propagate.set_align p aligned
+  | P_rolling (r, _) -> Rolling.set_align r aligned
+  | P_deferred _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Step candidates and cost estimation (scheduler interface)           *)
 
@@ -246,7 +262,9 @@ let estimate_step_cost t ~relation ~lo ~hi =
     0. plan.Planner.steps
 
 let candidate t i ~start ~interval ~now =
-  let hi = Time.min (start + interval) now in
+  (* Mirror the step functions' own target computation (including grid
+     alignment) so schedulers see the exact window the step would run. *)
+  let hi = Rolling.window_hi ~align:(window_alignment t) ~start ~interval ~now in
   let table = View.source_table t.ctx.Ctx.view i in
   let est_rows =
     Delta.window_count (Capture.delta t.ctx.Ctx.capture ~table) ~lo:start ~hi
@@ -310,8 +328,17 @@ let checkpoint t path =
 let propagate_step_reliable t ~retry ~sleep =
   let stats = t.ctx.Ctx.stats in
   let mark = Delta.length t.ctx.Ctx.out in
+  let memo_mark = Memo.mark t.ctx.Ctx.memo in
   let retried = ref false in
-  let rollback () = Delta.truncate t.ctx.Ctx.out mark in
+  let rollback () =
+    Delta.truncate t.ctx.Ctx.out mark;
+    (* Memo entries filled by the aborted attempt hold slices of the rows
+       the truncate just dropped; served to a sibling view (or to this
+       view's re-run) they would replay a transaction that never committed.
+       Maintenance is single-threaded, so everything memoized past the mark
+       belongs to the failed step. *)
+    Memo.evict_since t.ctx.Ctx.memo memo_mark
+  in
   let result =
     Retry.run retry ~sleep
       ~on_retry:(fun ~attempt:_ ~delay:_ ->

@@ -156,6 +156,18 @@ val gc : t -> int
 
 val stats : t -> Stats.t
 
+val window_alignment : t -> bool
+(** Whether propagation step targets snap to the interval grid (see
+    {!set_window_alignment}); always [false] for [Deferred]. *)
+
+val set_window_alignment : t -> bool -> unit
+(** With alignment on, step targets snap to multiples of the propagation
+    interval (see {!Rolling.window_hi}), so sibling views maintained with
+    the same intervals converge on identical delta windows — the
+    precondition for the {!Service} sharing memo to hit across views.
+    Default off: targets are exactly the legacy [min (start + interval)
+    now]. No-op for [Deferred] processes. *)
+
 (** {2 Scheduler interface}
 
     The maintenance scheduler plans work items from candidate descriptions

@@ -16,6 +16,7 @@ type t = {
   mutable timestamp_rule : [ `Min | `Max ];
   mutable last_report : Exec.report option;
   mutable fault : Roll_util.Fault.t;
+  mutable memo : Memo.t;
 }
 
 let create ?(geometry = false) ?t_initial db capture view =
@@ -45,4 +46,5 @@ let create ?(geometry = false) ?t_initial db capture view =
     timestamp_rule = `Min;
     last_report = None;
     fault = Roll_util.Fault.none;
+    memo = Memo.create ~enabled:false ();
   }

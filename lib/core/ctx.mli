@@ -44,6 +44,12 @@ type t = {
           checkpoint writes); {!Roll_util.Fault.none} (the default) makes
           the visits free. The capture process carries its own handle
           ([Roll_capture.Capture.set_fault]). *)
+  mutable memo : Memo.t;
+      (** delta memo + build cache consulted by [ComputeDelta] and the
+          executor. Freshly created contexts carry a private {e disabled}
+          memo (standalone maintenance is bit-identical to the unshared
+          pipeline); {!Service} replaces it with one shared, enabled memo
+          per service when sharing is on. *)
 }
 
 val create :

@@ -6,6 +6,7 @@ type source = {
   info : Planner.source_info;
   scan : unit -> Cursor.t;
   probe : (columns:int list -> Tuple.t -> Cursor.t) option;
+  cache_key : string option;
 }
 
 let source_of_table table =
@@ -19,6 +20,10 @@ let source_of_table table =
       };
     scan = (fun () -> Table.scan_cursor table);
     probe = Some (fun ~columns key -> Table.probe_cursor table ~columns key);
+    (* Keyed by content version: any committed change to the table makes
+       earlier cached builds unreachable. *)
+    cache_key =
+      Some (Printf.sprintf "%s@%d" (Table.name table) (Table.version table));
   }
 
 let source_of_relation ~name r =
@@ -32,6 +37,7 @@ let source_of_relation ~name r =
       };
     scan = (fun () -> Cursor.of_relation r);
     probe = None;
+    cache_key = None;
   }
 
 let source_of_delta_window ~name d ~lo ~hi =
@@ -45,6 +51,10 @@ let source_of_delta_window ~name d ~lo ~hi =
       };
     scan = (fun () -> Delta.window_cursor d ~lo ~hi);
     probe = None;
+    (* A window whose [hi] is at or below the capture high-water mark (the
+       executor rejects any other) is an immutable row set: capture appends
+       in timestamp order, so later advances only add rows beyond [hi]. *)
+    cache_key = Some (Printf.sprintf "%s(%d,%d]" name lo hi);
   }
 
 type step_stat = {
@@ -104,6 +114,62 @@ module KeyTbl = Hashtbl.Make (Key)
 let key_of_values values =
   if Array.exists (fun v -> v = Value.Null) values then None else Some values
 
+(* ------------------------------------------------------------------ *)
+(* Per-drain build cache                                               *)
+
+(* Shares the two expensive physical artifacts across pipeline runs in one
+   drain: hash indexes built over a source at a fixed content version, and
+   the materialized rows of a delta window. Both are content-addressed
+   through [source.cache_key], so entries never go stale — a changed table
+   gets a new version key, and a captured window's rows are immutable —
+   but the cache is still cleared per drain to bound memory. *)
+type cache = {
+  builds : (string, Cursor.row list KeyTbl.t) Hashtbl.t;
+  windows : (string, Cursor.row array) Hashtbl.t;
+  mutable build_hits : int;
+  mutable window_hits : int;
+}
+
+let cache_create () =
+  {
+    builds = Hashtbl.create 16;
+    windows = Hashtbl.create 16;
+    build_hits = 0;
+    window_hits = 0;
+  }
+
+let cache_clear c =
+  Hashtbl.reset c.builds;
+  Hashtbl.reset c.windows
+
+let cache_build_hits c = c.build_hits
+
+let cache_window_hits c = c.window_hits
+
+let cache_hits c = c.build_hits + c.window_hits
+
+(* Scan through the cache: the materialized rows of an already-visited
+   delta window are replayed from the cache instead of re-walking the
+   delta's timestamp index. Base tables always scan live (their cursors
+   are already lazy and their hash builds are cached separately). *)
+let cached_scan cache (src : source) () =
+  match cache with
+  | Some c when src.info.Planner.is_delta -> (
+      match src.cache_key with
+      | Some key -> (
+          match Hashtbl.find_opt c.windows key with
+          | Some rows ->
+              c.window_hits <- c.window_hits + 1;
+              Cursor.of_array rows
+          | None ->
+              let acc = ref [] in
+              Cursor.iter (fun r -> acc := r :: !acc) (src.scan ());
+              let rows = Array.of_list (List.rev !acc) in
+              Hashtbl.add c.windows key rows;
+              Cursor.of_array rows)
+      | None -> src.scan ())
+  | _ -> src.scan ()
+
 (* A partially-joined row: one binding per input, filled in plan order. *)
 type partial = { bindings : Tuple.t array; count : int; ts : int }
 
@@ -131,8 +197,8 @@ let instrumented (stat : step_stat) (f : op) : op =
   (match r with Some _ -> stat.actual_rows <- stat.actual_rows + 1 | None -> ());
   r
 
-let scan_op ~n ~(stat : step_stat) ~(src : source) ~atoms ~source : op =
-  let cur = src.scan () in
+let scan_op ~cache ~n ~(stat : step_stat) ~(src : source) ~atoms ~source : op =
+  let cur = cached_scan cache src () in
   let rec pull () =
     match Cursor.next cur with
     | None -> None
@@ -165,30 +231,50 @@ let extend ~rule ~source ~atoms (p : partial) (r : Cursor.row) =
       { bindings; count = p.count * r.count; ts = combine_ts rule p.ts r.ts }
   else None
 
-let hash_join_op ~rule ~(stat : step_stat) ~(src : source) ~pairs ~atoms ~source (child : op)
+let hash_join_op ~cache ~rule ~(stat : step_stat) ~(src : source) ~pairs ~atoms ~source (child : op)
     : op =
   (* The hash index is built lazily from the scan cursor on first pull —
      a query whose driving input is empty never touches this table. *)
+  let build () =
+    stat.hash_builds <- stat.hash_builds + 1;
+    let tbl = KeyTbl.create 64 in
+    Cursor.iter
+      (fun (r : Cursor.row) ->
+        stat.rows_in <- stat.rows_in + 1;
+        let key_values =
+          Array.of_list (List.map (fun (_, c) -> Tuple.get r.tuple c) pairs)
+        in
+        match key_of_values key_values with
+        | None -> ()
+        | Some key ->
+            KeyTbl.replace tbl key
+              (r
+              :: (match KeyTbl.find_opt tbl key with
+                 | Some rows -> rows
+                 | None -> [])))
+      (cached_scan cache src ());
+    tbl
+  in
+  (* With a cache, a table already built over the same content version and
+     key columns is reused outright: no build, no input rows read. *)
   let index =
     lazy
-      (stat.hash_builds <- stat.hash_builds + 1;
-       let tbl = KeyTbl.create 64 in
-       Cursor.iter
-         (fun (r : Cursor.row) ->
-           stat.rows_in <- stat.rows_in + 1;
-           let key_values =
-             Array.of_list (List.map (fun (_, c) -> Tuple.get r.tuple c) pairs)
-           in
-           match key_of_values key_values with
-           | None -> ()
-           | Some key ->
-               KeyTbl.replace tbl key
-                 (r
-                 :: (match KeyTbl.find_opt tbl key with
-                    | Some rows -> rows
-                    | None -> [])))
-         (src.scan ());
-       tbl)
+      (match (cache, src.cache_key) with
+      | Some c, Some key ->
+          let key =
+            key ^ "#"
+            ^ String.concat ","
+                (List.map (fun (_, col) -> string_of_int col) pairs)
+          in
+          (match Hashtbl.find_opt c.builds key with
+          | Some tbl ->
+              c.build_hits <- c.build_hits + 1;
+              tbl
+          | None ->
+              let tbl = build () in
+              Hashtbl.add c.builds key tbl;
+              tbl)
+      | _ -> build ())
   in
   let current = ref None in
   let pending = ref [] in
@@ -242,7 +328,7 @@ let index_probe_op ~rule ~(stat : step_stat) ~(src : source) ~pairs ~columns ~at
   in
   pull
 
-let nested_loop_op ~rule ~(stat : step_stat) ~(src : source) ~atoms ~source (child : op) : op
+let nested_loop_op ~cache ~rule ~(stat : step_stat) ~(src : source) ~atoms ~source (child : op) : op
     =
   (* The inner input is pinned once on first pull and replayed per partial;
      its rows count toward the footprint once, like any other scan. *)
@@ -253,7 +339,7 @@ let nested_loop_op ~rule ~(stat : step_stat) ~(src : source) ~atoms ~source (chi
          (fun r ->
            stat.rows_in <- stat.rows_in + 1;
            acc := r :: !acc)
-         (src.scan ());
+         (cached_scan cache src ());
        Array.of_list (List.rev !acc))
   in
   let current = ref None in
@@ -277,7 +363,7 @@ let nested_loop_op ~rule ~(stat : step_stat) ~(src : source) ~atoms ~source (chi
   in
   pull
 
-let run ~rule ~sources ~(plan : Planner.t) ~emit =
+let run ?cache ~rule ~sources ~(plan : Planner.t) ~emit () =
   let n = Array.length sources in
   let steps = Array.of_list plan.Planner.steps in
   if Array.length steps <> n then invalid_arg "Exec.run: plan arity mismatch";
@@ -302,19 +388,19 @@ let run ~rule ~sources ~(plan : Planner.t) ~emit =
     let src = sources.(st.source) in
     let op =
       if k = 0 then
-        scan_op ~n ~stat ~src ~atoms:st.atoms ~source:st.source
+        scan_op ~cache ~n ~stat ~src ~atoms:st.atoms ~source:st.source
       else
         let child = build (k - 1) in
         match st.access with
         | Planner.Scan -> invalid_arg "Exec.run: scan step after the first"
         | Planner.Hash_join pairs ->
-            hash_join_op ~rule ~stat ~src ~pairs ~atoms:st.atoms
+            hash_join_op ~cache ~rule ~stat ~src ~pairs ~atoms:st.atoms
               ~source:st.source child
         | Planner.Index_probe (pairs, columns) ->
             index_probe_op ~rule ~stat ~src ~pairs ~columns ~atoms:st.atoms
               ~source:st.source child
         | Planner.Nested_loop ->
-            nested_loop_op ~rule ~stat ~src ~atoms:st.atoms ~source:st.source
+            nested_loop_op ~cache ~rule ~stat ~src ~atoms:st.atoms ~source:st.source
               child
     in
     instrumented stat op

@@ -25,6 +25,10 @@ type source = {
   scan : unit -> Cursor.t;  (** open a fresh full-scan cursor *)
   probe : (columns:int list -> Tuple.t -> Cursor.t) option;
       (** open an index-probe cursor, when a secondary index exists *)
+  cache_key : string option;
+      (** content-addressed identity for the per-drain build cache: a base
+          table at a content version, or a delta window with fixed bounds.
+          [None] (plain relations) opts the source out of sharing. *)
 }
 
 val source_of_table : Roll_storage.Table.t -> source
@@ -70,13 +74,40 @@ type totals = {
 
 val totals : report -> totals
 
+(** {1 Build cache}
+
+    A per-drain cache of shared physical work: hash indexes built over a
+    source at a fixed content version and key-column list, and the
+    materialized rows of a delta window. Entries are content-addressed
+    through {!source.cache_key} and thus never stale; clearing per drain
+    only bounds memory. A cache hit skips the build entirely — the input
+    rows are not re-read and no hash build is counted, which is the
+    executor-rows saving [bench share] measures. *)
+
+type cache
+
+val cache_create : unit -> cache
+
+val cache_clear : cache -> unit
+
+val cache_build_hits : cache -> int
+(** Cumulative hash-index builds skipped (not reset by {!cache_clear}). *)
+
+val cache_window_hits : cache -> int
+(** Cumulative delta-window materializations replayed from the cache. *)
+
+val cache_hits : cache -> int
+(** [cache_build_hits + cache_window_hits]. *)
+
 (** {1 Running} *)
 
 val run :
+  ?cache:cache ->
   rule:[ `Min | `Max ] ->
   sources:source array ->
   plan:Planner.t ->
   emit:(Tuple.t array -> int -> Cursor.ts -> unit) ->
+  unit ->
   report
 (** Build the operator tree for [plan] and drain it, calling [emit] with
     one binding vector per result row: count = product of input counts,

@@ -68,8 +68,17 @@ let evaluate_parts (ctx : Ctx.t) (q : Pquery.t) =
   let view = ctx.view in
   let sources, plan = plan_parts ctx q in
   let out = ref [] in
+  (* The build cache shares the memo's enablement and drain lifetime:
+     standalone contexts (disabled memo) run the pipeline exactly as
+     before sharing existed. *)
+  let cache =
+    if Memo.enabled ctx.memo then Some (Memo.exec_cache ctx.memo) else None
+  in
+  let hits_before =
+    match cache with Some c -> Exec.cache_hits c | None -> 0
+  in
   let report =
-    Exec.run ~rule:ctx.Ctx.timestamp_rule ~sources ~plan
+    Exec.run ?cache ~rule:ctx.Ctx.timestamp_rule ~sources ~plan
       ~emit:(fun bindings count ts ->
         let tuple = View.project_bindings view bindings in
         (* Base rows carry the no-timestamp sentinel; it is neutral under
@@ -79,8 +88,12 @@ let evaluate_parts (ctx : Ctx.t) (q : Pquery.t) =
            stamped with the origin time. *)
         let ts = if ts = Cursor.no_ts then Time.origin else ts in
         out := (tuple, count, ts) :: !out)
+      ()
   in
   record_report ctx report;
+  (match cache with
+  | Some c -> Stats.add_shared_builds ctx.stats (Exec.cache_hits c - hits_before)
+  | None -> ());
   (List.rev !out, sources, report)
 
 let evaluate (ctx : Ctx.t) (q : Pquery.t) =

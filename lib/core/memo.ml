@@ -1,0 +1,97 @@
+module Delta = Roll_delta.Delta
+
+type key = { signature : string; tau : int array; t_new : int; sign : int }
+
+module Key = struct
+  type t = key
+
+  let equal a b =
+    a.sign = b.sign && a.t_new = b.t_new
+    && String.equal a.signature b.signature
+    && a.tau = b.tau
+
+  let hash k = Hashtbl.hash (k.signature, k.tau, k.t_new, k.sign)
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(* An entry remembers the rows the computation appended to the view delta
+   and the insertion sequence number, so a retry rollback can evict
+   everything a failed step produced ([evict_since]). *)
+type t = {
+  mutable enabled : bool;
+  entries : (Delta.row array * int) Tbl.t;
+  mutable seq : int;
+  (* Insertion log, newest first; drives [evict_since]. *)
+  mutable log : (int * key) list;
+  exec_cache : Exec.cache;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(enabled = true) () =
+  {
+    enabled;
+    entries = Tbl.create 64;
+    seq = 0;
+    log = [];
+    exec_cache = Exec.cache_create ();
+    hits = 0;
+    misses = 0;
+  }
+
+let enabled t = t.enabled
+
+let set_enabled t b = t.enabled <- b
+
+let exec_cache t = t.exec_cache
+
+let size t = Tbl.length t.entries
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let find t key =
+  if not t.enabled then None
+  else
+    match Tbl.find_opt t.entries key with
+    | Some (rows, _) ->
+        t.hits <- t.hits + 1;
+        Some rows
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+
+let add t key rows =
+  if t.enabled then begin
+    t.seq <- t.seq + 1;
+    Tbl.replace t.entries key (rows, t.seq);
+    t.log <- (t.seq, key) :: t.log
+  end
+
+let mark t = t.seq
+
+(* Drop every entry added after [mark]. Single-threaded maintenance means
+   everything past the mark belongs to the step being rolled back: its
+   memoized deltas must not survive the retry (the re-run would replay rows
+   that [Delta.truncate] just dropped from the view delta). The build cache
+   stays — its entries are content-addressed and unaffected by step
+   aborts. *)
+let evict_since t mark =
+  let rec drop = function
+    | (seq, key) :: rest when seq > mark ->
+        (match Tbl.find_opt t.entries key with
+        | Some (_, s) when s = seq -> Tbl.remove t.entries key
+        | _ -> ());
+        drop rest
+    | log -> log
+  in
+  t.log <- drop t.log
+
+(* Drain-scoped invalidation: called at every drain start, after capture
+   GC, and on fault-injected aborts. Hit/miss counters are cumulative. *)
+let clear t =
+  Tbl.reset t.entries;
+  t.log <- [];
+  Exec.cache_clear t.exec_cache

@@ -1,0 +1,65 @@
+(** Drain-scoped delta memo: shared maintenance work across sibling views.
+
+    [ComputeDelta]'s net result for a given (canonical query signature,
+    normalized time vector, target time, sign) is a mathematically fixed
+    timed delta: windows are fixed row sets and base-table history is
+    immutable, so the rows it appends to the view delta do not depend on
+    when the queries physically execute. That makes the computation
+    memoizable — sibling views whose next steps read the same ΔR window,
+    and the compensation recursion's own repeated subqueries, can replay
+    the first computation's literal rows instead of re-executing.
+
+    A memo is installed into sibling {!Ctx}s by the {!Service} when sharing
+    is on; each drain starts from an empty memo ({!clear}), retry rollbacks
+    evict the failed step's entries ({!evict_since}), and the memo also
+    owns the drain's {!Exec.cache} so physical work below the row memo
+    (hash builds, window materializations) is shared through the same
+    lifetime. *)
+
+type t
+
+type key = {
+  signature : string;  (** {!Pquery.signature} of the (view, query) pair *)
+  tau : int array;
+      (** the time vector, with components at window positions normalized
+          to 0 (they are never read by the recursion) *)
+  t_new : int;  (** target time; [-1] marks an [eval_at]-style entry *)
+  sign : int;
+}
+
+val create : ?enabled:bool -> unit -> t
+(** [enabled] defaults to true. A disabled memo never finds or stores
+    entries — {!Ctx.create} installs a private disabled one so standalone
+    contexts behave exactly as before sharing existed. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+val exec_cache : t -> Exec.cache
+(** The physical build cache sharing this memo's drain lifetime. *)
+
+val find : t -> key -> Roll_delta.Delta.row array option
+(** Counts a hit or miss; {!hits}/{!misses} read the cumulative totals. *)
+
+val add : t -> key -> Roll_delta.Delta.row array -> unit
+
+val mark : t -> int
+(** Current insertion sequence; pair with {!evict_since} around a step so
+    a rollback can drop exactly the entries the step produced. *)
+
+val evict_since : t -> int -> unit
+(** Drop every entry added after the given {!mark} — the retry-rollback
+    companion to [Delta.truncate]: a re-run step must recompute, not
+    replay rows the rollback just discarded. *)
+
+val clear : t -> unit
+(** Drop all entries and clear the build cache (drain-scoped
+    invalidation; also used after capture GC and on aborts). Hit/miss
+    counters are cumulative and survive clearing. *)
+
+val size : t -> int
+
+val hits : t -> int
+
+val misses : t -> int

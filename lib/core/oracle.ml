@@ -15,8 +15,10 @@ let join_all view relations =
   let infos = Array.map (fun (s : Exec.source) -> s.Exec.info) sources in
   let plan = Planner.plan (View.predicate view) infos in
   let (_ : Exec.report) =
-    Exec.run ~rule:`Min ~sources ~plan ~emit:(fun bindings count _ts ->
+    Exec.run ~rule:`Min ~sources ~plan
+      ~emit:(fun bindings count _ts ->
         Relation.add out (View.project_bindings view bindings) count)
+      ()
   in
   out
 

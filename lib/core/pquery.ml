@@ -16,6 +16,117 @@ let n_deltas q =
 
 let is_forward q = n_deltas q = 1
 
+let equal (a : t) (b : t) = a = b
+
+let hash (q : t) = Hashtbl.hash q
+
+(* ------------------------------------------------------------------ *)
+(* Canonical signatures                                                *)
+
+(* All permutations of a list; n is capped by [signature]'s guard. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun p -> x :: p)
+            (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+let render_term buf = function
+  | Base -> Buffer.add_string buf "B"
+  | Win { lo; hi } -> Buffer.add_string buf (Printf.sprintf "W(%d,%d]" lo hi)
+
+(* Render (view, q) with sources reordered by [inv] (canonical position k
+   holds original source inv.(k)) and every column reference remapped
+   through [perm] (original source i appears at position perm.(i)).
+   Aliases and column names are deliberately absent: only table names,
+   window bounds, remapped predicate atoms (sorted, join endpoints
+   normalized), the projection's remapped operands and the output column
+   types participate, so two views that differ only in alias naming or
+   source order render identically under the right permutation. *)
+let render view ~rule (q : t) perm inv =
+  let module P = Roll_relation.Predicate in
+  let n = Array.length q in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (match rule with `Min -> "min;" | `Max -> "max;");
+  for k = 0 to n - 1 do
+    let i = inv.(k) in
+    Buffer.add_string buf (View.source_table view i);
+    Buffer.add_char buf ':';
+    render_term buf q.(i);
+    Buffer.add_char buf ';'
+  done;
+  let remap_col (c : P.col) = { c with P.source = perm.(c.source) } in
+  let rec remap_operand = function
+    | P.Col c -> P.Col (remap_col c)
+    | P.Const _ as o -> o
+    | P.Neg e -> P.Neg (remap_operand e)
+    | P.Add (a, b) -> P.Add (remap_operand a, remap_operand b)
+    | P.Sub (a, b) -> P.Sub (remap_operand a, remap_operand b)
+    | P.Mul (a, b) -> P.Mul (remap_operand a, remap_operand b)
+    | P.Div (a, b) -> P.Div (remap_operand a, remap_operand b)
+  in
+  let atom_str atom =
+    let atom =
+      match atom with
+      | P.Join (x, y) ->
+          let x = remap_col x and y = remap_col y in
+          if (x.P.source, x.P.column) <= (y.P.source, y.P.column) then
+            P.Join (x, y)
+          else P.Join (y, x)
+      | P.Cmp (op, x, y) -> P.Cmp (op, remap_operand x, remap_operand y)
+    in
+    Format.asprintf "%a" P.pp_atom atom
+  in
+  let atoms = List.sort String.compare (List.map atom_str (View.predicate view)) in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf ';')
+    atoms;
+  Buffer.add_char buf '|';
+  let out = View.output_schema view in
+  for c = 0 to Roll_relation.Schema.arity out - 1 do
+    Buffer.add_string buf
+      (Roll_relation.Value.ty_to_string
+         (Roll_relation.Schema.column out c).Roll_relation.Schema.ty);
+    Buffer.add_char buf ','
+  done;
+  Buffer.add_char buf '|';
+  List.iter
+    (fun (_, operand) ->
+      Buffer.add_string buf
+        (Format.asprintf "%a" P.pp_operand (remap_operand operand));
+      Buffer.add_char buf ';')
+    (View.projection view);
+  Buffer.contents buf
+
+(* Beyond this many sources the factorial permutation search is not worth
+   it; fall back to the identity order (signatures then only match between
+   views that list their sources identically). *)
+let max_canon_sources = 6
+
+let signature view ~rule (q : t) =
+  let n = Array.length q in
+  let identity = Array.init n Fun.id in
+  if n > max_canon_sources then render view ~rule q identity identity
+  else begin
+    let best = ref None in
+    List.iter
+      (fun inv_list ->
+        let inv = Array.of_list inv_list in
+        let perm = Array.make n 0 in
+        Array.iteri (fun k i -> perm.(i) <- k) inv;
+        let s = render view ~rule q perm inv in
+        match !best with
+        | Some b when String.compare b s <= 0 -> ()
+        | _ -> best := Some s)
+      (permutations (List.init n Fun.id));
+    Option.get !best
+  end
+
 let describe view q =
   let part i = function
     | Base -> View.alias view i

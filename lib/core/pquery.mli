@@ -26,3 +26,24 @@ val is_forward : t -> bool
 
 val describe : View.t -> t -> string
 (** E.g. ["R1(a,b] . R2 . R3"] — used for WAL marker tags and traces. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the term vectors (same shape, same window
+    bounds). *)
+
+val hash : t -> int
+
+val signature : View.t -> rule:[ `Min | `Max ] -> t -> string
+(** Canonical identity of the propagation query [q] over [view]: two
+    (view, query) pairs share a signature exactly when they compute the
+    same delta — same source tables with the same Base/window terms
+    (modulo reordering the source list and renaming aliases), same
+    predicate atoms (sorted, equi-join endpoints normalized), same
+    projection operands and output column types, and the same timestamp
+    combination [rule]. The delta memo keys on this, so structurally
+    identical subqueries reached from different sibling views — or twice
+    within one view's compensation recursion — have one identity.
+
+    Canonicalization tries every source permutation and keeps the
+    lexicographically least rendering; views with more than 6 sources fall
+    back to their declared source order. *)

@@ -1,18 +1,22 @@
 module Time = Roll_delta.Time
 module Database = Roll_storage.Database
 
-type t = { ctx : Ctx.t; mutable t_cur : Time.t }
+type t = { ctx : Ctx.t; mutable t_cur : Time.t; mutable align : bool }
 
-let create ctx ~t_initial = { ctx; t_cur = t_initial }
+let create ctx ~t_initial = { ctx; t_cur = t_initial; align = false }
 
 let hwm t = t.t_cur
+
+let align t = t.align
+
+let set_align t b = t.align <- b
 
 let step t ~interval =
   if interval <= 0 then invalid_arg "Propagate.step: interval must be positive";
   let now = Database.now t.ctx.Ctx.db in
   if t.t_cur >= now then `Idle
   else begin
-    let target = Time.min (t.t_cur + interval) now in
+    let target = Rolling.window_hi ~align:t.align ~start:t.t_cur ~interval ~now in
     Compute_delta.view_delta t.ctx ~lo:t.t_cur ~hi:target;
     t.t_cur <- target;
     `Advanced target

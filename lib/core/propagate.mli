@@ -11,6 +11,13 @@ type t
 
 val create : Ctx.t -> t_initial:Roll_delta.Time.t -> t
 
+val align : t -> bool
+
+val set_align : t -> bool -> unit
+(** Snap step targets to the interval grid (see {!Rolling.set_align});
+    default off, in which case targets are exactly the legacy
+    [min (t_cur + interval) now]. *)
+
 val hwm : t -> Roll_delta.Time.t
 (** The view-delta high-water mark: the delta is complete from [t_initial]
     through this time. *)

@@ -1,7 +1,7 @@
 module Time = Roll_delta.Time
 module Database = Roll_storage.Database
 
-type t = { ctx : Ctx.t; n : int; tfwd : Time.t array }
+type t = { ctx : Ctx.t; n : int; tfwd : Time.t array; mutable align : bool }
 
 type policy = int -> int
 
@@ -11,7 +11,22 @@ let per_relation intervals i = intervals.(i)
 
 let create ctx ~t_initial =
   let n = View.n_sources ctx.Ctx.view in
-  { ctx; n; tfwd = Array.make n t_initial }
+  { ctx; n; tfwd = Array.make n t_initial; align = false }
+
+let align t = t.align
+
+let set_align t b = t.align <- b
+
+(* Window upper bound for a step from [start]. Aligned windows additionally
+   snap to the interval grid: sibling views materialize at different commit
+   times, so their frontiers start offset by a few commits and their window
+   bounds would never coincide; snapping each relation's first window short
+   of the next multiple of [interval] re-synchronizes the frontiers, after
+   which structurally identical views request literally identical windows —
+   the condition for the delta memo and build cache to hit across views. *)
+let window_hi ~align ~start ~interval ~now =
+  let hi = Time.min (start + interval) now in
+  if align then Time.min hi (((start / interval) + 1) * interval) else hi
 
 let hwm t = Array.fold_left Time.min t.tfwd.(0) t.tfwd
 
@@ -25,9 +40,9 @@ let step_relation t i ~interval =
   if t.tfwd.(i) >= now then `Idle
   else begin
     let start = t.tfwd.(i) in
-    let delta = Time.min interval (now - start) in
+    let hi = window_hi ~align:t.align ~start ~interval ~now in
     if t.ctx.Ctx.auto_capture then Roll_capture.Capture.advance t.ctx.Ctx.capture;
-    if Compute_delta.window_known_empty t.ctx i ~lo:start ~hi:(start + delta)
+    if Compute_delta.window_known_empty t.ctx i ~lo:start ~hi
     then begin
       (* Quiet window: the forward query and all of its compensations are
          empty, so the frontier advances for free. The step's net brick is
@@ -37,28 +52,31 @@ let step_relation t i ~interval =
       | Some g ->
           let spans =
             Array.init t.n (fun j ->
-                if j = i then Geometry.Window (start, start + delta)
+                if j = i then Geometry.Window (start, hi)
                 else Geometry.Full_upto t.tfwd.(j))
           in
           Geometry.record ~label:"(skipped quiet brick)" g ~sign:1 spans);
-      t.tfwd.(i) <- start + delta;
+      t.tfwd.(i) <- hi;
       `Advanced (hwm t)
     end
     else begin
     let fwd =
-      Pquery.replace (Pquery.all_base t.n) i
-        (Pquery.Win { lo = start; hi = start + delta })
+      Pquery.replace (Pquery.all_base t.n) i (Pquery.Win { lo = start; hi })
     in
-    let t_exec = Executor.execute t.ctx ~sign:1 fwd in
-    Roll_util.Fault.hit t.ctx.Ctx.fault "rolling.post_forward";
-    (* The forward query saw every other relation at t_exec; its intended
-       view of relation j is R^j at the current frontier tfwd.(j), so one
-       ComputeDelta repairs the whole difference. Net effect of the step:
-       the brick (start, start+delta] x prod_{j<>i} [t0, tfwd.(j)]. *)
-    let tau = Array.init t.n (fun j -> if j = i then t_exec else t.tfwd.(j)) in
-    Compute_delta.run ~sign:(-1) t.ctx fwd tau t_exec;
+    (* The forward query sees every other relation at its own execution
+       time; its intended view of relation j is R^j at the current frontier
+       tfwd.(j), so the execute-plus-compensate unit [eval_at] repairs the
+       whole difference in one call. Net effect of the step: the brick
+       (start, hi] x prod_{j<>i} [t0, tfwd.(j)] — and because that net
+       effect is execution-time independent, sibling views stepping the
+       same window replay it from the memo. *)
+    let v = Array.init t.n (fun j -> if j = i then hi else t.tfwd.(j)) in
+    Compute_delta.eval_at ~sign:1
+      ~on_executed:(fun () ->
+        Roll_util.Fault.hit t.ctx.Ctx.fault "rolling.post_forward")
+      t.ctx fwd v;
     Roll_util.Fault.hit t.ctx.Ctx.fault "rolling.pre_advance";
-    t.tfwd.(i) <- start + delta;
+    t.tfwd.(i) <- hi;
     `Advanced (hwm t)
     end
   end

@@ -41,6 +41,29 @@ val per_relation : int array -> policy
 
 val create : Ctx.t -> t_initial:Roll_delta.Time.t -> t
 
+val align : t -> bool
+
+val set_align : t -> bool -> unit
+(** Window alignment (default off): snap every forward window's upper
+    bound to the next multiple of its interval, so sibling views whose
+    materialization times differ by a few commits converge onto identical
+    window bounds — the precondition for cross-view memo sharing. Off, the
+    step windows are exactly the legacy [min (start + interval) now].
+    Alignment must stay off while a recovery replay is in progress
+    (replay steps target recorded frontiers exactly); {!Service} turns it
+    on only after registration/recovery completes. *)
+
+val window_hi :
+  align:bool ->
+  start:Roll_delta.Time.t ->
+  interval:int ->
+  now:Roll_delta.Time.t ->
+  Roll_delta.Time.t
+(** The upper bound [step_relation] would use for a window starting at
+    [start] — exported so the controller's step candidates advertise the
+    same windows the steps will actually run (the scheduler batches on
+    window identity). *)
+
 val hwm : t -> Roll_delta.Time.t
 (** [min_i (tfwd i)]: the view delta is complete from [t_initial] through
     this time. *)

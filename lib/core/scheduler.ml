@@ -25,6 +25,7 @@ type scored = {
   est_rows : int;
   est_cost : float;
   deferred : bool;
+  window : (string * Time.t * Time.t) option;
 }
 
 type source = {
@@ -138,6 +139,11 @@ let propagate_items t ~now ~capture_hwm sources =
                        (float_of_int (rounds_of t src.name) *. rr_sweep_band)
                        +. float_of_int reg_index
                in
+               let table =
+                 View.source_table
+                   (Controller.view src.controller)
+                   c.Controller.relation
+               in
                [
                  {
                    item =
@@ -149,6 +155,7 @@ let propagate_items t ~now ~capture_hwm sources =
                    est_rows = c.Controller.est_rows;
                    est_cost = c.Controller.est_cost;
                    deferred;
+                   window = Some (table, c.Controller.lo, c.Controller.hi);
                  };
                ])
        sources)
@@ -175,6 +182,7 @@ let capture_item t =
         est_rows = lag;
         est_cost = 0.;
         deferred = false;
+        window = None;
       };
     ]
 
@@ -211,6 +219,7 @@ let background_items t ~now sources =
                 est_rows = rows;
                 est_cost = float_of_int rows;
                 deferred = false;
+                window = None;
               };
             ]
         in
@@ -223,6 +232,7 @@ let background_items t ~now sources =
             est_rows = Delta.length (Controller.ctx ctl).Ctx.out;
             est_cost = 0.;
             deferred = false;
+            window = None;
           }
         in
         let checkpoint =
@@ -253,7 +263,7 @@ let plan ?(full = false) t sources =
   in
   drain []
 
-let take ?full t sources =
+let select ?full t sources =
   let items = plan ?full t sources in
   List.iter
     (fun s ->
@@ -266,21 +276,55 @@ let take ?full t sources =
       let c = Stats.sched_kind t.stats (kind_name s.item) in
       c.Stats.deferred <- c.Stats.deferred + 1)
     deferred;
-  if deferred <> [] && Capture.lag t.capture > 0 then begin
-    (* Backpressure: some propagate step is waiting on capture. Boost
-       capture to the front of the queue regardless of policy, so capture
-       lag can never deadlock propagation — every boosted advance strictly
-       reduces the lag until the deferred windows are fully captured. *)
-    match List.find_opt (fun s -> s.item = Capture_advance) runnable with
-    | Some capture ->
-        let c = Stats.sched_kind t.stats "capture" in
-        c.Stats.backpressured <- c.Stats.backpressured + 1;
-        Log.debug (fun m ->
-            m "backpressure: %d propagate step(s) deferred, boosting capture \
-               (lag=%d)"
-              (List.length deferred)
-              (Capture.lag t.capture));
-        Some { capture with score = -.deferred_band }
-    | None -> (match runnable with [] -> None | s :: _ -> Some s)
-  end
-  else match runnable with [] -> None | s :: _ -> Some s
+  let head =
+    if deferred <> [] && Capture.lag t.capture > 0 then begin
+      (* Backpressure: some propagate step is waiting on capture. Boost
+         capture to the front of the queue regardless of policy, so capture
+         lag can never deadlock propagation — every boosted advance strictly
+         reduces the lag until the deferred windows are fully captured. *)
+      match List.find_opt (fun s -> s.item = Capture_advance) runnable with
+      | Some capture ->
+          let c = Stats.sched_kind t.stats "capture" in
+          c.Stats.backpressured <- c.Stats.backpressured + 1;
+          Log.debug (fun m ->
+              m "backpressure: %d propagate step(s) deferred, boosting \
+                 capture (lag=%d)"
+                (List.length deferred)
+                (Capture.lag t.capture));
+          Some { capture with score = -.deferred_band }
+      | None -> (match runnable with [] -> None | s :: _ -> Some s)
+    end
+    else match runnable with [] -> None | s :: _ -> Some s
+  in
+  (head, runnable)
+
+let take ?full t sources = fst (select ?full t sources)
+
+let take_batch ?full t sources =
+  let head, runnable = select ?full t sources in
+  match head with
+  | None -> []
+  | Some head -> (
+      match (t.policy, head.item, head.window) with
+      | Slack, Propagate_step _, Some w ->
+          (* Batch every other runnable propagate step that reads the very
+             same delta window behind the head: executed back to back they
+             hit the drain-scoped delta memo and share hash builds. Windows
+             only coincide under grid alignment, and Round_robin keeps the
+             legacy one-item drains, so this is policy-visible but changes
+             no default ordering. *)
+          let followers =
+            List.filter
+              (fun s ->
+                s.item <> head.item
+                && (match s.item with
+                   | Propagate_step _ -> true
+                   | Capture_advance | Apply_refresh _ | Checkpoint _ | Gc _
+                     -> false)
+                && s.window = Some w)
+              runnable
+          in
+          let c = Stats.sched_kind t.stats "propagate" in
+          c.Stats.batched <- c.Stats.batched + List.length followers;
+          head :: followers
+      | _ -> [ head ])

@@ -58,6 +58,10 @@ type scored = {
   est_cost : float;  (** planner-estimated rows touched *)
   deferred : bool;
       (** capture backpressure: the window is not fully captured yet *)
+  window : (string * Roll_delta.Time.t * Roll_delta.Time.t) option;
+      (** for propagate items, the [(table, lo, hi)] delta window the
+          step's forward query would read — the batching key {!take_batch}
+          groups on; [None] for every other kind *)
 }
 
 type source = {
@@ -116,6 +120,17 @@ val take : ?full:bool -> t -> source list -> scored option
     returned with a boosted score instead. [None] when nothing is
     runnable — every view is caught up (or paused) and capture has no
     lag. *)
+
+val take_batch : ?full:bool -> t -> source list -> scored list
+(** Like {!take}, but under {!Slack} when the best runnable item is a
+    propagate step, every other runnable propagate step whose forward
+    query reads the {e same} delta window (equal {!scored.window}) is
+    appended behind it, in score order — one batch of sibling steps that,
+    executed back to back, serve each other from the drain-scoped delta
+    memo and share hash builds. Followers count toward the propagate
+    kind's [batched] counter. Under {!Round_robin} (and for every
+    non-propagate head) the batch is the singleton {!take} would return;
+    [[]] when nothing is runnable. *)
 
 val note_ran : t -> item -> wall:float -> unit
 (** Record that a taken item was executed, folding [wall] seconds into its

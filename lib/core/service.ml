@@ -28,6 +28,9 @@ type status = {
   retries : int;
   aborts : int;
   recoveries : int;
+  memo_hits : int;
+  memo_misses : int;
+  shared_builds : int;
 }
 
 type step_error = { view : string; point : string; hit : int; attempts : int }
@@ -36,24 +39,43 @@ type t = {
   db : Database.t;
   capture : Capture.t;
   scheduler : Scheduler.t;
+  sharing : bool;
+  memo : Memo.t;  (** the shared drain-scoped delta memo (enabled iff sharing) *)
   default_sla : int;
   mutable gc_threshold : int;
   mutable entries : entry list;  (** registration order *)
 }
 
-let create ?policy ?cost_weight ?capture_batch ?(default_sla = 100)
-    ?(gc_threshold = max_int) db capture =
+let create ?policy ?cost_weight ?capture_batch ?(sharing = false)
+    ?(default_sla = 100) ?(gc_threshold = max_int) db capture =
   if default_sla <= 0 then invalid_arg "Service.create: default_sla";
   {
     db;
     capture;
     scheduler = Scheduler.create ?policy ?cost_weight ?capture_batch db capture;
+    sharing;
+    memo = Memo.create ~enabled:sharing ();
     default_sla;
     gc_threshold;
     entries = [];
   }
 
 let scheduler t = t.scheduler
+
+let sharing t = t.sharing
+
+let memo t = t.memo
+
+(* Plug the registered view's context into the service-wide memo and align
+   its step windows to the interval grid, so sibling views converge on
+   identical delta windows (the memo key). Alignment must only be switched
+   on after any recovery replay — replay targets recorded frontiers
+   exactly and must not snap. *)
+let enable_sharing t controller =
+  if t.sharing then begin
+    (Controller.ctx controller).Ctx.memo <- t.memo;
+    Controller.set_window_alignment controller true
+  end
 
 let add_entry t name controller =
   t.entries <-
@@ -74,6 +96,7 @@ let register ?(durable = false) t ~algorithm view =
   if List.exists (fun (e : entry) -> String.equal e.name name) t.entries then
     invalid_arg ("Service.register: view already registered: " ^ name);
   let controller = Controller.create ~durable t.db t.capture view ~algorithm in
+  enable_sharing t controller;
   add_entry t name controller;
   controller
 
@@ -84,6 +107,9 @@ let register_recovered ?checkpoint t ~algorithm view =
   let controller =
     Controller.recover ?checkpoint t.db t.capture view ~algorithm
   in
+  (* After recover: the trajectory replay inside [Controller.recover] must
+     land frontiers exactly where the markers recorded them, un-snapped. *)
+  enable_sharing t controller;
   add_entry t name controller;
   controller
 
@@ -131,6 +157,9 @@ let status t =
         retries = Stats.retries stats;
         aborts = Stats.aborts stats;
         recoveries = Stats.recoveries stats;
+        memo_hits = Stats.memo_hits stats;
+        memo_misses = Stats.memo_misses stats;
+        shared_builds = Stats.shared_builds stats;
       })
     t.entries
 
@@ -211,6 +240,10 @@ let exec_item t ~skipped ~bg_done ~step ~capture_run (scored : Scheduler.scored)
       | None -> Ok false)
   | Scheduler.Gc view ->
       mark_bg "gc" view;
+      (* Memoized deltas hold copies, not positions, so pruning cannot
+         corrupt them — but a replay could re-emit rows the prune just
+         reclaimed. Drop the memo rather than reason about overlap. *)
+      if t.sharing then Memo.clear t.memo;
       ignore (Controller.gc (find t view).controller);
       Ok true
 
@@ -244,22 +277,38 @@ let drain_items ?full t ~budget ~step ~capture_run =
   let bg_done = Hashtbl.create 4 in
   (* The tables are re-read through [sources] on every take. *)
   Scheduler.begin_drain t.scheduler;
+  (* The delta memo is drain-scoped: entries from a previous drain would
+     still be sound (their windows are immutable), clearing just bounds
+     memory to one drain's worth of shared work. *)
+  if t.sharing then Memo.clear t.memo;
   let skip name = Hashtbl.mem skipped name in
   let done_bg kind name = Hashtbl.mem bg_done (kind, name) in
   let executed = ref 0 in
   let failure = ref None in
   let continue = ref true in
   while !continue && !failure = None && !executed < budget do
-    match Scheduler.take ?full t.scheduler (sources ~skip ~bg_done:done_bg t) with
-    | None -> continue := false
-    | Some scored -> (
-        let t0 = Unix.gettimeofday () in
-        let result = exec_item t ~skipped ~bg_done ~step ~capture_run scored in
-        Scheduler.note_ran t.scheduler scored.Scheduler.item
-          ~wall:(Unix.gettimeofday () -. t0);
-        match result with
-        | Ok counts -> if counts then incr executed
-        | Error f -> failure := Some f)
+    match
+      Scheduler.take_batch ?full t.scheduler (sources ~skip ~bg_done:done_bg t)
+    with
+    | [] -> continue := false
+    | batch ->
+        (* Same-window sibling steps run back to back so the trailing ones
+           replay the head's memoized delta; budget and failure checks
+           still apply per item. *)
+        List.iter
+          (fun (scored : Scheduler.scored) ->
+            if !failure = None && !executed < budget then begin
+              let t0 = Unix.gettimeofday () in
+              let result =
+                exec_item t ~skipped ~bg_done ~step ~capture_run scored
+              in
+              Scheduler.note_ran t.scheduler scored.Scheduler.item
+                ~wall:(Unix.gettimeofday () -. t0);
+              match result with
+              | Ok counts -> if counts then incr executed
+              | Error f -> failure := Some f
+            end)
+          batch
   done;
   match !failure with Some f -> Error f | None -> Ok !executed
 

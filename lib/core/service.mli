@@ -32,6 +32,13 @@ type status = {
   recoveries : int;
       (** transient-failed steps that eventually succeeded, plus controller
           restarts recovered from durable state *)
+  memo_hits : int;
+      (** propagation deltas this view served from the shared memo instead
+          of executing (always 0 without sharing) *)
+  memo_misses : int;  (** deltas this view computed and memoized *)
+  shared_builds : int;
+      (** hash builds and window materializations this view reused from the
+          shared build cache *)
 }
 
 type step_error = {
@@ -47,6 +54,7 @@ val create :
   ?policy:Scheduler.policy ->
   ?cost_weight:float ->
   ?capture_batch:int ->
+  ?sharing:bool ->
   ?default_sla:int ->
   ?gc_threshold:int ->
   Roll_storage.Database.t ->
@@ -58,6 +66,16 @@ val create :
     start with; override per view with {!set_sla}. [gc_threshold]
     (default: disabled) makes {!maintain} offer a gc item once a view
     holds at least that many applied delta rows.
+
+    [sharing] (default false) turns on cross-view shared maintenance:
+    every registered view's context is plugged into one drain-scoped
+    {!Memo} (identical propagation deltas computed once, replayed for
+    siblings; hash builds and delta-window materializations shared through
+    the build cache), step windows snap to the propagation-interval grid
+    (see {!Controller.set_window_alignment}) so sibling windows coincide,
+    and {!Scheduler.Slack} drains batch same-window sibling steps back to
+    back ({!Scheduler.take_batch}). Sharing changes which physical queries
+    run — never the maintained contents.
     @raise Invalid_argument on non-positive [default_sla], [gc_threshold]
     or [capture_batch]. *)
 
@@ -83,6 +101,12 @@ val names : t -> string list
 val scheduler : t -> Scheduler.t
 (** The service's work queue — inspect its policy and {!Scheduler.stats}
     counters. *)
+
+val sharing : t -> bool
+
+val memo : t -> Memo.t
+(** The service-wide delta memo (disabled, empty and never consulted
+    unless the service was created with [~sharing:true]). *)
 
 val set_sla : t -> string -> int -> unit
 (** Set one view's staleness target, in commits.

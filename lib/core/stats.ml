@@ -18,6 +18,7 @@ type sched_counters = {
   mutable ran : int;
   mutable deferred : int;
   mutable backpressured : int;
+  mutable batched : int;
   mutable wall : float;
 }
 
@@ -33,6 +34,9 @@ type t = {
   mutable retries : int;
   mutable aborts : int;
   mutable recoveries : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable shared_builds : int;
   resources : (string, resource_counters) Hashtbl.t;
   sched : (string, sched_counters) Hashtbl.t;
   mutable keep_footprints : bool;
@@ -52,6 +56,9 @@ let create () =
     retries = 0;
     aborts = 0;
     recoveries = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    shared_builds = 0;
     resources = Hashtbl.create 8;
     sched = Hashtbl.create 8;
     keep_footprints = true;
@@ -79,6 +86,18 @@ let retries t = t.retries
 let aborts t = t.aborts
 
 let recoveries t = t.recoveries
+
+let memo_hits t = t.memo_hits
+
+let memo_misses t = t.memo_misses
+
+let shared_builds t = t.shared_builds
+
+let incr_memo_hits t = t.memo_hits <- t.memo_hits + 1
+
+let incr_memo_misses t = t.memo_misses <- t.memo_misses + 1
+
+let add_shared_builds t n = t.shared_builds <- t.shared_builds + n
 
 let incr_retries t = t.retries <- t.retries + 1
 
@@ -117,7 +136,9 @@ let sched_kind t kind =
   match Hashtbl.find_opt t.sched kind with
   | Some c -> c
   | None ->
-      let c = { scheduled = 0; ran = 0; deferred = 0; backpressured = 0; wall = 0. } in
+      let c =
+        { scheduled = 0; ran = 0; deferred = 0; backpressured = 0; batched = 0; wall = 0. }
+      in
       Hashtbl.add t.sched kind c;
       c
 
@@ -147,6 +168,9 @@ let reset t =
   t.retries <- 0;
   t.aborts <- 0;
   t.recoveries <- 0;
+  t.memo_hits <- 0;
+  t.memo_misses <- 0;
+  t.shared_builds <- 0;
   Hashtbl.reset t.resources;
   Hashtbl.reset t.sched;
   Vec.clear t.footprints
@@ -159,4 +183,7 @@ let pp ppf t =
     t.hash_builds t.compute_delta_calls;
   if t.retries > 0 || t.aborts > 0 || t.recoveries > 0 then
     Format.fprintf ppf " retries=%d aborts=%d recoveries=%d" t.retries
-      t.aborts t.recoveries
+      t.aborts t.recoveries;
+  if t.memo_hits > 0 || t.memo_misses > 0 || t.shared_builds > 0 then
+    Format.fprintf ppf " memo=%d/%d shared_builds=%d" t.memo_hits
+      (t.memo_hits + t.memo_misses) t.shared_builds

@@ -29,6 +29,9 @@ type sched_counters = {
   mutable backpressured : int;
       (** capture items boosted to the front of the queue by a deferred
           propagate step *)
+  mutable batched : int;
+      (** propagate items executed as followers of a same-window batch
+          (the head item of each batch counts under [ran] only) *)
   mutable wall : float;  (** total wall-clock seconds executing this kind *)
 }
 
@@ -66,6 +69,24 @@ val aborts : t -> int
 val recoveries : t -> int
 (** Successful recoveries: transient-failed steps that eventually
     succeeded, plus controller restarts recovered from durable state. *)
+
+val memo_hits : t -> int
+(** [ComputeDelta] invocations answered by replaying memoized delta rows
+    instead of executing queries. *)
+
+val memo_misses : t -> int
+(** Memo consultations that fell through to real execution (only counted
+    while an enabled memo is installed). *)
+
+val shared_builds : t -> int
+(** Physical artifacts (hash builds, window materializations) this view
+    reused from the per-drain build cache instead of rebuilding. *)
+
+val incr_memo_hits : t -> unit
+
+val incr_memo_misses : t -> unit
+
+val add_shared_builds : t -> int -> unit
 
 val incr_retries : t -> unit
 

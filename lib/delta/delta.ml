@@ -45,6 +45,11 @@ let iter f t = Vec.iter f t.rows
 
 let to_list t = Vec.to_list t.rows
 
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Vec.length t.rows then
+    invalid_arg "Delta.sub: slice out of range";
+  Array.init len (fun i -> Vec.get t.rows (pos + i))
+
 let rebuild_index t =
   let n = Vec.length t.rows in
   let idx = Array.init n (fun i -> i) in

@@ -40,6 +40,11 @@ val iter : (row -> unit) -> t -> unit
 
 val to_list : t -> row list
 
+val sub : t -> pos:int -> len:int -> row array
+(** [sub d ~pos ~len] is rows [pos .. pos+len-1] in arrival order — the
+    slice a memo captures after filling the tail of a delta.
+    @raise Invalid_argument if the slice exceeds the current length. *)
+
 val min_ts : t -> Time.t option
 
 val max_ts : t -> Time.t option

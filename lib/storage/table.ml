@@ -13,12 +13,18 @@ type t = {
   schema : Schema.t;
   data : Relation.t;
   mutable indexes : index list;
+  (* Bumped on every committed change; cheap content-version for caches
+     built over the table's state (the global clock advances on marker
+     commits too, so it cannot version table contents). *)
+  mutable version : int;
 }
 
 let create ~name schema =
-  { name; schema; data = Relation.create schema; indexes = [] }
+  { name; schema; data = Relation.create schema; indexes = []; version = 0 }
 
 let name t = t.name
+
+let version t = t.version
 
 let schema t = t.schema
 
@@ -48,6 +54,7 @@ let apply_change t tuple count =
       (Format.asprintf "Table %s: change %+d would make %a negative" t.name
          count Tuple.pp tuple);
   Relation.add t.data tuple count;
+  t.version <- t.version + 1;
   List.iter (fun index -> index_add index tuple count) t.indexes
 
 let create_index t ~columns =

@@ -15,6 +15,12 @@ val contents : t -> Roll_relation.Relation.t
 val cardinality : t -> int
 (** Total tuple count (multiset size). *)
 
+val version : t -> int
+(** Monotone content version: bumped on every committed change to this
+    table. Two reads at the same version saw identical contents, which is
+    what per-drain build caches key on (the database's global clock also
+    advances on marker commits and so over-invalidates). *)
+
 val mem : t -> Roll_relation.Tuple.t -> bool
 
 val count : t -> Roll_relation.Tuple.t -> int

@@ -145,3 +145,49 @@ let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
   let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
   loop 0
+
+(* An alias-renamed twin of [view]: same tables, predicate and projection
+   under fresh aliases — a distinct view object the canonical signature
+   (Pquery.signature) must identify with the original. Column references
+   are source/column indexes, so no remapping is needed. *)
+let clone_view db view ~name =
+  let sources =
+    List.init (C.View.n_sources view) (fun i ->
+        (C.View.source_table view i, Printf.sprintf "%s_s%d" name i))
+  in
+  C.View.create_select db ~name ~sources ~predicate:(C.View.predicate view)
+    ~select:(C.View.projection view)
+
+(* A source-order-permuted twin of a two-source view: sources swapped and
+   every column reference remapped, so canonicalization has real work to
+   do (the identity permutation does not line the twins up). *)
+let swapped_clone db view ~name =
+  if C.View.n_sources view <> 2 then
+    invalid_arg "Helpers.swapped_clone: two-source views only";
+  let swap (c : Predicate.col) =
+    { c with Predicate.source = 1 - c.Predicate.source }
+  in
+  let rec swap_operand = function
+    | Predicate.Col c -> Predicate.Col (swap c)
+    | Predicate.Const v -> Predicate.Const v
+    | Predicate.Neg a -> Predicate.Neg (swap_operand a)
+    | Predicate.Add (a, b) -> Predicate.Add (swap_operand a, swap_operand b)
+    | Predicate.Sub (a, b) -> Predicate.Sub (swap_operand a, swap_operand b)
+    | Predicate.Mul (a, b) -> Predicate.Mul (swap_operand a, swap_operand b)
+    | Predicate.Div (a, b) -> Predicate.Div (swap_operand a, swap_operand b)
+  in
+  let swap_atom = function
+    | Predicate.Join (a, b) -> Predicate.Join (swap a, swap b)
+    | Predicate.Cmp (op, a, b) ->
+        Predicate.Cmp (op, swap_operand a, swap_operand b)
+  in
+  let sources =
+    [
+      (C.View.source_table view 1, name ^ "_s1");
+      (C.View.source_table view 0, name ^ "_s0");
+    ]
+  in
+  C.View.create_select db ~name ~sources
+    ~predicate:(List.map swap_atom (C.View.predicate view))
+    ~select:
+      (List.map (fun (n, op) -> (n, swap_operand op)) (C.View.projection view))

@@ -201,9 +201,29 @@ let prop_compact_preserves_windows =
       done;
       !ok)
 
+(* A shared window cursor outlives the drain that built it: rewinding after
+   concurrent appends must restart over the delta's rebuilt index, seeing
+   rows that landed (inside the window, out of timestamp order) after the
+   first drain. *)
+let test_window_cursor_rewind_after_append () =
+  let d = delta_of [ (1, 1, 5); (2, 1, 2) ] in
+  let c = Delta.window_cursor d ~lo:0 ~hi:10 in
+  let ts_seen () = List.map (fun (r : Cursor.row) -> r.ts) (Cursor.to_list c) in
+  Alcotest.(check (list int)) "first drain, timestamp order" [ 2; 5 ] (ts_seen ());
+  Delta.append d (Tuple.ints [ 3 ]) ~count:1 ~ts:3;
+  Delta.append d (Tuple.ints [ 4 ]) ~count:1 ~ts:12;
+  Cursor.rewind c;
+  Alcotest.(check (list int))
+    "rewind picks up the in-window append, still excludes ts>hi" [ 2; 3; 5 ]
+    (ts_seen ());
+  Cursor.rewind c;
+  Alcotest.(check (list int)) "rewind is repeatable" [ 2; 3; 5 ] (ts_seen ())
+
 let suite =
   suite
   @ [
       Alcotest.test_case "compact" `Quick test_compact;
       qtest prop_compact_preserves_windows;
+      Alcotest.test_case "window cursor rewind after appends" `Quick
+        test_window_cursor_rewind_after_append;
     ]

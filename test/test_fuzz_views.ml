@@ -89,9 +89,110 @@ let prop_deferred_fuzzed_two_way =
       | Ok () -> true
       | Error msg -> QCheck.Test.fail_report msg)
 
+(* Multi-view sharing over random shapes: three alias-renamed siblings of a
+   fuzzed view maintained by one sharing service must end bit-identical to
+   an independently-maintained run over an identically-seeded scenario, and
+   to the oracle. Every third seed additionally discards the process after
+   the shared run, restarts from the WAL alone ([register_recovered] under a
+   fresh sharing service) and re-checks. *)
+let prop_multi_view_sharing =
+  QCheck.Test.make ~name:"multi-view sharing matches independent and oracle"
+    ~count:20 QCheck.small_int
+    (fun seed ->
+      let make () = Fuzz.random_scenario (Prng.create ~seed) in
+      let siblings_of s =
+        [
+          s.view;
+          clone_view s.db s.view ~name:"fuzzed_b";
+          clone_view s.db s.view ~name:"fuzzed_c";
+        ]
+      in
+      let algorithm () =
+        C.Controller.Rolling (C.Rolling.uniform (2 + (seed mod 5)))
+      in
+      let run ~sharing =
+        let s = make () in
+        let siblings = siblings_of s in
+        let service = C.Service.create ~sharing s.db s.capture in
+        let ctls =
+          List.map
+            (fun v ->
+              C.Service.register service ~durable:true ~algorithm:(algorithm ())
+                v)
+            siblings
+        in
+        let drive = Prng.create ~seed:(seed + 101) in
+        for _ = 1 to 4 do
+          random_txns drive s (2 + Prng.int drive 6);
+          ignore (C.Service.step_all service ~budget:25)
+        done;
+        C.Service.refresh_all service;
+        (s, siblings, ctls)
+      in
+      let s_sh, siblings_sh, ctls_sh = run ~sharing:true in
+      let _, _, ctls_ind = run ~sharing:false in
+      List.iter2
+        (fun ctl_s ctl_i ->
+          if
+            not
+              (Roll_relation.Relation.equal
+                 (C.Controller.contents ctl_s)
+                 (C.Controller.contents ctl_i))
+          then
+            QCheck.Test.fail_report
+              "shared and independent contents differ")
+        ctls_sh ctls_ind;
+      List.iter2
+        (fun v ctl ->
+          if
+            not
+              (Roll_relation.Relation.equal
+                 (C.Oracle.view_at s_sh.history v (C.Controller.as_of ctl))
+                 (C.Controller.contents ctl))
+          then QCheck.Test.fail_report (C.View.name v ^ " diverged from oracle"))
+        siblings_sh ctls_sh;
+      if seed mod 3 = 0 then begin
+        (* Process loss: only the WAL survives. Recover all three siblings
+           under a fresh sharing service and check them again. *)
+        let s2 = Test_support.Fault_harness.restart make s_sh.db in
+        let siblings2 = siblings_of s2 in
+        let service2 = C.Service.create ~sharing:true s2.db s2.capture in
+        let ctls2 =
+          List.map
+            (fun v ->
+              C.Service.register_recovered service2 ~algorithm:(algorithm ()) v)
+            siblings2
+        in
+        C.Service.refresh_all service2;
+        List.iter2
+          (fun v ctl ->
+            if
+              not
+                (Roll_relation.Relation.equal
+                   (C.Oracle.view_at s2.history v (C.Controller.as_of ctl))
+                   (C.Controller.contents ctl))
+            then
+              QCheck.Test.fail_report
+                (C.View.name v ^ " diverged from oracle after recovery"))
+          siblings2 ctls2;
+        List.iter2
+          (fun ctl_s ctl2 ->
+            if
+              not
+                (Roll_relation.Relation.equal
+                   (C.Controller.contents ctl_s)
+                   (C.Controller.contents ctl2))
+            then
+              QCheck.Test.fail_report
+                "recovered contents differ from pre-restart contents")
+          ctls_sh ctls2
+      end;
+      true)
+
 let suite =
   [
     qtest prop_compute_delta_fuzzed;
     qtest prop_rolling_fuzzed;
     qtest prop_deferred_fuzzed_two_way;
+    qtest prop_multi_view_sharing;
   ]
