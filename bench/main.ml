@@ -7,6 +7,12 @@
      dune exec bench/main.exe -- --list
 *)
 
+(* Harness timing goes through the injectable Rollscope clock — the same
+   source the instrumented maintenance path reads (DESIGN.md section 14). *)
+let clock = Roll_obs.Clock.real ()
+
+let now () = Roll_obs.Clock.now clock
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   if List.mem "--list" args then begin
@@ -14,7 +20,8 @@ let () =
     print_endline "micro";
     print_endline "json";
     print_endline "sched";
-    print_endline "share"
+    print_endline "share";
+    print_endline "obs"
   end
   else begin
     let wanted name =
@@ -25,30 +32,19 @@ let () =
              && String.sub name 0 (String.length pat) = pat)
            args
     in
-    let t0 = Unix.gettimeofday () in
+    let timed name f =
+      let t = now () in
+      f ();
+      Printf.printf "[%s: %.1fs]\n%!" name (now () -. t)
+    in
+    let t0 = now () in
     List.iter
-      (fun (name, f) ->
-        if wanted name then begin
-          let t = Unix.gettimeofday () in
-          f ();
-          Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t)
-        end)
+      (fun (name, f) -> if wanted name then timed name f)
       Experiments.all;
     if wanted "micro" then Micro.run ();
-    if wanted "json" then begin
-      let t = Unix.gettimeofday () in
-      Bench_json.run ();
-      Printf.printf "[json: %.1fs]\n%!" (Unix.gettimeofday () -. t)
-    end;
-    if wanted "sched" then begin
-      let t = Unix.gettimeofday () in
-      Bench_sched.run ();
-      Printf.printf "[sched: %.1fs]\n%!" (Unix.gettimeofday () -. t)
-    end;
-    if wanted "share" then begin
-      let t = Unix.gettimeofday () in
-      Bench_share.run ();
-      Printf.printf "[share: %.1fs]\n%!" (Unix.gettimeofday () -. t)
-    end;
-    Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)
+    if wanted "json" then timed "json" Bench_json.run;
+    if wanted "sched" then timed "sched" Bench_sched.run;
+    if wanted "share" then timed "share" Bench_share.run;
+    if wanted "obs" then timed "obs" Bench_obs.run;
+    Printf.printf "\ntotal: %.1fs\n" (now () -. t0)
   end

@@ -138,7 +138,7 @@ let coverage_term =
 
 (* --- status (multi-view service demo) --- *)
 
-let status_cmd txns =
+let status_cmd txns json =
   let star = W.Star.create W.Star.default_config in
   W.Star.load_initial star;
   let db = W.Star.db star in
@@ -171,7 +171,9 @@ let status_cmd txns =
       Printf.printf "permanent failure: view %s at %s after %d attempts\n"
         e.view e.point e.attempts);
   let print_status header =
-    Tablefmt.print ~title:header
+    if json then ()
+    else
+      Tablefmt.print ~title:header
       ~header:
         [
           "view"; "as of"; "hwm"; "staleness"; "sla"; "slack"; "delta rows";
@@ -198,15 +200,19 @@ let status_cmd txns =
   C.Service.resume service "fact_copy";
   C.Service.refresh_all service;
   ignore (C.Service.gc_all service);
-  print_status "after resume + refresh_all + gc"
+  print_status "after resume + refresh_all + gc";
+  if json then print_endline (C.Service.status_json service)
 
 let status_term =
   let txns = Arg.(value & opt int 200 & info [ "txns"; "n" ] ~doc:"update transactions") in
-  Term.(const (fun () n -> status_cmd n) $ verbose_term $ txns)
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"print the final control-table status as JSON")
+  in
+  Term.(const (fun () n j -> status_cmd n j) $ verbose_term $ txns $ json)
 
 (* --- schedule (work-queue inspection) --- *)
 
-let schedule_cmd txns policy budget =
+let schedule_cmd txns policy budget json =
   let star = W.Star.create W.Star.default_config in
   W.Star.load_initial star;
   let db = W.Star.db star in
@@ -232,6 +238,12 @@ let schedule_cmd txns policy budget =
   in
   C.Service.set_sla service "fact_copy" 120;
   W.Star.mixed_txns star ~n:txns ~dim_fraction:0.05;
+  if json then begin
+    (* Pure queue inspection: print the work queue a full drain would
+       consume, best item first, and leave the service untouched. *)
+    print_endline (C.Service.schedule_json ~full:true service);
+    exit 0
+  end;
   let print_queue header =
     Tablefmt.print ~title:header
       ~header:[ "item"; "score"; "staleness"; "slack"; "est rows"; "est cost"; "state" ]
@@ -282,7 +294,91 @@ let schedule_term =
     Arg.(value & opt string "slack" & info [ "policy"; "p" ] ~doc:"slack or round-robin")
   in
   let budget = Arg.(value & opt int 30 & info [ "budget"; "b" ] ~doc:"work items per drain") in
-  Term.(const (fun () n p b -> schedule_cmd n p b) $ verbose_term $ txns $ policy $ budget)
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"print the work queue as JSON and exit (no drain)")
+  in
+  Term.(const (fun () n p b j -> schedule_cmd n p b j) $ verbose_term $ txns $ policy $ budget $ json)
+
+(* --- trace / metrics (Rollscope observability) --- *)
+
+module Obs = Roll_obs.Obs
+
+(* One fully observed star maintenance run: a durable star view plus a
+   checkpoint schedule, churned and drained under an enabled Rollscope
+   handle, so the trace covers capture → propagate (with per-node
+   children) → apply → checkpoint end to end. *)
+let observed_star_run ~txns ~budget ~deterministic ~checkpoint =
+  let clock =
+    if deterministic then Roll_obs.Clock.manual () else Roll_obs.Clock.real ()
+  in
+  let obs = Obs.create ~clock () in
+  let star = W.Star.create W.Star.default_config in
+  W.Star.load_initial star;
+  let db = W.Star.db star in
+  let service = C.Service.create ~obs db (W.Star.capture star) in
+  let view = W.Star.view star in
+  let _ =
+    C.Service.register ~durable:true service
+      ~algorithm:(C.Controller.Rolling (C.Rolling.per_relation [| 10; 80; 80 |]))
+      view
+  in
+  if checkpoint then begin
+    let path = Filename.temp_file "rollscope" ".ckpt" in
+    at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+    C.Service.set_checkpoint service (C.View.name view) ~path ~every:1
+  end;
+  W.Star.mixed_txns star ~n:txns ~dim_fraction:0.05;
+  let executed =
+    match C.Service.maintain service ~budget with
+    | Ok items -> items
+    | Error (e : C.Service.step_error) ->
+        Printf.eprintf "permanent failure: view %s at %s after %d attempts\n"
+          e.view e.point e.attempts;
+        exit 1
+  in
+  (obs, executed)
+
+let trace_cmd txns budget out deterministic =
+  let obs, executed =
+    observed_star_run ~txns ~budget ~deterministic ~checkpoint:true
+  in
+  let trace = Obs.trace obs in
+  let doc = Roll_obs.Export.chrome_trace ~process:"rollctl" trace in
+  let oc = open_out out in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf
+    "executed %d work items; wrote %d spans (%d dropped) to %s\n\
+     load it in chrome://tracing or https://ui.perfetto.dev\n"
+    executed
+    (Roll_obs.Trace.recorded trace)
+    (Roll_obs.Trace.dropped trace)
+    out
+
+let trace_term =
+  let txns = Arg.(value & opt int 200 & info [ "txns"; "n" ] ~doc:"update transactions") in
+  let budget = Arg.(value & opt int 200 & info [ "budget"; "b" ] ~doc:"work items for the drain") in
+  let out =
+    Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"FILE" ~doc:"output file")
+  in
+  let deterministic =
+    Arg.(value & flag & info [ "deterministic" ] ~doc:"use a manual clock (reproducible timestamps)")
+  in
+  Term.(const (fun () n b o d -> trace_cmd n b o d) $ verbose_term $ txns $ budget $ out $ deterministic)
+
+let metrics_cmd txns budget deterministic =
+  let obs, _executed =
+    observed_star_run ~txns ~budget ~deterministic ~checkpoint:true
+  in
+  print_string (Roll_obs.Export.prometheus (Obs.metrics obs))
+
+let metrics_term =
+  let txns = Arg.(value & opt int 200 & info [ "txns"; "n" ] ~doc:"update transactions") in
+  let budget = Arg.(value & opt int 200 & info [ "budget"; "b" ] ~doc:"work items for the drain") in
+  let deterministic =
+    Arg.(value & flag & info [ "deterministic" ] ~doc:"use a manual clock (reproducible values)")
+  in
+  Term.(const (fun () n b d -> metrics_cmd n b d) $ verbose_term $ txns $ budget $ deterministic)
 
 (* --- explain --- *)
 
@@ -360,6 +456,14 @@ let () =
            "show the maintenance scheduler's work queue, scores and counters")
         schedule_term;
       Cmd.v (info "explain" "show executor plans for base and propagation queries") explain_term;
+      Cmd.v
+        (info "trace"
+           "run an observed star maintenance drain and write a Chrome trace-event JSON file")
+        trace_term;
+      Cmd.v
+        (info "metrics"
+           "run an observed star maintenance drain and print Prometheus text metrics")
+        metrics_term;
     ]
   in
   let group =

@@ -13,6 +13,7 @@ type t = {
   mutable cursor : int;  (** next WAL position to read *)
   mutable hwm : Time.t;
   mutable fault : Roll_util.Fault.t;
+  mutable obs : Roll_obs.Obs.t;
 }
 
 let create db =
@@ -23,9 +24,12 @@ let create db =
     cursor = 0;
     hwm = Time.origin;
     fault = Roll_util.Fault.none;
+    obs = Roll_obs.Obs.disabled ();
   }
 
 let set_fault t fault = t.fault <- fault
+
+let set_obs t obs = t.obs <- obs
 
 let attach t ~table =
   if Hashtbl.mem t.deltas table then
@@ -93,14 +97,36 @@ let advance ?max_records t =
     | Some n -> min (Wal.length wal) (t.cursor + n)
   in
   let from = t.cursor in
-  while t.cursor < stop do
-    capture_record t (Wal.get wal t.cursor);
-    t.cursor <- t.cursor + 1
-  done;
-  if t.cursor > from then
-    Log.debug (fun m ->
-        m "captured %d records, hwm=%d lag=%d" (t.cursor - from) t.hwm
-          (Wal.length wal - t.cursor))
+  let loop () =
+    while t.cursor < stop do
+      capture_record t (Wal.get wal t.cursor);
+      t.cursor <- t.cursor + 1
+    done
+  in
+  (* Count whatever was captured even if a fault crashed the loop midway. *)
+  let note () =
+    if t.cursor > from then begin
+      if Roll_obs.Obs.enabled t.obs then
+        Roll_obs.Metrics.add
+          (Roll_obs.Metrics.counter
+             (Roll_obs.Obs.metrics t.obs)
+             ~help:"Log records captured into delta tables"
+             "roll_capture_records_total")
+          (float_of_int (t.cursor - from));
+      Log.debug (fun m ->
+          m "captured %d records, hwm=%d lag=%d" (t.cursor - from) t.hwm
+            (Wal.length wal - t.cursor))
+    end
+  in
+  Fun.protect ~finally:note (fun () ->
+      (* Idle polls (nothing past the cursor) stay span-free so traces of
+         long drains are not drowned in empty capture steps. *)
+      if stop > from && Roll_obs.Obs.tracing t.obs then
+        Roll_obs.Trace.with_span
+          (Roll_obs.Obs.trace t.obs)
+          ~attrs:[ ("records", Roll_obs.Trace.Int (stop - from)) ]
+          "capture.advance" loop
+      else loop ())
 
 let hwm t = t.hwm
 

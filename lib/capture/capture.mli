@@ -25,6 +25,10 @@ val set_fault : t -> Roll_util.Fault.t -> unit
 (** Install a fault-injection handle; the capture loop visits
     ["capture.record"] once per log record it captures. *)
 
+val set_obs : t -> Roll_obs.Obs.t -> unit
+(** Attach an observability handle. Non-empty {!advance} calls record a
+    ["capture.advance"] span and bump [roll_capture_records_total]. *)
+
 val attached : t -> string list
 
 val delta : t -> table:string -> Roll_delta.Delta.t

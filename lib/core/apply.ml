@@ -37,9 +37,24 @@ let roll_to t ~hwm target =
     invalid_arg
       (Printf.sprintf "Apply.roll_to: target %d beyond high-water mark %d"
          target hwm);
-  Roll_util.Fault.hit t.ctx.Ctx.fault "apply.roll";
-  Delta.apply_window t.delta ~lo:t.as_of ~hi:target t.store;
-  t.as_of <- target
+  let roll () =
+    Roll_util.Fault.hit t.ctx.Ctx.fault "apply.roll";
+    Delta.apply_window t.delta ~lo:t.as_of ~hi:target t.store;
+    t.as_of <- target
+  in
+  if Roll_obs.Obs.tracing t.ctx.Ctx.obs then
+    Roll_obs.Trace.with_span
+      (Roll_obs.Obs.trace t.ctx.Ctx.obs)
+      ~attrs:
+        [
+          ("lo", Roll_obs.Trace.Int t.as_of);
+          ("hi", Roll_obs.Trace.Int target);
+          ( "rows",
+            Roll_obs.Trace.Int
+              (Delta.window_count t.delta ~lo:t.as_of ~hi:target) );
+        ]
+      "apply.roll" roll
+  else roll ()
 
 let roll_back_to t target =
   if target > t.as_of then invalid_arg "Apply.roll_back_to: target is ahead";

@@ -26,9 +26,7 @@ let write_tuple out tuple =
       output_string out (Buffer.contents buf))
     tuple
 
-let save (ctx : Ctx.t) ~hwm ~apply path =
-  if Apply.as_of apply > hwm then
-    invalid_arg "Checkpoint.save: apply is ahead of the high-water mark";
+let save_body (ctx : Ctx.t) ~hwm ~apply path =
   let out = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out out)
@@ -59,7 +57,27 @@ let save (ctx : Ctx.t) ~hwm ~apply path =
       (* Trailer with the row count: a checkpoint truncated at a row
          boundary would otherwise parse as a complete, silently smaller
          snapshot. *)
-      Printf.fprintf out "E %d\n" !rows)
+      Printf.fprintf out "E %d\n" !rows;
+      !rows)
+
+let save (ctx : Ctx.t) ~hwm ~apply path =
+  if Apply.as_of apply > hwm then
+    invalid_arg "Checkpoint.save: apply is ahead of the high-water mark";
+  if Roll_obs.Obs.tracing ctx.Ctx.obs then
+    Roll_obs.Trace.with_span
+      (Roll_obs.Obs.trace ctx.Ctx.obs)
+      ~attrs:
+        [
+          ("hwm", Roll_obs.Trace.Int hwm);
+          ("as_of", Roll_obs.Trace.Int (Apply.as_of apply));
+        ]
+      "checkpoint.write"
+      (fun () ->
+        let rows = save_body ctx ~hwm ~apply path in
+        Roll_obs.Trace.add_attr
+          (Roll_obs.Obs.trace ctx.Ctx.obs)
+          "rows" (Roll_obs.Trace.Int rows))
+  else ignore (save_body ctx ~hwm ~apply path)
 
 type reader = { input : in_channel; mutable line_no : int }
 

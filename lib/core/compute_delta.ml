@@ -74,15 +74,42 @@ let replay (ctx : Ctx.t) rows =
       Delta.append_row ctx.out r)
     rows
 
+(* Attribute on the enclosing "compute_delta.node" span, so memoized
+   replays are distinguishable in a trace. *)
+let note_memo (ctx : Ctx.t) outcome =
+  if Roll_obs.Obs.tracing ctx.obs then
+    Roll_obs.Trace.add_attr
+      (Roll_obs.Obs.trace ctx.obs)
+      "memo"
+      (Roll_obs.Trace.Str outcome)
+
 let with_memo (ctx : Ctx.t) key f =
   match Memo.find ctx.memo key with
-  | Some rows -> replay ctx rows
+  | Some rows ->
+      note_memo ctx "hit";
+      replay ctx rows
   | None ->
+      note_memo ctx "miss";
       Stats.incr_memo_misses ctx.stats;
       let from = Delta.length ctx.out in
       f ();
       Memo.add ctx.memo key
         (Delta.sub ctx.out ~pos:from ~len:(Delta.length ctx.out - from))
+
+(* One span per ComputeDelta node — the memo consult/fill unit. The span's
+   depth is the compensation recursion depth; sign distinguishes forward
+   work from compensation. *)
+let node_span (ctx : Ctx.t) ~sign (q : Pquery.t) f =
+  if Roll_obs.Obs.tracing ctx.obs then
+    Roll_obs.Trace.with_span
+      (Roll_obs.Obs.trace ctx.obs)
+      ~attrs:
+        [
+          ("query", Roll_obs.Trace.Str (Pquery.describe ctx.view q));
+          ("sign", Roll_obs.Trace.Int sign);
+        ]
+      "compute_delta.node" f
+  else f ()
 
 (* ------------------------------------------------------------------ *)
 (* The recursion                                                       *)
@@ -129,11 +156,12 @@ and eval_at ?(sign = 1) ?on_executed (ctx : Ctx.t) (q : Pquery.t) v =
     (match on_executed with Some f -> f () | None -> ());
     if Pquery.has_base q then run_body ~sign:(-sign) ctx q v t_exec
   in
-  if memo_active ctx then
-    (* t_new = -1 marks eval-at entries; [run] keys use t_new >= 0, so the
-       two families can never collide. *)
-    with_memo ctx (memo_key ctx q v (-1) sign) go
-  else go ()
+  node_span ctx ~sign q (fun () ->
+      if memo_active ctx then
+        (* t_new = -1 marks eval-at entries; [run] keys use t_new >= 0, so
+           the two families can never collide. *)
+        with_memo ctx (memo_key ctx q v (-1) sign) go
+      else go ())
 
 let run ?(sign = 1) (ctx : Ctx.t) (q : Pquery.t) tau_old t_new =
   if Array.length tau_old <> Array.length q then
@@ -141,9 +169,10 @@ let run ?(sign = 1) (ctx : Ctx.t) (q : Pquery.t) tau_old t_new =
   if t_new > Database.now ctx.db then
     invalid_arg "ComputeDelta: target time has not elapsed yet";
   let go () = run_body ~sign ctx q tau_old t_new in
-  if memo_active ctx then
-    with_memo ctx (memo_key ctx q tau_old t_new sign) go
-  else go ()
+  node_span ctx ~sign q (fun () ->
+      if memo_active ctx then
+        with_memo ctx (memo_key ctx q tau_old t_new sign) go
+      else go ())
 
 let view_delta (ctx : Ctx.t) ~lo ~hi =
   let n = View.n_sources ctx.view in

@@ -101,10 +101,21 @@ let build_join_indexes db view =
       | Roll_relation.Predicate.Cmp _ -> ())
     (View.predicate view)
 
-let create ?(geometry = false) ?(auto_index = false) ?(durable = false) db
+(* Wiring one observability handle across the whole maintenance stack:
+   the context carries it, and the database / capture process report into
+   the same registry. *)
+let install_obs db capture (ctx : Ctx.t) = function
+  | None -> ()
+  | Some obs ->
+      ctx.Ctx.obs <- obs;
+      Database.set_obs db obs;
+      Capture.set_obs capture obs
+
+let create ?(geometry = false) ?(auto_index = false) ?(durable = false) ?obs db
     capture view ~algorithm =
   if auto_index then build_join_indexes db view;
   let ctx = Ctx.create db capture view in
+  install_obs db capture ctx obs;
   let apply = Apply.create_materialized ctx in
   let t_initial = Apply.as_of apply in
   (* The geometry trace's origin must match the maintenance start time,
@@ -126,7 +137,7 @@ let create ?(geometry = false) ?(auto_index = false) ?(durable = false) db
   if durable then set_durable t true;
   t
 
-let propagate_step t =
+let propagate_step_body t =
   let db = t.ctx.Ctx.db in
   let before = Database.now db in
   let advanced =
@@ -149,6 +160,19 @@ let propagate_step t =
      only steps that committed work need to be made durable. *)
   if advanced && t.durable && Database.now db > before then record_frontier t;
   advanced
+
+let propagate_step t =
+  if Roll_obs.Obs.tracing t.ctx.Ctx.obs then begin
+    let trace = Roll_obs.Obs.trace t.ctx.Ctx.obs in
+    Roll_obs.Trace.with_span trace
+      ~attrs:[ ("view", Roll_obs.Trace.Str (View.name t.ctx.Ctx.view)) ]
+      "propagate.step"
+      (fun () ->
+        let advanced = propagate_step_body t in
+        Roll_obs.Trace.add_attr trace "advanced" (Roll_obs.Trace.Bool advanced);
+        advanced)
+  end
+  else propagate_step_body t
 
 let propagate_until t target =
   if t.durable then begin
@@ -403,8 +427,8 @@ let regenerate rolling ~(trajectory : Frontier.t list) ~(last : Frontier.t)
     replay_rolling rolling last.Frontier.tfwd
   end
 
-let recover ?(geometry = false) ?(auto_index = false) ?checkpoint db capture
-    view ~algorithm =
+let recover_body ~geometry ~auto_index ?checkpoint ~obs db capture view
+    ~algorithm =
   (* Secondary indexes are in-memory state and die with the process. *)
   if auto_index then build_join_indexes db view;
   let name = View.name view in
@@ -453,6 +477,7 @@ let recover ?(geometry = false) ?(auto_index = false) ?checkpoint db capture
             let apply = Apply.create_restored ctx ~contents ~as_of:t0 in
             (ctx, apply, Rolling.create ctx ~t_initial:t0))
   in
+  install_obs db capture ctx obs;
   if geometry then
     ctx.Ctx.geometry <-
       Some
@@ -511,7 +536,26 @@ let recover ?(geometry = false) ?(auto_index = false) ?checkpoint db capture
     Apply.roll_to t.apply ~hwm:(hwm t) target_as_of;
   Stats.incr_recoveries ctx.Ctx.stats;
   record_frontier t;
+  let source =
+    if resumed = None then "WAL replay" else "checkpoint + WAL replay"
+  in
+  if Roll_obs.Obs.tracing ctx.Ctx.obs then
+    Roll_obs.Trace.add_attr
+      (Roll_obs.Obs.trace ctx.Ctx.obs)
+      "source" (Roll_obs.Trace.Str source);
   Log.info (fun m ->
-      m "view %s recovered: hwm=%d as_of=%d (%s)" name (hwm t) (as_of t)
-        (if resumed = None then "WAL replay" else "checkpoint + WAL replay"));
+      m "view %s recovered: hwm=%d as_of=%d (%s)" name (hwm t) (as_of t) source);
   t
+
+let recover ?(geometry = false) ?(auto_index = false) ?checkpoint ?obs db
+    capture view ~algorithm =
+  let go () =
+    recover_body ~geometry ~auto_index ?checkpoint ~obs db capture view
+      ~algorithm
+  in
+  match obs with
+  | Some o when Roll_obs.Obs.tracing o ->
+      Roll_obs.Trace.with_span (Roll_obs.Obs.trace o)
+        ~attrs:[ ("view", Roll_obs.Trace.Str (View.name view)) ]
+        "recovery" go
+  | _ -> go ()

@@ -39,6 +39,7 @@ val create :
   ?geometry:bool ->
   ?auto_index:bool ->
   ?durable:bool ->
+  ?obs:Roll_obs.Obs.t ->
   Roll_storage.Database.t ->
   Roll_capture.Capture.t ->
   View.t ->
@@ -52,12 +53,15 @@ val create :
     (see {!Roll_storage.Table.create_index}). With [durable] (default
     false), the controller records its initial frontier and every advancing
     step's frontier as WAL markers, making the maintenance state
-    recoverable with {!recover}. *)
+    recoverable with {!recover}. With [obs], the Rollscope handle is
+    installed on the context, the database and the capture process, so the
+    whole maintenance path traces and meters into it. *)
 
 val recover :
   ?geometry:bool ->
   ?auto_index:bool ->
   ?checkpoint:string ->
+  ?obs:Roll_obs.Obs.t ->
   Roll_storage.Database.t ->
   Roll_capture.Capture.t ->
   View.t ->
@@ -81,6 +85,10 @@ val recover :
     The recovered controller is durable, has rolled the stored view
     forward to the recorded apply position, counts one recovery in
     {!stats}, and has recorded a fresh frontier marker.
+
+    With [obs], the whole recovery (resume, replay, roll-forward) is
+    recorded as one ["recovery"] span and the handle is installed as in
+    {!create}.
 
     @raise Invalid_argument when there is no durable state at all (no
     usable checkpoint and no frontier markers for the view). *)

@@ -17,9 +17,10 @@ type t = {
   mutable last_report : Exec.report option;
   mutable fault : Roll_util.Fault.t;
   mutable memo : Memo.t;
+  mutable obs : Roll_obs.Obs.t;
 }
 
-let create ?(geometry = false) ?t_initial db capture view =
+let create ?(geometry = false) ?obs ?t_initial db capture view =
   let attached = Capture.attached capture in
   for i = 0 to View.n_sources view - 1 do
     let table = View.source_table view i in
@@ -47,4 +48,5 @@ let create ?(geometry = false) ?t_initial db capture view =
     last_report = None;
     fault = Roll_util.Fault.none;
     memo = Memo.create ~enabled:false ();
+    obs = (match obs with Some o -> o | None -> Roll_obs.Obs.disabled ());
   }

@@ -50,10 +50,16 @@ type t = {
           memo (standalone maintenance is bit-identical to the unshared
           pipeline); {!Service} replaces it with one shared, enabled memo
           per service when sharing is on. *)
+  mutable obs : Roll_obs.Obs.t;
+      (** Rollscope observability handle: clock, trace recorder, metrics
+          registry. Defaults to {!Roll_obs.Obs.disabled}, under which every
+          instrumentation point in the maintenance path reduces to one
+          branch. {!Service} installs its own handle on registered views. *)
 }
 
 val create :
   ?geometry:bool ->
+  ?obs:Roll_obs.Obs.t ->
   ?t_initial:Roll_delta.Time.t ->
   Roll_storage.Database.t ->
   Roll_capture.Capture.t ->

@@ -184,12 +184,12 @@ let combine_ts rule a b =
   | `Min -> min a b
   | `Max -> if a = no_ts then b else if b = no_ts then a else max a b
 
-let now () = Unix.gettimeofday ()
+let default_now () = Unix.gettimeofday ()
 
 (* Inclusive per-step timing: every pull through this step (including time
    spent in children) is charged here; [run] converts to exclusive time by
    subtracting the child's inclusive total afterwards. *)
-let instrumented (stat : step_stat) (f : op) : op =
+let instrumented ~now (stat : step_stat) (f : op) : op =
  fun () ->
   let t0 = now () in
   let r = f () in
@@ -363,7 +363,7 @@ let nested_loop_op ~cache ~rule ~(stat : step_stat) ~(src : source) ~atoms ~sour
   in
   pull
 
-let run ?cache ~rule ~sources ~(plan : Planner.t) ~emit () =
+let run ?cache ?(now = default_now) ~rule ~sources ~(plan : Planner.t) ~emit () =
   let n = Array.length sources in
   let steps = Array.of_list plan.Planner.steps in
   if Array.length steps <> n then invalid_arg "Exec.run: plan arity mismatch";
@@ -403,7 +403,7 @@ let run ?cache ~rule ~sources ~(plan : Planner.t) ~emit () =
             nested_loop_op ~cache ~rule ~stat ~src ~atoms:st.atoms ~source:st.source
               child
     in
-    instrumented stat op
+    instrumented ~now stat op
   in
   let top = build (n - 1) in
   let report = { steps = stats; emitted = 0; total_wall = 0. } in

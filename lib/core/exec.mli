@@ -103,6 +103,7 @@ val cache_hits : cache -> int
 
 val run :
   ?cache:cache ->
+  ?now:(unit -> float) ->
   rule:[ `Min | `Max ] ->
   sources:source array ->
   plan:Planner.t ->
@@ -113,4 +114,9 @@ val run :
     one binding vector per result row: count = product of input counts,
     timestamp combined under [rule] ({!Roll_relation.Cursor.no_ts} marks
     base rows and is neutral; callers must map a surviving [no_ts] to the
-    origin time before the row escapes into a view delta). *)
+    origin time before the row escapes into a view delta).
+
+    [now] (default [Unix.gettimeofday]) is the clock the per-step and
+    whole-drain wall timings read — the executor passes the context's
+    Rollscope clock so traces and reports are deterministic under a manual
+    clock. *)

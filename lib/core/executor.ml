@@ -64,6 +64,32 @@ let record_report (ctx : Ctx.t) (report : Exec.report) =
         ~wall:st.wall)
     report.steps
 
+(* Synthesize one "exec.operator" span per plan step from the finished
+   report, parented under whichever span is open (the "exec.query" span on
+   the maintenance path). Steps are laid out back to back by exclusive wall
+   time from [t0] — a visual decomposition of the drain, not the
+   interleaved pull order, which would cost a timestamp pair per row. *)
+let record_operator_spans (ctx : Ctx.t) ~t0 (report : Exec.report) =
+  let trace = Roll_obs.Obs.trace ctx.obs in
+  let at = ref t0 in
+  Array.iter
+    (fun (st : Exec.step_stat) ->
+      let start = !at in
+      let stop = start +. Float.max 0. st.wall in
+      at := stop;
+      Roll_obs.Trace.record_complete trace ~start ~stop
+        ~attrs:
+          [
+            ("resource", Roll_obs.Trace.Str st.resource);
+            ("access", Roll_obs.Trace.Str (Planner.access_name st.access));
+            ("est_rows", Roll_obs.Trace.Float st.est_rows);
+            ("actual_rows", Roll_obs.Trace.Int st.actual_rows);
+            ("rows_in", Roll_obs.Trace.Int st.rows_in);
+            ("hash_builds", Roll_obs.Trace.Int st.hash_builds);
+          ]
+        "exec.operator")
+    report.steps
+
 let evaluate_parts (ctx : Ctx.t) (q : Pquery.t) =
   let view = ctx.view in
   let sources, plan = plan_parts ctx q in
@@ -77,8 +103,15 @@ let evaluate_parts (ctx : Ctx.t) (q : Pquery.t) =
   let hits_before =
     match cache with Some c -> Exec.cache_hits c | None -> 0
   in
+  let now =
+    if Roll_obs.Obs.enabled ctx.obs then
+      Some (fun () -> Roll_obs.Obs.now ctx.obs)
+    else None
+  in
+  let tracing = Roll_obs.Obs.tracing ctx.obs in
+  let t0 = if tracing then Roll_obs.Obs.now ctx.obs else 0. in
   let report =
-    Exec.run ?cache ~rule:ctx.Ctx.timestamp_rule ~sources ~plan
+    Exec.run ?cache ?now ~rule:ctx.Ctx.timestamp_rule ~sources ~plan
       ~emit:(fun bindings count ts ->
         let tuple = View.project_bindings view bindings in
         (* Base rows carry the no-timestamp sentinel; it is neutral under
@@ -91,6 +124,7 @@ let evaluate_parts (ctx : Ctx.t) (q : Pquery.t) =
       ()
   in
   record_report ctx report;
+  if tracing then record_operator_spans ctx ~t0 report;
   (match cache with
   | Some c -> Stats.add_shared_builds ctx.stats (Exec.cache_hits c - hits_before)
   | None -> ());
@@ -140,7 +174,7 @@ let explain_analyze (ctx : Ctx.t) (q : Pquery.t) =
        (report.total_wall *. 1000.));
   Buffer.contents buf
 
-let execute (ctx : Ctx.t) ~sign (q : Pquery.t) =
+let execute_body (ctx : Ctx.t) ~sign (q : Pquery.t) =
   ctx.on_execute ();
   if ctx.auto_capture then Capture.advance ctx.capture;
   Roll_util.Fault.hit ctx.fault "exec.query";
@@ -148,6 +182,11 @@ let execute (ctx : Ctx.t) ~sign (q : Pquery.t) =
   let reads = reads_of sources report in
   let description = Pquery.describe ctx.view q in
   let tag = (if sign < 0 then "-" else "+") ^ description in
+  if Roll_obs.Obs.tracing ctx.obs then begin
+    let trace = Roll_obs.Obs.trace ctx.obs in
+    Roll_obs.Trace.add_attr trace "query" (Roll_obs.Trace.Str tag);
+    Roll_obs.Trace.add_attr trace "rows" (Roll_obs.Trace.Int (List.length rows))
+  end;
   Roll_util.Fault.hit ctx.fault "exec.emit";
   List.iter
     (fun (tuple, count, ts) ->
@@ -172,6 +211,19 @@ let execute (ctx : Ctx.t) ~sign (q : Pquery.t) =
       in
       Geometry.record ~label:tag g ~sign spans);
   t_exec
+
+let execute (ctx : Ctx.t) ~sign (q : Pquery.t) =
+  if Roll_obs.Obs.tracing ctx.obs then
+    Roll_obs.Trace.with_span
+      (Roll_obs.Obs.trace ctx.obs)
+      ~attrs:
+        [
+          ("view", Roll_obs.Trace.Str (View.name ctx.view));
+          ("sign", Roll_obs.Trace.Int sign);
+        ]
+      "exec.query"
+      (fun () -> execute_body ctx ~sign q)
+  else execute_body ctx ~sign q
 
 let materialize (ctx : Ctx.t) =
   if ctx.auto_capture then Capture.advance ctx.capture;

@@ -48,6 +48,11 @@ type t = {
   (* Per-drain round-robin state: how many propagate turns each view has
      taken since [begin_drain]. *)
   rounds : (string, int) Hashtbl.t;
+  mutable obs : Roll_obs.Obs.t;
+  (* Queue-wait bookkeeping: clock reading when each pending item was first
+     offered by [plan], keyed by rendered item. Entries die when the item
+     runs, so a later re-offering starts a fresh wait. *)
+  first_seen : (string, float) Hashtbl.t;
 }
 
 (* Score bands: every runnable item's score stays far below [deferred_band],
@@ -70,7 +75,13 @@ let create ?(policy = Slack) ?(cost_weight = 0.01) ?capture_batch db capture =
     capture_batch;
     stats = Stats.create ();
     rounds = Hashtbl.create 8;
+    obs = Roll_obs.Obs.disabled ();
+    first_seen = Hashtbl.create 16;
   }
+
+let set_obs t obs =
+  t.obs <- obs;
+  Hashtbl.reset t.first_seen
 
 let policy t = t.policy
 
@@ -95,7 +106,16 @@ let pp_item ppf = function
   | Checkpoint view -> Format.fprintf ppf "checkpoint %s" view
   | Gc view -> Format.fprintf ppf "gc %s" view
 
-let begin_drain t = Hashtbl.reset t.rounds
+let item_key item = Format.asprintf "%a" pp_item item
+
+let begin_drain t =
+  Hashtbl.reset t.rounds;
+  Hashtbl.reset t.first_seen
+
+let queue_wait t item =
+  match Hashtbl.find_opt t.first_seen (item_key item) with
+  | None -> None
+  | Some since -> Some (Float.max 0. (Roll_obs.Obs.now t.obs -. since))
 
 let rounds_of t name =
   match Hashtbl.find_opt t.rounds name with Some n -> n | None -> 0
@@ -104,6 +124,7 @@ let note_ran t item ~wall =
   let c = Stats.sched_kind t.stats (kind_name item) in
   c.Stats.ran <- c.Stats.ran + 1;
   c.Stats.wall <- c.Stats.wall +. wall;
+  Hashtbl.remove t.first_seen (item_key item);
   match item with
   | Propagate_step { view; _ } ->
       Hashtbl.replace t.rounds view (rounds_of t view + 1)
@@ -261,7 +282,17 @@ let plan ?(full = false) t sources =
     | Some (_, s) -> drain (s :: acc)
     | None -> List.rev acc
   in
-  drain []
+  let planned = drain [] in
+  if Roll_obs.Obs.enabled t.obs then begin
+    let now = Roll_obs.Obs.now t.obs in
+    List.iter
+      (fun s ->
+        let key = item_key s.item in
+        if not (Hashtbl.mem t.first_seen key) then
+          Hashtbl.add t.first_seen key now)
+      planned
+  end;
+  planned
 
 let select ?full t sources =
   let items = plan ?full t sources in

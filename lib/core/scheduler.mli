@@ -137,8 +137,18 @@ val note_ran : t -> item -> wall:float -> unit
     kind's latency counter and advancing the round-robin turn state. *)
 
 val begin_drain : t -> unit
-(** Reset per-drain round-robin turn state. Call at the start of every
-    budgeted drain. *)
+(** Reset per-drain round-robin turn state (and queue-wait bookkeeping).
+    Call at the start of every budgeted drain. *)
+
+val set_obs : t -> Roll_obs.Obs.t -> unit
+(** Attach an observability handle. When enabled, {!plan} stamps each item
+    with the clock reading at which it was first offered, so {!queue_wait}
+    can report how long the drain left it pending. *)
+
+val queue_wait : t -> item -> float option
+(** Seconds since [item] was first offered by a {!plan} call of the
+    current drain, or [None] when unknown (obs disabled, or the item was
+    never planned). Ask {e before} {!note_ran}, which ends the wait. *)
 
 val kind_name : item -> string
 (** ["capture"], ["propagate"], ["apply"], ["checkpoint"] or ["gc"] — the

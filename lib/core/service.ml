@@ -42,25 +42,41 @@ type t = {
   sharing : bool;
   memo : Memo.t;  (** the shared drain-scoped delta memo (enabled iff sharing) *)
   default_sla : int;
+  obs : Roll_obs.Obs.t;
   mutable gc_threshold : int;
   mutable entries : entry list;  (** registration order *)
 }
 
 let create ?policy ?cost_weight ?capture_batch ?(sharing = false)
-    ?(default_sla = 100) ?(gc_threshold = max_int) db capture =
+    ?(default_sla = 100) ?(gc_threshold = max_int) ?obs db capture =
   if default_sla <= 0 then invalid_arg "Service.create: default_sla";
+  let obs = match obs with Some o -> o | None -> Roll_obs.Obs.disabled () in
+  let scheduler = Scheduler.create ?policy ?cost_weight ?capture_batch db capture in
+  if Roll_obs.Obs.enabled obs then begin
+    Scheduler.set_obs scheduler obs;
+    Database.set_obs db obs;
+    Capture.set_obs capture obs;
+    (* Capture retries/aborts land on the scheduler's stats record. *)
+    Stats.register
+      ~labels:[ ("scope", "scheduler") ]
+      (Scheduler.stats scheduler)
+      (Roll_obs.Obs.metrics obs)
+  end;
   {
     db;
     capture;
-    scheduler = Scheduler.create ?policy ?cost_weight ?capture_batch db capture;
+    scheduler;
     sharing;
     memo = Memo.create ~enabled:sharing ();
     default_sla;
+    obs;
     gc_threshold;
     entries = [];
   }
 
 let scheduler t = t.scheduler
+
+let obs t = t.obs
 
 let sharing t = t.sharing
 
@@ -78,24 +94,52 @@ let enable_sharing t controller =
   end
 
 let add_entry t name controller =
-  t.entries <-
-    t.entries
-    @ [
-        {
-          name;
-          controller;
-          paused = false;
-          sla = t.default_sla;
-          checkpoint = None;
-          last_checkpoint = Database.now t.db;
-        };
-      ]
+  let e =
+    {
+      name;
+      controller;
+      paused = false;
+      sla = t.default_sla;
+      checkpoint = None;
+      last_checkpoint = Database.now t.db;
+    }
+  in
+  t.entries <- t.entries @ [ e ];
+  if Roll_obs.Obs.enabled t.obs then begin
+    let m = Roll_obs.Obs.metrics t.obs in
+    let labels = [ ("view", name) ] in
+    Stats.register ~labels (Controller.stats controller) m;
+    (* Operational freshness gauges: one collector per view per name,
+       merged into one labeled family at snapshot time. *)
+    let gauge ?help gname read =
+      Roll_obs.Metrics.register_collector m ?help
+        ~kind:Roll_obs.Metrics.Gauge gname (fun () -> [ (labels, read ()) ])
+    in
+    gauge "roll_view_hwm" ~help:"View-delta high-water mark (CSN)" (fun () ->
+        float_of_int (Controller.hwm controller));
+    gauge "roll_view_as_of"
+      ~help:"Materialization time of the stored view (CSN)" (fun () ->
+        float_of_int (Controller.as_of controller));
+    gauge "roll_view_staleness" ~help:"Commits behind current time" (fun () ->
+        float_of_int (Database.now t.db - Controller.hwm controller));
+    gauge "roll_view_slack" ~help:"SLA minus staleness, in commits" (fun () ->
+        float_of_int (e.sla - (Database.now t.db - Controller.hwm controller)));
+    gauge "roll_view_delta_rows" ~help:"Rows held in the view delta"
+      (fun () ->
+        float_of_int (Delta.length (Controller.ctx controller).Ctx.out));
+    gauge "roll_view_paused" ~help:"1 when propagation is paused" (fun () ->
+        if e.paused then 1. else 0.)
+  end
+
+let obs_arg t = if Roll_obs.Obs.enabled t.obs then Some t.obs else None
 
 let register ?(durable = false) t ~algorithm view =
   let name = View.name view in
   if List.exists (fun (e : entry) -> String.equal e.name name) t.entries then
     invalid_arg ("Service.register: view already registered: " ^ name);
-  let controller = Controller.create ~durable t.db t.capture view ~algorithm in
+  let controller =
+    Controller.create ~durable ?obs:(obs_arg t) t.db t.capture view ~algorithm
+  in
   enable_sharing t controller;
   add_entry t name controller;
   controller
@@ -105,7 +149,8 @@ let register_recovered ?checkpoint t ~algorithm view =
   if List.exists (fun (e : entry) -> String.equal e.name name) t.entries then
     invalid_arg ("Service.register_recovered: view already registered: " ^ name);
   let controller =
-    Controller.recover ?checkpoint t.db t.capture view ~algorithm
+    Controller.recover ?checkpoint ?obs:(obs_arg t) t.db t.capture view
+      ~algorithm
   in
   (* After recover: the trajectory replay inside [Controller.recover] must
      land frontiers exactly where the markers recorded them, un-snapped. *)
@@ -272,7 +317,19 @@ let reliable_capture t ~retry ~sleep () =
           attempts = f.Roll_util.Retry.attempts;
         }
 
-let drain_items ?full t ~budget ~step ~capture_run =
+(* Rows a propagate item appended to its view delta, measured around the
+   execution (memo replays count too — they append real rows). *)
+let out_length t (item : Scheduler.item) =
+  match item with
+  | Scheduler.Propagate_step { view; _ } -> (
+      match
+        List.find_opt (fun (e : entry) -> String.equal e.name view) t.entries
+      with
+      | Some e -> Delta.length (Controller.ctx e.controller).Ctx.out
+      | None -> 0)
+  | _ -> 0
+
+let drain_items ?(full = false) t ~budget ~step ~capture_run =
   let skipped = Hashtbl.create 4 in
   let bg_done = Hashtbl.create 4 in
   (* The tables are re-read through [sources] on every take. *)
@@ -286,31 +343,120 @@ let drain_items ?full t ~budget ~step ~capture_run =
   let executed = ref 0 in
   let failure = ref None in
   let continue = ref true in
-  while !continue && !failure = None && !executed < budget do
-    match
-      Scheduler.take_batch ?full t.scheduler (sources ~skip ~bg_done:done_bg t)
-    with
-    | [] -> continue := false
-    | batch ->
-        (* Same-window sibling steps run back to back so the trailing ones
-           replay the head's memoized delta; budget and failure checks
-           still apply per item. *)
-        List.iter
-          (fun (scored : Scheduler.scored) ->
-            if !failure = None && !executed < budget then begin
-              let t0 = Unix.gettimeofday () in
-              let result =
-                exec_item t ~skipped ~bg_done ~step ~capture_run scored
-              in
-              Scheduler.note_ran t.scheduler scored.Scheduler.item
-                ~wall:(Unix.gettimeofday () -. t0);
-              match result with
-              | Ok counts -> if counts then incr executed
-              | Error f -> failure := Some f
-            end)
-          batch
-  done;
-  match !failure with Some f -> Error f | None -> Ok !executed
+  let enabled = Roll_obs.Obs.enabled t.obs in
+  let tracing = Roll_obs.Obs.tracing t.obs in
+  (* The obs clock: real time by default, the injected manual clock under
+     test — which also makes the scheduler's wall counters deterministic. *)
+  let now () = Roll_obs.Obs.now t.obs in
+  let exec_one (scored : Scheduler.scored) =
+    let kind = Scheduler.kind_name scored.Scheduler.item in
+    let emitted_before =
+      if enabled then out_length t scored.Scheduler.item else 0
+    in
+    let run () =
+      let t0 = now () in
+      let result = exec_item t ~skipped ~bg_done ~step ~capture_run scored in
+      let wall = now () -. t0 in
+      Scheduler.note_ran t.scheduler scored.Scheduler.item ~wall;
+      if enabled then begin
+        let m = Roll_obs.Obs.metrics t.obs in
+        Roll_obs.Metrics.observe
+          (Roll_obs.Metrics.histogram m
+             ~help:"Wall-clock seconds per executed work item"
+             ~labels:[ ("kind", kind) ]
+             "roll_item_latency_seconds")
+          wall;
+        (match scored.Scheduler.window with
+        | Some (_, lo, hi) ->
+            Roll_obs.Metrics.observe
+              (Roll_obs.Metrics.histogram m
+                 ~help:
+                   "Delta-window width of executed propagate steps, in commits"
+                 "roll_step_window_width")
+              (float_of_int (hi - lo))
+        | None -> ());
+        if String.equal kind "propagate" then
+          Roll_obs.Metrics.observe
+            (Roll_obs.Metrics.histogram m
+               ~help:"View-delta rows emitted per propagate step"
+               "roll_step_rows_emitted")
+            (float_of_int
+               (max 0 (out_length t scored.Scheduler.item - emitted_before)))
+      end;
+      (match result with
+      | Error (f : step_error) ->
+          if tracing then
+            Roll_obs.Trace.set_error
+              (Roll_obs.Obs.trace t.obs)
+              (Printf.sprintf "%s failed at %s" f.view f.point)
+      | Ok _ -> ());
+      result
+    in
+    if tracing then begin
+      let wait = Scheduler.queue_wait t.scheduler scored.Scheduler.item in
+      let attrs =
+        [
+          ("kind", Roll_obs.Trace.Str kind);
+          ( "item",
+            Roll_obs.Trace.Str
+              (Format.asprintf "%a" Scheduler.pp_item scored.Scheduler.item) );
+          ("score", Roll_obs.Trace.Float scored.Scheduler.score);
+          ("slack", Roll_obs.Trace.Int scored.Scheduler.slack);
+          ("est_rows", Roll_obs.Trace.Int scored.Scheduler.est_rows);
+        ]
+        @
+        match wait with
+        | Some w -> [ ("queue_wait", Roll_obs.Trace.Float w) ]
+        | None -> []
+      in
+      Roll_obs.Trace.with_span (Roll_obs.Obs.trace t.obs) ~attrs "sched.item"
+        run
+    end
+    else run ()
+  in
+  let body () =
+    while !continue && !failure = None && !executed < budget do
+      match
+        Scheduler.take_batch ~full t.scheduler
+          (sources ~skip ~bg_done:done_bg t)
+      with
+      | [] -> continue := false
+      | batch ->
+          (* Same-window sibling steps run back to back so the trailing ones
+             replay the head's memoized delta; budget and failure checks
+             still apply per item. *)
+          List.iter
+            (fun (scored : Scheduler.scored) ->
+              if !failure = None && !executed < budget then
+                match exec_one scored with
+                | Ok counts -> if counts then incr executed
+                | Error f -> failure := Some f)
+            batch
+    done;
+    match !failure with Some f -> Error f | None -> Ok !executed
+  in
+  if tracing then begin
+    let trace = Roll_obs.Obs.trace t.obs in
+    Roll_obs.Trace.with_span trace
+      ~attrs:
+        [
+          ("budget", Roll_obs.Trace.Int budget);
+          ("full", Roll_obs.Trace.Bool full);
+          ("sharing", Roll_obs.Trace.Bool t.sharing);
+        ]
+      "service.drain"
+      (fun () ->
+        let result = body () in
+        Roll_obs.Trace.add_attr trace "executed" (Roll_obs.Trace.Int !executed);
+        (match result with
+        | Error (f : step_error) ->
+            Roll_obs.Trace.set_error trace
+              (Printf.sprintf "%s failed at %s after %d attempts" f.view
+                 f.point f.attempts)
+        | Ok _ -> ());
+        result)
+  end
+  else body ()
 
 let plain_capture t () =
   advance_capture t;
@@ -380,3 +526,51 @@ let refresh_all t =
 
 let gc_all t =
   List.fold_left (fun acc (e : entry) -> acc + Controller.gc e.controller) 0 t.entries
+
+(* ------------------------------------------------------------------ *)
+(* JSON renderings (rollctl --json, CI assertions)                     *)
+
+let status_json t =
+  let module E = Roll_obs.Export in
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i (s : status) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"view\":%s,\"as_of\":%d,\"hwm\":%d,\"staleness\":%d,\"sla\":%d,\"slack\":%d,\"delta_rows\":%d,\"paused\":%b,\"retries\":%d,\"aborts\":%d,\"recoveries\":%d,\"memo_hits\":%d,\"memo_misses\":%d,\"shared_builds\":%d}"
+           (E.json_string s.name) s.as_of s.hwm s.staleness s.sla s.slack
+           s.delta_rows s.paused s.retries s.aborts s.recoveries s.memo_hits
+           s.memo_misses s.shared_builds))
+    (status t);
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let schedule_json ?full t =
+  let module E = Roll_obs.Export in
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i (s : Scheduler.scored) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let window =
+        match s.Scheduler.window with
+        | Some (table, lo, hi) ->
+            Printf.sprintf "{\"table\":%s,\"lo\":%d,\"hi\":%d}"
+              (E.json_string table) lo hi
+        | None -> "null"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"item\":%s,\"kind\":%s,\"score\":%s,\"staleness\":%d,\"slack\":%d,\"est_rows\":%d,\"est_cost\":%s,\"deferred\":%b,\"window\":%s}"
+           (E.json_string
+              (Format.asprintf "%a" Scheduler.pp_item s.Scheduler.item))
+           (E.json_string (Scheduler.kind_name s.Scheduler.item))
+           (E.json_float s.Scheduler.score)
+           s.Scheduler.staleness s.Scheduler.slack s.Scheduler.est_rows
+           (E.json_float s.Scheduler.est_cost)
+           s.Scheduler.deferred window))
+    (schedule ?full t);
+  Buffer.add_char buf ']';
+  Buffer.contents buf

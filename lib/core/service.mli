@@ -57,6 +57,7 @@ val create :
   ?sharing:bool ->
   ?default_sla:int ->
   ?gc_threshold:int ->
+  ?obs:Roll_obs.Obs.t ->
   Roll_storage.Database.t ->
   Roll_capture.Capture.t ->
   t
@@ -76,6 +77,15 @@ val create :
     and {!Scheduler.Slack} drains batch same-window sibling steps back to
     back ({!Scheduler.take_batch}). Sharing changes which physical queries
     run — never the maintained contents.
+
+    [obs] (default disabled) is the Rollscope observability handle for the
+    whole service: it is installed on the database, the capture process,
+    the scheduler and every context the service registers, so one handle
+    sees capture → propagate → apply → checkpoint end to end. When
+    enabled, drains record ["service.drain"] / ["sched.item"] spans (with
+    queue-wait attributes), per-kind item-latency, window-width and
+    rows-emitted histograms, and every registered view's {!Stats} surface
+    as [view]-labeled registry series alongside per-view freshness gauges.
     @raise Invalid_argument on non-positive [default_sla], [gc_threshold]
     or [capture_batch]. *)
 
@@ -101,6 +111,10 @@ val names : t -> string list
 val scheduler : t -> Scheduler.t
 (** The service's work queue — inspect its policy and {!Scheduler.stats}
     counters. *)
+
+val obs : t -> Roll_obs.Obs.t
+(** The service's observability handle (a disabled one unless [create]
+    received [?obs]). *)
 
 val sharing : t -> bool
 
@@ -128,6 +142,14 @@ val set_gc_threshold : t -> int -> unit
 
 val status : t -> status list
 (** One row per registered view, in registration order. *)
+
+val status_json : t -> string
+(** {!status} as a JSON array (one object per view, registration order) —
+    what [rollctl status --json] prints. *)
+
+val schedule_json : ?full:bool -> t -> string
+(** {!schedule} as a JSON array, best item first — what
+    [rollctl schedule --json] prints. *)
 
 val schedule : ?full:bool -> t -> Scheduler.scored list
 (** Snapshot of the current work queue, best first (see

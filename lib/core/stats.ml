@@ -175,6 +175,96 @@ let reset t =
   Hashtbl.reset t.sched;
   Vec.clear t.footprints
 
+(* Bridge into the Rollscope metric registry. The [t] record stays the
+   single store — collectors read through it at snapshot time, so nothing
+   is maintained twice and callers that mutate counter records directly
+   (the scheduler) keep working unchanged. *)
+let register ?(labels = []) t registry =
+  let module M = Roll_obs.Metrics in
+  let scalar ~kind ?help name read =
+    M.register_collector registry ?help ~kind name (fun () ->
+        [ (labels, read ()) ])
+  in
+  let counter = scalar ~kind:M.Counter in
+  let gauge = scalar ~kind:M.Gauge in
+  counter "roll_queries_total" ~help:"Propagation queries executed" (fun () ->
+      float_of_int t.queries);
+  counter "roll_rows_read_total" ~help:"Rows read by propagation queries"
+    (fun () -> float_of_int t.rows_read);
+  counter "roll_rows_emitted_total" ~help:"Rows emitted into view deltas"
+    (fun () -> float_of_int t.rows_emitted);
+  counter "roll_compute_delta_calls_total"
+    ~help:"ComputeDelta invocations (including memoized replays)" (fun () ->
+      float_of_int t.compute_delta_calls);
+  counter "roll_rows_scanned_total"
+    ~help:"Rows fetched by scans, hash builds and nested loops" (fun () ->
+      float_of_int t.rows_scanned);
+  counter "roll_rows_probed_total"
+    ~help:"Rows fetched through secondary-index probes" (fun () ->
+      float_of_int t.rows_probed);
+  counter "roll_hash_builds_total" ~help:"Per-query hash indexes built"
+    (fun () -> float_of_int t.hash_builds);
+  counter "roll_exec_wall_seconds_total"
+    ~help:"Wall-clock seconds draining execution pipelines" (fun () ->
+      t.exec_wall);
+  counter "roll_retries_total"
+    ~help:"Propagation-step attempts re-run after a transient failure"
+    (fun () -> float_of_int t.retries);
+  counter "roll_aborts_total"
+    ~help:"Propagation steps abandoned after exhausting their retry budget"
+    (fun () -> float_of_int t.aborts);
+  counter "roll_recoveries_total"
+    ~help:"Transient-failed steps recovered plus controller restarts"
+    (fun () -> float_of_int t.recoveries);
+  counter "roll_memo_hits_total"
+    ~help:"ComputeDelta invocations answered from the shared memo" (fun () ->
+      float_of_int t.memo_hits);
+  counter "roll_memo_misses_total"
+    ~help:"Memo consultations that fell through to execution" (fun () ->
+      float_of_int t.memo_misses);
+  counter "roll_shared_builds_total"
+    ~help:"Physical artifacts reused from the per-drain build cache"
+    (fun () -> float_of_int t.shared_builds);
+  gauge "roll_memo_hit_ratio"
+    ~help:"Memo hits over memo consultations (0 when unused)" (fun () ->
+      let total = t.memo_hits + t.memo_misses in
+      if total = 0 then 0. else float_of_int t.memo_hits /. float_of_int total);
+  let per_resource ?help name read =
+    M.register_collector registry ?help ~kind:M.Counter name (fun () ->
+        resource_profile t
+        |> List.map (fun (resource, triple) ->
+               (("resource", resource) :: labels, read triple)))
+  in
+  per_resource "roll_resource_rows_scanned_total"
+    ~help:"Rows scanned, by resource" (fun (scanned, _, _) ->
+      float_of_int scanned);
+  per_resource "roll_resource_rows_probed_total"
+    ~help:"Rows probed, by resource" (fun (_, probed, _) ->
+      float_of_int probed);
+  per_resource "roll_resource_wall_seconds_total"
+    ~help:"Wall-clock seconds, by resource" (fun (_, _, wall) -> wall);
+  let per_sched ?help name read =
+    M.register_collector registry ?help ~kind:M.Counter name (fun () ->
+        sched_kinds t
+        |> List.map (fun (kind, c) -> (("kind", kind) :: labels, read c)))
+  in
+  per_sched "roll_sched_scheduled_total"
+    ~help:"Work items offered to the maintenance queue, by kind" (fun c ->
+      float_of_int c.scheduled);
+  per_sched "roll_sched_ran_total" ~help:"Work items executed, by kind"
+    (fun c -> float_of_int c.ran);
+  per_sched "roll_sched_deferred_total"
+    ~help:"Propagate items pushed behind capture, by kind" (fun c ->
+      float_of_int c.deferred);
+  per_sched "roll_sched_backpressured_total"
+    ~help:"Capture items boosted by a deferred propagate step, by kind"
+    (fun c -> float_of_int c.backpressured);
+  per_sched "roll_sched_batched_total"
+    ~help:"Propagate items executed as batch followers, by kind" (fun c ->
+      float_of_int c.batched);
+  per_sched "roll_sched_wall_seconds_total"
+    ~help:"Wall-clock seconds executing work items, by kind" (fun c -> c.wall)
+
 let pp ppf t =
   Format.fprintf ppf
     "queries=%d rows_read=%d (scanned=%d probed=%d) rows_emitted=%d \

@@ -125,4 +125,15 @@ val set_keep_footprints : t -> bool -> unit
 
 val reset : t -> unit
 
+val register :
+  ?labels:(string * string) list -> t -> Roll_obs.Metrics.t -> unit
+(** Surface every counter of [t] in a Rollscope metric registry as
+    read-through collectors ([roll_queries_total],
+    [roll_rows_emitted_total], …, [roll_memo_hit_ratio], plus per-resource
+    and per-scheduler-kind series). The [t] record remains the single
+    store: nothing is maintained twice, and the registry samples live
+    values at snapshot time. [labels] (e.g. [[("view", name)]]) are added
+    to every series, letting several registrations share one registry.
+    Register a given [t] with a given registry at most once. *)
+
 val pp : Format.formatter -> t -> unit

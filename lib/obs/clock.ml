@@ -1,0 +1,27 @@
+type impl =
+  | Real
+  | Manual of { mutable now : float; tick : float }
+
+type t = { impl : impl }
+
+let real () = { impl = Real }
+
+let manual ?(start = 0.0) ?(tick = 0.0) () =
+  if tick < 0.0 then invalid_arg "Clock.manual: negative tick";
+  { impl = Manual { now = start; tick } }
+
+let now t =
+  match t.impl with
+  | Real -> Unix.gettimeofday ()
+  | Manual m ->
+      let v = m.now in
+      m.now <- m.now +. m.tick;
+      v
+
+let advance t dt =
+  if dt < 0.0 then invalid_arg "Clock.advance: negative";
+  match t.impl with
+  | Real -> invalid_arg "Clock.advance: real clock"
+  | Manual m -> m.now <- m.now +. dt
+
+let is_manual t = match t.impl with Real -> false | Manual _ -> true

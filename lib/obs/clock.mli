@@ -1,0 +1,32 @@
+(** Injectable monotonic clock.
+
+    Every wall-time read on the maintenance path goes through one of these
+    instead of calling [Unix.gettimeofday] directly, so traces, latency
+    histograms and scheduler wall counters are reproducible under test: a
+    {!manual} clock makes every duration a deterministic function of the
+    work performed, never of machine speed.
+
+    The discrete-event simulator and the fault-injection harness install a
+    manual clock; production contexts default to {!real}. *)
+
+type t
+
+val real : unit -> t
+(** Reads [Unix.gettimeofday]. *)
+
+val manual : ?start:float -> ?tick:float -> unit -> t
+(** A deterministic clock starting at [start] (default 0). Every {!now}
+    read returns the current value and then advances it by [tick]
+    (default 0, i.e. frozen until {!advance}d). A small positive [tick]
+    gives successive reads strictly increasing, reproducible timestamps —
+    what the trace tests use to get well-ordered span intervals.
+    @raise Invalid_argument on a negative [tick]. *)
+
+val now : t -> float
+(** Current time in seconds. Manual clocks advance by their tick per read. *)
+
+val advance : t -> float -> unit
+(** Advance a manual clock by [dt] seconds.
+    @raise Invalid_argument on a real clock or negative [dt]. *)
+
+val is_manual : t -> bool

@@ -1,0 +1,235 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+(* Numbers: integers print bare (42, not 42.000000) so golden outputs are
+   stable and readable; everything else gets shortest round-trip form. *)
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let json_attr = function
+  | Trace.Int i -> string_of_int i
+  | Trace.Float f -> json_float f
+  | Trace.Str s -> json_string s
+  | Trace.Bool b -> if b then "true" else "false"
+
+let span_args (s : Trace.span) =
+  let attrs = List.map (fun (k, v) -> (k, json_attr v)) s.Trace.attrs in
+  let status =
+    match s.Trace.status with
+    | Trace.Ok -> [ ("status", json_string "ok") ]
+    | Trace.Error e ->
+        [ ("status", json_string "error"); ("error", json_string e) ]
+  in
+  attrs @ status
+
+let json_object fields =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> json_string k ^ ": " ^ v) fields)
+  ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON                                             *)
+
+let span_category (s : Trace.span) =
+  match String.index_opt s.Trace.name '.' with
+  | Some i -> String.sub s.Trace.name 0 i
+  | None -> s.Trace.name
+
+(* One complete ("ph":"X") event per span; ts/dur in microseconds as the
+   trace-event format requires. Spans share pid/tid 1 — the viewer nests
+   them by time containment, which well-nestedness guarantees. *)
+let chrome_trace_event (s : Trace.span) =
+  json_object
+    [
+      ("name", json_string s.Trace.name);
+      ("cat", json_string (span_category s));
+      ("ph", json_string "X");
+      ("ts", json_float (s.Trace.start *. 1e6));
+      ("dur", json_float (Float.max 0. (s.Trace.stop -. s.Trace.start) *. 1e6));
+      ("pid", "1");
+      ("tid", "1");
+      ("args", json_object (span_args s));
+    ]
+
+let chrome_trace ?(process = "rolling-ivm") trace =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  Buffer.add_string buf
+    ("  "
+    ^ json_object
+        [
+          ("name", json_string "process_name");
+          ("ph", json_string "M");
+          ("pid", "1");
+          ("args", json_object [ ("name", json_string process) ]);
+        ]);
+  List.iter
+    (fun s -> Buffer.add_string buf (",\n  " ^ chrome_trace_event s))
+    (Trace.spans trace);
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSONL span log                                                      *)
+
+let span_jsonl (s : Trace.span) =
+  json_object
+    ([
+       ("id", string_of_int s.Trace.id);
+       ("parent", string_of_int s.Trace.parent);
+       ("depth", string_of_int s.Trace.depth);
+       ("name", json_string s.Trace.name);
+       ("start", json_float s.Trace.start);
+       ("stop", json_float s.Trace.stop);
+     ]
+    @ span_args s)
+
+let spans_jsonl trace =
+  String.concat "" (List.map (fun s -> span_jsonl s ^ "\n") (Trace.spans trace))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+
+let label_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (label_escape v))
+             labels)
+      ^ "}"
+
+let prom_number f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let prom_bound f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prometheus metrics =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (sf : Metrics.sample_family) ->
+      if sf.Metrics.points <> [] then begin
+        if sf.Metrics.sf_help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" sf.Metrics.sf_name sf.Metrics.sf_help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" sf.Metrics.sf_name
+             (Metrics.kind_name sf.Metrics.sf_kind));
+        List.iter
+          (fun (p : Metrics.point) ->
+            match p.Metrics.p_hist with
+            | None ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s%s %s\n" sf.Metrics.sf_name
+                     (prom_labels p.Metrics.p_labels)
+                     (prom_number p.Metrics.p_value))
+            | Some h ->
+                let cumulative = ref 0 in
+                Array.iteri
+                  (fun i bound ->
+                    cumulative := !cumulative + h.Metrics.h_counts.(i);
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_bucket%s %d\n" sf.Metrics.sf_name
+                         (prom_labels
+                            (p.Metrics.p_labels @ [ ("le", prom_bound bound) ]))
+                         !cumulative))
+                  h.Metrics.h_bounds;
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" sf.Metrics.sf_name
+                     (prom_labels (p.Metrics.p_labels @ [ ("le", "+Inf") ]))
+                     h.Metrics.h_count);
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_sum%s %s\n" sf.Metrics.sf_name
+                     (prom_labels p.Metrics.p_labels)
+                     (prom_number h.Metrics.h_sum));
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_count%s %d\n" sf.Metrics.sf_name
+                     (prom_labels p.Metrics.p_labels)
+                     h.Metrics.h_count))
+          sf.Metrics.points
+      end)
+    (Metrics.snapshot metrics);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Metrics as JSON (for [rollctl status --json] and CI assertions)     *)
+
+let metrics_json metrics =
+  let point_json (p : Metrics.point) =
+    let labels =
+      List.map (fun (k, v) -> (k, json_string v)) p.Metrics.p_labels
+    in
+    match p.Metrics.p_hist with
+    | None ->
+        json_object
+          [
+            ("labels", json_object labels);
+            ("value", json_float p.Metrics.p_value);
+          ]
+    | Some h ->
+        json_object
+          [
+            ("labels", json_object labels);
+            ("count", string_of_int h.Metrics.h_count);
+            ("sum", json_float h.Metrics.h_sum);
+            ( "buckets",
+              "["
+              ^ String.concat ", "
+                  (Array.to_list
+                     (Array.mapi
+                        (fun i bound ->
+                          json_object
+                            [
+                              ("le", json_float bound);
+                              ("n", string_of_int h.Metrics.h_counts.(i));
+                            ])
+                        h.Metrics.h_bounds))
+              ^ "]" );
+          ]
+  in
+  let family_json (sf : Metrics.sample_family) =
+    json_object
+      [
+        ("name", json_string sf.Metrics.sf_name);
+        ("kind", json_string (Metrics.kind_name sf.Metrics.sf_kind));
+        ( "series",
+          "[" ^ String.concat ", " (List.map point_json sf.Metrics.points) ^ "]"
+        );
+      ]
+  in
+  "["
+  ^ String.concat ",\n " (List.map family_json (Metrics.snapshot metrics))
+  ^ "]"

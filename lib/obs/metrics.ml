@@ -1,0 +1,291 @@
+type labels = (string * string) list
+
+type kind = Counter | Gauge | Histogram
+
+type hist = {
+  bounds : float array;
+  counts : int array;  (** length = Array.length bounds + 1 (the +inf bucket) *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type instrument = I_value of { mutable v : float } | I_hist of hist
+
+type series = { s_labels : labels; inst : instrument }
+
+type family = {
+  name : string;
+  help : string;
+  kind : kind;
+  f_bounds : float array option;
+  tbl : (labels, series) Hashtbl.t;
+  mutable order : series list;  (** creation order, reversed *)
+}
+
+type collector = {
+  c_name : string;
+  c_help : string;
+  c_kind : kind;
+  read : unit -> (labels * float) list;
+}
+
+type t = {
+  families : (string, family) Hashtbl.t;
+  mutable family_order : string list;  (** reversed *)
+  mutable collectors : collector list;  (** reversed *)
+}
+
+type counter = series
+
+type gauge = series
+
+type histogram = series
+
+let create () =
+  { families = Hashtbl.create 32; family_order = []; collectors = [] }
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let valid_name name =
+  String.length name > 0
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = ':')
+       name
+  && not (name.[0] >= '0' && name.[0] <= '9')
+
+let family t ~name ~help ~kind ~bounds =
+  if not (valid_name name) then
+    invalid_arg ("Metrics: invalid metric name: " ^ name);
+  match Hashtbl.find_opt t.families name with
+  | Some f ->
+      if f.kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s" name
+             (kind_name f.kind));
+      f
+  | None ->
+      let f =
+        { name; help; kind; f_bounds = bounds; tbl = Hashtbl.create 4; order = [] }
+      in
+      Hashtbl.add t.families name f;
+      t.family_order <- name :: t.family_order;
+      f
+
+let series (f : family) labels =
+  let labels = norm_labels labels in
+  match Hashtbl.find_opt f.tbl labels with
+  | Some s -> s
+  | None ->
+      let inst =
+        match f.kind with
+        | Counter | Gauge -> I_value { v = 0. }
+        | Histogram ->
+            let bounds =
+              match f.f_bounds with
+              | Some b -> b
+              | None -> invalid_arg "Metrics: histogram family without buckets"
+            in
+            I_hist
+              {
+                bounds;
+                counts = Array.make (Array.length bounds + 1) 0;
+                sum = 0.;
+                count = 0;
+              }
+      in
+      let s = { s_labels = labels; inst } in
+      Hashtbl.add f.tbl labels s;
+      f.order <- s :: f.order;
+      s
+
+let counter t ?(help = "") ?(labels = []) name =
+  series (family t ~name ~help ~kind:Counter ~bounds:None) labels
+
+let gauge t ?(help = "") ?(labels = []) name =
+  series (family t ~name ~help ~kind:Gauge ~bounds:None) labels
+
+(* 1-2-5 log-linear ladder: logarithmic decades, linearly subdivided. *)
+let log_linear ?(lo = 1e-6) ?(hi = 1e6) () =
+  if lo <= 0. || hi <= lo then invalid_arg "Metrics.log_linear: need 0 < lo < hi";
+  let acc = ref [] in
+  let decade = ref lo in
+  (let continue = ref true in
+   while !continue do
+     List.iter
+       (fun m ->
+         let v = !decade *. m in
+         if v <= hi *. 1.000001 then acc := v :: !acc)
+       [ 1.; 2.; 5. ];
+     decade := !decade *. 10.;
+     if !decade > hi then continue := false
+   done);
+  Array.of_list (List.rev !acc)
+
+let histogram t ?(help = "") ?(labels = []) ?buckets name =
+  let bounds = match buckets with Some b -> b | None -> log_linear () in
+  if Array.length bounds = 0 then invalid_arg "Metrics.histogram: no buckets";
+  Array.iteri
+    (fun i b -> if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must increase")
+    bounds;
+  series (family t ~name ~help ~kind:Histogram ~bounds:(Some bounds)) labels
+
+let add c dv =
+  if dv < 0. then invalid_arg "Metrics.add: counters only go up";
+  match c.inst with
+  | I_value v -> v.v <- v.v +. dv
+  | I_hist _ -> invalid_arg "Metrics.add: not a counter"
+
+let inc c = add c 1.
+
+let set g v =
+  match g.inst with
+  | I_value i -> i.v <- v
+  | I_hist _ -> invalid_arg "Metrics.set: not a gauge"
+
+let observe h v =
+  match h.inst with
+  | I_value _ -> invalid_arg "Metrics.observe: not a histogram"
+  | I_hist hist ->
+      let n = Array.length hist.bounds in
+      let rec bucket i = if i >= n || v <= hist.bounds.(i) then i else bucket (i + 1) in
+      let i = bucket 0 in
+      hist.counts.(i) <- hist.counts.(i) + 1;
+      hist.sum <- hist.sum +. v;
+      hist.count <- hist.count + 1
+
+let value s =
+  match s.inst with
+  | I_value v -> v.v
+  | I_hist h -> h.sum
+
+let hist_count s =
+  match s.inst with I_hist h -> h.count | I_value _ -> 0
+
+let register_collector t ?(help = "") ~kind name read =
+  if not (valid_name name) then
+    invalid_arg ("Metrics: invalid metric name: " ^ name);
+  (match kind with
+  | Counter | Gauge -> ()
+  | Histogram -> invalid_arg "Metrics.register_collector: histograms only live");
+  t.collectors <- { c_name = name; c_help = help; c_kind = kind; read } :: t.collectors
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (what the exporters consume)                              *)
+
+type hist_snapshot = {
+  h_bounds : float array;
+  h_counts : int array;
+  h_sum : float;
+  h_count : int;
+}
+
+type point = { p_labels : labels; p_value : float; p_hist : hist_snapshot option }
+
+type sample_family = {
+  sf_name : string;
+  sf_help : string;
+  sf_kind : kind;
+  points : point list;
+}
+
+let render_labels labels =
+  String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let sort_points ps =
+  List.sort
+    (fun a b -> String.compare (render_labels a.p_labels) (render_labels b.p_labels))
+    ps
+
+let snapshot t =
+  let live =
+    List.rev_map
+      (fun name ->
+        let f = Hashtbl.find t.families name in
+        let points =
+          List.rev_map
+            (fun s ->
+              match s.inst with
+              | I_value v ->
+                  { p_labels = s.s_labels; p_value = v.v; p_hist = None }
+              | I_hist h ->
+                  {
+                    p_labels = s.s_labels;
+                    p_value = h.sum;
+                    p_hist =
+                      Some
+                        {
+                          h_bounds = h.bounds;
+                          h_counts = Array.copy h.counts;
+                          h_sum = h.sum;
+                          h_count = h.count;
+                        };
+                  })
+            f.order
+        in
+        { sf_name = f.name; sf_help = f.help; sf_kind = f.kind; points })
+      t.family_order
+  in
+  (* Collector output grouped by name; several collectors may share one
+     metric name (e.g. one Stats registration per view). *)
+  let collected = Hashtbl.create 8 in
+  let collected_order = ref [] in
+  List.iter
+    (fun c ->
+      let points =
+        List.map
+          (fun (labels, v) ->
+            { p_labels = norm_labels labels; p_value = v; p_hist = None })
+          (c.read ())
+      in
+      match Hashtbl.find_opt collected c.c_name with
+      | Some sf ->
+          Hashtbl.replace collected c.c_name
+            { sf with points = sf.points @ points }
+      | None ->
+          Hashtbl.add collected c.c_name
+            { sf_name = c.c_name; sf_help = c.c_help; sf_kind = c.c_kind; points };
+          collected_order := c.c_name :: !collected_order)
+    (List.rev t.collectors);
+  let families =
+    live @ List.rev_map (fun name -> Hashtbl.find collected name) !collected_order
+  in
+  List.sort (fun a b -> String.compare a.sf_name b.sf_name) families
+  |> List.map (fun sf -> { sf with points = sort_points sf.points })
+
+let find_value t ?(labels = []) name =
+  let labels = norm_labels labels in
+  let rec in_families = function
+    | [] -> None
+    | sf :: rest ->
+        if String.equal sf.sf_name name then
+          match List.find_opt (fun p -> p.p_labels = labels) sf.points with
+          | Some p -> Some p.p_value
+          | None -> in_families rest
+        else in_families rest
+  in
+  in_families (snapshot t)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ f ->
+      Hashtbl.iter
+        (fun _ s ->
+          match s.inst with
+          | I_value v -> v.v <- 0.
+          | I_hist h ->
+              Array.fill h.counts 0 (Array.length h.counts) 0;
+              h.sum <- 0.;
+              h.count <- 0)
+        f.tbl)
+    t.families

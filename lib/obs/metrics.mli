@@ -1,0 +1,112 @@
+(** Metric registry: the numbers half of Rollscope.
+
+    A registry holds labeled {e families} of counters, gauges and
+    log-linear histograms, created on first use and updated from the same
+    instrumentation points that emit {!Trace} spans. Exporters consume a
+    deterministic {!snapshot}.
+
+    Legacy counters bridge in through {e collectors}: a collector is a
+    read-through callback registered once (see {!register_collector}) whose
+    values are sampled live at snapshot time. This is how {!Stats}'
+    existing mutable counters surface in the registry without being
+    maintained twice — the [Stats.t] record stays the single store, the
+    registry reads through it.
+
+    Metric names follow Prometheus conventions ([roll_*_total] counters,
+    [_seconds] durations, [snake_case] labels); see DESIGN.md section 14
+    for the full naming scheme. *)
+
+type labels = (string * string) list
+
+type kind = Counter | Gauge | Histogram
+
+type t
+
+val create : unit -> t
+
+(** {1 Live instruments}
+
+    Get-or-create: the same (name, labels) pair always returns the same
+    instrument. @raise Invalid_argument on a malformed metric name, a kind
+    clash with an existing family, or malformed histogram buckets. *)
+
+type counter
+
+val counter : t -> ?help:string -> ?labels:labels -> string -> counter
+
+val inc : counter -> unit
+
+val add : counter -> float -> unit
+(** @raise Invalid_argument on a negative increment. *)
+
+type gauge
+
+val gauge : t -> ?help:string -> ?labels:labels -> string -> gauge
+
+val set : gauge -> float -> unit
+
+type histogram
+
+val histogram :
+  t -> ?help:string -> ?labels:labels -> ?buckets:float array -> string -> histogram
+(** [buckets] are strictly increasing upper bounds (an implicit +inf
+    bucket is appended); default {!log_linear} with its default range. *)
+
+val observe : histogram -> float -> unit
+
+val log_linear : ?lo:float -> ?hi:float -> unit -> float array
+(** The 1-2-5 log-linear ladder from [lo] (default 1e-6) to [hi] (default
+    1e6): logarithmic decades, linearly subdivided — fine resolution at
+    every scale with a bounded bucket count.
+    @raise Invalid_argument unless [0 < lo < hi]. *)
+
+val value : counter -> float
+(** Current value of a counter or gauge (histograms report their sum). *)
+
+val hist_count : histogram -> int
+
+(** {1 Collectors} *)
+
+val register_collector :
+  t -> ?help:string -> kind:kind -> string -> (unit -> (labels * float) list) -> unit
+(** Register a read-through series source under [name]; sampled at every
+    {!snapshot}. Several collectors may share one name (their series are
+    merged — e.g. one per-view [Stats] registration each contributing a
+    [view=...] series). Counter and gauge kinds only.
+    @raise Invalid_argument on a malformed name or histogram kind. *)
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  h_bounds : float array;
+  h_counts : int array;  (** per-bucket counts; last entry is the +inf bucket *)
+  h_sum : float;
+  h_count : int;
+}
+
+type point = {
+  p_labels : labels;  (** sorted by label key *)
+  p_value : float;
+  p_hist : hist_snapshot option;
+}
+
+type sample_family = {
+  sf_name : string;
+  sf_help : string;
+  sf_kind : kind;
+  points : point list;
+}
+
+val snapshot : t -> sample_family list
+(** Every family (live and collected), sorted by name, points sorted by
+    rendered labels — a deterministic order exporters and golden tests can
+    rely on. *)
+
+val find_value : t -> ?labels:labels -> string -> float option
+(** Look one value up in a fresh snapshot. *)
+
+val reset : t -> unit
+(** Zero every live instrument (collectors read through and are
+    unaffected). *)
+
+val kind_name : kind -> string

@@ -1,0 +1,35 @@
+type t = {
+  enabled : bool;
+  clock : Clock.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+}
+
+let disabled () =
+  {
+    enabled = false;
+    clock = Clock.real ();
+    trace = Trace.noop ();
+    metrics = Metrics.create ();
+  }
+
+let create ?clock ?trace_capacity () =
+  let clock = match clock with Some c -> c | None -> Clock.real () in
+  {
+    enabled = true;
+    clock;
+    trace = Trace.create ?capacity:trace_capacity ~clock ();
+    metrics = Metrics.create ();
+  }
+
+let enabled t = t.enabled
+
+let clock t = t.clock
+
+let trace t = t.trace
+
+let metrics t = t.metrics
+
+let now t = Clock.now t.clock
+
+let tracing t = Trace.enabled t.trace

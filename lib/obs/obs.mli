@@ -1,0 +1,33 @@
+(** Rollscope: one observability handle bundling a {!Clock}, a {!Trace}
+    recorder and a {!Metrics} registry.
+
+    This is the single object threaded through the maintenance path
+    ([Ctx.obs], [Service.create ?obs], [Capture.set_obs],
+    [Database.set_obs]). A {!disabled} handle (the default everywhere)
+    carries a no-op trace and an unused registry, so every instrumentation
+    point reduces to a branch; {!create} turns everything on. *)
+
+type t
+
+val disabled : unit -> t
+(** Real clock, no-op trace, empty registry; {!enabled} is [false].
+    Freshly created contexts carry one of these. *)
+
+val create : ?clock:Clock.t -> ?trace_capacity:int -> unit -> t
+(** A live handle. [clock] defaults to {!Clock.real}; pass a
+    {!Clock.manual} for reproducible traces and histograms. *)
+
+val enabled : t -> bool
+
+val clock : t -> Clock.t
+
+val trace : t -> Trace.t
+
+val metrics : t -> Metrics.t
+
+val now : t -> float
+(** [Clock.now (clock t)]. *)
+
+val tracing : t -> bool
+(** Whether spans are being recorded — the guard instrumentation points
+    check before doing any per-span work. *)

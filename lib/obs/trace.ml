@@ -1,0 +1,178 @@
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type status = Ok | Error of string
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  depth : int;
+  start : float;
+  mutable stop : float;
+  mutable status : status;
+  mutable attrs : (string * attr) list;
+}
+
+type t = {
+  enabled : bool;
+  clock : Clock.t;
+  capacity : int;
+  mutable ring : span option array;
+  mutable write : int;
+  mutable recorded : int;
+  mutable open_spans : span list;  (** innermost first *)
+  mutable next_id : int;
+}
+
+let noop () =
+  {
+    enabled = false;
+    clock = Clock.real ();
+    capacity = 0;
+    ring = [||];
+    write = 0;
+    recorded = 0;
+    open_spans = [];
+    next_id = 1;
+  }
+
+let create ?(capacity = 65536) ~clock () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    enabled = true;
+    clock;
+    capacity;
+    ring = Array.make capacity None;
+    write = 0;
+    recorded = 0;
+    open_spans = [];
+    next_id = 1;
+  }
+
+let enabled t = t.enabled
+
+let clock t = t.clock
+
+let open_count t = List.length t.open_spans
+
+let recorded t = t.recorded
+
+let dropped t = max 0 (t.recorded - t.capacity)
+
+let push_finished t span =
+  t.ring.(t.write) <- Some span;
+  t.write <- (t.write + 1) mod t.capacity;
+  t.recorded <- t.recorded + 1
+
+let fresh_span t ?(attrs = []) name =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let parent =
+    match t.open_spans with [] -> 0 | parent :: _ -> parent.id
+  in
+  {
+    id;
+    parent;
+    name;
+    depth = List.length t.open_spans;
+    start = Clock.now t.clock;
+    stop = nan;
+    status = Ok;
+    attrs;
+  }
+
+(* Closing is strictly LIFO: [with_span] is the only opener, so the span
+   being closed is always the innermost open one. *)
+let close t span status =
+  span.stop <- Clock.now t.clock;
+  (match span.status with Error _ -> () | Ok -> span.status <- status);
+  (match t.open_spans with
+  | s :: rest when s == span -> t.open_spans <- rest
+  | _ -> invalid_arg "Trace.close: span is not the innermost open span");
+  push_finished t span
+
+(* [abort_open] may fire while a [with_span] frame is still on the stack;
+   its span is then already finished, and the frame's own close must not
+   touch the (shorter) open stack. *)
+let still_open t span = List.memq span t.open_spans
+
+let with_span t ?attrs name f =
+  if not t.enabled then f ()
+  else begin
+    let span = fresh_span t ?attrs name in
+    t.open_spans <- span :: t.open_spans;
+    match f () with
+    | v ->
+        if still_open t span then close t span Ok;
+        v
+    | exception exn ->
+        if still_open t span then close t span (Error (Printexc.to_string exn));
+        raise exn
+  end
+
+let add_attr t key attr =
+  if t.enabled then
+    match t.open_spans with
+    | [] -> ()
+    | span :: _ -> span.attrs <- span.attrs @ [ (key, attr) ]
+
+let set_error t msg =
+  if t.enabled then
+    match t.open_spans with
+    | [] -> ()
+    | span :: _ -> span.status <- Error msg
+
+let record_complete t ?(attrs = []) ?(status = Ok) ~start ~stop name =
+  if t.enabled then begin
+    if stop < start then invalid_arg "Trace.record_complete: stop before start";
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let parent =
+      match t.open_spans with [] -> 0 | parent :: _ -> parent.id
+    in
+    push_finished t
+      {
+        id;
+        parent;
+        name;
+        depth = List.length t.open_spans;
+        start;
+        stop;
+        status;
+        attrs;
+      }
+  end
+
+let abort_open t ~reason =
+  if t.enabled then
+    while t.open_spans <> [] do
+      match t.open_spans with
+      | [] -> ()
+      | span :: _ -> close t span (Error reason)
+    done
+
+let spans t =
+  Array.to_list t.ring
+  |> List.filter_map Fun.id
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let find t ~name = List.filter (fun s -> String.equal s.name name) (spans t)
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.write <- 0;
+  t.recorded <- 0;
+  t.open_spans <- [];
+  t.next_id <- 1
+
+let pp_attr ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.pp_print_string ppf s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let pp_span ppf s =
+  Format.fprintf ppf "[%d->%d] %s%s (%.6f..%.6f)" s.parent s.id s.name
+    (match s.status with Ok -> "" | Error e -> " ERROR:" ^ e)
+    s.start s.stop;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_attr v) s.attrs

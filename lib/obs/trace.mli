@@ -1,0 +1,100 @@
+(** Hierarchical span recorder: the tracing half of Rollscope.
+
+    A {e span} is one timed unit of maintenance work — a drain, a scheduled
+    work item, a propagation step, a [ComputeDelta] node, an executor
+    operator — with a name, typed attributes, a status and a parent. Spans
+    open and close strictly LIFO through {!with_span}, so every recorded
+    trace is well-nested by construction: a child's interval lies inside
+    its parent's, and an exception unwinding through the stack (including
+    an injected {!Roll_util.Fault.Crash}) closes every span it crosses
+    with [Error] status — a crashed step surfaces as an error span, never
+    as a dangling open one.
+
+    Finished spans land in a bounded ring buffer (oldest overwritten
+    first); the recorder itself never allocates per-row, only per-span.
+    All timestamps come from the injected {!Clock}, so a manual clock
+    makes whole traces reproducible. *)
+
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type status = Ok | Error of string
+
+type span = {
+  id : int;  (** unique, increasing in start order; 1-based *)
+  parent : int;  (** id of the enclosing span, or 0 for a root *)
+  name : string;  (** taxonomy name, e.g. ["propagate.step"] *)
+  depth : int;  (** number of enclosing open spans at start *)
+  start : float;
+  mutable stop : float;
+  mutable status : status;
+  mutable attrs : (string * attr) list;
+}
+
+type t
+
+val noop : unit -> t
+(** A disabled recorder: every operation is (nearly) free, nothing is
+    recorded. The default on fresh contexts, so untraced maintenance pays
+    only a branch per instrumentation point. *)
+
+val create : ?capacity:int -> clock:Clock.t -> unit -> t
+(** A live recorder holding up to [capacity] (default 65536) finished
+    spans. @raise Invalid_argument on a non-positive capacity. *)
+
+val enabled : t -> bool
+
+val clock : t -> Clock.t
+
+val with_span : t -> ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] opens a span, runs [f], and closes the span with
+    [Ok] status — or with [Error] carrying the exception text if [f]
+    raises (the exception is re-raised). On a disabled recorder this is
+    exactly [f ()]. *)
+
+val add_attr : t -> string -> attr -> unit
+(** Attach an attribute to the innermost open span (no-op when disabled or
+    no span is open) — for values only known mid-flight, like rows
+    emitted. *)
+
+val set_error : t -> string -> unit
+(** Mark the innermost open span as failed without raising; the status
+    sticks even though the span later closes normally. *)
+
+val record_complete :
+  t ->
+  ?attrs:(string * attr) list ->
+  ?status:status ->
+  start:float ->
+  stop:float ->
+  string ->
+  unit
+(** Append an already-timed span (parented under the innermost open span).
+    Used to synthesize per-operator executor spans from a pipeline report
+    after the fact, without timing every row pull twice.
+    @raise Invalid_argument if [stop < start]. *)
+
+val abort_open : t -> reason:string -> unit
+(** Close every open span with [Error reason], innermost first. For
+    modelling a hard process death where no exception unwinds; after
+    normal exception propagation there is nothing left to abort. Safe to
+    call from inside {!with_span} — the enclosing frames' own closes
+    become no-ops for spans aborted out from under them. *)
+
+val open_count : t -> int
+(** Currently open spans — 0 between units of work on a balanced trace. *)
+
+val spans : t -> span list
+(** Finished spans still in the ring, in start (id) order. *)
+
+val find : t -> name:string -> span list
+
+val recorded : t -> int
+(** Total finished spans ever recorded, including overwritten ones. *)
+
+val dropped : t -> int
+(** Finished spans lost to ring overwrite ([recorded - capacity], floored
+    at 0). *)
+
+val clear : t -> unit
+
+val pp_span : Format.formatter -> span -> unit

@@ -11,6 +11,8 @@ type t = {
   mutable commits : int;
   mutable write_triggers : (txn_id:int -> Wal.change -> unit) list;
   mutable commit_triggers : (Wal.record -> unit) list;
+  mutable obs : Roll_obs.Obs.t;
+  mutable wal_counters : (Roll_obs.Metrics.counter * Roll_obs.Metrics.counter) option;
 }
 
 type txn = {
@@ -31,6 +33,8 @@ let create ?(wall_start = 0.0) ?(wall_tick = 1.0) () =
     commits = 0;
     write_triggers = [];
     commit_triggers = [];
+    obs = Roll_obs.Obs.disabled ();
+    wal_counters = None;
   }
 
 let create_table t ~name schema =
@@ -52,6 +56,36 @@ let tables t =
   |> List.sort (fun a b -> String.compare (Table.name a) (Table.name b))
 
 let wal t = t.wal
+
+let obs t = t.obs
+
+let set_obs t obs =
+  t.obs <- obs;
+  t.wal_counters <- None
+
+(* WAL writes are far too frequent for per-record spans; they surface as
+   registry counters instead (and in the drain spans that caused them). *)
+let note_wal_write t ~changes =
+  if Roll_obs.Obs.enabled t.obs then begin
+    let records, changed_rows =
+      match t.wal_counters with
+      | Some pair -> pair
+      | None ->
+          let m = Roll_obs.Obs.metrics t.obs in
+          let pair =
+            ( Roll_obs.Metrics.counter m
+                ~help:"Records appended to the write-ahead log"
+                "roll_wal_records_total",
+              Roll_obs.Metrics.counter m
+                ~help:"Row changes appended to the write-ahead log"
+                "roll_wal_changes_total" )
+          in
+          t.wal_counters <- Some pair;
+          pair
+    in
+    Roll_obs.Metrics.inc records;
+    Roll_obs.Metrics.add changed_rows (float_of_int (List.length changes))
+  end
 
 let now t = t.last_csn
 
@@ -121,6 +155,7 @@ let commit_record t ~txn_id ~changes ~marker =
   t.wall <- t.wall +. t.wall_tick;
   let record = { Wal.csn; txn_id; wall = t.wall; changes; marker } in
   Wal.append t.wal record;
+  note_wal_write t ~changes;
   List.iter
     (fun (c : Wal.change) ->
       Table.apply_change (Hashtbl.find t.tables c.table) c.tuple c.count)

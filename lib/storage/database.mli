@@ -28,6 +28,13 @@ val tables : t -> Table.t list
 
 val wal : t -> Wal.t
 
+val obs : t -> Roll_obs.Obs.t
+
+val set_obs : t -> Roll_obs.Obs.t -> unit
+(** Attach an observability handle. When enabled, WAL appends bump the
+    [roll_wal_records_total] / [roll_wal_changes_total] counters in its
+    registry. *)
+
 val now : t -> Roll_delta.Time.t
 (** The CSN of the latest committed transaction ([Time.origin] initially).
     All committed state is visible at this time. *)

@@ -96,8 +96,14 @@ let check_recovery seed ~algorithm ~durable s2 ctl2 ~sample =
     (C.Controller.contents ctl2)
 
 (* The full three-life run for one seed. Returns the crash site exercised,
-   for reporting. *)
-let run_seed ?(sample = fun b -> b mod 4 = 0) ~txns seed =
+   for reporting.
+
+   [obs] (default none) is installed on the crash life's controller and on
+   the recovery — the trace-integrity property drives this harness with a
+   manual-clock Rollscope handle and asserts every recorded trace stays
+   balanced and well-nested across the injected crash. The profiling life
+   never sees it, so site enumeration is identical either way. *)
+let run_seed ?(sample = fun b -> b mod 4 = 0) ?obs:rollscope ~txns seed =
   let two_way = seed land 1 = 0 in
   let make () = if two_way then two_table () else three_table () in
   let algorithm = algorithm_of_seed seed ~two_way in
@@ -128,7 +134,8 @@ let run_seed ?(sample = fun b -> b mod 4 = 0) ~txns seed =
   let crash = Fault.create ~rules:[ Fault.Crash_at { point; hit } ] () in
   let s = make () in
   let ctl1 =
-    C.Controller.create ~durable:true s.db s.capture s.view ~algorithm
+    C.Controller.create ~durable:true ?obs:rollscope s.db s.capture s.view
+      ~algorithm
   in
   (C.Controller.ctx ctl1).C.Ctx.fault <- crash;
   Capture.set_fault s.capture crash;
@@ -143,7 +150,10 @@ let run_seed ?(sample = fun b -> b mod 4 = 0) ~txns seed =
   let durable = durable_frontier seed s.db s.view in
   (* Life 3: restart from the WAL alone and verify. *)
   let s2 = restart make s.db in
-  let ctl2 = C.Controller.recover ?checkpoint:ckpt s2.db s2.capture s2.view ~algorithm in
+  let ctl2 =
+    C.Controller.recover ?checkpoint:ckpt ?obs:rollscope s2.db s2.capture
+      s2.view ~algorithm
+  in
   check_recovery seed ~algorithm ~durable s2 ctl2 ~sample;
   Alcotest.(check int) (Printf.sprintf "seed %d: one recovery counted" seed) 1
     (C.Stats.recoveries (C.Controller.stats ctl2));
