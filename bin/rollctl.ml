@@ -138,11 +138,48 @@ let coverage_term =
 
 (* --- status (multi-view service demo) --- *)
 
-let status_cmd txns json =
+(* [--domains N] on status/schedule: explicit flag wins, then the
+   ROLL_DOMAINS environment variable, else serial. *)
+let resolve_domains = function
+  | Some n -> Some n
+  | None -> C.Service.env_domains ()
+
+let domains_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~doc:
+          "drain through a pool of $(docv) worker domains (default: \
+           ROLL_DOMAINS, else serial)"
+        ~docv:"N")
+
+let print_domain_tables service =
+  let depths = C.Service.shard_depths ~full:true service in
+  Tablefmt.print
+    ~title:
+      (Printf.sprintf "shard queue depth (domains=%d)"
+         (C.Service.domains service))
+    ~header:[ "shard"; "pending items" ]
+    (List.mapi
+       (fun i d -> [ string_of_int i; string_of_int d ])
+       (Array.to_list depths));
+  match C.Service.ran_by_domain service with
+  | [] -> ()
+  | ran ->
+      Tablefmt.print ~title:"items executed per domain"
+        ~header:[ "kind"; "domain"; "items" ]
+        (List.map
+           (fun ((kind, dom), count) ->
+             [ kind; string_of_int dom; string_of_int count ])
+           ran)
+
+let status_cmd txns json domains =
+  let domains = resolve_domains domains in
   let star = W.Star.create W.Star.default_config in
   W.Star.load_initial star;
   let db = W.Star.db star in
-  let service = C.Service.create db (W.Star.capture star) in
+  let service = C.Service.create ?domains db (W.Star.capture star) in
   let star_ctl =
     C.Service.register ~durable:true service
       ~algorithm:(C.Controller.Rolling (C.Rolling.per_relation [| 10; 80; 80 |]))
@@ -155,6 +192,20 @@ let status_cmd txns json =
   in
   let _ =
     C.Service.register service ~algorithm:(C.Controller.Uniform 20) fact_only
+  in
+  (* A second rolling view over a dimension table: its delta windows live
+     on a different table than the star view's fact windows, so a pooled
+     drain can hand both out as one wave. *)
+  let d0 = W.Star.dim_table star 0 in
+  let bd = C.View.binder db [ (d0, "d") ] in
+  let dim_watch =
+    C.View.create db ~name:"dim_watch" ~sources:[ (d0, "d") ] ~predicate:[]
+      ~project:[ bd "d" "attr" ]
+  in
+  let _ =
+    C.Service.register service
+      ~algorithm:(C.Controller.Rolling (C.Rolling.uniform 15))
+      dim_watch
   in
   W.Star.mixed_txns star ~n:txns ~dim_fraction:0.05;
   C.Service.pause service "fact_copy";
@@ -201,18 +252,26 @@ let status_cmd txns json =
   C.Service.refresh_all service;
   ignore (C.Service.gc_all service);
   print_status "after resume + refresh_all + gc";
-  if json then print_endline (C.Service.status_json service)
+  if json then
+    Printf.printf "{\"status\": %s, \"shards\": %s}\n"
+      (String.trim (C.Service.status_json service))
+      (String.trim (C.Service.shards_json ~full:true service))
+  else print_domain_tables service;
+  C.Service.shutdown service
 
 let status_term =
   let txns = Arg.(value & opt int 200 & info [ "txns"; "n" ] ~doc:"update transactions") in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"print the final control-table status as JSON")
   in
-  Term.(const (fun () n j -> status_cmd n j) $ verbose_term $ txns $ json)
+  Term.(
+    const (fun () n j d -> status_cmd n j d)
+    $ verbose_term $ txns $ json $ domains_term)
 
 (* --- schedule (work-queue inspection) --- *)
 
-let schedule_cmd txns policy budget json =
+let schedule_cmd txns policy budget json domains =
+  let domains = resolve_domains domains in
   let star = W.Star.create W.Star.default_config in
   W.Star.load_initial star;
   let db = W.Star.db star in
@@ -222,7 +281,9 @@ let schedule_cmd txns policy budget json =
     | "round-robin" -> C.Scheduler.Round_robin
     | other -> failwith ("unknown policy: " ^ other)
   in
-  let service = C.Service.create ~policy ~default_sla:40 db (W.Star.capture star) in
+  let service =
+    C.Service.create ?domains ~policy ~default_sla:40 db (W.Star.capture star)
+  in
   let _ =
     C.Service.register service
       ~algorithm:(C.Controller.Rolling (C.Rolling.per_relation [| 10; 80; 80 |]))
@@ -237,11 +298,28 @@ let schedule_cmd txns policy budget json =
     C.Service.register service ~algorithm:(C.Controller.Uniform 20) fact_only
   in
   C.Service.set_sla service "fact_copy" 120;
+  (* Rolling view on a dimension table: wave partner for the star view's
+     fact-window steps under a pooled drain (see status_cmd). *)
+  let d0 = W.Star.dim_table star 0 in
+  let bd = C.View.binder db [ (d0, "d") ] in
+  let dim_watch =
+    C.View.create db ~name:"dim_watch" ~sources:[ (d0, "d") ] ~predicate:[]
+      ~project:[ bd "d" "attr" ]
+  in
+  let _ =
+    C.Service.register service
+      ~algorithm:(C.Controller.Rolling (C.Rolling.uniform 15))
+      dim_watch
+  in
   W.Star.mixed_txns star ~n:txns ~dim_fraction:0.05;
   if json then begin
     (* Pure queue inspection: print the work queue a full drain would
-       consume, best item first, and leave the service untouched. *)
-    print_endline (C.Service.schedule_json ~full:true service);
+       consume (plus its per-shard depths), best item first, and leave the
+       service untouched. *)
+    Printf.printf "{\"queue\": %s, \"shards\": %s}\n"
+      (String.trim (C.Service.schedule_json ~full:true service))
+      (String.trim (C.Service.shards_json ~full:true service));
+    C.Service.shutdown service;
     exit 0
   end;
   let print_queue header =
@@ -286,7 +364,9 @@ let schedule_cmd txns policy budget json =
            string_of_int c.C.Stats.batched;
            Printf.sprintf "%.2f" (c.C.Stats.wall *. 1000.0);
          ])
-       (C.Stats.sched_kinds stats))
+       (C.Stats.sched_kinds stats));
+  print_domain_tables service;
+  C.Service.shutdown service
 
 let schedule_term =
   let txns = Arg.(value & opt int 200 & info [ "txns"; "n" ] ~doc:"update transactions") in
@@ -297,7 +377,9 @@ let schedule_term =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"print the work queue as JSON and exit (no drain)")
   in
-  Term.(const (fun () n p b j -> schedule_cmd n p b j) $ verbose_term $ txns $ policy $ budget $ json)
+  Term.(
+    const (fun () n p b j d -> schedule_cmd n p b j d)
+    $ verbose_term $ txns $ policy $ budget $ json $ domains_term)
 
 (* --- trace / metrics (Rollscope observability) --- *)
 

@@ -93,7 +93,7 @@ let with_memo (ctx : Ctx.t) key f =
       Stats.incr_memo_misses ctx.stats;
       let from = Delta.length ctx.out in
       f ();
-      Memo.add ctx.memo key
+      Memo.add ~owner:ctx.memo_owner ctx.memo key
         (Delta.sub ctx.out ~pos:from ~len:(Delta.length ctx.out - from))
 
 (* One span per ComputeDelta node — the memo consult/fill unit. The span's
@@ -119,7 +119,8 @@ let node_span (ctx : Ctx.t) ~sign (q : Pquery.t) f =
    compensate pair through [eval_at], whose net effect — "q' as of the
    intended vector v" — is the deterministic unit worth sharing. *)
 let rec run_body ~sign (ctx : Ctx.t) (q : Pquery.t) tau_old t_new =
-  if ctx.auto_capture then Capture.advance ctx.capture;
+  if ctx.auto_capture && ctx.frozen_exec = None then
+    Capture.advance ctx.capture;
   Roll_util.Fault.hit ctx.fault "compensate.enter";
   Stats.incr_compute_delta_calls ctx.stats;
   let n = Array.length q in

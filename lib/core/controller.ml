@@ -389,6 +389,109 @@ let propagate_step_reliable t ~retry ~sleep =
       Error failure
 
 (* ------------------------------------------------------------------ *)
+(* Window stepping (parallel waves)                                    *)
+
+(* Only rolling processes (including Adaptive, which is a policy over
+   P_rolling) decompose into per-relation window steps with explicit
+   bounds; Uniform and Deferred keep their own pacing and stay on the
+   serial path. *)
+let supports_window_step t =
+  match t.process with
+  | P_rolling _ -> true
+  | P_uniform _ | P_deferred _ -> false
+
+let rolling_exn t =
+  match t.process with
+  | P_rolling (r, _) -> r
+  | P_uniform _ | P_deferred _ ->
+      invalid_arg "Controller: window steps require a rolling process"
+
+let step_window_body t ~relation ~hi ~frozen =
+  let ctx = t.ctx in
+  let r = rolling_exn t in
+  let queries_before = Stats.queries ctx.Ctx.stats in
+  ctx.Ctx.frozen_exec <- Some frozen;
+  let advanced =
+    Fun.protect
+      ~finally:(fun () -> ctx.Ctx.frozen_exec <- None)
+      (fun () ->
+        match Rolling.step_window r relation ~hi with
+        | `Advanced _ -> true
+        | `Idle -> false)
+  in
+  (* Whether the step physically ran a query (vs. a quiet-window advance):
+     the frozen-mode analogue of the serial path's "did the database clock
+     move" test, which is meaningless here because frozen steps never
+     commit markers. *)
+  let executed = Stats.queries ctx.Ctx.stats > queries_before in
+  (advanced, executed)
+
+let step_window t ~relation ~hi ~frozen =
+  if Roll_obs.Obs.tracing t.ctx.Ctx.obs then begin
+    let trace = Roll_obs.Obs.trace t.ctx.Ctx.obs in
+    Roll_obs.Trace.with_span trace
+      ~attrs:[ ("view", Roll_obs.Trace.Str (View.name t.ctx.Ctx.view)) ]
+      "propagate.step"
+      (fun () ->
+        let ((advanced, _) as res) = step_window_body t ~relation ~hi ~frozen in
+        Roll_obs.Trace.add_attr trace "advanced" (Roll_obs.Trace.Bool advanced);
+        res)
+  end
+  else step_window_body t ~relation ~hi ~frozen
+
+let step_window_reliable t ~relation ~hi ~frozen ~retry ~sleep =
+  let stats = t.ctx.Ctx.stats in
+  let mark = Delta.length t.ctx.Ctx.out in
+  let memo_mark = Memo.mark t.ctx.Ctx.memo in
+  let retried = ref false in
+  let rollback () =
+    Delta.truncate t.ctx.Ctx.out mark;
+    (* Owner-scoped eviction: sibling wave items may be filling the memo
+       concurrently, and their entries past the mark are valid — only this
+       step's own fills replay rows the truncate just dropped. Fault
+       injection fires before the frontier advances, so [tfwd] needs no
+       restore here (the post-success undo path is {!undo_window}). *)
+    Memo.evict_since ~owner:t.ctx.Ctx.memo_owner t.ctx.Ctx.memo memo_mark
+  in
+  let result =
+    Retry.run retry ~sleep
+      ~on_retry:(fun ~attempt:_ ~delay:_ ->
+        retried := true;
+        Stats.incr_retries stats;
+        rollback ())
+      (fun () -> step_window t ~relation ~hi ~frozen)
+  in
+  match result with
+  | Ok _ as ok ->
+      if !retried then Stats.incr_recoveries stats;
+      ok
+  | Error failure ->
+      rollback ();
+      Stats.incr_aborts stats;
+      Log.err (fun m ->
+          m "view %s: window step aborted at %s (hit %d) after %d attempts"
+            (View.name t.ctx.Ctx.view) failure.Retry.point failure.Retry.hit
+            failure.Retry.attempts);
+      Error failure
+
+(* Post-join bookkeeping for a wave item that succeeded, run on the drain
+   domain in wave order: the frozen-mode counterpart of
+   [propagate_step_body]'s marker rule. Quiet advances record no marker
+   (they replay deterministically on recovery), mirroring the serial
+   "clock did not move" test. *)
+let note_step_durable t ~advanced ~executed =
+  if advanced && t.durable && executed then record_frontier t
+
+(* Roll back a wave item that completed successfully but must be undone
+   because an earlier item of the same wave failed: drop its emitted rows,
+   evict its memo fills, and restore its frontier. Runs on the drain
+   domain after every worker has joined. *)
+let undo_window t ~relation ~lo ~out_mark ~memo_mark ~owner =
+  Delta.truncate t.ctx.Ctx.out out_mark;
+  Memo.evict_since ~owner t.ctx.Ctx.memo memo_mark;
+  Rolling.set_tfwd (rolling_exn t) relation lo
+
+(* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
 
 (* Bring a [Rolling] process from its current frontier vector to [target]

@@ -143,6 +143,74 @@ val propagate_step_reliable :
     returns the typed failure. Other exceptions (including
     {!Roll_util.Fault.Crash}) propagate. *)
 
+(** {2 Window stepping (parallel waves)}
+
+    A wave runs several propagation steps concurrently, one per worker
+    domain, each with an {e explicit} window chosen on the drain domain so
+    that the wave's windows are pairwise disjoint. The steps execute in
+    frozen-clock mode ({!Ctx.frozen_exec}): no capture advance, no marker
+    commits — every database write a step performs goes to its own view
+    delta, so concurrent steps never touch shared mutable state except the
+    (domain-safe) memo, stats and metrics. Durability bookkeeping happens
+    afterwards on the drain domain, in wave order
+    ({!note_step_durable}). *)
+
+val supports_window_step : t -> bool
+(** Whether this controller's process decomposes into explicit-window
+    steps — true exactly for the rolling family ([Rolling]/[Adaptive]);
+    [Uniform] and [Deferred] keep their own pacing and stay serial. *)
+
+val step_window :
+  t ->
+  relation:int ->
+  hi:Roll_delta.Time.t ->
+  frozen:Roll_delta.Time.t ->
+  bool * bool
+(** Run one explicit-window step [(tfwd relation, hi]] in frozen-clock
+    mode with virtual execution time [frozen] (the capture high-water mark
+    at wave start). Returns [(advanced, executed)]: [advanced] is false on
+    an idle step, [executed] whether a physical query ran (false for a
+    quiet-window advance or a full memo replay). Does {e not} record
+    frontier markers — the drain domain calls {!note_step_durable}.
+    @raise Invalid_argument unless {!supports_window_step}. *)
+
+val step_window_reliable :
+  t ->
+  relation:int ->
+  hi:Roll_delta.Time.t ->
+  frozen:Roll_delta.Time.t ->
+  retry:Roll_util.Retry.policy ->
+  sleep:(float -> unit) ->
+  (bool * bool, Roll_util.Retry.failure) result
+(** {!step_window} under a retry policy, the wave analogue of
+    {!propagate_step_reliable}. Rollbacks are owner-scoped: only memo
+    entries inserted by this context's {!Ctx.memo_owner} slot are evicted,
+    so concurrent sibling fills survive. [sleep] runs on the worker — it
+    must only accumulate (never touch the database clock); the drain
+    domain applies accumulated backoff deterministically after the wave
+    joins. *)
+
+val note_step_durable : t -> advanced:bool -> executed:bool -> unit
+(** Post-join durability bookkeeping for one successful wave item, called
+    on the drain domain in wave order: records a frontier marker iff the
+    step advanced, the controller is durable, and a physical query ran
+    (quiet advances replay deterministically on recovery — same rule as
+    the serial path's "clock moved" test). *)
+
+val undo_window :
+  t ->
+  relation:int ->
+  lo:Roll_delta.Time.t ->
+  out_mark:int ->
+  memo_mark:int ->
+  owner:int ->
+  unit
+(** Undo a wave item that completed but is ordered {e after} a failed item
+    of the same wave: truncate its emitted view-delta rows back to
+    [out_mark], evict its owner's memo fills past [memo_mark], and restore
+    [tfwd relation] to [lo]. Wave failure semantics match the serial
+    drain: the earliest failure wins and nothing after it happened. *)
+
 val propagate_until : t -> Roll_delta.Time.t -> unit
 (** Run propagation steps until [hwm] reaches the target (which must have
     elapsed). *)

@@ -18,6 +18,8 @@ type t = {
   mutable fault : Roll_util.Fault.t;
   mutable memo : Memo.t;
   mutable obs : Roll_obs.Obs.t;
+  mutable frozen_exec : Roll_delta.Time.t option;
+  mutable memo_owner : int;
 }
 
 let create ?(geometry = false) ?obs ?t_initial db capture view =
@@ -49,4 +51,6 @@ let create ?(geometry = false) ?obs ?t_initial db capture view =
     fault = Roll_util.Fault.none;
     memo = Memo.create ~enabled:false ();
     obs = (match obs with Some o -> o | None -> Roll_obs.Obs.disabled ());
+    frozen_exec = None;
+    memo_owner = 0;
   }

@@ -55,6 +55,19 @@ type t = {
           registry. Defaults to {!Roll_obs.Obs.disabled}, under which every
           instrumentation point in the maintenance path reduces to one
           branch. {!Service} installs its own handle on registered views. *)
+  mutable frozen_exec : Roll_delta.Time.t option;
+      (** When [Some t], the step executes in {e frozen-clock} mode: every
+          query uses [t] as its virtual execution time instead of
+          committing a marker transaction, and capture is not advanced.
+          Sound whenever base tables do not change while the flag is set —
+          each window then contains the same rows it would at any physical
+          execution time (the memo theorem) — which is how a parallel wave
+          runs steps on worker domains without touching the single-writer
+          database clock. [None] (the default) is the ordinary path. *)
+  mutable memo_owner : int;
+      (** Work-item slot tag passed to {!Memo.add} for entries this context
+          inserts, so a parallel rollback can evict exactly one step's
+          entries ({!Memo.evict_since}). 0 (the default) outside waves. *)
 }
 
 val create :

@@ -128,6 +128,12 @@ type cache = {
   windows : (string, Cursor.row array) Hashtbl.t;
   mutable build_hits : int;
   mutable window_hits : int;
+  (* One mutex over both tables: waves run pipelines on worker domains
+     against the shared per-drain cache. Artifacts are immutable once
+     stored, so only the lookup/insert (and the build that fills a miss,
+     which also deduplicates concurrent builds of the same artifact) needs
+     the lock — probing a returned hash table is lock-free. *)
+  cache_mutex : Mutex.t;
 }
 
 let cache_create () =
@@ -136,11 +142,17 @@ let cache_create () =
     windows = Hashtbl.create 16;
     build_hits = 0;
     window_hits = 0;
+    cache_mutex = Mutex.create ();
   }
 
+let cache_locked c f =
+  Mutex.lock c.cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.cache_mutex) f
+
 let cache_clear c =
-  Hashtbl.reset c.builds;
-  Hashtbl.reset c.windows
+  cache_locked c (fun () ->
+      Hashtbl.reset c.builds;
+      Hashtbl.reset c.windows)
 
 let cache_build_hits c = c.build_hits
 
@@ -156,17 +168,18 @@ let cached_scan cache (src : source) () =
   match cache with
   | Some c when src.info.Planner.is_delta -> (
       match src.cache_key with
-      | Some key -> (
-          match Hashtbl.find_opt c.windows key with
-          | Some rows ->
-              c.window_hits <- c.window_hits + 1;
-              Cursor.of_array rows
-          | None ->
-              let acc = ref [] in
-              Cursor.iter (fun r -> acc := r :: !acc) (src.scan ());
-              let rows = Array.of_list (List.rev !acc) in
-              Hashtbl.add c.windows key rows;
-              Cursor.of_array rows)
+      | Some key ->
+          cache_locked c (fun () ->
+              match Hashtbl.find_opt c.windows key with
+              | Some rows ->
+                  c.window_hits <- c.window_hits + 1;
+                  Cursor.of_array rows
+              | None ->
+                  let acc = ref [] in
+                  Cursor.iter (fun r -> acc := r :: !acc) (src.scan ());
+                  let rows = Array.of_list (List.rev !acc) in
+                  Hashtbl.add c.windows key rows;
+                  Cursor.of_array rows)
       | None -> src.scan ())
   | _ -> src.scan ()
 
@@ -266,14 +279,29 @@ let hash_join_op ~cache ~rule ~(stat : step_stat) ~(src : source) ~pairs ~atoms 
             ^ String.concat ","
                 (List.map (fun (_, col) -> string_of_int col) pairs)
           in
-          (match Hashtbl.find_opt c.builds key with
-          | Some tbl ->
-              c.build_hits <- c.build_hits + 1;
-              tbl
+          (* The build itself runs outside the lock: it pulls rows through
+             [cached_scan], which takes the same mutex (non-reentrant).
+             Two domains racing on the same key may both build — the
+             artifacts are content-identical, and the double-checked insert
+             keeps a single winner so later probes share one table. *)
+          let cached =
+            cache_locked c (fun () ->
+                match Hashtbl.find_opt c.builds key with
+                | Some tbl ->
+                    c.build_hits <- c.build_hits + 1;
+                    Some tbl
+                | None -> None)
+          in
+          (match cached with
+          | Some tbl -> tbl
           | None ->
               let tbl = build () in
-              Hashtbl.add c.builds key tbl;
-              tbl)
+              cache_locked c (fun () ->
+                  match Hashtbl.find_opt c.builds key with
+                  | Some winner -> winner
+                  | None ->
+                      Hashtbl.add c.builds key tbl;
+                      tbl))
       | _ -> build ())
   in
   let current = ref None in

@@ -176,7 +176,11 @@ let explain_analyze (ctx : Ctx.t) (q : Pquery.t) =
 
 let execute_body (ctx : Ctx.t) ~sign (q : Pquery.t) =
   ctx.on_execute ();
-  if ctx.auto_capture then Capture.advance ctx.capture;
+  (* Frozen-clock mode: the wave already advanced capture before
+     dispatching, and base tables do not change mid-wave, so there is
+     nothing new to capture. *)
+  if ctx.auto_capture && ctx.frozen_exec = None then
+    Capture.advance ctx.capture;
   Roll_util.Fault.hit ctx.fault "exec.query";
   let rows, sources, report = evaluate_parts ctx q in
   let reads = reads_of sources report in
@@ -194,7 +198,16 @@ let execute_body (ctx : Ctx.t) ~sign (q : Pquery.t) =
       Delta.append ctx.out tuple ~count:(sign * count) ~ts)
     rows;
   Roll_util.Fault.hit ctx.fault "exec.marker";
-  let t_exec = Database.commit_marker ctx.db ~tag in
+  (* In frozen-clock mode the query's execution time is the wave's frozen
+     instant: no marker transaction is committed (workers must not touch
+     the single-writer database clock), and because base tables are frozen
+     for the wave's duration, every window evaluates to the same row set
+     it would at any physical execution time. *)
+  let t_exec =
+    match ctx.frozen_exec with
+    | Some t -> t
+    | None -> Database.commit_marker ctx.db ~tag
+  in
   Log.debug (fun m ->
       m "executed %s at t=%d: %d rows emitted" tag t_exec (List.length rows));
   Stats.record_query ctx.stats

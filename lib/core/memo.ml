@@ -15,30 +15,50 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
-(* An entry remembers the rows the computation appended to the view delta
-   and the insertion sequence number, so a retry rollback can evict
-   everything a failed step produced ([evict_since]). *)
+(* An entry remembers the rows the computation appended to the view delta,
+   the insertion sequence number and the owner that inserted it, so a retry
+   rollback can evict exactly what a failed step produced ([evict_since])
+   even when sibling steps on other domains were filling the memo
+   concurrently.
+
+   The map is sharded by key hash: each shard has its own table, insertion
+   log and mutex, so concurrent find/add from different domains contend
+   only when they land on the same shard. The insertion sequence is one
+   global atomic — marks taken on the drain domain order entries across
+   shards. Complete entries are always value-correct regardless of which
+   domain filled them: rows are captured only after the computation
+   finishes, and the computation's net result is execution-time
+   independent (the memo theorem). *)
+type shard = {
+  mutex : Mutex.t;
+  entries : (Delta.row array * int * int) Tbl.t;  (** rows, seq, owner *)
+  mutable log : (int * int * key) list;  (** seq, owner, key; newest first *)
+}
+
+let n_shards = 16
+
 type t = {
   mutable enabled : bool;
-  entries : (Delta.row array * int) Tbl.t;
-  mutable seq : int;
-  (* Insertion log, newest first; drives [evict_since]. *)
-  mutable log : (int * key) list;
+  shards : shard array;
+  seq : int Atomic.t;
   exec_cache : Exec.cache;
-  mutable hits : int;
-  mutable misses : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
 }
 
 let create ?(enabled = true) () =
   {
     enabled;
-    entries = Tbl.create 64;
-    seq = 0;
-    log = [];
+    shards =
+      Array.init n_shards (fun _ ->
+          { mutex = Mutex.create (); entries = Tbl.create 8; log = [] });
+    seq = Atomic.make 0;
     exec_cache = Exec.cache_create ();
-    hits = 0;
-    misses = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
   }
+
+let shard t key = t.shards.(Key.hash key land (n_shards - 1))
 
 let enabled t = t.enabled
 
@@ -46,52 +66,71 @@ let set_enabled t b = t.enabled <- b
 
 let exec_cache t = t.exec_cache
 
-let size t = Tbl.length t.entries
+let size t =
+  Array.fold_left (fun acc sh -> acc + Tbl.length sh.entries) 0 t.shards
 
-let hits t = t.hits
+let hits t = Atomic.get t.hits
 
-let misses t = t.misses
+let misses t = Atomic.get t.misses
+
+let locked sh f =
+  Mutex.lock sh.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.mutex) f
 
 let find t key =
   if not t.enabled then None
   else
-    match Tbl.find_opt t.entries key with
-    | Some (rows, _) ->
-        t.hits <- t.hits + 1;
+    let sh = shard t key in
+    match locked sh (fun () -> Tbl.find_opt sh.entries key) with
+    | Some (rows, _, _) ->
+        Atomic.incr t.hits;
         Some rows
     | None ->
-        t.misses <- t.misses + 1;
+        Atomic.incr t.misses;
         None
 
-let add t key rows =
+let add ?(owner = 0) t key rows =
   if t.enabled then begin
-    t.seq <- t.seq + 1;
-    Tbl.replace t.entries key (rows, t.seq);
-    t.log <- (t.seq, key) :: t.log
+    let seq = Atomic.fetch_and_add t.seq 1 + 1 in
+    let sh = shard t key in
+    locked sh (fun () ->
+        Tbl.replace sh.entries key (rows, seq, owner);
+        sh.log <- (seq, owner, key) :: sh.log)
   end
 
-let mark t = t.seq
+let mark t = Atomic.get t.seq
 
-(* Drop every entry added after [mark]. Single-threaded maintenance means
-   everything past the mark belongs to the step being rolled back: its
-   memoized deltas must not survive the retry (the re-run would replay rows
-   that [Delta.truncate] just dropped from the view delta). The build cache
-   stays — its entries are content-addressed and unaffected by step
-   aborts. *)
-let evict_since t mark =
-  let rec drop = function
-    | (seq, key) :: rest when seq > mark ->
-        (match Tbl.find_opt t.entries key with
-        | Some (_, s) when s = seq -> Tbl.remove t.entries key
-        | _ -> ());
-        drop rest
-    | log -> log
-  in
-  t.log <- drop t.log
+(* Drop every entry added after [mark] — restricted to [owner]'s entries
+   when given. The serial drain evicts unscoped (everything past the mark
+   belongs to the step being rolled back); a parallel wave scopes eviction
+   to the failing step's owner slot so sibling steps' concurrent fills
+   survive. The build cache stays — its entries are content-addressed and
+   unaffected by step aborts. *)
+let evict_since ?owner t mark =
+  let evicts own = match owner with None -> true | Some o -> o = own in
+  Array.iter
+    (fun sh ->
+      locked sh (fun () ->
+          sh.log <-
+            List.filter
+              (fun (seq, own, key) ->
+                if seq > mark && evicts own then begin
+                  (match Tbl.find_opt sh.entries key with
+                  | Some (_, s, _) when s = seq -> Tbl.remove sh.entries key
+                  | _ -> ());
+                  false
+                end
+                else true)
+              sh.log))
+    t.shards
 
 (* Drain-scoped invalidation: called at every drain start, after capture
    GC, and on fault-injected aborts. Hit/miss counters are cumulative. *)
 let clear t =
-  Tbl.reset t.entries;
-  t.log <- [];
+  Array.iter
+    (fun sh ->
+      locked sh (fun () ->
+          Tbl.reset sh.entries;
+          sh.log <- []))
+    t.shards;
   Exec.cache_clear t.exec_cache

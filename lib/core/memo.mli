@@ -14,7 +14,17 @@
     evict the failed step's entries ({!evict_since}), and the memo also
     owns the drain's {!Exec.cache} so physical work below the row memo
     (hash builds, window materializations) is shared through the same
-    lifetime. *)
+    lifetime.
+
+    A [t] is domain-safe: the map is sharded internally (per-shard tables
+    and mutexes), hit/miss counters are atomic, and every entry is tagged
+    with the {e owner} slot that inserted it ({!add}), so a rollback can
+    evict exactly the failing step's entries even when the step ran on a
+    worker domain while siblings were filling the memo concurrently
+    ([evict_since ~owner]). Completed entries are always value-correct
+    regardless of executing domain: rows are captured only after the
+    computation finishes, and its net result is execution-time
+    independent. *)
 
 type t
 
@@ -42,16 +52,23 @@ val exec_cache : t -> Exec.cache
 val find : t -> key -> Roll_delta.Delta.row array option
 (** Counts a hit or miss; {!hits}/{!misses} read the cumulative totals. *)
 
-val add : t -> key -> Roll_delta.Delta.row array -> unit
+val add : ?owner:int -> t -> key -> Roll_delta.Delta.row array -> unit
+(** [owner] (default 0) tags the entry with the inserting work-item slot —
+    {!Ctx.memo_owner} on the maintenance path — so a parallel rollback can
+    scope {!evict_since} to one step's entries. *)
 
 val mark : t -> int
 (** Current insertion sequence; pair with {!evict_since} around a step so
     a rollback can drop exactly the entries the step produced. *)
 
-val evict_since : t -> int -> unit
+val evict_since : ?owner:int -> t -> int -> unit
 (** Drop every entry added after the given {!mark} — the retry-rollback
     companion to [Delta.truncate]: a re-run step must recompute, not
-    replay rows the rollback just discarded. *)
+    replay rows the rollback just discarded. With [owner], only that
+    slot's entries are dropped (parallel waves roll back one step without
+    disturbing sibling steps' concurrent fills); without, everything past
+    the mark goes (the serial drain, where all of it belongs to the failed
+    step). *)
 
 val clear : t -> unit
 (** Drop all entries and clear the build cache (drain-scoped

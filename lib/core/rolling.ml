@@ -34,14 +34,14 @@ let tfwd t i = t.tfwd.(i)
 
 let frontiers t = Array.copy t.tfwd
 
-let step_relation t i ~interval =
-  if interval <= 0 then invalid_arg "Rolling.step_relation: interval must be positive";
-  let now = Database.now t.ctx.Ctx.db in
-  if t.tfwd.(i) >= now then `Idle
+let set_tfwd t i v = t.tfwd.(i) <- v
+
+let step_window t i ~hi =
+  if hi <= t.tfwd.(i) then `Idle
   else begin
     let start = t.tfwd.(i) in
-    let hi = window_hi ~align:t.align ~start ~interval ~now in
-    if t.ctx.Ctx.auto_capture then Roll_capture.Capture.advance t.ctx.Ctx.capture;
+    if t.ctx.Ctx.auto_capture && t.ctx.Ctx.frozen_exec = None then
+      Roll_capture.Capture.advance t.ctx.Ctx.capture;
     if Compute_delta.window_known_empty t.ctx i ~lo:start ~hi
     then begin
       (* Quiet window: the forward query and all of its compensations are
@@ -80,6 +80,12 @@ let step_relation t i ~interval =
     `Advanced (hwm t)
     end
   end
+
+let step_relation t i ~interval =
+  if interval <= 0 then invalid_arg "Rolling.step_relation: interval must be positive";
+  let now = Database.now t.ctx.Ctx.db in
+  if t.tfwd.(i) >= now then `Idle
+  else step_window t i ~hi:(window_hi ~align:t.align ~start:t.tfwd.(i) ~interval ~now)
 
 let step t ~policy =
   (* Choose the base relation with the smallest forward frontier; with this

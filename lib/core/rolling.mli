@@ -87,6 +87,21 @@ val step_relation : t -> int -> interval:int -> [ `Advanced of Roll_delta.Time.t
     its dimensions rarely). [`Idle] when that frontier is already at the
     database's current time. *)
 
+val step_window :
+  t -> int -> hi:Roll_delta.Time.t -> [ `Advanced of Roll_delta.Time.t | `Idle ]
+(** Advance relation [i]'s frontier to an {e explicit} upper bound: the
+    forward window is [(tfwd i, hi]]. This is the wave-dispatch entry —
+    the scheduler picks the window bounds on the drain domain (so a wave's
+    items have pairwise-disjoint windows by construction) and worker
+    domains run the step without consulting the database clock. [`Idle]
+    when [hi <= tfwd i]. Correctness does not depend on how [hi] was
+    chosen, as long as [hi] is at most the capture high-water mark. *)
+
+val set_tfwd : t -> int -> Roll_delta.Time.t -> unit
+(** Overwrite one frontier — the rollback path: a failed wave item's
+    frontier is restored to its pre-step value. Not for general use; any
+    other mutation breaks the brick-partition invariant. *)
+
 val run_until : t -> target:Roll_delta.Time.t -> policy:policy -> unit
 (** Step until [hwm >= target].
     @raise Invalid_argument if [target] exceeds the database's current

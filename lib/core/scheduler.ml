@@ -53,6 +53,10 @@ type t = {
      offered by [plan], keyed by rendered item. Entries die when the item
      runs, so a later re-offering starts a fresh wait. *)
   first_seen : (string, float) Hashtbl.t;
+  (* Which domain slot executed how many items of each kind — the
+     provenance [rollctl status] reports under parallel drains. Slot 0 is
+     the drain domain itself. *)
+  by_domain : (string * int, int) Hashtbl.t;
 }
 
 (* Score bands: every runnable item's score stays far below [deferred_band],
@@ -77,6 +81,7 @@ let create ?(policy = Slack) ?(cost_weight = 0.01) ?capture_batch db capture =
     rounds = Hashtbl.create 8;
     obs = Roll_obs.Obs.disabled ();
     first_seen = Hashtbl.create 16;
+    by_domain = Hashtbl.create 8;
   }
 
 let set_obs t obs =
@@ -120,15 +125,23 @@ let queue_wait t item =
 let rounds_of t name =
   match Hashtbl.find_opt t.rounds name with Some n -> n | None -> 0
 
-let note_ran t item ~wall =
+let note_ran ?(domain = 0) t item ~wall =
   let c = Stats.sched_kind t.stats (kind_name item) in
   c.Stats.ran <- c.Stats.ran + 1;
   c.Stats.wall <- c.Stats.wall +. wall;
+  let dk = (kind_name item, domain) in
+  Hashtbl.replace t.by_domain dk
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_domain dk));
   Hashtbl.remove t.first_seen (item_key item);
   match item with
   | Propagate_step { view; _ } ->
       Hashtbl.replace t.rounds view (rounds_of t view + 1)
   | Capture_advance | Apply_refresh _ | Checkpoint _ | Gc _ -> ()
+
+let ran_by_domain t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_domain []
+  |> List.sort (fun ((ka, da), _) ((kb, db), _) ->
+         match String.compare ka kb with 0 -> Int.compare da db | c -> c)
 
 (* ------------------------------------------------------------------ *)
 (* Planning                                                            *)
@@ -358,4 +371,55 @@ let take_batch ?full t sources =
           let c = Stats.sched_kind t.stats "propagate" in
           c.Stats.batched <- c.Stats.batched + List.length followers;
           head :: followers
+      | _ -> [ head ])
+
+(* Two windows conflict when they overlap on the same delta table; any
+   other pair can run in the same wave. Identical windows (aligned sibling
+   views) deliberately conflict: executed back to back on one domain they
+   serve each other from the memo, which a concurrent run would forfeit. *)
+let windows_disjoint (ta, loa, hia) (tb, lob, hib) =
+  (not (String.equal ta tb)) || hia <= lob || hib <= loa
+
+let supports_wave sources (s : scored) =
+  match s.item with
+  | Propagate_step { view; _ } -> (
+      match List.find_opt (fun (src : source) -> src.name = view) sources with
+      | Some src -> Controller.supports_window_step src.controller
+      | None -> false)
+  | Capture_advance | Apply_refresh _ | Checkpoint _ | Gc _ -> false
+
+let take_wave ?full t sources ~max:limit =
+  if limit <= 0 then invalid_arg "Scheduler.take_wave: max must be positive";
+  let head, runnable = select ?full t sources in
+  match head with
+  | None -> []
+  | Some head -> (
+      match head.window with
+      | Some w0 when limit > 1 && supports_wave sources head ->
+          (* Greedy wave fill in score order: each candidate joins if its
+             window is disjoint from every member's. [propagate_items]
+             offers at most one item per view, so wave members are distinct
+             views by construction — the other half of the no-conflict
+             rule (a view's ctx/out/frontiers belong to one domain at a
+             time). *)
+          let wave = ref [ (head, w0) ] in
+          List.iter
+            (fun s ->
+              if
+                List.length !wave < limit
+                && s.item <> head.item
+                && supports_wave sources s
+              then
+                match s.window with
+                | Some w
+                  when List.for_all
+                         (fun (_, w') -> windows_disjoint w w')
+                         !wave ->
+                    wave := !wave @ [ (s, w) ]
+                | _ -> ())
+            runnable;
+          let members = List.map fst !wave in
+          let c = Stats.sched_kind t.stats "propagate" in
+          c.Stats.batched <- c.Stats.batched + List.length members - 1;
+          members
       | _ -> [ head ])

@@ -132,9 +132,30 @@ val take_batch : ?full:bool -> t -> source list -> scored list
     non-propagate head) the batch is the singleton {!take} would return;
     [[]] when nothing is runnable. *)
 
-val note_ran : t -> item -> wall:float -> unit
+val take_wave : ?full:bool -> t -> source list -> max:int -> scored list
+(** Like {!take}, but when the best runnable item is a propagate step of a
+    window-steppable (rolling-family) controller, up to [max] runnable
+    propagate steps with {e pairwise-disjoint} delta windows are handed
+    out together, in score order — one {e wave} the drain may execute
+    concurrently on worker domains. Two windows conflict exactly when they
+    overlap on the same table; identical windows (aligned siblings)
+    deliberately conflict so they keep their serial back-to-back memo
+    sharing. At most one item per view is ever offered, so wave members
+    are distinct views by construction. Followers count toward the
+    propagate kind's [batched] counter. Non-propagate heads,
+    non-window-steppable processes and [max = 1] degrade to the singleton
+    {!take} would return; [[]] when nothing is runnable.
+    @raise Invalid_argument if [max] is not positive. *)
+
+val note_ran : ?domain:int -> t -> item -> wall:float -> unit
 (** Record that a taken item was executed, folding [wall] seconds into its
-    kind's latency counter and advancing the round-robin turn state. *)
+    kind's latency counter and advancing the round-robin turn state.
+    [domain] (default 0, the drain domain) records which domain slot
+    executed the item — see {!ran_by_domain}. *)
+
+val ran_by_domain : t -> ((string * int) * int) list
+(** Execution provenance: [((kind, domain slot), items run)], sorted by
+    kind then slot. Serial drains put everything on slot 0. *)
 
 val begin_drain : t -> unit
 (** Reset per-drain round-robin turn state (and queue-wait bookkeeping).

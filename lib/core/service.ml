@@ -43,13 +43,26 @@ type t = {
   memo : Memo.t;  (** the shared drain-scoped delta memo (enabled iff sharing) *)
   default_sla : int;
   obs : Roll_obs.Obs.t;
+  pool : Roll_util.Dpool.t option;
+      (** worker-domain pool; [Some] switches drains to wave execution *)
   mutable gc_threshold : int;
   mutable entries : entry list;  (** registration order *)
 }
 
+let env_domains () =
+  match Sys.getenv_opt "ROLL_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
 let create ?policy ?cost_weight ?capture_batch ?(sharing = false)
-    ?(default_sla = 100) ?(gc_threshold = max_int) ?obs db capture =
+    ?(default_sla = 100) ?(gc_threshold = max_int) ?obs ?domains db capture =
   if default_sla <= 0 then invalid_arg "Service.create: default_sla";
+  (match domains with
+  | Some n when n < 1 -> invalid_arg "Service.create: domains must be >= 1"
+  | _ -> ());
   let obs = match obs with Some o -> o | None -> Roll_obs.Obs.disabled () in
   let scheduler = Scheduler.create ?policy ?cost_weight ?capture_batch db capture in
   if Roll_obs.Obs.enabled obs then begin
@@ -70,11 +83,31 @@ let create ?policy ?cost_weight ?capture_batch ?(sharing = false)
     memo = Memo.create ~enabled:sharing ();
     default_sla;
     obs;
+    pool =
+      (match domains with
+      | None -> None
+      | Some n -> Some (Roll_util.Dpool.create ~domains:n ()));
     gc_threshold;
     entries = [];
   }
 
 let scheduler t = t.scheduler
+
+let domains t =
+  match t.pool with None -> 1 | Some p -> Roll_util.Dpool.size p
+
+(* Join the worker domains (no-op for a serial service). The pool also
+   shuts down on process exit, but callers creating many short-lived
+   parallel services (tests, benches) must release each one to stay under
+   the runtime's domain limit. *)
+let shutdown t =
+  match t.pool with None -> () | Some p -> Roll_util.Dpool.shutdown p
+
+(* View-name shard: which domain slot a view's propagate items are homed
+   to for queue-depth reporting. Purely observational — waves assign work
+   by wave position, not by shard — but stable, so operators can watch a
+   view's backlog stay on one shard across drains. *)
+let shard_of t name = Hashtbl.hash name mod domains t
 
 let obs t = t.obs
 
@@ -329,7 +362,8 @@ let out_length t (item : Scheduler.item) =
       | None -> 0)
   | _ -> 0
 
-let drain_items ?(full = false) t ~budget ~step ~capture_run =
+let drain_items ?(full = false) t ~budget ~step ~capture_run ~wave_step
+    ~apply_sleep =
   let skipped = Hashtbl.create 4 in
   let bg_done = Hashtbl.create 4 in
   (* The tables are re-read through [sources] on every take. *)
@@ -414,24 +448,226 @@ let drain_items ?(full = false) t ~budget ~step ~capture_run =
     end
     else run ()
   in
+  (* ---------------- wave execution (worker-domain pool) ------------- *)
+  (* One wave: pairwise-disjoint-window propagate steps of distinct views,
+     executed concurrently in frozen-clock mode, then committed by this
+     (single-writer) domain in wave order. Failure semantics match the
+     serial drain: the earliest wave-order failure wins and every later
+     item — even a successful one — is undone as if it never ran. *)
+  let exec_wave pool (wave : Scheduler.scored list) =
+    let module Dpool = Roll_util.Dpool in
+    let frozen = Capture.hwm t.capture in
+    (* Pre-build every lazy timestamp index a wave item will read: window
+       reads rebuild stale indexes in place, which is only safe before the
+       workers start sharing the deltas read-only. *)
+    List.iter
+      (fun (s : Scheduler.scored) ->
+        match s.Scheduler.window with
+        | Some (table, _, _) -> Delta.freshen (Capture.delta t.capture ~table)
+        | None -> ())
+      wave;
+    let items = Array.of_list wave in
+    let n = Array.length items in
+    let size = Dpool.size pool in
+    let prep =
+      Array.mapi
+        (fun k (s : Scheduler.scored) ->
+          let view, relation =
+            match s.Scheduler.item with
+            | Scheduler.Propagate_step { view; relation } -> (view, relation)
+            | _ -> assert false
+          in
+          let lo, hi =
+            match s.Scheduler.window with
+            | Some (_, lo, hi) -> (lo, hi)
+            | None -> assert false
+          in
+          let ctl = (find t view).controller in
+          let ctx = Controller.ctx ctl in
+          let out_mark = Delta.length ctx.Ctx.out in
+          let memo_mark = Memo.mark ctx.Ctx.memo in
+          (* The owner tag is the wave position — unique within the wave
+             (members are distinct views), so an undo evicts exactly this
+             item's memo fills. *)
+          ctx.Ctx.memo_owner <- k;
+          let saved_obs = ctx.Ctx.obs in
+          if tracing then ctx.Ctx.obs <- Roll_obs.Obs.fork saved_obs;
+          let wait = Scheduler.queue_wait t.scheduler s.Scheduler.item in
+          (s, view, relation, ctl, ctx, lo, hi, out_mark, memo_mark, saved_obs,
+           wait))
+        items
+    in
+    let sleeps = Array.make n 0. in
+    let walls = Array.make n 0. in
+    let jobs =
+      Array.map
+        (fun (s, _, relation, ctl, ctx, _, hi, _, _, _, wait) (_slot : int) ->
+          let obs = ctx.Ctx.obs in
+          let run () =
+            let t0 = Roll_obs.Obs.now obs in
+            let result =
+              wave_step ctl ~relation ~hi ~frozen ~sleep:(fun d ->
+                  (* Workers must not touch the (single-writer) simulated
+                     wall clock; backoff accumulates here and the drain
+                     domain applies it deterministically after the join. *)
+                  let k = ctx.Ctx.memo_owner in
+                  sleeps.(k) <- sleeps.(k) +. d)
+            in
+            walls.(ctx.Ctx.memo_owner) <- Roll_obs.Obs.now obs -. t0;
+            (match result with
+            | Error (f : step_error) ->
+                if Roll_obs.Obs.tracing obs then
+                  Roll_obs.Trace.set_error
+                    (Roll_obs.Obs.trace obs)
+                    (Printf.sprintf "%s failed at %s" f.view f.point)
+            | Ok _ -> ());
+            result
+          in
+          if Roll_obs.Obs.tracing obs then begin
+            let attrs =
+              [
+                ("kind", Roll_obs.Trace.Str "propagate");
+                ( "item",
+                  Roll_obs.Trace.Str
+                    (Format.asprintf "%a" Scheduler.pp_item s.Scheduler.item)
+                );
+                ("score", Roll_obs.Trace.Float s.Scheduler.score);
+                ("slack", Roll_obs.Trace.Int s.Scheduler.slack);
+                ("est_rows", Roll_obs.Trace.Int s.Scheduler.est_rows);
+              ]
+              @
+              match wait with
+              | Some w -> [ ("queue_wait", Roll_obs.Trace.Float w) ]
+              | None -> []
+            in
+            Roll_obs.Trace.with_span (Roll_obs.Obs.trace obs) ~attrs
+              "sched.item" run
+          end
+          else run ())
+        prep
+    in
+    let results = Dpool.map pool jobs in
+    (* Single-writer commit phase, wave order throughout. Restore the
+       contexts' observability handles and splice the forked traces back
+       first, so commit-phase spans and errors land on the parent. *)
+    Array.iter
+      (fun (_, _, _, _, ctx, _, _, _, _, saved_obs, _) ->
+        if tracing then begin
+          let child = ctx.Ctx.obs in
+          ctx.Ctx.obs <- saved_obs;
+          Roll_obs.Obs.absorb saved_obs child
+        end)
+      prep;
+    let first_err = ref n in
+    Array.iteri
+      (fun k r ->
+        if !first_err = n then
+          match r with Ok (Ok _) -> () | Ok (Error _) | Error _ -> first_err := k)
+      results;
+    let fe = !first_err in
+    (* Everything ordered after the first failure is undone — a completed
+       item's rows, memo fills and frontier; a failed later item's partial
+       emissions (its internal rollback, if any, makes this a no-op). *)
+    for k = n - 1 downto fe + 1 do
+      let _, _, relation, ctl, _, lo, _, out_mark, memo_mark, _, _ = prep.(k) in
+      Controller.undo_window ctl ~relation ~lo ~out_mark ~memo_mark ~owner:k
+    done;
+    let commit_metrics (s : Scheduler.scored) ~wall ~emitted =
+      if enabled then begin
+        let m = Roll_obs.Obs.metrics t.obs in
+        Roll_obs.Metrics.observe
+          (Roll_obs.Metrics.histogram m
+             ~help:"Wall-clock seconds per executed work item"
+             ~labels:[ ("kind", "propagate") ]
+             "roll_item_latency_seconds")
+          wall;
+        (match s.Scheduler.window with
+        | Some (_, lo, hi) ->
+            Roll_obs.Metrics.observe
+              (Roll_obs.Metrics.histogram m
+                 ~help:
+                   "Delta-window width of executed propagate steps, in commits"
+                 "roll_step_window_width")
+              (float_of_int (hi - lo))
+        | None -> ());
+        Roll_obs.Metrics.observe
+          (Roll_obs.Metrics.histogram m
+             ~help:"View-delta rows emitted per propagate step"
+             "roll_step_rows_emitted")
+          (float_of_int (max 0 emitted))
+      end
+    in
+    for k = 0 to min fe (n - 1) do
+      let s, view, _, ctl, ctx, _, _, out_mark, _, _, _ = prep.(k) in
+      (* Retry backoff accumulated on the worker, applied in wave order so
+         the simulated wall clock advances deterministically. *)
+      if sleeps.(k) > 0. then apply_sleep sleeps.(k);
+      match results.(k) with
+      | Ok (Ok (advanced, ran_query)) ->
+          Controller.note_step_durable ctl ~advanced ~executed:ran_query;
+          Scheduler.note_ran ~domain:(k mod size) t.scheduler
+            s.Scheduler.item ~wall:walls.(k);
+          commit_metrics s ~wall:walls.(k)
+            ~emitted:(Delta.length ctx.Ctx.out - out_mark);
+          if advanced then incr executed
+          else begin
+            Log.warn (fun m ->
+                m "view %s: scheduled step was idle; skipping for this drain"
+                  view);
+            Hashtbl.replace skipped view ()
+          end
+      | Ok (Error f) ->
+          Scheduler.note_ran ~domain:(k mod size) t.scheduler
+            s.Scheduler.item ~wall:walls.(k);
+          commit_metrics s ~wall:walls.(k)
+            ~emitted:(Delta.length ctx.Ctx.out - out_mark);
+          if tracing then
+            Roll_obs.Trace.set_error
+              (Roll_obs.Obs.trace t.obs)
+              (Printf.sprintf "%s failed at %s" f.view f.point);
+          failure := Some f
+      | Error exn ->
+          (* A plain (retry-less) drain propagates step exceptions; the
+             partial state it leaves matches the serial path's. *)
+          raise exn
+    done
+  in
+  let is_wave_head (s : Scheduler.scored) =
+    match (s.Scheduler.item, s.Scheduler.window) with
+    | Scheduler.Propagate_step { view; _ }, Some _ ->
+        Controller.supports_window_step (find t view).controller
+    | _ -> false
+  in
   let body () =
     while !continue && !failure = None && !executed < budget do
-      match
-        Scheduler.take_batch ~full t.scheduler
-          (sources ~skip ~bg_done:done_bg t)
-      with
-      | [] -> continue := false
-      | batch ->
-          (* Same-window sibling steps run back to back so the trailing ones
-             replay the head's memoized delta; budget and failure checks
-             still apply per item. *)
-          List.iter
-            (fun (scored : Scheduler.scored) ->
-              if !failure = None && !executed < budget then
-                match exec_one scored with
-                | Ok counts -> if counts then incr executed
-                | Error f -> failure := Some f)
-            batch
+      let srcs = sources ~skip ~bg_done:done_bg t in
+      match t.pool with
+      | Some pool -> (
+          let cap = min (Roll_util.Dpool.size pool) (budget - !executed) in
+          match Scheduler.take_wave ~full t.scheduler srcs ~max:(max 1 cap) with
+          | [] -> continue := false
+          | wave when List.for_all is_wave_head wave -> exec_wave pool wave
+          | [ single ] -> (
+              (* Non-propagate head (capture, apply, checkpoint, gc) or a
+                 process without window steps: the legacy serial item. *)
+              match exec_one single with
+              | Ok counts -> if counts then incr executed
+              | Error f -> failure := Some f)
+          | _ -> assert false (* take_wave only builds waves of wave heads *))
+      | None -> (
+          match Scheduler.take_batch ~full t.scheduler srcs with
+          | [] -> continue := false
+          | batch ->
+              (* Same-window sibling steps run back to back so the trailing
+                 ones replay the head's memoized delta; budget and failure
+                 checks still apply per item. *)
+              List.iter
+                (fun (scored : Scheduler.scored) ->
+                  if !failure = None && !executed < budget then
+                    match exec_one scored with
+                    | Ok counts -> if counts then incr executed
+                    | Error f -> failure := Some f)
+                batch)
     done;
     match !failure with Some f -> Error f | None -> Ok !executed
   in
@@ -462,11 +698,15 @@ let plain_capture t () =
   advance_capture t;
   Ok ()
 
+let plain_wave_step ctl ~relation ~hi ~frozen ~sleep:_ =
+  Ok (Controller.step_window ctl ~relation ~hi ~frozen)
+
 let step_all t ~budget =
   match
     drain_items ~full:false t ~budget
       ~step:(fun ctl -> Ok (Controller.propagate_step ctl))
-      ~capture_run:(plain_capture t)
+      ~capture_run:(plain_capture t) ~wave_step:plain_wave_step
+      ~apply_sleep:(fun d -> Database.advance_wall t.db d)
   with
   | Ok steps -> steps
   | Error (_ : step_error) -> assert false
@@ -491,32 +731,49 @@ let try_step_all ?sleep t ~budget ~retry =
       | Ok advanced -> Ok advanced
       | Error f -> Error (to_error (View.name (Controller.view ctl)) f))
     ~capture_run:(reliable_capture t ~retry ~sleep)
+    ~wave_step:(fun ctl ~relation ~hi ~frozen ~sleep ->
+      match
+        Controller.step_window_reliable ctl ~relation ~hi ~frozen ~retry ~sleep
+      with
+      | Ok r -> Ok r
+      | Error f -> Error (to_error (View.name (Controller.view ctl)) f))
+    ~apply_sleep:sleep
 
 let maintain ?retry ?sleep t ~budget =
   match retry with
   | None ->
       drain_items ~full:true t ~budget
         ~step:(fun ctl -> Ok (Controller.propagate_step ctl))
-        ~capture_run:(plain_capture t)
+        ~capture_run:(plain_capture t) ~wave_step:plain_wave_step
+        ~apply_sleep:(fun d -> Database.advance_wall t.db d)
   | Some retry ->
       let sleep =
         match sleep with
         | Some f -> f
         | None -> fun d -> Database.advance_wall t.db d
       in
+      let to_error view (f : Roll_util.Retry.failure) =
+        {
+          view;
+          point = f.Roll_util.Retry.point;
+          hit = f.Roll_util.Retry.hit;
+          attempts = f.Roll_util.Retry.attempts;
+        }
+      in
       drain_items ~full:true t ~budget
         ~step:(fun ctl ->
           match Controller.propagate_step_reliable ctl ~retry ~sleep with
           | Ok advanced -> Ok advanced
-          | Error f ->
-              Error
-                {
-                  view = View.name (Controller.view ctl);
-                  point = f.Roll_util.Retry.point;
-                  hit = f.Roll_util.Retry.hit;
-                  attempts = f.Roll_util.Retry.attempts;
-                })
+          | Error f -> Error (to_error (View.name (Controller.view ctl)) f))
         ~capture_run:(reliable_capture t ~retry ~sleep)
+        ~wave_step:(fun ctl ~relation ~hi ~frozen ~sleep ->
+          match
+            Controller.step_window_reliable ctl ~relation ~hi ~frozen ~retry
+              ~sleep
+          with
+          | Ok r -> Ok r
+          | Error f -> Error (to_error (View.name (Controller.view ctl)) f))
+        ~apply_sleep:sleep
 
 let refresh_all t =
   List.iter
@@ -545,6 +802,45 @@ let status_json t =
            s.memo_misses s.shared_builds))
     (status t);
   Buffer.add_char buf ']';
+  Buffer.contents buf
+
+(* Per-shard queue depth: planned propagate items hashed by view name onto
+   the domain slots; every other kind belongs to the single-writer drain
+   domain (slot 0). Sharding is observational — waves assign work by wave
+   position — but it shows how the planned queue would spread. *)
+let shard_depths ?full t =
+  let d = Array.make (domains t) 0 in
+  List.iter
+    (fun (s : Scheduler.scored) ->
+      match s.Scheduler.item with
+      | Scheduler.Propagate_step { view; _ } ->
+          let i = shard_of t view in
+          d.(i) <- d.(i) + 1
+      | _ -> d.(0) <- d.(0) + 1)
+    (schedule ?full t);
+  d
+
+let ran_by_domain t = Scheduler.ran_by_domain t.scheduler
+
+let shards_json ?full t =
+  let module E = Roll_obs.Export in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "{\"domains\":%d,\"shards\":[" (domains t));
+  Array.iteri
+    (fun i depth ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"shard\":%d,\"depth\":%d}" i depth))
+    (shard_depths ?full t);
+  Buffer.add_string buf "],\"ran\":[";
+  List.iteri
+    (fun i ((kind, domain), count) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"kind\":%s,\"domain\":%d,\"count\":%d}"
+           (E.json_string kind) domain count))
+    (ran_by_domain t);
+  Buffer.add_string buf "]}";
   Buffer.contents buf
 
 let schedule_json ?full t =

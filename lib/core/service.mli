@@ -58,6 +58,7 @@ val create :
   ?default_sla:int ->
   ?gc_threshold:int ->
   ?obs:Roll_obs.Obs.t ->
+  ?domains:int ->
   Roll_storage.Database.t ->
   Roll_capture.Capture.t ->
   t
@@ -86,8 +87,33 @@ val create :
     queue-wait attributes), per-kind item-latency, window-width and
     rows-emitted histograms, and every registered view's {!Stats} surface
     as [view]-labeled registry series alongside per-view freshness gauges.
-    @raise Invalid_argument on non-positive [default_sla], [gc_threshold]
-    or [capture_batch]. *)
+    [domains] (default 1: the serial drain, byte-for-byte the previous
+    behavior) sizes a worker-domain pool for parallel maintenance. With
+    [domains = n > 1], drains plan {e waves} of up to [n]
+    pairwise-disjoint-window propagation steps ({!Scheduler.take_wave})
+    and execute them concurrently in frozen-clock mode
+    ({!Controller.step_window}), while capture, apply, checkpoint, gc,
+    WAL markers and the retry wall clock stay on the calling (single
+    writer) domain. Parallel drains maintain bit-identical view contents
+    and frontiers to the serial path — only throughput changes. Requires
+    an OCaml 5 runtime.
+    @raise Invalid_argument on non-positive [default_sla], [gc_threshold],
+    [capture_batch], or [domains < 1]. *)
+
+val env_domains : unit -> int option
+(** Parse the [ROLL_DOMAINS] environment variable ([n >= 1]) — the
+    conventional way tests and CI select the pool size; [None] when unset
+    or unparsable. Callers pass it to [create]'s [?domains]. *)
+
+val domains : t -> int
+(** Domain slots drains execute on: 1 for a serial service, the pool size
+    ([workers + caller]) otherwise. *)
+
+val shutdown : t -> unit
+(** Join the worker-domain pool (no-op for a serial service). Idempotent;
+    the pool also shuts down on process exit, but callers creating many
+    short-lived parallel services must release each one to stay under the
+    runtime's domain limit. Draining a shut-down service is an error. *)
 
 val register :
   ?durable:bool -> t -> algorithm:Controller.algorithm -> View.t -> Controller.t
@@ -150,6 +176,25 @@ val status_json : t -> string
 val schedule_json : ?full:bool -> t -> string
 (** {!schedule} as a JSON array, best item first — what
     [rollctl schedule --json] prints. *)
+
+val shard_of : t -> string -> int
+(** The domain slot a view name hashes to — the observational shard used
+    by {!shard_depths}; actual wave execution assigns items to slots by
+    wave position. Always 0 for a serial service. *)
+
+val shard_depths : ?full:bool -> t -> int array
+(** Planned queue depth per domain slot: propagate items counted under
+    their view's {!shard_of} slot, every other kind under the
+    single-writer slot 0. Length {!domains}. *)
+
+val ran_by_domain : t -> ((string * int) * int) list
+(** Execution provenance, [((kind, domain slot), items run)] — see
+    {!Scheduler.ran_by_domain}. *)
+
+val shards_json : ?full:bool -> t -> string
+(** {!shard_depths} and {!ran_by_domain} as one JSON object
+    [{"domains":n,"shards":[{"shard","depth"}...],"ran":[{"kind","domain","count"}...]}]
+    — what [rollctl status --domains n --json] adds. *)
 
 val schedule : ?full:bool -> t -> Scheduler.scored list
 (** Snapshot of the current work queue, best first (see

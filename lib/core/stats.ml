@@ -22,158 +22,183 @@ type sched_counters = {
   mutable wall : float;
 }
 
+(* Domain safety: propagation steps run on worker domains, so the scalar
+   counters are [Atomic] and the aggregate structures (hashtables, the
+   footprint vector, float accumulators — no atomic float add) share one
+   mutex. The [sched_counters] records stay plain mutable: the scheduler
+   mutates them from the single-writer drain loop only. *)
 type t = {
-  mutable queries : int;
-  mutable rows_read : int;
-  mutable rows_emitted : int;
-  mutable compute_delta_calls : int;
-  mutable rows_scanned : int;
-  mutable rows_probed : int;
-  mutable hash_builds : int;
+  queries : int Atomic.t;
+  rows_read : int Atomic.t;
+  rows_emitted : int Atomic.t;
+  compute_delta_calls : int Atomic.t;
+  rows_scanned : int Atomic.t;
+  rows_probed : int Atomic.t;
+  hash_builds : int Atomic.t;
   mutable exec_wall : float;
-  mutable retries : int;
-  mutable aborts : int;
-  mutable recoveries : int;
-  mutable memo_hits : int;
-  mutable memo_misses : int;
-  mutable shared_builds : int;
+  retries : int Atomic.t;
+  aborts : int Atomic.t;
+  recoveries : int Atomic.t;
+  memo_hits : int Atomic.t;
+  memo_misses : int Atomic.t;
+  shared_builds : int Atomic.t;
   resources : (string, resource_counters) Hashtbl.t;
   sched : (string, sched_counters) Hashtbl.t;
   mutable keep_footprints : bool;
   footprints : footprint Vec.t;
+  m : Mutex.t;
 }
 
 let create () =
   {
-    queries = 0;
-    rows_read = 0;
-    rows_emitted = 0;
-    compute_delta_calls = 0;
-    rows_scanned = 0;
-    rows_probed = 0;
-    hash_builds = 0;
+    queries = Atomic.make 0;
+    rows_read = Atomic.make 0;
+    rows_emitted = Atomic.make 0;
+    compute_delta_calls = Atomic.make 0;
+    rows_scanned = Atomic.make 0;
+    rows_probed = Atomic.make 0;
+    hash_builds = Atomic.make 0;
     exec_wall = 0.;
-    retries = 0;
-    aborts = 0;
-    recoveries = 0;
-    memo_hits = 0;
-    memo_misses = 0;
-    shared_builds = 0;
+    retries = Atomic.make 0;
+    aborts = Atomic.make 0;
+    recoveries = Atomic.make 0;
+    memo_hits = Atomic.make 0;
+    memo_misses = Atomic.make 0;
+    shared_builds = Atomic.make 0;
     resources = Hashtbl.create 8;
     sched = Hashtbl.create 8;
     keep_footprints = true;
     footprints = Vec.create ();
+    m = Mutex.create ();
   }
 
-let queries t = t.queries
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
-let rows_read t = t.rows_read
+let queries t = Atomic.get t.queries
 
-let rows_emitted t = t.rows_emitted
+let rows_read t = Atomic.get t.rows_read
 
-let compute_delta_calls t = t.compute_delta_calls
+let rows_emitted t = Atomic.get t.rows_emitted
 
-let rows_scanned t = t.rows_scanned
+let compute_delta_calls t = Atomic.get t.compute_delta_calls
 
-let rows_probed t = t.rows_probed
+let rows_scanned t = Atomic.get t.rows_scanned
 
-let hash_builds t = t.hash_builds
+let rows_probed t = Atomic.get t.rows_probed
+
+let hash_builds t = Atomic.get t.hash_builds
 
 let exec_wall t = t.exec_wall
 
-let retries t = t.retries
+let retries t = Atomic.get t.retries
 
-let aborts t = t.aborts
+let aborts t = Atomic.get t.aborts
 
-let recoveries t = t.recoveries
+let recoveries t = Atomic.get t.recoveries
 
-let memo_hits t = t.memo_hits
+let memo_hits t = Atomic.get t.memo_hits
 
-let memo_misses t = t.memo_misses
+let memo_misses t = Atomic.get t.memo_misses
 
-let shared_builds t = t.shared_builds
+let shared_builds t = Atomic.get t.shared_builds
 
-let incr_memo_hits t = t.memo_hits <- t.memo_hits + 1
+let incr_memo_hits t = Atomic.incr t.memo_hits
 
-let incr_memo_misses t = t.memo_misses <- t.memo_misses + 1
+let incr_memo_misses t = Atomic.incr t.memo_misses
 
-let add_shared_builds t n = t.shared_builds <- t.shared_builds + n
+let add_shared_builds t n = ignore (Atomic.fetch_and_add t.shared_builds n)
 
-let incr_retries t = t.retries <- t.retries + 1
+let incr_retries t = Atomic.incr t.retries
 
-let incr_aborts t = t.aborts <- t.aborts + 1
+let incr_aborts t = Atomic.incr t.aborts
 
-let incr_recoveries t = t.recoveries <- t.recoveries + 1
+let incr_recoveries t = Atomic.incr t.recoveries
 
-let incr_compute_delta_calls t = t.compute_delta_calls <- t.compute_delta_calls + 1
+let incr_compute_delta_calls t = Atomic.incr t.compute_delta_calls
 
 let record_query t fp =
-  t.queries <- t.queries + 1;
-  t.rows_read <- t.rows_read + List.fold_left (fun acc (_, n) -> acc + n) 0 fp.reads;
-  t.rows_emitted <- t.rows_emitted + fp.emitted;
-  if t.keep_footprints then Vec.push t.footprints fp
+  Atomic.incr t.queries;
+  ignore
+    (Atomic.fetch_and_add t.rows_read
+       (List.fold_left (fun acc (_, n) -> acc + n) 0 fp.reads));
+  ignore (Atomic.fetch_and_add t.rows_emitted fp.emitted);
+  if t.keep_footprints then locked t (fun () -> Vec.push t.footprints fp)
 
 let record_exec t ~scanned ~probed ~hash_builds ~wall =
-  t.rows_scanned <- t.rows_scanned + scanned;
-  t.rows_probed <- t.rows_probed + probed;
-  t.hash_builds <- t.hash_builds + hash_builds;
-  t.exec_wall <- t.exec_wall +. wall
+  ignore (Atomic.fetch_and_add t.rows_scanned scanned);
+  ignore (Atomic.fetch_and_add t.rows_probed probed);
+  ignore (Atomic.fetch_and_add t.hash_builds hash_builds);
+  locked t (fun () -> t.exec_wall <- t.exec_wall +. wall)
 
 let record_resource t name ~scanned ~probed ~wall =
-  let rc =
-    match Hashtbl.find_opt t.resources name with
-    | Some rc -> rc
-    | None ->
-        let rc = { scanned = 0; probed = 0; wall = 0. } in
-        Hashtbl.add t.resources name rc;
-        rc
-  in
-  rc.scanned <- rc.scanned + scanned;
-  rc.probed <- rc.probed + probed;
-  rc.wall <- rc.wall +. wall
+  locked t (fun () ->
+      let rc =
+        match Hashtbl.find_opt t.resources name with
+        | Some rc -> rc
+        | None ->
+            let rc = { scanned = 0; probed = 0; wall = 0. } in
+            Hashtbl.add t.resources name rc;
+            rc
+      in
+      rc.scanned <- rc.scanned + scanned;
+      rc.probed <- rc.probed + probed;
+      rc.wall <- rc.wall +. wall)
 
 let sched_kind t kind =
-  match Hashtbl.find_opt t.sched kind with
-  | Some c -> c
-  | None ->
-      let c =
-        { scheduled = 0; ran = 0; deferred = 0; backpressured = 0; batched = 0; wall = 0. }
-      in
-      Hashtbl.add t.sched kind c;
-      c
+  locked t (fun () ->
+      match Hashtbl.find_opt t.sched kind with
+      | Some c -> c
+      | None ->
+          let c =
+            {
+              scheduled = 0;
+              ran = 0;
+              deferred = 0;
+              backpressured = 0;
+              batched = 0;
+              wall = 0.;
+            }
+          in
+          Hashtbl.add t.sched kind c;
+          c)
 
 let sched_kinds t =
-  Hashtbl.fold (fun kind c acc -> (kind, c) :: acc) t.sched []
+  locked t (fun () ->
+      Hashtbl.fold (fun kind c acc -> (kind, c) :: acc) t.sched [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let resource_profile t =
-  Hashtbl.fold
-    (fun name rc acc -> (name, (rc.scanned, rc.probed, rc.wall)) :: acc)
-    t.resources []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name rc acc -> (name, (rc.scanned, rc.probed, rc.wall)) :: acc)
+        t.resources [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let footprints t = Vec.to_list t.footprints
+let footprints t = locked t (fun () -> Vec.to_list t.footprints)
 
 let set_keep_footprints t b = t.keep_footprints <- b
 
 let reset t =
-  t.queries <- 0;
-  t.rows_read <- 0;
-  t.rows_emitted <- 0;
-  t.compute_delta_calls <- 0;
-  t.rows_scanned <- 0;
-  t.rows_probed <- 0;
-  t.hash_builds <- 0;
-  t.exec_wall <- 0.;
-  t.retries <- 0;
-  t.aborts <- 0;
-  t.recoveries <- 0;
-  t.memo_hits <- 0;
-  t.memo_misses <- 0;
-  t.shared_builds <- 0;
-  Hashtbl.reset t.resources;
-  Hashtbl.reset t.sched;
-  Vec.clear t.footprints
+  Atomic.set t.queries 0;
+  Atomic.set t.rows_read 0;
+  Atomic.set t.rows_emitted 0;
+  Atomic.set t.compute_delta_calls 0;
+  Atomic.set t.rows_scanned 0;
+  Atomic.set t.rows_probed 0;
+  Atomic.set t.hash_builds 0;
+  Atomic.set t.retries 0;
+  Atomic.set t.aborts 0;
+  Atomic.set t.recoveries 0;
+  Atomic.set t.memo_hits 0;
+  Atomic.set t.memo_misses 0;
+  Atomic.set t.shared_builds 0;
+  locked t (fun () ->
+      t.exec_wall <- 0.;
+      Hashtbl.reset t.resources;
+      Hashtbl.reset t.sched;
+      Vec.clear t.footprints)
 
 (* Bridge into the Rollscope metric registry. The [t] record stays the
    single store — collectors read through it at snapshot time, so nothing
@@ -188,47 +213,47 @@ let register ?(labels = []) t registry =
   let counter = scalar ~kind:M.Counter in
   let gauge = scalar ~kind:M.Gauge in
   counter "roll_queries_total" ~help:"Propagation queries executed" (fun () ->
-      float_of_int t.queries);
+      float_of_int (queries t));
   counter "roll_rows_read_total" ~help:"Rows read by propagation queries"
-    (fun () -> float_of_int t.rows_read);
+    (fun () -> float_of_int (rows_read t));
   counter "roll_rows_emitted_total" ~help:"Rows emitted into view deltas"
-    (fun () -> float_of_int t.rows_emitted);
+    (fun () -> float_of_int (rows_emitted t));
   counter "roll_compute_delta_calls_total"
     ~help:"ComputeDelta invocations (including memoized replays)" (fun () ->
-      float_of_int t.compute_delta_calls);
+      float_of_int (compute_delta_calls t));
   counter "roll_rows_scanned_total"
     ~help:"Rows fetched by scans, hash builds and nested loops" (fun () ->
-      float_of_int t.rows_scanned);
+      float_of_int (rows_scanned t));
   counter "roll_rows_probed_total"
     ~help:"Rows fetched through secondary-index probes" (fun () ->
-      float_of_int t.rows_probed);
+      float_of_int (rows_probed t));
   counter "roll_hash_builds_total" ~help:"Per-query hash indexes built"
-    (fun () -> float_of_int t.hash_builds);
+    (fun () -> float_of_int (hash_builds t));
   counter "roll_exec_wall_seconds_total"
     ~help:"Wall-clock seconds draining execution pipelines" (fun () ->
-      t.exec_wall);
+      exec_wall t);
   counter "roll_retries_total"
     ~help:"Propagation-step attempts re-run after a transient failure"
-    (fun () -> float_of_int t.retries);
+    (fun () -> float_of_int (retries t));
   counter "roll_aborts_total"
     ~help:"Propagation steps abandoned after exhausting their retry budget"
-    (fun () -> float_of_int t.aborts);
+    (fun () -> float_of_int (aborts t));
   counter "roll_recoveries_total"
     ~help:"Transient-failed steps recovered plus controller restarts"
-    (fun () -> float_of_int t.recoveries);
+    (fun () -> float_of_int (recoveries t));
   counter "roll_memo_hits_total"
     ~help:"ComputeDelta invocations answered from the shared memo" (fun () ->
-      float_of_int t.memo_hits);
+      float_of_int (memo_hits t));
   counter "roll_memo_misses_total"
     ~help:"Memo consultations that fell through to execution" (fun () ->
-      float_of_int t.memo_misses);
+      float_of_int (memo_misses t));
   counter "roll_shared_builds_total"
     ~help:"Physical artifacts reused from the per-drain build cache"
-    (fun () -> float_of_int t.shared_builds);
+    (fun () -> float_of_int (shared_builds t));
   gauge "roll_memo_hit_ratio"
     ~help:"Memo hits over memo consultations (0 when unused)" (fun () ->
-      let total = t.memo_hits + t.memo_misses in
-      if total = 0 then 0. else float_of_int t.memo_hits /. float_of_int total);
+      let total = memo_hits t + memo_misses t in
+      if total = 0 then 0. else float_of_int (memo_hits t) /. float_of_int total);
   let per_resource ?help name read =
     M.register_collector registry ?help ~kind:M.Counter name (fun () ->
         resource_profile t
@@ -269,11 +294,12 @@ let pp ppf t =
   Format.fprintf ppf
     "queries=%d rows_read=%d (scanned=%d probed=%d) rows_emitted=%d \
      hash_builds=%d compute_delta=%d"
-    t.queries t.rows_read t.rows_scanned t.rows_probed t.rows_emitted
-    t.hash_builds t.compute_delta_calls;
-  if t.retries > 0 || t.aborts > 0 || t.recoveries > 0 then
-    Format.fprintf ppf " retries=%d aborts=%d recoveries=%d" t.retries
-      t.aborts t.recoveries;
-  if t.memo_hits > 0 || t.memo_misses > 0 || t.shared_builds > 0 then
-    Format.fprintf ppf " memo=%d/%d shared_builds=%d" t.memo_hits
-      (t.memo_hits + t.memo_misses) t.shared_builds
+    (queries t) (rows_read t) (rows_scanned t) (rows_probed t)
+    (rows_emitted t) (hash_builds t) (compute_delta_calls t);
+  if retries t > 0 || aborts t > 0 || recoveries t > 0 then
+    Format.fprintf ppf " retries=%d aborts=%d recoveries=%d" (retries t)
+      (aborts t) (recoveries t);
+  if memo_hits t > 0 || memo_misses t > 0 || shared_builds t > 0 then
+    Format.fprintf ppf " memo=%d/%d shared_builds=%d" (memo_hits t)
+      (memo_hits t + memo_misses t)
+      (shared_builds t)

@@ -8,7 +8,15 @@
     The execution pipeline additionally reports how rows were reached —
     scanned (full scans, hash builds, nested loops) versus probed through a
     secondary index — plus hash builds and wall time, both in aggregate and
-    per resource. *)
+    per resource.
+
+    A [t] is domain-safe: scalar counters are atomic and the aggregate
+    structures (per-resource profile, footprints, wall-clock accumulators)
+    are mutex-protected, so propagation steps running on worker domains
+    can record into one record concurrently with exact totals. The
+    {!sched_counters} records returned by {!sched_kind} are the one
+    exception — they are mutated in place by the single-writer drain loop
+    only. *)
 
 type footprint = {
   exec : Roll_delta.Time.t;  (** serialization time of the query *)

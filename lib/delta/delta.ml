@@ -66,6 +66,8 @@ let ensure_index t =
   if t.index_dirty || Array.length t.index <> Vec.length t.rows then
     rebuild_index t
 
+let freshen = ensure_index
+
 let ts_at t k = (Vec.get t.rows t.index.(k)).ts
 
 (* Smallest index position whose timestamp is >= [ts]. *)

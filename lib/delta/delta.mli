@@ -63,6 +63,13 @@ val window_cursor : t -> lo:Time.t -> hi:Time.t -> Roll_relation.Cursor.t
 
 val window_count : t -> lo:Time.t -> hi:Time.t -> int
 
+val freshen : t -> unit
+(** Rebuild the lazy timestamp index now if it is stale. Window reads
+    normally rebuild it on demand — a read-side mutation that is unsafe
+    under concurrent readers. A parallel drain calls [freshen] on every
+    delta a wave will read {e before} dispatching, after which concurrent
+    window reads are pure (no appends happen mid-wave). *)
+
 val net_effect : t -> lo:Time.t -> hi:Time.t -> Roll_relation.Relation.t
 (** φ(σ_{lo,hi}(d)): the window collapsed to net counts. *)
 

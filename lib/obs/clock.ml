@@ -1,6 +1,6 @@
 type impl =
   | Real
-  | Manual of { mutable now : float; tick : float }
+  | Manual of { mutable now : float; tick : float; m : Mutex.t }
 
 type t = { impl : impl }
 
@@ -8,20 +8,28 @@ let real () = { impl = Real }
 
 let manual ?(start = 0.0) ?(tick = 0.0) () =
   if tick < 0.0 then invalid_arg "Clock.manual: negative tick";
-  { impl = Manual { now = start; tick } }
+  { impl = Manual { now = start; tick; m = Mutex.create () } }
 
+(* Reading a manual clock advances it by [tick], so the read is a
+   mutation; the mutex makes concurrent domain reads each observe a
+   distinct monotone value instead of racing. *)
 let now t =
   match t.impl with
   | Real -> Unix.gettimeofday ()
   | Manual m ->
+      Mutex.lock m.m;
       let v = m.now in
       m.now <- m.now +. m.tick;
+      Mutex.unlock m.m;
       v
 
 let advance t dt =
   if dt < 0.0 then invalid_arg "Clock.advance: negative";
   match t.impl with
   | Real -> invalid_arg "Clock.advance: real clock"
-  | Manual m -> m.now <- m.now +. dt
+  | Manual m ->
+      Mutex.lock m.m;
+      m.now <- m.now +. dt;
+      Mutex.unlock m.m
 
 let is_manual t = match t.impl with Real -> false | Manual _ -> true

@@ -11,7 +11,13 @@ type hist = {
 
 type instrument = I_value of { mutable v : float } | I_hist of hist
 
-type series = { s_labels : labels; inst : instrument }
+(* Every series carries the registry mutex: instruments are handed out as
+   detached records, so the update path ([add]/[set]/[observe]) can't reach
+   the registry to lock it any other way. One registry-wide mutex rather
+   than per-series — updates are cheap and the maintenance path touches a
+   handful of series per item, so contention is not a concern, and a single
+   lock keeps snapshots consistent across families. *)
+type series = { s_labels : labels; inst : instrument; s_m : Mutex.t }
 
 type family = {
   name : string;
@@ -20,6 +26,7 @@ type family = {
   f_bounds : float array option;
   tbl : (labels, series) Hashtbl.t;
   mutable order : series list;  (** creation order, reversed *)
+  f_m : Mutex.t;
 }
 
 type collector = {
@@ -33,6 +40,7 @@ type t = {
   families : (string, family) Hashtbl.t;
   mutable family_order : string list;  (** reversed *)
   mutable collectors : collector list;  (** reversed *)
+  m : Mutex.t;
 }
 
 type counter = series
@@ -42,7 +50,16 @@ type gauge = series
 type histogram = series
 
 let create () =
-  { families = Hashtbl.create 32; family_order = []; collectors = [] }
+  {
+    families = Hashtbl.create 32;
+    family_order = [];
+    collectors = [];
+    m = Mutex.create ();
+  }
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let norm_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
@@ -66,47 +83,58 @@ let valid_name name =
 let family t ~name ~help ~kind ~bounds =
   if not (valid_name name) then
     invalid_arg ("Metrics: invalid metric name: " ^ name);
-  match Hashtbl.find_opt t.families name with
-  | Some f ->
-      if f.kind <> kind then
-        invalid_arg
-          (Printf.sprintf "Metrics: %s already registered as a %s" name
-             (kind_name f.kind));
-      f
-  | None ->
-      let f =
-        { name; help; kind; f_bounds = bounds; tbl = Hashtbl.create 4; order = [] }
-      in
-      Hashtbl.add t.families name f;
-      t.family_order <- name :: t.family_order;
-      f
+  locked t.m (fun () ->
+      match Hashtbl.find_opt t.families name with
+      | Some f ->
+          if f.kind <> kind then
+            invalid_arg
+              (Printf.sprintf "Metrics: %s already registered as a %s" name
+                 (kind_name f.kind));
+          f
+      | None ->
+          let f =
+            {
+              name;
+              help;
+              kind;
+              f_bounds = bounds;
+              tbl = Hashtbl.create 4;
+              order = [];
+              f_m = t.m;
+            }
+          in
+          Hashtbl.add t.families name f;
+          t.family_order <- name :: t.family_order;
+          f)
 
 let series (f : family) labels =
   let labels = norm_labels labels in
-  match Hashtbl.find_opt f.tbl labels with
-  | Some s -> s
-  | None ->
-      let inst =
-        match f.kind with
-        | Counter | Gauge -> I_value { v = 0. }
-        | Histogram ->
-            let bounds =
-              match f.f_bounds with
-              | Some b -> b
-              | None -> invalid_arg "Metrics: histogram family without buckets"
-            in
-            I_hist
-              {
-                bounds;
-                counts = Array.make (Array.length bounds + 1) 0;
-                sum = 0.;
-                count = 0;
-              }
-      in
-      let s = { s_labels = labels; inst } in
-      Hashtbl.add f.tbl labels s;
-      f.order <- s :: f.order;
-      s
+  locked f.f_m (fun () ->
+      match Hashtbl.find_opt f.tbl labels with
+      | Some s -> s
+      | None ->
+          let inst =
+            match f.kind with
+            | Counter | Gauge -> I_value { v = 0. }
+            | Histogram ->
+                let bounds =
+                  match f.f_bounds with
+                  | Some b -> b
+                  | None ->
+                      invalid_arg "Metrics: histogram family without buckets"
+                in
+                I_hist
+                  {
+                    bounds;
+                    counts = Array.make (Array.length bounds + 1) 0;
+                    sum = 0.;
+                    count = 0;
+                  }
+          in
+          let s = { s_labels = labels; inst; s_m = f.f_m } in
+          Hashtbl.add f.tbl labels s;
+          f.order <- s :: f.order;
+          s)
 
 let counter t ?(help = "") ?(labels = []) name =
   series (family t ~name ~help ~kind:Counter ~bounds:None) labels
@@ -143,34 +171,37 @@ let histogram t ?(help = "") ?(labels = []) ?buckets name =
 let add c dv =
   if dv < 0. then invalid_arg "Metrics.add: counters only go up";
   match c.inst with
-  | I_value v -> v.v <- v.v +. dv
+  | I_value v -> locked c.s_m (fun () -> v.v <- v.v +. dv)
   | I_hist _ -> invalid_arg "Metrics.add: not a counter"
 
 let inc c = add c 1.
 
 let set g v =
   match g.inst with
-  | I_value i -> i.v <- v
+  | I_value i -> locked g.s_m (fun () -> i.v <- v)
   | I_hist _ -> invalid_arg "Metrics.set: not a gauge"
 
 let observe h v =
   match h.inst with
   | I_value _ -> invalid_arg "Metrics.observe: not a histogram"
   | I_hist hist ->
-      let n = Array.length hist.bounds in
-      let rec bucket i = if i >= n || v <= hist.bounds.(i) then i else bucket (i + 1) in
-      let i = bucket 0 in
-      hist.counts.(i) <- hist.counts.(i) + 1;
-      hist.sum <- hist.sum +. v;
-      hist.count <- hist.count + 1
+      locked h.s_m (fun () ->
+          let n = Array.length hist.bounds in
+          let rec bucket i =
+            if i >= n || v <= hist.bounds.(i) then i else bucket (i + 1)
+          in
+          let i = bucket 0 in
+          hist.counts.(i) <- hist.counts.(i) + 1;
+          hist.sum <- hist.sum +. v;
+          hist.count <- hist.count + 1)
 
 let value s =
-  match s.inst with
-  | I_value v -> v.v
-  | I_hist h -> h.sum
+  locked s.s_m (fun () ->
+      match s.inst with I_value v -> v.v | I_hist h -> h.sum)
 
 let hist_count s =
-  match s.inst with I_hist h -> h.count | I_value _ -> 0
+  locked s.s_m (fun () ->
+      match s.inst with I_hist h -> h.count | I_value _ -> 0)
 
 let register_collector t ?(help = "") ~kind name read =
   if not (valid_name name) then
@@ -178,7 +209,9 @@ let register_collector t ?(help = "") ~kind name read =
   (match kind with
   | Counter | Gauge -> ()
   | Histogram -> invalid_arg "Metrics.register_collector: histograms only live");
-  t.collectors <- { c_name = name; c_help = help; c_kind = kind; read } :: t.collectors
+  locked t.m (fun () ->
+      t.collectors <-
+        { c_name = name; c_help = help; c_kind = kind; read } :: t.collectors)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots (what the exporters consume)                              *)
@@ -208,33 +241,37 @@ let sort_points ps =
     ps
 
 let snapshot t =
-  let live =
-    List.rev_map
-      (fun name ->
-        let f = Hashtbl.find t.families name in
-        let points =
-          List.rev_map
-            (fun s ->
-              match s.inst with
-              | I_value v ->
-                  { p_labels = s.s_labels; p_value = v.v; p_hist = None }
-              | I_hist h ->
-                  {
-                    p_labels = s.s_labels;
-                    p_value = h.sum;
-                    p_hist =
-                      Some
+  (* Live instrument state is copied under the lock; collector reads run
+     outside it (a collector callback may itself create or read metrics). *)
+  let live, collectors =
+    locked t.m (fun () ->
+        ( List.rev_map
+            (fun name ->
+              let f = Hashtbl.find t.families name in
+              let points =
+                List.rev_map
+                  (fun s ->
+                    match s.inst with
+                    | I_value v ->
+                        { p_labels = s.s_labels; p_value = v.v; p_hist = None }
+                    | I_hist h ->
                         {
-                          h_bounds = h.bounds;
-                          h_counts = Array.copy h.counts;
-                          h_sum = h.sum;
-                          h_count = h.count;
-                        };
-                  })
-            f.order
-        in
-        { sf_name = f.name; sf_help = f.help; sf_kind = f.kind; points })
-      t.family_order
+                          p_labels = s.s_labels;
+                          p_value = h.sum;
+                          p_hist =
+                            Some
+                              {
+                                h_bounds = h.bounds;
+                                h_counts = Array.copy h.counts;
+                                h_sum = h.sum;
+                                h_count = h.count;
+                              };
+                        })
+                  f.order
+              in
+              { sf_name = f.name; sf_help = f.help; sf_kind = f.kind; points })
+            t.family_order,
+          List.rev t.collectors ))
   in
   (* Collector output grouped by name; several collectors may share one
      metric name (e.g. one Stats registration per view). *)
@@ -256,7 +293,7 @@ let snapshot t =
           Hashtbl.add collected c.c_name
             { sf_name = c.c_name; sf_help = c.c_help; sf_kind = c.c_kind; points };
           collected_order := c.c_name :: !collected_order)
-    (List.rev t.collectors);
+    collectors;
   let families =
     live @ List.rev_map (fun name -> Hashtbl.find collected name) !collected_order
   in
@@ -277,15 +314,16 @@ let find_value t ?(labels = []) name =
   in_families (snapshot t)
 
 let reset t =
-  Hashtbl.iter
-    (fun _ f ->
+  locked t.m (fun () ->
       Hashtbl.iter
-        (fun _ s ->
-          match s.inst with
-          | I_value v -> v.v <- 0.
-          | I_hist h ->
-              Array.fill h.counts 0 (Array.length h.counts) 0;
-              h.sum <- 0.;
-              h.count <- 0)
-        f.tbl)
-    t.families
+        (fun _ f ->
+          Hashtbl.iter
+            (fun _ s ->
+              match s.inst with
+              | I_value v -> v.v <- 0.
+              | I_hist h ->
+                  Array.fill h.counts 0 (Array.length h.counts) 0;
+                  h.sum <- 0.;
+                  h.count <- 0)
+            f.tbl)
+        t.families)

@@ -33,3 +33,9 @@ let metrics t = t.metrics
 let now t = Clock.now t.clock
 
 let tracing t = Trace.enabled t.trace
+
+(* The metrics registry and clock are domain-safe and stay shared; only
+   the trace recorder (single-domain by design) is forked per worker. *)
+let fork t = { t with trace = Trace.fork t.trace }
+
+let absorb t child = Trace.absorb t.trace child.trace

@@ -31,3 +31,11 @@ val now : t -> float
 val tracing : t -> bool
 (** Whether spans are being recorded — the guard instrumentation points
     check before doing any per-span work. *)
+
+val fork : t -> t
+(** A handle for a worker domain: same clock and metrics registry (both
+    domain-safe), but a {!Trace.fork}ed private span recorder. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent child] splices the forked child's spans back into the
+    parent trace ({!Trace.absorb}); call after the worker has joined. *)

@@ -156,6 +156,54 @@ let spans t =
   |> List.filter_map Fun.id
   |> List.sort (fun a b -> compare a.id b.id)
 
+let fork t =
+  if not t.enabled then noop ()
+  else
+    {
+      enabled = true;
+      clock = t.clock;
+      capacity = t.capacity;
+      ring = Array.make t.capacity None;
+      write = 0;
+      recorded = 0;
+      open_spans = [];
+      next_id = 1;
+    }
+
+(* Splice a forked child's finished spans back into [t]. The child's ids
+   are remapped past the parent's current next_id, its roots are
+   re-parented under the parent's innermost open span, and depths shift by
+   the parent's open-stack height — so the merged trace is well-nested
+   exactly when both halves were. The id block is consumed even for child
+   spans lost to ring overwrite, keeping ids unique across repeated
+   absorbs. *)
+let absorb t child =
+  if t.enabled && child.enabled then begin
+    if child.open_spans <> [] then
+      invalid_arg "Trace.absorb: child has open spans";
+    let base = t.next_id - 1 in
+    let depth_shift = List.length t.open_spans in
+    let reparent =
+      match t.open_spans with [] -> 0 | parent :: _ -> parent.id
+    in
+    List.iter
+      (fun s ->
+        push_finished t
+          {
+            s with
+            id = s.id + base;
+            parent = (if s.parent = 0 then reparent else s.parent + base);
+            depth = s.depth + depth_shift;
+          })
+      (spans child);
+    t.next_id <- t.next_id + child.next_id - 1;
+    (* Leave the child empty so a second absorb cannot duplicate spans. *)
+    Array.fill child.ring 0 child.capacity None;
+    child.write <- 0;
+    child.recorded <- 0;
+    child.next_id <- 1
+  end
+
 let find t ~name = List.filter (fun s -> String.equal s.name name) (spans t)
 
 let clear t =

@@ -80,6 +80,22 @@ val abort_open : t -> reason:string -> unit
     call from inside {!with_span} — the enclosing frames' own closes
     become no-ops for spans aborted out from under them. *)
 
+val fork : t -> t
+(** A fresh recorder sharing this one's clock and capacity, for handing to
+    a worker domain: the child records its spans privately (no
+    synchronization with the parent), and {!absorb} splices them back once
+    the worker has joined. Forking a disabled recorder yields a disabled
+    recorder. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent child] moves the child's finished spans into [parent]:
+    ids are remapped past the parent's current counter, the child's root
+    spans are re-parented under the parent's innermost open span, and
+    depths shift by the parent's open-stack height — the merged trace is
+    well-nested exactly when both halves were. The child is left empty.
+    Call only after the worker using [child] has joined.
+    @raise Invalid_argument if the child still has open spans. *)
+
 val open_count : t -> int
 (** Currently open spans — 0 between units of work on a balanced trace. *)
 

@@ -74,6 +74,27 @@ let reader_stream rng ~resource ~rate ~until ~mean_duration =
         locks = [ { Des.resource; mode = Des.Shared } ];
       })
 
+(* One wave of parallel maintenance: the items dispatch together and each
+   writes only its own view delta (frozen-clock steps commit no markers and
+   advance no capture), so two wave items share an exclusive resource only
+   if the scheduler hands out overlapping windows — which take_wave never
+   does. The single-writer apply and updaters are the only writers that can
+   block a wave item. *)
+let wave_txns model items ~start =
+  List.map
+    (fun (view, fp) ->
+      {
+        Des.label = "wave:" ^ view;
+        arrival = start;
+        duration = duration_of model (footprint_rows fp);
+        locks =
+          { Des.resource = "delta:" ^ view; mode = Des.Exclusive }
+          :: List.map
+               (fun (resource, _) -> { Des.resource; mode = Des.Shared })
+               fp.Stats.reads;
+      })
+    items
+
 let apply_txn model ~rows ~start ~view =
   {
     Des.label = "apply";

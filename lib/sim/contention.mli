@@ -53,5 +53,21 @@ val reader_stream :
   Des.txn_spec list
 (** Poisson stream of view readers (shared lock on [resource]). *)
 
+val wave_txns :
+  cost_model ->
+  (string * Roll_core.Stats.footprint) list ->
+  start:float ->
+  Des.txn_spec list
+(** One simulator transaction per parallel wave item [(view, footprint)],
+    all arriving together at [start] (a wave dispatches its items
+    concurrently). Each takes shared locks on the base tables and deltas
+    its forward query reads and an {e exclusive} lock on its own view's
+    delta ([delta:<view>]) — frozen-clock steps write nothing else. The
+    model therefore predicts the wave invariant the scheduler enforces:
+    items with pairwise-disjoint windows over distinct views never block
+    each other; only the single-writer apply on the same view, or an
+    updater on a table the step reads, can make a wave item wait. Labels
+    are ["wave:<view>"]. *)
+
 val apply_txn :
   cost_model -> rows:int -> start:float -> view:string -> Des.txn_spec

@@ -27,3 +27,11 @@ let shuffle t arr =
   done
 
 let split t = create ~seed:(Random.State.bits t)
+
+(* Derive the seeds first, then build the generators: the derivation order
+   is the array order, so stream k is the same whether or not streams
+   0..k-1 are ever used. *)
+let split_n t n =
+  if n < 0 then invalid_arg "Prng.split_n";
+  let seeds = Array.init n (fun _ -> Random.State.bits t) in
+  Array.map (fun seed -> create ~seed) seeds

@@ -28,3 +28,10 @@ val shuffle : t -> 'a array -> unit
 
 val split : t -> t
 (** [split t] is a new generator seeded from [t], advancing [t]. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] independent generators, each seeded
+    deterministically from [t] (advancing [t] by [n] draws). The intended
+    use is one stream per domain: the streams are fixed by [t]'s state at
+    the split point alone, so concurrent consumers stay seed-deterministic
+    without sharing a [Random.State] across domains. *)

@@ -218,6 +218,53 @@ let suite =
       test_small_txns_reduce_update_waits;
   ]
 
+(* Who-blocks-whom under parallel waves: items with disjoint windows over
+   distinct views share no exclusive resource, so the model predicts zero
+   mutual blocking — a wave's makespan is its slowest item, not the sum. *)
+let wave_fp table : Roll_core.Stats.footprint =
+  {
+    exec = 0;
+    description = "wave step";
+    reads = [ (table, 100); ("delta:" ^ table, 10) ];
+    emitted = 5;
+  }
+
+let test_wave_items_never_block_each_other () =
+  let items = [ ("v_a", wave_fp "a"); ("v_b", wave_fp "b"); ("v_c", wave_fp "c") ] in
+  let txns = Contention.wave_txns Contention.default_costs items ~start:0.0 in
+  let result = Des.run ~validate:true txns in
+  List.iter
+    (fun (view, _) ->
+      Alcotest.(check (float 1e-9))
+        (view ^ " never waits") 0.0
+        (Summary.mean (stats_for result ("wave:" ^ view)).Des.wait))
+    items;
+  let item_duration = (List.hd txns).Des.duration in
+  Alcotest.(check (float 1e-9)) "makespan is one item, not three"
+    item_duration result.Des.makespan
+
+(* The single-writer apply is the only maintenance transaction that can
+   block a wave item — and it blocks exactly the item maintaining the same
+   view (apply reads that view's delta while the step writes it). An
+   updater blocks exactly the items reading the table it writes. *)
+let test_wave_single_writer_and_updater_block () =
+  let items = [ ("v_a", wave_fp "a"); ("v_b", wave_fp "b"); ("v_c", wave_fp "c") ] in
+  let wave = Contention.wave_txns Contention.default_costs items ~start:0.01 in
+  let apply =
+    txn ~label:"apply" ~arrival:0.0 ~duration:0.05
+      [ x "v_a"; s "delta:v_a" ]
+  in
+  let updater =
+    txn ~label:"update" ~arrival:0.0 ~duration:0.02 [ x "b"; x "delta:b" ]
+  in
+  let result = Des.run ~validate:true (apply :: updater :: wave) in
+  let wait view = Summary.mean (stats_for result ("wave:" ^ view)).Des.wait in
+  Alcotest.(check (float 1e-9)) "same-view item waits out the apply" 0.04
+    (wait "v_a");
+  Alcotest.(check (float 1e-9)) "same-table item waits out the updater" 0.01
+    (wait "v_b");
+  Alcotest.(check (float 1e-9)) "disjoint item never waits" 0.0 (wait "v_c")
+
 (* The simulator validates itself: conflicting intervals never overlap,
    even on large random workloads. *)
 let test_validated_random_workload () =
@@ -241,6 +288,10 @@ let test_validated_random_workload () =
 let suite =
   suite
   @ [
+      Alcotest.test_case "wave items never block each other" `Quick
+        test_wave_items_never_block_each_other;
+      Alcotest.test_case "single-writer apply and updaters block waves" `Quick
+        test_wave_single_writer_and_updater_block;
       Alcotest.test_case "self-validation on random workload" `Quick
         test_validated_random_workload;
     ]
