@@ -20,6 +20,7 @@ let () =
     print_endline "micro";
     print_endline "json";
     print_endline "sched";
+    print_endline "serve";
     print_endline "share";
     print_endline "obs"
   end
@@ -44,6 +45,7 @@ let () =
     if wanted "micro" then Micro.run ();
     if wanted "json" then timed "json" Bench_json.run;
     if wanted "sched" then timed "sched" Bench_sched.run;
+    if wanted "serve" then timed "serve" Bench_serve.run;
     if wanted "share" then timed "share" Bench_share.run;
     if wanted "obs" then timed "obs" Bench_obs.run;
     Printf.printf "\ntotal: %.1fs\n" (now () -. t0)

@@ -27,6 +27,11 @@ type t = {
   apply : Apply.t;
   process : process;
   mutable durable : bool;
+  mutable gc_horizon : Time.t;
+      (** earliest time a faithful snapshot can still be built: the view's
+          materialization time, pushed forward whenever gc prunes applied
+          delta rows (reconstructing below the prune point would need the
+          rows the prune reclaimed) *)
 }
 
 let ctx t = t.ctx
@@ -133,7 +138,9 @@ let create ?(geometry = false) ?(auto_index = false) ?(durable = false) ?obs db
         let tuner = Autotune.create ~target_rows ctx in
         P_rolling (Rolling.create ctx ~t_initial, Autotune.policy tuner)
   in
-  let t = { ctx; apply; process; durable = false } in
+  let t =
+    { ctx; apply; process; durable = false; gc_horizon = Apply.as_of apply }
+  in
   if durable then set_durable t true;
   t
 
@@ -217,7 +224,26 @@ let refresh_latest t =
   refresh_to t target;
   target
 
-let gc t = Apply.prune_applied t.apply
+let gc t =
+  let pruned = Apply.prune_applied t.apply in
+  (* Only an actual reclaim moves the horizon: pruning zero rows proves
+     the delta held nothing at or before the apply position, so older
+     snapshots are still reconstructible. *)
+  if pruned > 0 then t.gc_horizon <- Time.max t.gc_horizon (as_of t);
+  pruned
+
+let horizon t = t.gc_horizon
+
+(* Point-in-time snapshot of the view as of [time]: the stored contents
+   rolled forward (or backward) through the timed view delta. Callers must
+   keep [gc_horizon <= time <= hwm] — below the horizon the delta rows
+   needed to rewind were reclaimed, above the hwm they do not exist yet. *)
+let view_at t time =
+  if time < t.gc_horizon then
+    invalid_arg
+      (Printf.sprintf "Controller.view_at: time %d below gc horizon %d" time
+         t.gc_horizon);
+  Apply.view_at t.apply ~hwm:(hwm t) time
 
 let stats t = t.ctx.Ctx.stats
 
@@ -632,7 +658,9 @@ let recover_body ~geometry ~auto_index ?checkpoint ~obs db capture view
         let tuner = Autotune.create ~target_rows ctx in
         P_rolling (rolling, Autotune.policy tuner)
   in
-  let t = { ctx; apply; process; durable = true } in
+  let t =
+    { ctx; apply; process; durable = true; gc_horizon = Apply.as_of apply }
+  in
   (* Roll the stored view forward to the recorded apply position. *)
   let target_as_of = Time.min last.Frontier.as_of (hwm t) in
   if target_as_of > Apply.as_of t.apply then

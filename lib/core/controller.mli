@@ -228,7 +228,22 @@ val refresh_latest : t -> Roll_delta.Time.t
 (** Refresh to the database's current time. *)
 
 val gc : t -> int
-(** Prune applied view-delta rows; returns rows removed. *)
+(** Prune applied view-delta rows; returns rows removed. When rows were
+    reclaimed, the {!horizon} advances to the current {!as_of}: times
+    below it are no longer reconstructible. *)
+
+val horizon : t -> Roll_delta.Time.t
+(** Earliest time {!view_at} can still reconstruct: the materialization
+    time as of the last reclaiming {!gc} (the pruned delta prefix is
+    gone), or the initial materialization time if gc never reclaimed. *)
+
+val view_at : t -> Roll_delta.Time.t -> Roll_relation.Relation.t
+(** Point-in-time snapshot: the view's contents as of exactly [time],
+    computed from the stored contents and the view delta without moving
+    the controller ([as_of]/[hwm] are unchanged — unlike {!refresh_to}).
+    Requires [horizon t <= time <= hwm t].
+    @raise Invalid_argument when [time] is below {!horizon} (the server
+    maps this to a typed [`Gc_horizon] rejection). *)
 
 val stats : t -> Stats.t
 

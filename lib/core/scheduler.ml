@@ -26,6 +26,7 @@ type scored = {
   est_cost : float;
   deferred : bool;
   window : (string * Time.t * Time.t) option;
+  readers : int;  (** clients waiting on this view's hwm when planned *)
 }
 
 type source = {
@@ -57,6 +58,10 @@ type t = {
      provenance [rollctl status] reports under parallel drains. Slot 0 is
      the drain domain itself. *)
   by_domain : (string * int, int) Hashtbl.t;
+  (* Read demand: how many admitted readers are waiting for this view's
+     hwm to reach their target time. Installed by the serving layer
+     (Roll_serve.Engine); the default reports no demand anywhere. *)
+  mutable read_demand : string -> int;
 }
 
 (* Score bands: every runnable item's score stays far below [deferred_band],
@@ -65,6 +70,17 @@ let background_band = 1.0e6
 let gc_band = 1.0e9
 let rr_sweep_band = 1.0e4
 let deferred_band = 1.0e15
+
+(* Reader boost: a runnable propagate step with waiting readers drops by a
+   whole band, outranking any slack score — readers are latency the view is
+   accumulating right now, slack is latency it may accumulate later. The
+   band sits far above the backpressure boost (-deferred_band), so capture
+   still wins when the boosted window is under-captured, and a deferred
+   boosted step stays deferred. Starvation-free for the same reason the
+   base policy is: every boosted step strictly advances its view's
+   frontier toward the readers' target, after which the demand (and the
+   boost) disappears and the queue reverts to slack order. *)
+let reader_band = 1.0e5
 
 let create ?(policy = Slack) ?(cost_weight = 0.01) ?capture_batch db capture =
   (match capture_batch with
@@ -82,7 +98,10 @@ let create ?(policy = Slack) ?(cost_weight = 0.01) ?capture_batch db capture =
     obs = Roll_obs.Obs.disabled ();
     first_seen = Hashtbl.create 16;
     by_domain = Hashtbl.create 8;
+    read_demand = (fun _ -> 0);
   }
+
+let set_read_demand t f = t.read_demand <- f
 
 let set_obs t obs =
   t.obs <- obs;
@@ -162,16 +181,20 @@ let propagate_items t ~now ~capture_hwm sources =
                let staleness = now - hwm in
                let slack = src.sla - staleness in
                let deferred = c.Controller.hi > capture_hwm in
+               let readers = t.read_demand src.name in
                let score =
                  if deferred then deferred_band +. float_of_int reg_index
                  else
-                   match t.policy with
-                   | Slack ->
-                       float_of_int slack
-                       +. (t.cost_weight *. c.Controller.est_cost)
-                   | Round_robin ->
-                       (float_of_int (rounds_of t src.name) *. rr_sweep_band)
-                       +. float_of_int reg_index
+                   let base =
+                     match t.policy with
+                     | Slack ->
+                         float_of_int slack
+                         +. (t.cost_weight *. c.Controller.est_cost)
+                     | Round_robin ->
+                         (float_of_int (rounds_of t src.name) *. rr_sweep_band)
+                         +. float_of_int reg_index
+                   in
+                   if readers > 0 then base -. reader_band else base
                in
                let table =
                  View.source_table
@@ -190,6 +213,7 @@ let propagate_items t ~now ~capture_hwm sources =
                    est_cost = c.Controller.est_cost;
                    deferred;
                    window = Some (table, c.Controller.lo, c.Controller.hi);
+                   readers;
                  };
                ])
        sources)
@@ -217,6 +241,7 @@ let capture_item t =
         est_cost = 0.;
         deferred = false;
         window = None;
+        readers = 0;
       };
     ]
 
@@ -254,6 +279,7 @@ let background_items t ~now sources =
                 est_cost = float_of_int rows;
                 deferred = false;
                 window = None;
+                readers = 0;
               };
             ]
         in
@@ -267,6 +293,7 @@ let background_items t ~now sources =
             est_cost = 0.;
             deferred = false;
             window = None;
+            readers = 0;
           }
         in
         let checkpoint =

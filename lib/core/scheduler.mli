@@ -62,6 +62,9 @@ type scored = {
       (** for propagate items, the [(table, lo, hi)] delta window the
           step's forward query would read — the batching key {!take_batch}
           groups on; [None] for every other kind *)
+  readers : int;
+      (** clients currently blocked waiting on this view's freshness (see
+          {!set_read_demand}); 0 for non-propagate kinds *)
 }
 
 type source = {
@@ -160,6 +163,19 @@ val ran_by_domain : t -> ((string * int) * int) list
 val begin_drain : t -> unit
 (** Reset per-drain round-robin turn state (and queue-wait bookkeeping).
     Call at the start of every budgeted drain. *)
+
+val set_read_demand : t -> (string -> int) -> unit
+(** Install the read-demand census: [f view] reports how many admitted
+    readers are currently blocked waiting for [view]'s high-water mark to
+    reach their requested time. A view with waiting readers has its
+    runnable propagate steps boosted by a fixed reader band (above every
+    slack score, below capture backpressure), so read traffic outranks
+    idle slack without reordering the backpressure machinery. Deferred
+    steps stay deferred — the boost never runs an under-captured window.
+    The boost cannot starve other views: every boosted step strictly
+    advances the boosted view's frontier toward the readers' target, so
+    demand drains in finitely many steps and scoring reverts to slack
+    order. Default census: no demand. *)
 
 val set_obs : t -> Roll_obs.Obs.t -> unit
 (** Attach an observability handle. When enabled, {!plan} stamps each item

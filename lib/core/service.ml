@@ -31,6 +31,9 @@ type status = {
   memo_hits : int;
   memo_misses : int;
   shared_builds : int;
+  reads_served : int;
+  reads_rejected : int;
+  read_wait : float;
 }
 
 type step_error = { view : string; point : string; hit : int; attempts : int }
@@ -92,6 +95,10 @@ let create ?policy ?cost_weight ?capture_batch ?(sharing = false)
   }
 
 let scheduler t = t.scheduler
+
+(* Read demand feeds the scheduler's reader boost; the serving layer
+   (Roll_serve.Engine) installs its waiting-reader census here. *)
+let set_read_demand t f = Scheduler.set_read_demand t.scheduler f
 
 let domains t =
   match t.pool with None -> 1 | Some p -> Roll_util.Dpool.size p
@@ -238,6 +245,9 @@ let status t =
         memo_hits = Stats.memo_hits stats;
         memo_misses = Stats.memo_misses stats;
         shared_builds = Stats.shared_builds stats;
+        reads_served = Stats.reads_served stats;
+        reads_rejected = Stats.reads_rejected stats;
+        read_wait = Stats.read_wait stats;
       })
     t.entries
 
@@ -796,10 +806,11 @@ let status_json t =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"view\":%s,\"as_of\":%d,\"hwm\":%d,\"staleness\":%d,\"sla\":%d,\"slack\":%d,\"delta_rows\":%d,\"paused\":%b,\"retries\":%d,\"aborts\":%d,\"recoveries\":%d,\"memo_hits\":%d,\"memo_misses\":%d,\"shared_builds\":%d}"
+           "{\"view\":%s,\"as_of\":%d,\"hwm\":%d,\"staleness\":%d,\"sla\":%d,\"slack\":%d,\"delta_rows\":%d,\"paused\":%b,\"retries\":%d,\"aborts\":%d,\"recoveries\":%d,\"memo_hits\":%d,\"memo_misses\":%d,\"shared_builds\":%d,\"reads_served\":%d,\"reads_rejected\":%d,\"read_wait\":%s}"
            (E.json_string s.name) s.as_of s.hwm s.staleness s.sla s.slack
            s.delta_rows s.paused s.retries s.aborts s.recoveries s.memo_hits
-           s.memo_misses s.shared_builds))
+           s.memo_misses s.shared_builds s.reads_served s.reads_rejected
+           (E.json_float s.read_wait)))
     (status t);
   Buffer.add_char buf ']';
   Buffer.contents buf
@@ -859,14 +870,14 @@ let schedule_json ?full t =
       in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"item\":%s,\"kind\":%s,\"score\":%s,\"staleness\":%d,\"slack\":%d,\"est_rows\":%d,\"est_cost\":%s,\"deferred\":%b,\"window\":%s}"
+           "{\"item\":%s,\"kind\":%s,\"score\":%s,\"staleness\":%d,\"slack\":%d,\"est_rows\":%d,\"est_cost\":%s,\"deferred\":%b,\"readers\":%d,\"window\":%s}"
            (E.json_string
               (Format.asprintf "%a" Scheduler.pp_item s.Scheduler.item))
            (E.json_string (Scheduler.kind_name s.Scheduler.item))
            (E.json_float s.Scheduler.score)
            s.Scheduler.staleness s.Scheduler.slack s.Scheduler.est_rows
            (E.json_float s.Scheduler.est_cost)
-           s.Scheduler.deferred window))
+           s.Scheduler.deferred s.Scheduler.readers window))
     (schedule ?full t);
   Buffer.add_char buf ']';
   Buffer.contents buf

@@ -39,6 +39,10 @@ type status = {
   shared_builds : int;
       (** hash builds and window materializations this view reused from the
           shared build cache *)
+  reads_served : int;  (** reads served by a [rolld] front end *)
+  reads_rejected : int;  (** reads rejected by admission control *)
+  read_wait : float;
+      (** total seconds admitted readers spent blocked on freshness *)
 }
 
 type step_error = {
@@ -137,6 +141,12 @@ val names : t -> string list
 val scheduler : t -> Scheduler.t
 (** The service's work queue — inspect its policy and {!Scheduler.stats}
     counters. *)
+
+val set_read_demand : t -> (string -> int) -> unit
+(** Install the waiting-reader census on the service's scheduler (see
+    {!Scheduler.set_read_demand}); the [rolld] serving engine plugs its
+    blocked-reader queue in here so drains prioritize views clients are
+    waiting on. *)
 
 val obs : t -> Roll_obs.Obs.t
 (** The service's observability handle (a disabled one unless [create]

@@ -42,6 +42,9 @@ type t = {
   memo_hits : int Atomic.t;
   memo_misses : int Atomic.t;
   shared_builds : int Atomic.t;
+  reads_served : int Atomic.t;
+  reads_rejected : int Atomic.t;
+  mutable read_wait : float;
   resources : (string, resource_counters) Hashtbl.t;
   sched : (string, sched_counters) Hashtbl.t;
   mutable keep_footprints : bool;
@@ -65,6 +68,9 @@ let create () =
     memo_hits = Atomic.make 0;
     memo_misses = Atomic.make 0;
     shared_builds = Atomic.make 0;
+    reads_served = Atomic.make 0;
+    reads_rejected = Atomic.make 0;
+    read_wait = 0.;
     resources = Hashtbl.create 8;
     sched = Hashtbl.create 8;
     keep_footprints = true;
@@ -104,6 +110,16 @@ let memo_misses t = Atomic.get t.memo_misses
 
 let shared_builds t = Atomic.get t.shared_builds
 
+let reads_served t = Atomic.get t.reads_served
+
+let reads_rejected t = Atomic.get t.reads_rejected
+
+let read_wait t = t.read_wait
+
+let incr_reads_served t = Atomic.incr t.reads_served
+
+let incr_reads_rejected t = Atomic.incr t.reads_rejected
+
 let incr_memo_hits t = Atomic.incr t.memo_hits
 
 let incr_memo_misses t = Atomic.incr t.memo_misses
@@ -131,6 +147,9 @@ let record_exec t ~scanned ~probed ~hash_builds ~wall =
   ignore (Atomic.fetch_and_add t.rows_probed probed);
   ignore (Atomic.fetch_and_add t.hash_builds hash_builds);
   locked t (fun () -> t.exec_wall <- t.exec_wall +. wall)
+
+let add_read_wait t seconds =
+  locked t (fun () -> t.read_wait <- t.read_wait +. seconds)
 
 let record_resource t name ~scanned ~probed ~wall =
   locked t (fun () ->
@@ -194,8 +213,11 @@ let reset t =
   Atomic.set t.memo_hits 0;
   Atomic.set t.memo_misses 0;
   Atomic.set t.shared_builds 0;
+  Atomic.set t.reads_served 0;
+  Atomic.set t.reads_rejected 0;
   locked t (fun () ->
       t.exec_wall <- 0.;
+      t.read_wait <- 0.;
       Hashtbl.reset t.resources;
       Hashtbl.reset t.sched;
       Vec.clear t.footprints)
@@ -250,6 +272,15 @@ let register ?(labels = []) t registry =
   counter "roll_shared_builds_total"
     ~help:"Physical artifacts reused from the per-drain build cache"
     (fun () -> float_of_int (shared_builds t));
+  counter "roll_reads_served_total"
+    ~help:"Point-in-time and freshest-available reads served" (fun () ->
+      float_of_int (reads_served t));
+  counter "roll_reads_rejected_total"
+    ~help:"Reads rejected by admission control" (fun () ->
+      float_of_int (reads_rejected t));
+  counter "roll_read_wait_seconds_total"
+    ~help:"Seconds admitted reads spent queued for their target time"
+    (fun () -> read_wait t);
   gauge "roll_memo_hit_ratio"
     ~help:"Memo hits over memo consultations (0 when unused)" (fun () ->
       let total = memo_hits t + memo_misses t in
@@ -302,4 +333,8 @@ let pp ppf t =
   if memo_hits t > 0 || memo_misses t > 0 || shared_builds t > 0 then
     Format.fprintf ppf " memo=%d/%d shared_builds=%d" (memo_hits t)
       (memo_hits t + memo_misses t)
-      (shared_builds t)
+      (shared_builds t);
+  if reads_served t > 0 || reads_rejected t > 0 then
+    Format.fprintf ppf " reads=%d/%d wait=%.3fs" (reads_served t)
+      (reads_served t + reads_rejected t)
+      (read_wait t)

@@ -90,6 +90,23 @@ val shared_builds : t -> int
 (** Physical artifacts (hash builds, window materializations) this view
     reused from the per-drain build cache instead of rebuilding. *)
 
+val reads_served : t -> int
+(** Point-in-time and freshest-available reads served for this view. *)
+
+val reads_rejected : t -> int
+(** Reads rejected by admission control (too new, below the gc horizon,
+    or shed under overload). *)
+
+val read_wait : t -> float
+(** Total seconds admitted readers spent blocked waiting for the view's
+    high-water mark to reach their requested time. *)
+
+val incr_reads_served : t -> unit
+
+val incr_reads_rejected : t -> unit
+
+val add_read_wait : t -> float -> unit
+
 val incr_memo_hits : t -> unit
 
 val incr_memo_misses : t -> unit

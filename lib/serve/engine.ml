@@ -1,0 +1,279 @@
+(** The serving engine: admission control and the blocked-reader queue.
+
+    rolld keeps the single-writer discipline of the maintenance loop: the
+    engine never runs maintenance itself and connection threads never
+    touch the database. A connection thread {!submit}s a read and blocks
+    in {!await}; the drain loop (the server's engine thread, or a test
+    driving the engine inline) calls {!pump} between maintenance drains
+    to resolve whatever has become servable. All database access — clock
+    reads, snapshot construction, status — happens inside {!pump} on the
+    pumping thread, so reads are always served against a quiescent
+    engine.
+
+    {2 Admission}
+
+    For [READ view AT t] with current database time [now], view
+    high-water mark [hwm] and gc horizon [h]:
+
+    - [t > now]: rejected [too_new] — the time has not been committed, no
+      amount of waiting on this server can serve it;
+    - [t < h]: rejected [gc_horizon] — the applied delta prefix below [h]
+      was pruned, the snapshot is gone forever;
+    - [t <= hwm]: served immediately from the view delta
+      ({!Roll_core.Controller.view_at}), no maintenance needed;
+    - [hwm < t <= now]: {e queued}. The reader blocks until propagation
+      rolls the high-water mark past [t]; queued readers are what the
+      scheduler's reader boost counts ({!demand} is installed as the
+      {!Roll_core.Service.set_read_demand} census).
+
+    [READ view FRESH] serves at the current high-water mark and never
+    queues. A full queue sheds new reads with [overloaded] instead of
+    growing without bound. *)
+
+module Service = Roll_core.Service
+module Controller = Roll_core.Controller
+module Stats = Roll_core.Stats
+module Database = Roll_storage.Database
+module Relation = Roll_relation.Relation
+module Obs = Roll_obs.Obs
+module Metrics = Roll_obs.Metrics
+
+type ticket = {
+  request : Protocol.request;
+  submitted : float;  (** wall clock ({!Unix.gettimeofday}) at submit *)
+  t_mutex : Mutex.t;
+  t_cond : Condition.t;
+  mutable result : Protocol.response option;
+}
+
+type t = {
+  service : Service.t;
+  db : Database.t;
+  queue_limit : int;
+  mutex : Mutex.t;  (** guards [pending], [accepting] and the counters *)
+  mutable pending : ticket list;  (** newest first; {!pump} serves oldest first *)
+  mutable accepting : bool;
+  mutable served : int;
+  mutable rejected : int;
+}
+
+let create ?(queue_limit = 1024) db service =
+  if queue_limit < 1 then invalid_arg "Engine.create: queue_limit < 1";
+  let t =
+    {
+      service;
+      db;
+      queue_limit;
+      mutex = Mutex.create ();
+      pending = [];
+      accepting = true;
+      served = 0;
+      rejected = 0;
+    }
+  in
+  (* Plug the blocked-reader census into the scheduler so drains
+     prioritize views clients are waiting on. *)
+  Service.set_read_demand service (fun view ->
+      Mutex.protect t.mutex (fun () ->
+          List.length
+            (List.filter
+               (fun ticket ->
+                 match ticket.request with
+                 | Protocol.Read_at { view = v; _ } -> v = view
+                 | _ -> false)
+               t.pending)));
+  t
+
+let service t = t.service
+
+let db t = t.db
+
+let pending t = Mutex.protect t.mutex (fun () -> List.length t.pending)
+
+let reads_served t = Mutex.protect t.mutex (fun () -> t.served)
+
+let reads_rejected t = Mutex.protect t.mutex (fun () -> t.rejected)
+
+let demand t view =
+  Mutex.protect t.mutex (fun () ->
+      List.length
+        (List.filter
+           (fun ticket ->
+             match ticket.request with
+             | Protocol.Read_at { view = v; _ } -> v = view
+             | _ -> false)
+           t.pending))
+
+let resolve ticket response =
+  Mutex.protect ticket.t_mutex (fun () ->
+      ticket.result <- Some response;
+      Condition.broadcast ticket.t_cond)
+
+let await ticket =
+  Mutex.protect ticket.t_mutex (fun () ->
+      let rec wait () =
+        match ticket.result with
+        | Some r -> r
+        | None ->
+            Condition.wait ticket.t_cond ticket.t_mutex;
+            wait ()
+      in
+      wait ())
+
+let poll ticket = Mutex.protect ticket.t_mutex (fun () -> ticket.result)
+
+let submit t request =
+  (match request with
+  | Protocol.Read_at _ | Protocol.Read_fresh _ | Protocol.Status -> ()
+  | _ -> invalid_arg "Engine.submit: only READ and STATUS requests are queued");
+  let ticket =
+    {
+      request;
+      submitted = Unix.gettimeofday ();
+      t_mutex = Mutex.create ();
+      t_cond = Condition.create ();
+      result = None;
+    }
+  in
+  let reject =
+    Mutex.protect t.mutex (fun () ->
+        if not t.accepting then (
+          t.rejected <- t.rejected + 1;
+          Some Protocol.Shutting_down)
+        else if List.length t.pending >= t.queue_limit then (
+          t.rejected <- t.rejected + 1;
+          Some
+            (Protocol.Overloaded
+               { pending = List.length t.pending; limit = t.queue_limit }))
+        else begin
+          t.pending <- ticket :: t.pending;
+          None
+        end)
+  in
+  (match reject with
+  | Some r -> resolve ticket (Protocol.Rejected r)
+  | None -> ());
+  ticket
+
+(* Serving (pump thread only — the single place that touches the db). *)
+
+let observe_read t ~view ~wait ~staleness =
+  let obs = Service.obs t.service in
+  if Obs.enabled obs then begin
+    let m = Obs.metrics obs in
+    Metrics.observe
+      (Metrics.histogram m ~labels:[ ("view", view) ]
+         ~help:"seconds admitted readers spent blocked on freshness"
+         "rolld_read_wait_seconds")
+      wait;
+    Metrics.observe
+      (Metrics.histogram m ~labels:[ ("view", view) ]
+         ~help:"commits behind current time at serve"
+         "rolld_read_staleness_commits")
+      (float_of_int staleness)
+  end
+
+let serve t ticket ~view ~ctl ~time =
+  let hwm = Controller.hwm ctl in
+  let wait = Unix.gettimeofday () -. ticket.submitted in
+  let rows = Relation.to_list (Controller.view_at ctl time) in
+  let stats = Controller.stats ctl in
+  Stats.incr_reads_served stats;
+  Stats.add_read_wait stats wait;
+  observe_read t ~view ~wait ~staleness:(Database.now t.db - time);
+  Mutex.protect t.mutex (fun () -> t.served <- t.served + 1);
+  resolve ticket (Protocol.Rows { view; at = time; hwm; wait; rows })
+
+let reject t ticket ?stats r =
+  (match stats with Some s -> Stats.incr_reads_rejected s | None -> ());
+  Mutex.protect t.mutex (fun () -> t.rejected <- t.rejected + 1);
+  resolve ticket (Protocol.Rejected r)
+
+let status t =
+  let pending, served, rejected =
+    Mutex.protect t.mutex (fun () ->
+        (List.length t.pending, t.served, t.rejected))
+  in
+  let views =
+    match Json.of_string_opt (Service.status_json t.service) with
+    | Some v -> v
+    | None -> Json.Null
+  in
+  Json.Obj
+    [
+      ("now", Json.Int (Database.now t.db));
+      ("domains", Json.Int (Service.domains t.service));
+      ("pending", Json.Int pending);
+      ("served", Json.Int served);
+      ("rejected", Json.Int rejected);
+      ("views", views);
+    ]
+
+(* Try to resolve one ticket against current state; [false] = keep it
+   queued (admitted, waiting for the high-water mark). *)
+let step t ticket =
+  match ticket.request with
+  | Protocol.Status ->
+      resolve ticket (Protocol.Status_report (status t));
+      true
+  | (Protocol.Read_at { view; _ } | Protocol.Read_fresh view) as request -> (
+      match Service.controller t.service view with
+      | exception Not_found ->
+          reject t ticket (Protocol.Unknown_view view);
+          true
+      | ctl -> (
+          match request with
+          | Protocol.Read_fresh _ ->
+              serve t ticket ~view ~ctl ~time:(Controller.hwm ctl);
+              true
+          | Protocol.Read_at { time; _ } ->
+              let now = Database.now t.db in
+              let horizon = Controller.horizon ctl in
+              if time > now then begin
+                reject t ticket ~stats:(Controller.stats ctl)
+                  (Protocol.Too_new { requested = time; now });
+                true
+              end
+              else if time < horizon then begin
+                reject t ticket ~stats:(Controller.stats ctl)
+                  (Protocol.Gc_horizon { requested = time; horizon });
+                true
+              end
+              else if time <= Controller.hwm ctl then begin
+                serve t ticket ~view ~ctl ~time;
+                true
+              end
+              else false
+          | _ -> assert false))
+  | _ -> assert false
+
+let pump t =
+  let batch =
+    Mutex.protect t.mutex (fun () ->
+        let oldest_first = List.rev t.pending in
+        t.pending <- [];
+        oldest_first)
+  in
+  let still_pending, resolved =
+    List.fold_left
+      (fun (pending, resolved) ticket ->
+        if step t ticket then (pending, resolved + 1)
+        else (ticket :: pending, resolved))
+      ([], 0) batch
+  in
+  (* Re-queue survivors (they are newest-first again, as [pending] expects). *)
+  Mutex.protect t.mutex (fun () -> t.pending <- still_pending @ t.pending);
+  resolved
+
+let close t =
+  let orphans =
+    Mutex.protect t.mutex (fun () ->
+        t.accepting <- false;
+        let orphans = t.pending in
+        t.pending <- [];
+        t.rejected <- t.rejected + List.length orphans;
+        orphans)
+  in
+  List.iter
+    (fun ticket -> resolve ticket (Protocol.Rejected Protocol.Shutting_down))
+    orphans

@@ -1,0 +1,134 @@
+type config = {
+  duration : float;
+  dt : float;
+  update_rate : float;
+  drain_rate : float;
+  step_commits : float;
+  reader_boost : float;
+  clients : int;
+  think_time : float;
+  fresh_fraction : float;
+  recency : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    duration = 30.0;
+    dt = 0.001;
+    update_rate = 200.0;
+    drain_rate = 50.0;
+    step_commits = 5.0;
+    reader_boost = 1.5;
+    clients = 1000;
+    think_time = 1.0;
+    fresh_fraction = 0.2;
+    recency = 50.0;
+    seed = 7;
+  }
+
+type result = {
+  reads : int;
+  queued : int;
+  wait_mean : float;
+  wait_p50 : float;
+  wait_p95 : float;
+  wait_p99 : float;
+  wait_max : float;
+  staleness_p50 : float;
+  staleness_p95 : float;
+  lag_mean : float;
+  saturated : bool;
+}
+
+module Summary = Roll_util.Summary
+module Prng = Roll_util.Prng
+
+type pending = { target : float; submitted : float }
+
+let run config =
+  if config.dt <= 0.0 || config.duration <= 0.0 then
+    invalid_arg "Readsim.run: non-positive duration or dt";
+  let rng = Prng.create ~seed:config.seed in
+  let waits = Summary.create ~keep_samples:true () in
+  let staleness = Summary.create ~keep_samples:true () in
+  let lag = Summary.create () in
+  (* Per-client next read instant, staggered uniformly over one think
+     period so the population doesn't fire in lockstep. *)
+  let next_read =
+    Array.init config.clients (fun _ -> Prng.float rng config.think_time)
+  in
+  let now_c = ref 0.0 in
+  let hwm_c = ref 0.0 in
+  let pending = ref [] in
+  let queued = ref 0 in
+  let reads = ref 0 in
+  let capacity = config.drain_rate *. config.step_commits in
+  let t = ref 0.0 in
+  while !t < config.duration do
+    let t0 = !t in
+    t := t0 +. config.dt;
+    (* Updates commit continuously; the drain covers commits at its step
+       capacity, boosted while readers are blocked (the scheduler's
+       reader band). *)
+    now_c := !now_c +. (config.update_rate *. config.dt);
+    let boost = if !pending = [] then 1.0 else config.reader_boost in
+    hwm_c :=
+      Float.min !now_c (!hwm_c +. (capacity *. boost *. config.dt));
+    Summary.add lag (!now_c -. !hwm_c);
+    (* Serve queued readers whose target the drain has covered. *)
+    let served, still =
+      List.partition (fun p -> p.target <= !hwm_c) !pending
+    in
+    pending := still;
+    List.iter
+      (fun p ->
+        Summary.add waits (!t -. p.submitted);
+        Summary.add staleness (!now_c -. p.target))
+      served;
+    (* Fire due clients. *)
+    Array.iteri
+      (fun i due ->
+        if due <= !t then begin
+          next_read.(i) <-
+            (!t +. (config.think_time *. (0.5 +. Prng.float rng 1.0)));
+          incr reads;
+          if Prng.chance rng config.fresh_fraction then begin
+            (* FRESH: served at the hwm immediately, no queueing. *)
+            Summary.add waits 0.0;
+            Summary.add staleness (!now_c -. !hwm_c)
+          end
+          else begin
+            let target =
+              Float.max 0.0 (!now_c -. Prng.float rng config.recency)
+            in
+            if target <= !hwm_c then begin
+              Summary.add waits 0.0;
+              Summary.add staleness (!now_c -. target)
+            end
+            else begin
+              incr queued;
+              pending := { target; submitted = !t } :: !pending
+            end
+          end
+        end)
+      next_read
+  done;
+  (* Shed whatever is still blocked at the end of the run: count its wait
+     so saturation shows up in the tail instead of being censored. *)
+  List.iter (fun p -> Summary.add waits (config.duration -. p.submitted)) !pending;
+  let pct s p = if Summary.count s = 0 then 0.0 else Summary.percentile s p in
+  {
+    reads = !reads;
+    queued = !queued;
+    wait_mean = Summary.mean waits;
+    wait_p50 = pct waits 0.5;
+    wait_p95 = pct waits 0.95;
+    wait_p99 = pct waits 0.99;
+    wait_max =
+      (if Summary.count waits = 0 then 0.0 else Summary.max_value waits);
+    staleness_p50 = pct staleness 0.5;
+    staleness_p95 = pct staleness 0.95;
+    lag_mean = Summary.mean lag;
+    saturated = config.update_rate > capacity;
+  }

@@ -1,0 +1,51 @@
+(** Read/maintenance contention model for the rolld serving path.
+
+    A fluid-limit companion to the [bench serve] load harness: updates
+    commit at a constant rate, the maintenance drain covers commits at
+    its step capacity (boosted while readers wait, mirroring the
+    scheduler's reader band), and a population of clients issues
+    freshest-available and point-in-time reads. A point-in-time read
+    whose target lies beyond the covered high-water mark queues until the
+    drain reaches it — exactly the admission rule of
+    [Roll_serve.Engine].
+
+    The model predicts the load harness's shape: while
+    [update_rate < drain_rate * step_commits] the lag is bounded and
+    waits stay near zero; past that capacity the lag grows linearly and
+    recent-target reads wait for the drain to catch up — the knee
+    BENCH_serve.json documents. *)
+
+type config = {
+  duration : float;  (** simulated seconds *)
+  dt : float;  (** integration tick, seconds *)
+  update_rate : float;  (** commits per second *)
+  drain_rate : float;  (** propagation steps per second *)
+  step_commits : float;  (** commits of coverage per step *)
+  reader_boost : float;
+      (** drain-rate multiplier while readers are blocked (>= 1) *)
+  clients : int;
+  think_time : float;  (** mean seconds between one client's reads *)
+  fresh_fraction : float;  (** reads that ask FRESH instead of AT t *)
+  recency : float;
+      (** AT targets are drawn uniformly from the last [recency] commits *)
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  reads : int;
+  queued : int;  (** reads that had to wait for the drain *)
+  wait_mean : float;
+  wait_p50 : float;
+  wait_p95 : float;
+  wait_p99 : float;
+  wait_max : float;  (** seconds *)
+  staleness_p50 : float;
+  staleness_p95 : float;  (** commits behind now at serve time *)
+  lag_mean : float;  (** mean commits between now and the hwm *)
+  saturated : bool;  (** update rate exceeds drain capacity *)
+}
+
+val run : config -> result
+(** @raise Invalid_argument on non-positive [duration] or [dt]. *)

@@ -220,6 +220,63 @@ let test_pause_crash_recover () =
     (C.Oracle.view_at s2.history s2.view (C.Controller.as_of ctl2))
     (C.Controller.contents ctl2)
 
+(* Reader boost: a blocked reader (the rolld engine's census) pulls its
+   view's propagate steps ahead of a tighter-SLA view with no waiting
+   readers — and the drain still catches everyone up, so the boost cannot
+   starve the idle view. *)
+let test_reader_boost_ordering () =
+  let s, service = single_source_scenario () in
+  C.Service.set_sla service "vr" 5;
+  C.Service.set_sla service "vs" 500;
+  random_txns (Prng.create ~seed:508) s 15;
+  Roll_capture.Capture.advance s.capture;
+  (* Sanity: with no readers, the tight-SLA view leads the queue. *)
+  (match C.Service.schedule service with
+  | { C.Scheduler.item = C.Scheduler.Propagate_step { view; _ }; readers; _ }
+    :: _ ->
+      Alcotest.(check string) "tight SLA first without readers" "vr" view;
+      Alcotest.(check int) "no readers counted" 0 readers
+  | _ -> Alcotest.fail "expected a propagate step at the head of the queue");
+  C.Service.set_read_demand service (fun view ->
+      if view = "vs" then 2 else 0);
+  (match C.Service.schedule service with
+  | { C.Scheduler.item = C.Scheduler.Propagate_step { view; _ }; readers; _ }
+    :: _ ->
+      Alcotest.(check string) "boosted view jumps the queue" "vs" view;
+      Alcotest.(check int) "blocked readers counted" 2 readers
+  | _ -> Alcotest.fail "expected a propagate step at the head of the queue");
+  (* No starvation: the same drain still catches the idle view up. *)
+  let steps = C.Service.step_all service ~budget:1000 in
+  Alcotest.(check bool) "steps ran" true (steps > 0);
+  List.iter
+    (fun (st : C.Service.status) ->
+      Alcotest.(check int) (st.name ^ " caught up despite the boost") 0
+        st.staleness)
+    (C.Service.status service);
+  List.iter (check_view_contents s service) (C.Service.names service)
+
+(* The boost stays strictly below capture backpressure: boosted propagate
+   steps whose windows are under-captured still defer, capture still
+   advances first, and the drain still converges — a waiting reader can
+   reorder propagation but never force a read past the capture hwm. *)
+let test_reader_boost_below_backpressure () =
+  let s, service = single_source_scenario ~capture_batch:4 () in
+  random_txns (Prng.create ~seed:509) s 40;
+  C.Service.set_read_demand service (fun _ -> 1);
+  Alcotest.(check bool) "capture is behind" true
+    (Roll_capture.Capture.lag s.capture > 0);
+  let steps = C.Service.step_all service ~budget:1000 in
+  Alcotest.(check bool) "steps ran" true (steps > 0);
+  Alcotest.(check bool) "boosted propagate steps still deferred" true
+    ((sched_counter service "propagate").C.Stats.deferred > 0);
+  Alcotest.(check bool) "capture still boosted ahead of readers" true
+    ((sched_counter service "capture").C.Stats.backpressured > 0);
+  List.iter
+    (fun (st : C.Service.status) ->
+      Alcotest.(check int) (st.name ^ " caught up") 0 st.staleness)
+    (C.Service.status service);
+  List.iter (check_view_contents s service) (C.Service.names service)
+
 let test_sla_and_validation () =
   let _, service = single_source_scenario () in
   Alcotest.(check int) "default sla" 100 (C.Service.sla service "vr");
@@ -251,6 +308,10 @@ let suite =
       test_capture_permanent_failure;
     Alcotest.test_case "slack ordering" `Quick test_slack_ordering;
     Alcotest.test_case "round-robin ordering" `Quick test_round_robin_ordering;
+    Alcotest.test_case "reader boost ordering" `Quick
+      test_reader_boost_ordering;
+    Alcotest.test_case "reader boost below backpressure" `Quick
+      test_reader_boost_below_backpressure;
     Alcotest.test_case "maintain full drain" `Quick test_maintain_full_drain;
     Alcotest.test_case "pause, crash, recover" `Quick test_pause_crash_recover;
     Alcotest.test_case "sla and validation" `Quick test_sla_and_validation;

@@ -285,6 +285,36 @@ let test_validated_random_workload () =
         (p95 >= 0.0 && p95 >= Summary.mean st.Des.wait -. 1e-9)
   | None -> Alcotest.fail "no update class"
 
+(* Readsim, the rolld serving-path fluid model: below drain capacity the
+   hwm lag is bounded and reads barely wait; past capacity the lag grows
+   and recent-target reads wait for the drain — the BENCH_serve knee. *)
+let test_readsim_knee () =
+  let module R = Roll_sim.Readsim in
+  let base = { R.default_config with R.duration = 20.0; clients = 500 } in
+  (* capacity = drain_rate * step_commits = 250 commits/s *)
+  let below = R.run { base with R.update_rate = 100.0 } in
+  let above = R.run { base with R.update_rate = 600.0 } in
+  Alcotest.(check bool) "below capacity: not saturated" false below.R.saturated;
+  Alcotest.(check bool) "above capacity: saturated" true above.R.saturated;
+  Alcotest.(check bool) "reads happened in both regimes" true
+    (below.R.reads > 0 && above.R.reads > 0);
+  Alcotest.(check bool) "bounded lag below capacity" true
+    (below.R.lag_mean < 10.0);
+  Alcotest.(check bool) "lag grows past capacity" true
+    (above.R.lag_mean > 10.0 *. below.R.lag_mean);
+  Alcotest.(check bool) "waits jump at the knee" true
+    (above.R.wait_p95 > 10.0 *. Float.max below.R.wait_p95 0.001);
+  Alcotest.(check bool) "staleness grows past capacity" true
+    (above.R.staleness_p95 > below.R.staleness_p95);
+  Alcotest.(check bool) "queued readers only when behind" true
+    (above.R.queued > below.R.queued)
+
+let test_readsim_validation () =
+  let module R = Roll_sim.Readsim in
+  Alcotest.check_raises "non-positive dt rejected"
+    (Invalid_argument "Readsim.run: non-positive duration or dt") (fun () ->
+      ignore (R.run { R.default_config with R.dt = 0.0 }))
+
 let suite =
   suite
   @ [
@@ -294,4 +324,7 @@ let suite =
         test_wave_single_writer_and_updater_block;
       Alcotest.test_case "self-validation on random workload" `Quick
         test_validated_random_workload;
+      Alcotest.test_case "readsim: the serving knee" `Quick test_readsim_knee;
+      Alcotest.test_case "readsim: config validation" `Quick
+        test_readsim_validation;
     ]
