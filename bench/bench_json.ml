@@ -103,7 +103,9 @@ let run () =
   let measurements = star_measurements () @ tpch_measurements () in
   let path = "BENCH_executor.json" in
   let oc = open_out path in
-  output_string oc "{\n  \"benchmark\": \"executor\",\n  \"measurements\": [\n";
+  output_string oc
+    ("{\n  \"benchmark\": \"executor\",\n  " ^ Exp_common.meta_json ()
+   ^ ",\n  \"measurements\": [\n");
   output_string oc
     (String.concat ",\n" (List.map json_of_measurement measurements));
   output_string oc "\n  ]\n}\n";

@@ -71,6 +71,7 @@ let run () =
   Printf.fprintf oc
     "{\n\
     \  \"benchmark\": \"obs\",\n\
+    \  %s,\n\
     \  \"workload\": \"star\",\n\
     \  \"untraced_drain_s\": %.6f,\n\
     \  \"traced_drain_s\": %.6f,\n\
@@ -78,7 +79,7 @@ let run () =
     \  \"target_overhead_pct\": 5.0,\n\
     \  \"spans_recorded\": %d\n\
      }\n"
-    untraced traced overhead_pct spans;
+    (Exp_common.meta_json ()) untraced traced overhead_pct spans;
   close_out oc;
   Printf.printf
     "  star drain: untraced %.3fms, traced %.3fms, overhead %.2f%% \

@@ -208,7 +208,8 @@ let run () =
   let cores = Domain.recommended_domain_count () in
   let path = "BENCH_scheduler.json" in
   let oc = open_out path in
-  output_string oc "{\n  \"benchmark\": \"scheduler\",\n";
+  output_string oc
+    ("{\n  \"benchmark\": \"scheduler\",\n  " ^ Exp_common.meta_json () ^ ",\n");
   output_string oc (Printf.sprintf "  \"cores\": %d,\n" cores);
   output_string oc "  \"policies\": [\n";
   output_string oc (String.concat ",\n" (List.map json_of_result results));

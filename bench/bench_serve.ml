@@ -251,7 +251,8 @@ let run () =
       client_counts
   in
   let oc = open_out "BENCH_serve.json" in
-  output_string oc "{\n  \"benchmark\": \"serve\",\n";
+  output_string oc
+    ("{\n  \"benchmark\": \"serve\",\n  " ^ Exp_common.meta_json () ^ ",\n");
   output_string oc
     (Printf.sprintf
        "  \"budget\": %d, \"fact_interval\": %d, \"think_rounds\": %d, \

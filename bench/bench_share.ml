@@ -164,7 +164,9 @@ let run () =
   Printf.printf "  contents identical across modes and vs oracle: ok\n";
   let path = "BENCH_sharing.json" in
   let oc = open_out path in
-  output_string oc "{\n  \"benchmark\": \"sharing\",\n  \"modes\": [\n";
+  output_string oc
+    ("{\n  \"benchmark\": \"sharing\",\n  " ^ Exp_common.meta_json ()
+   ^ ",\n  \"modes\": [\n");
   output_string oc
     (String.concat ",\n"
        (List.map (fun m -> json_of_mode m contents_identical) [ shared; independent ]));

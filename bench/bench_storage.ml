@@ -1,0 +1,164 @@
+(* Experiment A8 — the paged store under memory pressure: drain a star
+   workload ten times the executor benchmark's scale on ROLL_STORE=disk
+   with block caches smaller than the data file, and record how the hit
+   ratio and drain throughput move as the cache grows. Writes
+   BENCH_storage.json; the interesting shape is throughput recovering
+   toward the largest-cache point as the working set becomes resident. *)
+
+module Time = Roll_delta.Time
+module Database = Roll_storage.Database
+module Store = Roll_storage.Store
+module Block_cache = Roll_storage.Block_cache
+module Pager = Roll_storage.Pager
+module C = Roll_core
+module W = Roll_workload
+
+(* 10x the scale BENCH_executor.json's star measurements run at. *)
+let star_config =
+  {
+    W.Star.default_config with
+    fact_initial = 20_000;
+    dim_size = 400;
+    seed = 99;
+  }
+
+let drain_txns = 2_000
+
+type point = {
+  cache_pages : int;
+  policy : string;
+  data_pages : int;
+  hit_ratio : float;
+  resident : int;
+  evictions : int;
+  page_reads : int;
+  page_writes : int;
+  drain_s : float;
+  steps : int;
+  rows : int;  (** final view cardinality — must agree across points *)
+}
+
+(* One full build-churn-drain cycle against a fresh disk store whose
+   cache is capped at [cache_pages]. The store mode and cache size ride
+   the environment because the workload builds its own database. *)
+let run_point ~cache_pages ~policy =
+  Unix.putenv "ROLL_STORE" "disk";
+  Unix.putenv "ROLL_CACHE_PAGES" (string_of_int cache_pages);
+  Unix.putenv "ROLL_STORE_POLICY" policy;
+  let star = W.Star.create star_config in
+  W.Star.load_initial star;
+  let db = W.Star.db star in
+  let service =
+    C.Service.create ~default_sla:50 db (W.Star.capture star)
+  in
+  let ctl =
+    C.Service.register service
+      ~algorithm:(C.Controller.Rolling (C.Rolling.per_relation [| 16; 64; 64 |]))
+      (W.Star.view star)
+  in
+  W.Star.mixed_txns star ~n:drain_txns ~dim_fraction:0.05;
+  let data_now = Database.now db in
+  let store =
+    match Database.store db with
+    | Some s -> s
+    | None -> failwith "bench storage: expected a disk-backed database"
+  in
+  let t0 = Unix.gettimeofday () in
+  let steps = C.Service.step_all service ~budget:max_int in
+  let drain_s = Unix.gettimeofday () -. t0 in
+  C.Controller.refresh_to ctl data_now;
+  let rows = Roll_relation.Relation.distinct_count (C.Controller.contents ctl) in
+  Database.sync db;
+  let pager = Store.pager store in
+  let cache = Store.cache store in
+  let point =
+    {
+      cache_pages;
+      policy;
+      data_pages = Pager.n_pages pager;
+      hit_ratio = Block_cache.hit_ratio cache;
+      resident = Block_cache.resident cache;
+      evictions = Block_cache.evictions cache;
+      page_reads = Pager.page_reads pager;
+      page_writes = Pager.page_writes pager;
+      drain_s;
+      steps;
+      rows;
+    }
+  in
+  C.Service.shutdown service;
+  point
+
+let json_of_point p =
+  Printf.sprintf
+    "    {\"cache_pages\": %d, \"policy\": \"%s\", \"data_pages\": %d, \
+     \"hit_ratio\": %.4f, \"resident_pages\": %d, \"evictions\": %d, \
+     \"page_reads\": %d, \"page_writes\": %d, \"drain_s\": %.4f, \
+     \"steps\": %d, \"txns_per_sec\": %.1f, \"rows\": %d}"
+    p.cache_pages p.policy p.data_pages p.hit_ratio p.resident p.evictions
+    p.page_reads p.page_writes p.drain_s p.steps
+    (if p.drain_s > 0. then float_of_int drain_txns /. p.drain_s else 0.)
+    p.rows
+
+let run () =
+  let saved_store = Sys.getenv_opt "ROLL_STORE" in
+  let saved_cache = Sys.getenv_opt "ROLL_CACHE_PAGES" in
+  let saved_policy = Sys.getenv_opt "ROLL_STORE_POLICY" in
+  let restore () =
+    let back name = function
+      | Some v -> Unix.putenv name v
+      | None -> Unix.putenv name ""
+    in
+    back "ROLL_STORE" saved_store;
+    back "ROLL_CACHE_PAGES" saved_cache;
+    back "ROLL_STORE_POLICY" saved_policy
+  in
+  Fun.protect ~finally:restore (fun () ->
+      let points =
+        List.map
+          (fun (cache_pages, policy) -> run_point ~cache_pages ~policy)
+          [
+            (64, "lru");
+            (128, "lru");
+            (256, "lru");
+            (512, "lru");
+            (1024, "lru");
+            (128, "clock");
+          ]
+      in
+      (* Every point drained the same deterministic workload; diverging
+         contents would mean the paged store corrupted the view. *)
+      (match points with
+      | first :: rest ->
+          List.iter
+            (fun p ->
+              if p.rows <> first.rows then begin
+                Printf.printf "!! bench storage: rows diverge across caches\n";
+                exit 1
+              end)
+            rest
+      | [] -> ());
+      let path = "BENCH_storage.json" in
+      let oc = open_out path in
+      output_string oc
+        ("{\n  \"benchmark\": \"storage\",\n  " ^ Exp_common.meta_json ()
+       ^ ",\n");
+      output_string oc
+        (Printf.sprintf
+           "  \"workload\": \"star\", \"fact_initial\": %d, \"txns\": %d,\n"
+           star_config.W.Star.fact_initial drain_txns);
+      output_string oc "  \"points\": [\n";
+      output_string oc (String.concat ",\n" (List.map json_of_point points));
+      output_string oc "\n  ]\n}\n";
+      close_out oc;
+      List.iter
+        (fun p ->
+          Printf.printf
+            "  cache=%4d (%5s): hit %.3f, %d/%d pages resident, drain %.3fs \
+             (%.0f txn/s)\n"
+            p.cache_pages p.policy p.hit_ratio p.resident p.data_pages
+            p.drain_s
+            (if p.drain_s > 0. then float_of_int drain_txns /. p.drain_s
+             else 0.))
+        points;
+      Printf.printf "  wrote %s\n" path)

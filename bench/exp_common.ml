@@ -30,6 +30,35 @@ let txn_row_sizes stats =
     (C.Stats.footprints stats);
   s
 
+(* Provenance header shared by every BENCH_*.json writer: which commit,
+   when, and under which runtime knobs the numbers were taken. Emitted as
+   one `"meta": {...}` member so downstream figure scripts can refuse to
+   mix points from different configurations. *)
+let meta_json () =
+  let commit =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown"
+  in
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let env name fallback =
+    match Sys.getenv_opt name with Some v when v <> "" -> v | _ -> fallback
+  in
+  Printf.sprintf
+    {|"meta": {"commit": %S, "date": %S, "roll_domains": %S, "roll_store": %S}|}
+    commit date
+    (env "ROLL_DOMAINS" "1")
+    (env "ROLL_STORE" "mem")
+
 let check_or_die what = function
   | Ok () -> ()
   | Error msg ->

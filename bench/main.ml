@@ -22,7 +22,8 @@ let () =
     print_endline "sched";
     print_endline "serve";
     print_endline "share";
-    print_endline "obs"
+    print_endline "obs";
+    print_endline "storage"
   end
   else begin
     let wanted name =
@@ -48,5 +49,6 @@ let () =
     if wanted "serve" then timed "serve" Bench_serve.run;
     if wanted "share" then timed "share" Bench_share.run;
     if wanted "obs" then timed "obs" Bench_obs.run;
+    if wanted "storage" then timed "storage" Bench_storage.run;
     Printf.printf "\ntotal: %.1fs\n" (now () -. t0)
   end

@@ -253,10 +253,14 @@ let status_cmd txns json domains =
   ignore (C.Service.gc_all service);
   print_status "after resume + refresh_all + gc";
   if json then
-    Printf.printf "{\"status\": %s, \"shards\": %s}\n"
+    Printf.printf "{\"status\": %s, \"shards\": %s, \"storage\": %s}\n"
       (String.trim (C.Service.status_json service))
       (String.trim (C.Service.shards_json ~full:true service))
-  else print_domain_tables service;
+      (String.trim (Roll_storage.Database.storage_json db))
+  else begin
+    print_domain_tables service;
+    Printf.printf "storage: %s\n" (Roll_storage.Database.storage_json db)
+  end;
   C.Service.shutdown service
 
 let status_term =

@@ -71,7 +71,7 @@ let () =
 
       (* --- second life: fresh objects, restored state --- *)
       let db2, capture2, view2 = build_world () in
-      Wal_codec.restore db2 (Wal_codec.load_file wal_path);
+      Database.restore db2 (Wal_codec.load_file wal_path);
       Capture.advance capture2;
       let header = C.Checkpoint.peek ckpt_path in
       Printf.printf "restored database at t=%d; checkpoint: hwm=%d as_of=%d\n"

@@ -42,7 +42,9 @@ let attach t ~table =
      is exactly how crash recovery rebuilds the delta tables. *)
   let wal = Database.wal t.db in
   let missed = ref false in
-  for pos = 0 to t.cursor - 1 do
+  (* Positions below [Wal.first_pos] were reclaimed; their effects are in
+     the applied base state, which a fresh attach starts from anyway. *)
+  for pos = Wal.first_pos wal to t.cursor - 1 do
     if
       List.exists
         (fun (c : Wal.change) -> String.equal c.table table)
@@ -91,6 +93,13 @@ let capture_record t (record : Wal.record) =
 
 let advance ?max_records t =
   let wal = Database.wal t.db in
+  (* A reclaimed prefix can only be below every consumer's horizon, so a
+     cursor inside it (fresh capture on a reopened store) skips forward:
+     those records' effects are part of the base state, not the delta. *)
+  if t.cursor < Wal.first_pos wal then begin
+    t.cursor <- Wal.first_pos wal;
+    t.hwm <- Time.max t.hwm (Wal.first_pos wal)
+  end;
   let stop =
     match max_records with
     | None -> Wal.length wal

@@ -299,17 +299,21 @@ let estimate_step_cost t ~relation ~lo ~hi =
           let table = Database.table t.ctx.Ctx.db table_name in
           {
             Planner.name = table_name;
-            card =
-              Roll_relation.Relation.distinct_count
-                (Roll_storage.Table.contents table);
+            card = Roll_storage.Table.distinct_count table;
             is_delta = false;
             indexed = Roll_storage.Table.indexed_columns table;
           })
   in
   let plan = Planner.plan (View.predicate view) infos in
-  List.fold_left
-    (fun acc (s : Planner.step) -> acc +. s.Planner.est_in)
-    0. plan.Planner.steps
+  let rows =
+    List.fold_left
+      (fun acc (s : Planner.step) -> acc +. s.Planner.est_in)
+      0. plan.Planner.steps
+  in
+  (* On a paged store, base-table reads that miss the block cache cost a
+     disk fetch; weight the estimate by the observed miss rate so the
+     scheduler favours windows whose working set is resident. *)
+  rows *. Database.cold_read_factor t.ctx.Ctx.db
 
 let candidate t i ~start ~interval ~now =
   (* Mirror the step functions' own target computation (including grid
@@ -370,6 +374,11 @@ let step_candidates t =
    marker. *)
 let checkpoint t path =
   if t.durable then record_frontier t;
+  (* On a paged store, push the data file to a consistent on-disk snapshot
+     (WAL fsync, dirty-page write-back, meta flip) before the text
+     snapshot: recovery from [path] then resumes against a store that is
+     at least as fresh as the frontier just recorded. *)
+  Database.sync t.ctx.Ctx.db;
   Checkpoint.save t.ctx ~hwm:(hwm t) ~apply:t.apply path
 
 (* ------------------------------------------------------------------ *)

@@ -14,7 +14,7 @@ let source_of_table table =
     info =
       {
         Planner.name = Table.name table;
-        card = Relation.distinct_count (Table.contents table);
+        card = Table.distinct_count table;
         is_delta = false;
         indexed = Table.indexed_columns table;
       };

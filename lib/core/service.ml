@@ -287,6 +287,24 @@ let sources ?(skip = fun _ -> false) ?(bg_done = fun _ _ -> false) t =
 
 let schedule ?full t = Scheduler.plan ?full t.scheduler (sources t)
 
+(* WAL prefix reclaim, piggybacked on view gc: records at or below every
+   consumer's horizon are dead — each view replays history from its gc
+   horizon at the earliest, and capture has folded everything up to its
+   high-water mark into the delta tables. On a paged store this deletes
+   whole WAL segments (and Database clamps to the data snapshot); in
+   memory it is a no-op. Returns the number of segments deleted. *)
+let reclaim_wal t =
+  match t.entries with
+  | [] -> 0
+  | entries ->
+      let horizon =
+        List.fold_left
+          (fun acc (e : entry) -> min acc (Controller.horizon e.controller))
+          max_int entries
+      in
+      let upto = min horizon (Capture.hwm t.capture) in
+      if upto <= 0 then 0 else Database.reclaim_wal t.db ~upto
+
 (* Work-item execution shared by the plain and reliable drains. [step]
    runs one propagation step for a view and [capture_run] one capture
    advance (wrapped in the retry policy on the reliable path); everything
@@ -333,6 +351,7 @@ let exec_item t ~skipped ~bg_done ~step ~capture_run (scored : Scheduler.scored)
          reclaimed. Drop the memo rather than reason about overlap. *)
       if t.sharing then Memo.clear t.memo;
       ignore (Controller.gc (find t view).controller);
+      ignore (reclaim_wal t);
       Ok true
 
 let advance_capture t =
@@ -792,7 +811,13 @@ let refresh_all t =
     t.entries
 
 let gc_all t =
-  List.fold_left (fun acc (e : entry) -> acc + Controller.gc e.controller) 0 t.entries
+  let pruned =
+    List.fold_left
+      (fun acc (e : entry) -> acc + Controller.gc e.controller)
+      0 t.entries
+  in
+  ignore (reclaim_wal t);
+  pruned
 
 (* ------------------------------------------------------------------ *)
 (* JSON renderings (rollctl --json, CI assertions)                     *)

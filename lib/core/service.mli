@@ -256,4 +256,13 @@ val refresh_all : t -> unit
 (** Refresh every non-paused view to the current time. *)
 
 val gc_all : t -> int
-(** Prune applied delta rows of every view; returns total rows removed. *)
+(** Prune applied delta rows of every view; returns total rows removed.
+    Also reclaims the WAL prefix below every consumer's horizon (see
+    {!reclaim_wal}). *)
+
+val reclaim_wal : t -> int
+(** Reclaim the WAL prefix at or below the minimum of every view's gc
+    horizon and the capture high-water mark. On a paged store this deletes
+    whole on-disk WAL segments; in memory it is a no-op. Returns the
+    number of segments deleted. Runs automatically after each scheduled
+    gc work item and after {!gc_all}. *)

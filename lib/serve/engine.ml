@@ -55,6 +55,14 @@ type t = {
   mutable accepting : bool;
   mutable served : int;
   mutable rejected : int;
+  (* Last materialized snapshot per view, keyed by serve time. Reads at a
+     fixed (view, t) with [t <= hwm] are deterministic — the applied
+     delta below the high-water mark is append-only — so bursts of
+     clients asking for the same past time re-serve the rows without
+     another {!Controller.view_at} replay. Pump-thread only (like every
+     db touch); entries die when the gc horizon passes their time. *)
+  snapshots : (string, Roll_delta.Time.t * (Roll_relation.Tuple.t * int) list) Hashtbl.t;
+  mutable snapshot_hits : int;
 }
 
 let create ?(queue_limit = 1024) db service =
@@ -69,6 +77,8 @@ let create ?(queue_limit = 1024) db service =
       accepting = true;
       served = 0;
       rejected = 0;
+      snapshots = Hashtbl.create 8;
+      snapshot_hits = 0;
     }
   in
   (* Plug the blocked-reader census into the scheduler so drains
@@ -173,10 +183,28 @@ let observe_read t ~view ~wait ~staleness =
       (float_of_int staleness)
   end
 
+let snapshot_rows t ~view ~ctl ~time =
+  match Hashtbl.find_opt t.snapshots view with
+  | Some (at, rows) when at = time && at >= Controller.horizon ctl ->
+      t.snapshot_hits <- t.snapshot_hits + 1;
+      rows
+  | cached ->
+      (* A cached time the horizon has passed is unservable anyway —
+         drop it rather than hold pruned history alive. *)
+      (match cached with
+      | Some (at, _) when at < Controller.horizon ctl ->
+          Hashtbl.remove t.snapshots view
+      | _ -> ());
+      let rows = Relation.to_list (Controller.view_at ctl time) in
+      Hashtbl.replace t.snapshots view (time, rows);
+      rows
+
+let snapshot_memo_hits t = t.snapshot_hits
+
 let serve t ticket ~view ~ctl ~time =
   let hwm = Controller.hwm ctl in
   let wait = Unix.gettimeofday () -. ticket.submitted in
-  let rows = Relation.to_list (Controller.view_at ctl time) in
+  let rows = snapshot_rows t ~view ~ctl ~time in
   let stats = Controller.stats ctl in
   Stats.incr_reads_served stats;
   Stats.add_read_wait stats wait;

@@ -12,9 +12,22 @@
 
 type t
 
-val create : ?wall_start:float -> ?wall_tick:float -> unit -> t
+val create :
+  ?wall_start:float ->
+  ?wall_tick:float ->
+  ?mode:Store.mode ->
+  ?dir:string ->
+  unit ->
+  t
 (** [wall_tick] (default 1.0) is how far the simulated wall clock advances
-    at each commit. *)
+    at each commit.
+
+    [mode] selects the backend (default: {!Store.mode_of_env}, i.e. the
+    [ROLL_STORE] environment variable, in-memory when unset). In [Disk]
+    mode the store lives under [dir] (default: [ROLL_STORE_DIR], else a
+    fresh temporary directory removed at exit). Opening an existing
+    directory recovers the WAL segments; create the tables, then call
+    {!recover_pending} before committing. *)
 
 val create_table : t -> name:string -> Roll_relation.Schema.t -> Table.t
 (** @raise Invalid_argument if the name is taken. *)
@@ -105,6 +118,64 @@ val add_commit_trigger : t -> (Wal.record -> unit) -> unit
 val restore : t -> Wal.record list -> unit
 (** Replay previously saved WAL records (see {!Wal_codec}) into a database
     whose tables have been created but which has no commits yet. Restores
-    table contents, commit/transaction counters and the wall clock.
+    table contents, commit/transaction counters and the wall clock. In disk
+    mode the records are also written through to fresh WAL segments.
     @raise Invalid_argument if the database already has commits, a record
     references an unknown table, or CSNs are not increasing. *)
+
+(** {1 Paged store (disk mode)}
+
+    All of the following are no-ops / neutral values on the in-memory
+    backend, so engine code calls them unconditionally. *)
+
+val mode : t -> Store.mode
+
+val store : t -> Store.t option
+
+val store_dir : t -> string option
+
+val sync : t -> unit
+(** The durability barrier: fsync the WAL segments, then write back dirty
+    cached pages and flip the data file's meta snapshot to [now]. *)
+
+val data_csn : t -> Roll_delta.Time.t
+(** CSN of the on-disk data snapshot ({!now} in memory mode). *)
+
+val recovery_torn : t -> string option
+(** Why the recovered WAL's tail was torn, if it was. *)
+
+val has_pending_recovery : t -> bool
+
+val recover_pending : t -> unit
+(** Finish opening an existing disk directory once the schema has been
+    recreated: re-applies recovered records above the data snapshot to the
+    tables and rehydrates the in-memory log. *)
+
+val wal_base : t -> Roll_delta.Time.t
+(** First retained WAL position (= last reclaimed CSN). *)
+
+val base_state : t -> string -> Roll_relation.Relation.t option
+(** The table's state at {!wal_base}, when a reclaim has occurred. *)
+
+val reclaim_wal : t -> upto:Roll_delta.Time.t -> int
+(** Reclaim the WAL prefix at or below [upto] (clamped to {!data_csn}):
+    folds the dropped records into per-table base states and deletes every
+    on-disk segment entirely below the cut. Returns the number of segments
+    deleted; [0] in memory mode. The caller must ensure every consumer's
+    horizon (view gc horizons, capture cursor) has passed [upto]. *)
+
+val set_storage_fault : t -> Roll_util.Fault.t -> unit
+(** Inject faults into the disk write path (points ["walseg.record"],
+    ["walseg.terminator"], ["walseg.rotate"], ["walseg.manifest"],
+    ["walseg.sync"], ["cache.writeback"]). *)
+
+val cold_read_factor : t -> float
+(** Scheduler cost hint: 1.0 in memory; on disk, [2.0 - hit_ratio] once the
+    block cache has seen enough traffic to judge. *)
+
+val live_segments : t -> int
+
+val resident_pages : t -> int
+
+val storage_json : t -> string
+(** Storage status as a JSON object (mode, cache counters, segments). *)

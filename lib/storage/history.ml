@@ -7,6 +7,18 @@ type t = { db : Database.t; caches : (string, cache) Hashtbl.t }
 
 let create db = { db; caches = Hashtbl.create 8 }
 
+(* The WAL base: records at or below this csn were reclaimed; their net
+   effect lives in [Database.base_state]. Queries below it are
+   unanswerable by construction (the GC horizon guarantees no caller
+   asks). *)
+let base_csn t = Wal.first_pos (Database.wal t.db)
+
+let base_relation t ~table =
+  let tbl = Database.table t.db table in
+  match Database.base_state t.db table with
+  | Some state -> Relation.copy state
+  | None -> Relation.create (Table.schema tbl)
+
 let replay t ~table ~(state : Relation.t) ~from_excl ~to_incl =
   let wal = Database.wal t.db in
   let n = Wal.length wal in
@@ -21,7 +33,7 @@ let replay t ~table ~(state : Relation.t) ~from_excl ~to_incl =
       if (Wal.get wal mid).Wal.csn <= from_excl then find_pos (mid + 1) hi
       else find_pos lo mid
   in
-  let pos = find_pos 0 n in
+  let pos = find_pos (Wal.first_pos wal) n in
   let k = ref pos in
   while !k < n && (Wal.get wal !k).Wal.csn <= to_incl do
     let record = Wal.get wal !k in
@@ -33,6 +45,11 @@ let replay t ~table ~(state : Relation.t) ~from_excl ~to_incl =
   done
 
 let state_at t ~table time =
+  let base = base_csn t in
+  if time < base then
+    invalid_arg
+      (Printf.sprintf "History.state_at: time %d below reclaimed WAL base %d"
+         time base);
   let tbl = Database.table t.db table in
   let cache =
     match Hashtbl.find_opt t.caches table with
@@ -42,10 +59,11 @@ let state_at t ~table time =
         Hashtbl.add t.caches table c;
         c
   in
-  if time < cache.as_of then begin
-    (* Query older than the cache: rebuild from the origin. *)
-    cache.state <- Relation.create (Table.schema tbl);
-    cache.as_of <- Time.origin
+  if time < cache.as_of || cache.as_of < base then begin
+    (* Query older than the cache (or the base moved past a stale cache):
+       rebuild from the WAL base snapshot. *)
+    cache.state <- base_relation t ~table;
+    cache.as_of <- base
   end;
   if time > cache.as_of then begin
     replay t ~table ~state:cache.state ~from_excl:cache.as_of ~to_incl:time;
@@ -54,10 +72,16 @@ let state_at t ~table time =
   Relation.copy cache.state
 
 let changes_between t ~table ~lo ~hi =
+  let base = base_csn t in
+  if lo < base then
+    invalid_arg
+      (Printf.sprintf
+         "History.changes_between: window (%d,%d] below reclaimed WAL base %d"
+         lo hi base);
   let wal = Database.wal t.db in
   let acc = ref [] in
   let n = Wal.length wal in
-  for k = 0 to n - 1 do
+  for k = Wal.first_pos wal to n - 1 do
     let record = Wal.get wal k in
     if record.Wal.csn > lo && record.Wal.csn <= hi then
       List.iter

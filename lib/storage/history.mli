@@ -17,7 +17,9 @@ val state_at : t -> table:string -> Roll_delta.Time.t -> Roll_relation.Relation.
 (** [state_at h ~table t] is R_t: the table's contents including exactly the
     transactions with CSN <= [t]. The result is a fresh relation owned by
     the caller. Sequential queries at non-decreasing times are amortized by
-    an internal cursor cache. *)
+    an internal cursor cache. After a WAL reclaim, replay starts from the
+    per-table base state at {!Database.wal_base}.
+    @raise Invalid_argument when [t] is below the reclaimed WAL base. *)
 
 val changes_between :
   t ->
@@ -26,4 +28,5 @@ val changes_between :
   hi:Roll_delta.Time.t ->
   (Roll_relation.Tuple.t * int * Roll_delta.Time.t) list
 (** Changes with CSN in (lo, hi], in commit order — the base-table delta
-    R_{lo,hi} read straight from the log. *)
+    R_{lo,hi} read straight from the log.
+    @raise Invalid_argument when [lo] is below the reclaimed WAL base. *)

@@ -1,0 +1,476 @@
+(* A B+-tree stored node-per-page behind a {!Block_cache}.
+
+   One tree is a sorted map [Tuple.t -> int] (multiset counts). Tables
+   store row -> multiplicity; secondary indexes store composite keys
+   (projection ++ row) -> multiplicity, so a single structure serves
+   both (see {!Store}). [Tuple.compare] orders by arity first, then
+   element-wise, so same-shape composite keys sort lexicographically by
+   their projection prefix.
+
+   Mutation is copy-on-write in step with the pager's barrier epochs: a
+   node whose page predates the current epoch is relocated to a fresh
+   page when modified, and the parent is rewritten along the descent
+   path; nodes already fresh this epoch are updated in place. The root
+   page id therefore moves, and the durable root is whatever the catalog
+   recorded at the last barrier — a crash rolls back to that snapshot.
+
+   There is no leaf chaining (sibling pointers would have to be COW'd on
+   every neighbour relocation); ordered iteration walks a descent stack
+   instead. Splits are by encoded size, not entry count: a node that no
+   longer fits its page is halved (recursively) and the separators
+   bubble up. Deletion is lazy — entries disappear when their count hits
+   zero, but nodes are never merged; an empty leaf stays in the tree
+   until its keys return or the tree is cleared.
+
+   Decoded nodes are cached per-context keyed by page id, strictly as a
+   subset of the block cache's resident set (the cache's eviction hook
+   drops the decoded copy), so cache capacity bounds total memory. *)
+
+module Tuple = Roll_relation.Tuple
+module Value = Roll_relation.Value
+
+type node =
+  | Leaf of (Tuple.t * int) array
+  | Internal of { keys : Tuple.t array; children : int array }
+      (* children.(i) holds keys in [keys.(i-1), keys.(i)), with the
+         missing bounds unbounded; |children| = |keys| + 1 *)
+
+type ctx = {
+  pager : Pager.t;
+  cache : Block_cache.t;
+  nodes : (int, node) Hashtbl.t;  (** decoded subset of the block cache *)
+}
+
+let make_ctx pager cache =
+  let nodes = Hashtbl.create 256 in
+  Block_cache.set_on_evict cache (Hashtbl.remove nodes);
+  { pager; cache; nodes }
+
+type t = { ctx : ctx; mutable root : int }  (* root page id; 0 = empty *)
+
+let create ctx = { ctx; root = 0 }
+
+let open_root ctx root = { ctx; root }
+
+let root t = t.root
+
+let is_empty t = t.root = 0
+
+(* --- node codec (versioned) --- *)
+
+let codec_version = 1
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Pager.Corrupt s)) fmt
+
+let encode_tuple buf (tup : Tuple.t) =
+  let arity = Array.length tup in
+  if arity > 255 then invalid_arg "Paged_btree: tuple arity > 255";
+  Buffer.add_uint8 buf arity;
+  Array.iter
+    (fun (v : Value.t) ->
+      match v with
+      | Null -> Buffer.add_uint8 buf 0
+      | Bool b ->
+          Buffer.add_uint8 buf 1;
+          Buffer.add_uint8 buf (Bool.to_int b)
+      | Int i ->
+          Buffer.add_uint8 buf 2;
+          Buffer.add_int64_le buf (Int64.of_int i)
+      | Float f ->
+          Buffer.add_uint8 buf 3;
+          Buffer.add_int64_le buf (Int64.bits_of_float f)
+      | Str s ->
+          if String.length s > 0xFFFF then
+            invalid_arg "Paged_btree: string value > 64KiB";
+          Buffer.add_uint8 buf 4;
+          Buffer.add_uint16_le buf (String.length s);
+          Buffer.add_string buf s)
+    tup
+
+let u8 b pos =
+  let v = Bytes.get_uint8 b !pos in
+  incr pos;
+  v
+
+let u16 b pos =
+  let v = Bytes.get_uint16_le b !pos in
+  pos := !pos + 2;
+  v
+
+let i64 b pos =
+  let v = Bytes.get_int64_le b !pos in
+  pos := !pos + 8;
+  v
+
+let u32 b pos =
+  let v = Bytes.get_int32_le b !pos in
+  pos := !pos + 4;
+  Int32.to_int v land 0xFFFFFFFF
+
+let decode_tuple b pos =
+  let arity = u8 b pos in
+  let out = Array.make arity Value.Null in
+  for i = 0 to arity - 1 do
+    out.(i) <-
+      (match u8 b pos with
+      | 0 -> Value.Null
+      | 1 -> Value.Bool (u8 b pos <> 0)
+      | 2 -> Value.Int (Int64.to_int (i64 b pos))
+      | 3 -> Value.Float (Int64.float_of_bits (i64 b pos))
+      | 4 ->
+          let len = u16 b pos in
+          let s = Bytes.sub_string b !pos len in
+          pos := !pos + len;
+          Value.Str s
+      | tag -> corrupt "node codec: bad value tag %d" tag)
+  done;
+  out
+
+let encode_node node =
+  let buf = Buffer.create 512 in
+  Buffer.add_uint8 buf codec_version;
+  (match node with
+  | Leaf entries ->
+      Buffer.add_uint8 buf 0;
+      Buffer.add_uint16_le buf (Array.length entries);
+      Array.iter
+        (fun (key, count) ->
+          encode_tuple buf key;
+          Buffer.add_int64_le buf (Int64.of_int count))
+        entries
+  | Internal { keys; children } ->
+      Buffer.add_uint8 buf 1;
+      Buffer.add_uint16_le buf (Array.length keys);
+      Array.iter (encode_tuple buf) keys;
+      Array.iter
+        (fun child -> Buffer.add_int32_le buf (Int32.of_int child))
+        children);
+  Buffer.to_bytes buf
+
+let decode_node payload =
+  let pos = ref 0 in
+  if Bytes.length payload < 4 then corrupt "node codec: short page";
+  let version = u8 payload pos in
+  if version <> codec_version then
+    corrupt "node codec: unsupported version %d" version;
+  match u8 payload pos with
+  | 0 ->
+      let n = u16 payload pos in
+      let entries = Array.make n ([||], 0) in
+      for i = 0 to n - 1 do
+        let key = decode_tuple payload pos in
+        let count = Int64.to_int (i64 payload pos) in
+        entries.(i) <- (key, count)
+      done;
+      Leaf entries
+  | 1 ->
+      let n = u16 payload pos in
+      let keys = Array.make n [||] in
+      for i = 0 to n - 1 do
+        keys.(i) <- decode_tuple payload pos
+      done;
+      let children = Array.make (n + 1) 0 in
+      for i = 0 to n do
+        children.(i) <- u32 payload pos
+      done;
+      Internal { keys; children }
+  | kind -> corrupt "node codec: bad node kind %d" kind
+
+(* --- page <-> node, through the two cache layers --- *)
+
+let load ctx id =
+  match Hashtbl.find_opt ctx.nodes id with
+  | Some node ->
+      Block_cache.note_hit ctx.cache id;
+      node
+  | None ->
+      let node = decode_node (Block_cache.read ctx.cache id) in
+      Hashtbl.replace ctx.nodes id node;
+      node
+
+let drop_page ctx id =
+  Pager.free ctx.pager id;
+  Block_cache.forget ctx.cache id;
+  Hashtbl.remove ctx.nodes id
+
+(* Halve an over-full node; the separator moves up to the parent. *)
+let halve = function
+  | Leaf entries ->
+      let n = Array.length entries in
+      if n < 2 then invalid_arg "Paged_btree: entry too large for one page";
+      let mid = n / 2 in
+      ( Leaf (Array.sub entries 0 mid),
+        fst entries.(mid),
+        Leaf (Array.sub entries mid (n - mid)) )
+  | Internal { keys; children } ->
+      let n = Array.length keys in
+      if n < 2 then invalid_arg "Paged_btree: separators too large for one page";
+      let m = n / 2 in
+      ( Internal { keys = Array.sub keys 0 m; children = Array.sub children 0 (m + 1) },
+        keys.(m),
+        Internal
+          {
+            keys = Array.sub keys (m + 1) (n - m - 1);
+            children = Array.sub children (m + 1) (n - m);
+          } )
+
+let rec split_fit ctx node =
+  let enc = encode_node node in
+  if Bytes.length enc <= Pager.payload_capacity ctx.pager then ([ (node, enc) ], [])
+  else begin
+    let left, sep, right = halve node in
+    let ln, ls = split_fit ctx left in
+    let rn, rs = split_fit ctx right in
+    (ln @ rn, ls @ (sep :: rs))
+  end
+
+(* Write [node] in place of page [old] (0 = none). Returns the
+   replacement page ids plus the separators between them (singleton and
+   no separators when the node still fits one page). *)
+let store_node ctx ~old node =
+  let parts, seps = split_fit ctx node in
+  let first_id =
+    if old <> 0 && Pager.is_fresh ctx.pager old then old
+    else begin
+      if old <> 0 then drop_page ctx old;
+      Pager.alloc ctx.pager
+    end
+  in
+  let ids =
+    List.mapi
+      (fun i (n, enc) ->
+        let id = if i = 0 then first_id else Pager.alloc ctx.pager in
+        Block_cache.write ctx.cache id enc;
+        Hashtbl.replace ctx.nodes id n;
+        id)
+      parts
+  in
+  (ids, seps)
+
+(* --- searches --- *)
+
+(* First index with entries.(i)'s key >= key. *)
+let leaf_lower entries key =
+  let lo = ref 0 and hi = ref (Array.length entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Tuple.compare (fst entries.(mid)) key < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* Child that can contain [key]: first j with keys.(j) > key. *)
+let child_index keys key =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Tuple.compare keys.(mid) key <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec get_in ctx page key =
+  match load ctx page with
+  | Leaf entries ->
+      let i = leaf_lower entries key in
+      if i < Array.length entries && Tuple.equal (fst entries.(i)) key then
+        snd entries.(i)
+      else 0
+  | Internal { keys; children } ->
+      get_in ctx children.(child_index keys key) key
+
+let get t key = if t.root = 0 then 0 else get_in t.ctx t.root key
+
+let mem t key = get t key <> 0
+
+(* --- mutation --- *)
+
+let splice_arrays base i replacement =
+  Array.concat
+    [
+      Array.sub base 0 i;
+      replacement;
+      Array.sub base (i + 1) (Array.length base - i - 1);
+    ]
+
+(* Copy-on-write insert/merge of [delta] for [key] under [page]; stores
+   the previous count in [prev]. Returns the replacement (ids, seps) for
+   this subtree. *)
+let rec insert_rec ctx page key delta prev =
+  match load ctx page with
+  | Leaf entries ->
+      let n = Array.length entries in
+      let i = leaf_lower entries key in
+      let exists = i < n && Tuple.equal (fst entries.(i)) key in
+      let old_count = if exists then snd entries.(i) else 0 in
+      prev := old_count;
+      let count = old_count + delta in
+      let entries' =
+        if exists then
+          if count = 0 then
+            Array.append (Array.sub entries 0 i)
+              (Array.sub entries (i + 1) (n - i - 1))
+          else begin
+            let copy = Array.copy entries in
+            copy.(i) <- (key, count);
+            copy
+          end
+        else
+          Array.concat
+            [ Array.sub entries 0 i; [| (key, count) |]; Array.sub entries i (n - i) ]
+      in
+      store_node ctx ~old:page (Leaf entries')
+  | Internal { keys; children } ->
+      let i = child_index keys key in
+      let ids, seps = insert_rec ctx children.(i) key delta prev in
+      (match (ids, seps) with
+      | [ id ], [] when id = children.(i) ->
+          (* Child updated in place: this node's image is unchanged. *)
+          ([ page ], [])
+      | _ ->
+          let children' = splice_arrays children i (Array.of_list ids) in
+          let keys' =
+            Array.concat
+              [
+                Array.sub keys 0 i;
+                Array.of_list seps;
+                Array.sub keys i (Array.length keys - i);
+              ]
+          in
+          store_node ctx ~old:page (Internal { keys = keys'; children = children' }))
+
+(* Merge [delta] into [key]'s count; returns the previous count. *)
+let add t key delta =
+  if delta = 0 then get t key
+  else if t.root = 0 then begin
+    (match store_node t.ctx ~old:0 (Leaf [| (key, delta) |]) with
+    | [ id ], [] -> t.root <- id
+    | _ -> assert false);
+    0
+  end
+  else begin
+    let prev = ref 0 in
+    let ids, seps = insert_rec t.ctx t.root key delta prev in
+    let rec reroot ids seps =
+      match ids with
+      | [ id ] -> t.root <- id
+      | _ ->
+          let node =
+            Internal { keys = Array.of_list seps; children = Array.of_list ids }
+          in
+          let ids', seps' = store_node t.ctx ~old:0 node in
+          reroot ids' seps'
+    in
+    reroot ids seps;
+    (* A deletion can empty the root leaf; collapse to the empty tree so
+       the page returns to the free list. *)
+    (match load t.ctx t.root with
+    | Leaf [||] ->
+        drop_page t.ctx t.root;
+        t.root <- 0
+    | _ -> ());
+    !prev
+  end
+
+(* --- ordered iteration (descent stack; no sibling pointers) --- *)
+
+type frame =
+  | F_leaf of (Tuple.t * int) array * int
+  | F_node of int array * int  (* children, next child index *)
+
+let frame_of ctx page =
+  match load ctx page with
+  | Leaf entries -> F_leaf (entries, 0)
+  | Internal { children; _ } -> F_node (children, 0)
+
+let rec seq_next ctx stack () =
+  match stack with
+  | [] -> Seq.Nil
+  | F_leaf (entries, i) :: rest ->
+      if i < Array.length entries then
+        Seq.Cons (entries.(i), seq_next ctx (F_leaf (entries, i + 1) :: rest))
+      else seq_next ctx rest ()
+  | F_node (children, i) :: rest ->
+      if i < Array.length children then
+        seq_next ctx
+          (frame_of ctx children.(i) :: F_node (children, i + 1) :: rest)
+          ()
+      else seq_next ctx rest ()
+
+(* All entries, in key order. Lazy: mutating the tree invalidates any
+   partially-consumed sequence (same caveat as the in-memory B-tree). *)
+let seq t =
+  if t.root = 0 then Seq.empty
+  else fun () -> seq_next t.ctx [ frame_of t.ctx t.root ] ()
+
+(* Entries with key >= [key], in key order. *)
+let seq_from t key =
+  if t.root = 0 then Seq.empty
+  else fun () ->
+    let rec seed stack page =
+      match load t.ctx page with
+      | Leaf entries -> F_leaf (entries, leaf_lower entries key) :: stack
+      | Internal { keys; children } ->
+          let i = child_index keys key in
+          seed (F_node (children, i + 1) :: stack) children.(i)
+    in
+    seq_next t.ctx (seed [] t.root) ()
+
+let iter t f = Seq.iter (fun (k, c) -> f k c) (seq t)
+
+(* --- maintenance --- *)
+
+let rec collect_pages ctx page acc =
+  match load ctx page with
+  | Leaf _ -> page :: acc
+  | Internal { children; _ } ->
+      Array.fold_left
+        (fun acc child -> collect_pages ctx child acc)
+        (page :: acc) children
+
+let reachable t = if t.root = 0 then [] else collect_pages t.ctx t.root []
+
+let clear t =
+  List.iter (drop_page t.ctx) (reachable t);
+  t.root <- 0
+
+let check_invariants t =
+  let ctx = t.ctx in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let check_bounds key lo hi =
+    (match lo with
+    | Some l when Tuple.compare key l < 0 -> fail "key below separator bound"
+    | _ -> ());
+    match hi with
+    | Some h when Tuple.compare key h >= 0 -> fail "key above separator bound"
+    | _ -> ()
+  in
+  let rec go page lo hi =
+    if Bytes.length (encode_node (load ctx page)) > Pager.payload_capacity ctx.pager
+    then fail "page %d: encoded node exceeds page capacity" page;
+    match load ctx page with
+    | Leaf entries ->
+        Array.iteri
+          (fun i (key, count) ->
+            if count = 0 then fail "zero-count entry";
+            if i > 0 && Tuple.compare (fst entries.(i - 1)) key >= 0 then
+              fail "unsorted leaf";
+            check_bounds key lo hi)
+          entries
+    | Internal { keys; children } ->
+        if Array.length children <> Array.length keys + 1 then
+          fail "internal node child arity";
+        if Array.length keys = 0 then fail "empty internal node";
+        Array.iteri
+          (fun i key ->
+            if i > 0 && Tuple.compare keys.(i - 1) key >= 0 then
+              fail "unsorted separators";
+            check_bounds key lo hi)
+          keys;
+        Array.iteri
+          (fun i child ->
+            let lo' = if i = 0 then lo else Some keys.(i - 1) in
+            let hi' = if i = Array.length keys then hi else Some keys.(i) in
+            go child lo' hi')
+          children
+  in
+  if t.root <> 0 then go t.root None None

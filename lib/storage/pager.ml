@@ -1,0 +1,389 @@
+(* Fixed-size pages on a single data file.
+
+   Layout: pages 0 and 1 are alternating meta pages (the only pages ever
+   overwritten in place); data pages start at 2. Every page carries a
+   CRC32 over its payload, so a torn or bit-rotted page is detected on
+   read rather than silently decoded.
+
+   Durability follows the copy-on-write discipline: between two
+   {!barrier} calls, a logical page is never overwritten at its durable
+   location — writers allocate a fresh page, write the new image there,
+   and retire the old page id. The meta page committed by the last
+   barrier therefore always points (through the catalog roots it embeds)
+   at a consistent tree, no matter where a crash lands. [barrier] fsyncs
+   the data, then flips to the other meta slot with a higher epoch; a
+   torn meta write loses only the flip, never the previous snapshot.
+
+   Free pages are tracked in memory only. Pages retired since the last
+   barrier stay on a pending list (the durable snapshot still references
+   them) and become reusable once the barrier commits; pages allocated
+   *and* retired within one epoch were never durable and recycle
+   immediately. On reopen the free list is rebuilt by a reachability
+   scan from the catalog roots (see {!set_free_list}), which also
+   reclaims pages that belonged to in-memory-only structures such as
+   secondary indexes. *)
+
+exception Corrupt of string
+
+let magic = "ROLLPAGE 1"
+
+let meta_pages = 2
+
+(* --- CRC32 (IEEE, table-driven) --- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 bytes ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get bytes i)))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* --- pager --- *)
+
+type t = {
+  uid : int;
+  path : string;
+  page_size : int;
+  mutable fd : Unix.file_descr option;  (** lazily (re)opened, see fd cap *)
+  mutable busy : bool;  (** an I/O op holds the fd; not evictable *)
+  mutable last_used : int;  (** fd-cap LRU tick *)
+  mutable n_pages : int;  (** allocated page ids are < n_pages *)
+  mutable free : int list;  (** reusable now *)
+  mutable pending_free : int list;  (** reusable after the next barrier *)
+  fresh : (int, unit) Hashtbl.t;  (** allocated since the last barrier *)
+  mutable epoch : int;
+  mutable data_csn : int;
+  mutable catalog : string;
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable closed : bool;
+}
+
+(* Test suites open hundreds of databases and rarely close them, so the
+   process would exhaust its fd limit if every pager pinned one. A small
+   global LRU keeps at most [fd_limit] files open; everyone else closes
+   and lazily reopens on next use (positions are absolute, nothing is
+   lost). Pagers mid-I/O are pinned via [busy] so an eviction triggered
+   from another domain can never close an fd out from under a read. *)
+let fd_limit = 64
+
+let fd_mutex = Mutex.create ()
+
+let open_pagers : (int, t) Hashtbl.t = Hashtbl.create 64
+
+let fd_tick = ref 0
+
+let next_uid = ref 0
+
+let evict_one_fd () =
+  let victim =
+    Hashtbl.fold
+      (fun _ p best ->
+        if p.busy then best
+        else
+          match best with
+          | Some b when b.last_used <= p.last_used -> best
+          | _ -> Some p)
+      open_pagers None
+  in
+  match victim with
+  | None -> false
+  | Some v ->
+      (match v.fd with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      v.fd <- None;
+      Hashtbl.remove open_pagers v.uid;
+      true
+
+(* Pin the pager's fd for the duration of [f]. *)
+let with_fd t f =
+  let fd =
+    Mutex.protect fd_mutex (fun () ->
+        incr fd_tick;
+        t.last_used <- !fd_tick;
+        t.busy <- true;
+        match t.fd with
+        | Some fd -> fd
+        | None ->
+            while Hashtbl.length open_pagers >= fd_limit && evict_one_fd () do
+              ()
+            done;
+            let fd = Unix.openfile t.path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+            t.fd <- Some fd;
+            Hashtbl.replace open_pagers t.uid t;
+            fd)
+  in
+  Fun.protect ~finally:(fun () -> t.busy <- false) (fun () -> f fd)
+
+(* Page wire format: [crc32 u32][len u16][payload...], zero padded. *)
+let header_bytes = 6
+
+let payload_capacity t = t.page_size - header_bytes
+
+let page_size t = t.page_size
+
+let n_pages t = t.n_pages
+
+let free_count t = List.length t.free + List.length t.pending_free
+
+let data_csn t = t.data_csn
+
+let catalog t = t.catalog
+
+let page_reads t = t.page_reads
+
+let page_writes t = t.page_writes
+
+let pread_exact fd buf ~off =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let len = Bytes.length buf in
+  let rec go pos =
+    if pos < len then begin
+      let n = Unix.read fd buf pos (len - pos) in
+      if n = 0 then raise (Corrupt "short read (truncated data file)");
+      go (pos + n)
+    end
+  in
+  go 0
+
+let pwrite_exact fd buf ~off =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let len = Bytes.length buf in
+  let rec go pos =
+    if pos < len then go (pos + Unix.write fd buf pos (len - pos))
+  in
+  go 0
+
+let check_open t = if t.closed then invalid_arg "Pager: closed"
+
+(* Raw page I/O. [read] validates the CRC; an all-zero page (never
+   written) decodes as an empty payload, which callers treat as corrupt
+   at the next layer if it was supposed to hold a node. *)
+let read_raw t id =
+  let buf = Bytes.create t.page_size in
+  with_fd t (fun fd -> pread_exact fd buf ~off:(id * t.page_size));
+  let stored = Bytes.get_int32_le buf 0 in
+  let len = Bytes.get_uint16_le buf 4 in
+  if len > payload_capacity t then
+    raise (Corrupt (Printf.sprintf "page %d: bad payload length %d" id len));
+  let computed = crc32 buf ~pos:header_bytes ~len in
+  if stored <> computed then
+    raise (Corrupt (Printf.sprintf "page %d: CRC mismatch" id));
+  t.page_reads <- t.page_reads + 1;
+  Bytes.sub buf header_bytes len
+
+let write_raw t id payload =
+  let len = Bytes.length payload in
+  if len > payload_capacity t then
+    invalid_arg
+      (Printf.sprintf "Pager.write: payload %d exceeds capacity %d" len
+         (payload_capacity t));
+  let buf = Bytes.make t.page_size '\000' in
+  Bytes.blit payload 0 buf header_bytes len;
+  Bytes.set_uint16_le buf 4 len;
+  Bytes.set_int32_le buf 0 (crc32 buf ~pos:header_bytes ~len);
+  with_fd t (fun fd -> pwrite_exact fd buf ~off:(id * t.page_size));
+  t.page_writes <- t.page_writes + 1
+
+let read t id =
+  check_open t;
+  if id < meta_pages || id >= t.n_pages then
+    invalid_arg (Printf.sprintf "Pager.read: page %d out of range" id);
+  read_raw t id
+
+let write t id payload =
+  check_open t;
+  if id < meta_pages || id >= t.n_pages then
+    invalid_arg (Printf.sprintf "Pager.write: page %d out of range" id);
+  write_raw t id payload
+
+(* --- meta pages --- *)
+
+(* Meta payload: magic \n epoch \n page_size \n n_pages \n data_csn \n
+   catalog-length \n catalog-bytes. *)
+let encode_meta t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "%d %d %d %d\n" t.epoch t.page_size t.n_pages t.data_csn);
+  Buffer.add_string buf (Printf.sprintf "%d\n" (String.length t.catalog));
+  Buffer.add_string buf t.catalog;
+  Bytes.of_string (Buffer.contents buf)
+
+let decode_meta payload =
+  let s = Bytes.to_string payload in
+  let fail msg = raise (Corrupt ("meta page: " ^ msg)) in
+  match String.index_opt s '\n' with
+  | None -> fail "missing header"
+  | Some i ->
+      if String.sub s 0 i <> magic then fail "bad magic";
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let epoch, psize, npages, csn, rest =
+        try
+          Scanf.sscanf rest "%d %d %d %d\n%n" (fun a b c d n ->
+              (a, b, c, d, String.sub rest n (String.length rest - n)))
+        with Scanf.Scan_failure _ | End_of_file -> fail "bad counters"
+      in
+      let cat_len, rest =
+        try
+          Scanf.sscanf rest "%d\n%n" (fun l n ->
+              (l, String.sub rest n (String.length rest - n)))
+        with Scanf.Scan_failure _ | End_of_file -> fail "bad catalog length"
+      in
+      if String.length rest < cat_len then fail "short catalog";
+      (epoch, psize, npages, csn, String.sub rest 0 cat_len)
+
+let write_meta t ~slot =
+  let payload = encode_meta t in
+  if Bytes.length payload > payload_capacity t then
+    invalid_arg "Pager: catalog exceeds meta page capacity";
+  write_raw t slot payload
+
+(* --- lifecycle --- *)
+
+let create ?(page_size = 4096) path =
+  if page_size < 512 then invalid_arg "Pager.create: page_size < 512";
+  let nonempty =
+    Sys.file_exists path && (Unix.stat path).Unix.st_size > 0
+  in
+  let t =
+    {
+      uid =
+        Mutex.protect fd_mutex (fun () ->
+            incr next_uid;
+            !next_uid);
+      path;
+      page_size;
+      fd = None;
+      busy = false;
+      last_used = 0;
+      n_pages = meta_pages;
+      free = [];
+      pending_free = [];
+      fresh = Hashtbl.create 64;
+      epoch = 0;
+      data_csn = 0;
+      catalog = "";
+      page_reads = 0;
+      page_writes = 0;
+      closed = false;
+    }
+  in
+  if nonempty then begin
+    (* Pick the newest valid meta slot; one torn slot is survivable, two
+       means the file is not ours or unrecoverable. *)
+    let slot s = try Some (decode_meta (read_raw t s)) with Corrupt _ -> None in
+    let best =
+      match (slot 0, slot 1) with
+      | Some ((e0, _, _, _, _) as m0), Some ((e1, _, _, _, _) as m1) ->
+          if e0 >= e1 then m0 else m1
+      | Some m, None | None, Some m -> m
+      | None, None -> raise (Corrupt (path ^ ": no valid meta page"))
+    in
+    let epoch, psize, npages, csn, cat = best in
+    if psize <> page_size then
+      raise
+        (Corrupt
+           (Printf.sprintf "%s: page size %d on disk, %d requested" path psize
+              page_size));
+    t.epoch <- epoch;
+    t.n_pages <- npages;
+    t.data_csn <- csn;
+    t.catalog <- cat
+  end
+  else begin
+    write_meta t ~slot:0;
+    write_meta t ~slot:1
+  end;
+  t
+
+let existed path = Sys.file_exists path && (Unix.stat path).Unix.st_size > 0
+
+let alloc t =
+  check_open t;
+  let id =
+    match t.free with
+    | id :: rest ->
+        t.free <- rest;
+        id
+    | [] ->
+        let id = t.n_pages in
+        t.n_pages <- t.n_pages + 1;
+        id
+  in
+  Hashtbl.replace t.fresh id ();
+  id
+
+let free t id =
+  check_open t;
+  if id < meta_pages || id >= t.n_pages then
+    invalid_arg (Printf.sprintf "Pager.free: page %d out of range" id);
+  if Hashtbl.mem t.fresh id then begin
+    (* Never part of a durable snapshot: recycle immediately. *)
+    Hashtbl.remove t.fresh id;
+    t.free <- id :: t.free
+  end
+  else t.pending_free <- id :: t.pending_free
+
+let is_fresh t id = Hashtbl.mem t.fresh id
+
+(* After a reachability scan on reopen: everything outside [reachable]
+   (and outside the meta pages) is free. *)
+let set_free_list t ~reachable =
+  let live = Hashtbl.create (List.length reachable * 2) in
+  List.iter (fun id -> Hashtbl.replace live id ()) reachable;
+  let free = ref [] in
+  for id = t.n_pages - 1 downto meta_pages do
+    if not (Hashtbl.mem live id) then free := id :: !free
+  done;
+  t.free <- !free;
+  t.pending_free <- [];
+  Hashtbl.reset t.fresh
+
+let sync t =
+  check_open t;
+  with_fd t Unix.fsync
+
+(* Commit the current state as the durable snapshot: fsync data pages,
+   flip to the other meta slot, fsync again, then release the pages the
+   previous snapshot was still holding. *)
+let barrier t ~data_csn ~catalog =
+  check_open t;
+  with_fd t Unix.fsync;
+  t.epoch <- t.epoch + 1;
+  t.data_csn <- data_csn;
+  t.catalog <- catalog;
+  write_meta t ~slot:(t.epoch land 1);
+  with_fd t Unix.fsync;
+  t.free <- List.rev_append t.pending_free t.free;
+  t.pending_free <- [];
+  Hashtbl.reset t.fresh
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Mutex.protect fd_mutex (fun () ->
+        (match t.fd with
+        | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | None -> ());
+        t.fd <- None;
+        Hashtbl.remove open_pagers t.uid)
+  end
+
+let path t = t.path

@@ -8,19 +8,51 @@ end)
 
 type index = { columns : int list; data : Tuple.t TupleBtree.t }
 
+type disk_index = { dcolumns : int list; dtree : Store.tree }
+
+(* Two backends behind one signature: the in-memory multiset + B-tree
+   indexes (the original representation, untouched so ROLL_STORE=mem is
+   byte-identical), and the paged store, where both the table contents
+   and every index are {!Paged_btree}s. A disk index stores composite
+   keys — projection ++ row — mapping to the row's multiplicity;
+   [Tuple.compare] sorts same-arity composites lexicographically, so an
+   equality probe is a range scan over one projection prefix. *)
+type mem_store = { data : Relation.t; mutable indexes : index list }
+
+type disk_store = {
+  store : Store.t;
+  dtable : Store.tree;
+  mutable dindexes : disk_index list;
+}
+
+type backend = Mem of mem_store | Disk of disk_store
+
 type t = {
   name : string;
   schema : Schema.t;
-  data : Relation.t;
-  mutable indexes : index list;
+  backend : backend;
   (* Bumped on every committed change; cheap content-version for caches
      built over the table's state (the global clock advances on marker
      commits too, so it cannot version table contents). *)
   mutable version : int;
 }
 
-let create ~name schema =
-  { name; schema; data = Relation.create schema; indexes = []; version = 0 }
+let data_tree_name name = "tbl:" ^ name
+
+let index_tree_name name columns =
+  Printf.sprintf "idx:%s:%s" name
+    (String.concat "," (List.map string_of_int columns))
+
+let create ~name ?store schema =
+  let backend =
+    match store with
+    | None -> Mem { data = Relation.create schema; indexes = [] }
+    | Some store ->
+        (* Adopt the tree from the catalog if the store already holds a
+           durable snapshot of this table (reopen after checkpoint). *)
+        Disk { store; dtable = Store.tree store (data_tree_name name); dindexes = [] }
+  in
+  { name; schema; backend; version = 0 }
 
 let name t = t.name
 
@@ -28,13 +60,37 @@ let version t = t.version
 
 let schema t = t.schema
 
-let contents t = t.data
+let row_arity t = Schema.arity t.schema
 
-let cardinality t = Relation.total_count t.data
+let contents t =
+  match t.backend with
+  | Mem m -> m.data
+  | Disk d ->
+      (* Materialized copy: the live contents are on pages. *)
+      let state = Relation.create t.schema in
+      Seq.iter
+        (fun (tuple, count) -> Relation.add state tuple count)
+        (Store.seq d.store d.dtable);
+      state
 
-let mem t tuple = Relation.mem t.data tuple
+let cardinality t =
+  match t.backend with
+  | Mem m -> Relation.total_count m.data
+  | Disk d -> d.dtable.Store.rows
 
-let count t tuple = Relation.count t.data tuple
+(* Distinct tuples with non-zero multiplicity — the executor's and
+   scheduler's cardinality estimate, O(1) on both backends. *)
+let distinct_count t =
+  match t.backend with
+  | Mem m -> Relation.distinct_count m.data
+  | Disk d -> d.dtable.Store.distinct
+
+let count t tuple =
+  match t.backend with
+  | Mem m -> Relation.count m.data tuple
+  | Disk d -> Store.get d.store d.dtable tuple
+
+let mem t tuple = count t tuple > 0
 
 let index_add index tuple n =
   let key = Tuple.project tuple index.columns in
@@ -47,51 +103,154 @@ let index_add index tuple n =
       ignore (TupleBtree.remove index.data ~equal:Tuple.equal key tuple)
     done
 
-let apply_change t tuple count =
-  let current = Relation.count t.data tuple in
-  if current + count < 0 then
-    invalid_arg
-      (Format.asprintf "Table %s: change %+d would make %a negative" t.name
-         count Tuple.pp tuple);
-  Relation.add t.data tuple count;
-  t.version <- t.version + 1;
-  List.iter (fun index -> index_add index tuple count) t.indexes
+let disk_index_key ix tuple = Array.append (Tuple.project tuple ix.dcolumns) tuple
 
-let create_index t ~columns =
+let apply_change t tuple count =
+  (match t.backend with
+  | Mem m ->
+      let current = Relation.count m.data tuple in
+      if current + count < 0 then
+        invalid_arg
+          (Format.asprintf "Table %s: change %+d would make %a negative" t.name
+             count Tuple.pp tuple);
+      Relation.add m.data tuple count;
+      List.iter (fun index -> index_add index tuple count) m.indexes
+  | Disk d ->
+      let current = Store.get d.store d.dtable tuple in
+      if current + count < 0 then
+        invalid_arg
+          (Format.asprintf "Table %s: change %+d would make %a negative" t.name
+             count Tuple.pp tuple);
+      ignore (Store.add d.store d.dtable tuple count);
+      List.iter
+        (fun ix -> ignore (Store.add d.store ix.dtree (disk_index_key ix tuple) count))
+        d.dindexes);
+  t.version <- t.version + 1
+
+let check_index_columns t columns =
   List.iter
     (fun c ->
       if c < 0 || c >= Schema.arity t.schema then
         invalid_arg (Printf.sprintf "Table.create_index: column %d out of range" c))
-    columns;
-  if not (List.exists (fun ix -> ix.columns = columns) t.indexes) then begin
-    let index = { columns; data = TupleBtree.create () } in
-    Relation.iter (fun tuple n -> index_add index tuple n) t.data;
-    t.indexes <- index :: t.indexes
-  end
+    columns
 
-let has_index t ~columns = List.exists (fun ix -> ix.columns = columns) t.indexes
+let create_index t ~columns =
+  check_index_columns t columns;
+  match t.backend with
+  | Mem m ->
+      if not (List.exists (fun ix -> ix.columns = columns) m.indexes) then begin
+        let index = { columns; data = TupleBtree.create () } in
+        Relation.iter (fun tuple n -> index_add index tuple n) m.data;
+        m.indexes <- index :: m.indexes
+      end
+  | Disk d ->
+      if not (List.exists (fun ix -> ix.dcolumns = columns) d.dindexes) then begin
+        let tname = index_tree_name t.name columns in
+        let adopted = Store.find_tree d.store tname <> None in
+        let ix = { dcolumns = columns; dtree = Store.tree d.store tname } in
+        (* A tree already in the catalog was rebuilt to the snapshot the
+           table itself was adopted at; only fresh trees need a scan. *)
+        if not adopted then
+          Seq.iter
+            (fun (tuple, n) ->
+              ignore (Store.add d.store ix.dtree (disk_index_key ix tuple) n))
+            (Store.seq d.store d.dtable);
+        d.dindexes <- ix :: d.dindexes
+      end
 
-let indexed_columns t = List.map (fun ix -> ix.columns) t.indexes
+let has_index t ~columns =
+  match t.backend with
+  | Mem m -> List.exists (fun ix -> ix.columns = columns) m.indexes
+  | Disk d -> List.exists (fun ix -> ix.dcolumns = columns) d.dindexes
 
-let find_index t ~columns =
-  match List.find_opt (fun ix -> ix.columns = columns) t.indexes with
+let indexed_columns t =
+  match t.backend with
+  | Mem m -> List.map (fun ix -> ix.columns) m.indexes
+  | Disk d -> List.map (fun ix -> ix.dcolumns) d.dindexes
+
+(* Composite entries of one projection prefix, via a range scan seeded
+   at (key ++ Nulls) — Null is the minimum value, so that composite is
+   <= every row under [key]. *)
+let disk_probe_seq t d ix key =
+  let karity = Array.length key in
+  let pad = Array.make (row_arity t) Value.Null in
+  Store.seq_from d.store ix.dtree (Array.append key pad)
+  |> Seq.take_while (fun ((ck : Tuple.t), _) ->
+         Tuple.compare (Array.sub ck 0 karity) key = 0)
+  |> Seq.map (fun (ck, n) -> (Array.sub ck karity (row_arity t), n))
+
+let find_mem_index m ~columns =
+  match List.find_opt (fun ix -> ix.columns = columns) m with
   | Some ix -> ix
   | None -> raise Not_found
 
-let index_probe t ~columns key = TupleBtree.find (find_index t ~columns).data key
+let find_disk_index d ~columns =
+  match List.find_opt (fun ix -> ix.dcolumns = columns) d with
+  | Some ix -> ix
+  | None -> raise Not_found
 
-let scan_cursor t = Cursor.of_relation t.data
+let index_probe t ~columns key =
+  match t.backend with
+  | Mem m -> TupleBtree.find (find_mem_index m.indexes ~columns).data key
+  | Disk d ->
+      let ix = find_disk_index d.dindexes ~columns in
+      List.concat_map
+        (fun (tuple, n) -> List.init n (fun _ -> tuple))
+        (List.of_seq (disk_probe_seq t d ix key))
+
+let scan_cursor t =
+  match t.backend with
+  | Mem m -> Cursor.of_relation m.data
+  | Disk d ->
+      Cursor.of_seq (fun () ->
+          Seq.map
+            (fun (tuple, count) -> { Cursor.tuple; count; ts = Cursor.no_ts })
+            (Store.seq d.store d.dtable))
 
 let probe_cursor t ~columns key =
-  let ix = find_index t ~columns in
-  Cursor.of_seq (fun () ->
-      Seq.map
-        (fun tuple -> { Cursor.tuple; count = 1; ts = Cursor.no_ts })
-        (List.to_seq (TupleBtree.find ix.data key)))
+  match t.backend with
+  | Mem m ->
+      let ix = find_mem_index m.indexes ~columns in
+      Cursor.of_seq (fun () ->
+          Seq.map
+            (fun tuple -> { Cursor.tuple; count = 1; ts = Cursor.no_ts })
+            (List.to_seq (TupleBtree.find ix.data key)))
+  | Disk d ->
+      let ix = find_disk_index d.dindexes ~columns in
+      Cursor.of_seq (fun () ->
+          Seq.map
+            (fun (tuple, count) -> { Cursor.tuple; count; ts = Cursor.no_ts })
+            (disk_probe_seq t d ix key))
+
+let disk_probe_start t d ix key =
+  let pad = Array.make (row_arity t) Value.Null in
+  Store.seq_from d.store ix.dtree (Array.append key pad)
 
 let index_range_cursor t ~columns ~lo ~hi =
-  let ix = find_index t ~columns in
-  Cursor.of_seq (fun () ->
-      Seq.map
-        (fun (_key, tuple) -> { Cursor.tuple; count = 1; ts = Cursor.no_ts })
-        (TupleBtree.range_seq ix.data ~lo ~hi))
+  match t.backend with
+  | Mem m ->
+      let ix = find_mem_index m.indexes ~columns in
+      Cursor.of_seq (fun () ->
+          Seq.map
+            (fun (_key, tuple) -> { Cursor.tuple; count = 1; ts = Cursor.no_ts })
+            (TupleBtree.range_seq ix.data ~lo ~hi))
+  | Disk d ->
+      let ix = find_disk_index d.dindexes ~columns in
+      let karity = List.length columns in
+      let seq =
+        match lo with
+        | Some l -> disk_probe_start t d ix l
+        | None -> Store.seq d.store ix.dtree
+      in
+      Cursor.of_seq (fun () ->
+          seq
+          |> Seq.take_while (fun ((ck : Tuple.t), _) ->
+                 match hi with
+                 | None -> true
+                 | Some h -> Tuple.compare (Array.sub ck 0 karity) h <= 0)
+          |> Seq.map (fun (ck, count) ->
+                 {
+                   Cursor.tuple = Array.sub ck karity (row_arity t);
+                   count;
+                   ts = Cursor.no_ts;
+                 }))

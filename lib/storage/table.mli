@@ -2,7 +2,10 @@
 
 type t
 
-val create : name:string -> Roll_relation.Schema.t -> t
+val create : name:string -> ?store:Store.t -> Roll_relation.Schema.t -> t
+(** With [store], rows and indexes live in the paged store's B-trees
+    (adopting any trees an earlier process left in its catalog) instead of
+    in memory. *)
 
 val name : t -> string
 
@@ -10,10 +13,15 @@ val schema : t -> Roll_relation.Schema.t
 
 val contents : t -> Roll_relation.Relation.t
 (** The live relation. Callers must treat it as read-only; all mutation goes
-    through {!Database} commits. *)
+    through {!Database} commits. On a paged store this materializes a fresh
+    copy — prefer the cursors or {!distinct_count} on hot paths. *)
 
 val cardinality : t -> int
 (** Total tuple count (multiset size). *)
+
+val distinct_count : t -> int
+(** Number of distinct tuples — the planner's cardinality statistic.
+    O(1) on both backends, unlike [contents]. *)
 
 val version : t -> int
 (** Monotone content version: bumped on every committed change to this

@@ -11,9 +11,14 @@ type record = {
   marker : string option;
 }
 
-type t = { records : record Vec.t }
+(* Positions are logical and stable across prefix reclaim: position [p]
+   always names the record with csn [p + 1] (commits are contiguous from
+   csn 1). [base] counts reclaimed records — positions below it raise,
+   because the records are gone (their effects live on in the applied
+   table state and, on disk, in the data-file snapshot). *)
+type t = { records : record Vec.t; mutable base : int }
 
-let create () = { records = Vec.create () }
+let create () = { records = Vec.create (); base = 0 }
 
 let append t record =
   (match Vec.last t.records with
@@ -22,12 +27,45 @@ let append t record =
   | _ -> ());
   Vec.push t.records record
 
-let length t = Vec.length t.records
+let first_pos t = t.base
 
-let get t i = Vec.get t.records i
+(* Recovery only: account for an already-reclaimed prefix before any
+   record is appended. *)
+let set_base t csn =
+  if Vec.length t.records > 0 then invalid_arg "Wal.set_base: wal not empty";
+  t.base <- csn
+
+let length t = t.base + Vec.length t.records
+
+let get t i =
+  if i < t.base then
+    invalid_arg
+      (Printf.sprintf "Wal.get: position %d below reclaimed prefix %d" i t.base)
+  else Vec.get t.records (i - t.base)
 
 let iter_from t ~pos f =
-  Vec.iter_range f t.records ~lo:pos ~hi:(Vec.length t.records)
+  Vec.iter_range f t.records ~lo:(max pos t.base - t.base)
+    ~hi:(Vec.length t.records)
 
 let last_csn t =
-  match Vec.last t.records with None -> Time.origin | Some r -> r.csn
+  match Vec.last t.records with
+  | None -> Time.origin + t.base
+  | Some r -> r.csn
+
+(* Drop every record with csn <= [upto_csn] (= positions below it).
+   Only the capture GC calls this, once the horizon of every consumer
+   has passed the prefix. *)
+let truncate_prefix t ~upto_csn =
+  if upto_csn > t.base then begin
+    let keep_from = upto_csn - t.base in
+    let kept = Vec.length t.records - keep_from in
+    if kept < 0 then
+      invalid_arg "Wal.truncate_prefix: cannot reclaim past the last record";
+    let fresh = Vec.create () in
+    Vec.iter_range (Vec.push fresh) t.records ~lo:keep_from
+      ~hi:(Vec.length t.records);
+    (* Replace contents in place so aliases of [t] observe the shift. *)
+    Vec.clear t.records;
+    Vec.iter (Vec.push t.records) fresh;
+    t.base <- upto_csn
+  end

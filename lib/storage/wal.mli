@@ -31,12 +31,30 @@ val append : t -> record -> unit
 (** @raise Invalid_argument if [csn] is not strictly increasing. *)
 
 val length : t -> int
+(** Logical length: reclaimed records count, so positions are stable. *)
+
+val first_pos : t -> int
+(** First retained position. Positions below it were reclaimed by
+    {!truncate_prefix}; reading them raises. [0] until a reclaim. *)
 
 val get : t -> int -> record
+(** @raise Invalid_argument below {!first_pos}. *)
 
 val iter_from : t -> pos:int -> (record -> unit) -> unit
 (** [iter_from t ~pos f] applies [f] to records at positions [pos, ...]
-    in order. *)
+    in order. [pos] below {!first_pos} is clamped up to it. *)
 
 val last_csn : t -> Roll_delta.Time.t
-(** [Time.origin] when empty. *)
+(** [Time.origin] when empty and nothing was reclaimed; the last reclaimed
+    CSN when empty after a reclaim. *)
+
+val set_base : t -> Roll_delta.Time.t -> unit
+(** Recovery only: account for an already-reclaimed prefix (positions
+    [0, csn)) before any record is appended.
+    @raise Invalid_argument if the log is not empty. *)
+
+val truncate_prefix : t -> upto_csn:Roll_delta.Time.t -> unit
+(** Drop every record with csn [<= upto_csn]. Positions of surviving
+    records are unchanged (see {!first_pos}). No-op when [upto_csn] is at
+    or below the current base.
+    @raise Invalid_argument when reclaiming past the last record. *)

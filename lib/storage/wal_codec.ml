@@ -31,31 +31,39 @@ let decode_value line =
 
 (* --- save --- *)
 
+(* One record in wire form, shared by the whole-log snapshot writer
+   below and the segmented on-disk WAL ({!Wal_store}). The fault points
+   bracket the body and the terminator so torn-tail scenarios (body
+   written, no "E") are injectable at both call sites. *)
+let output_record ?(fault = Roll_util.Fault.none)
+    ?(record_point = "wal.record") ?(terminator_point = "wal.terminator") out
+    (record : Wal.record) =
+  Roll_util.Fault.hit fault record_point;
+  Printf.fprintf out "R %d %d %h\n" record.Wal.csn record.Wal.txn_id
+    record.Wal.wall;
+  (match record.Wal.marker with
+  | Some tag -> Printf.fprintf out "M %S\n" tag
+  | None -> ());
+  List.iter
+    (fun (c : Wal.change) ->
+      Printf.fprintf out "C %S %d %d\n" c.table c.count (Tuple.arity c.tuple);
+      Array.iter
+        (fun v ->
+          let buf = Buffer.create 16 in
+          Buffer.add_string buf "V ";
+          encode_value_raw buf v;
+          Buffer.add_char buf '\n';
+          output_string out (Buffer.contents buf))
+        c.tuple)
+    record.Wal.changes;
+  Roll_util.Fault.hit fault terminator_point;
+  output_string out "E\n"
+
 let save ?(fault = Roll_util.Fault.none) wal out =
   output_string out magic;
   output_char out '\n';
-  Wal.iter_from wal ~pos:0 (fun record ->
-      Roll_util.Fault.hit fault "wal.record";
-      Printf.fprintf out "R %d %d %h\n" record.Wal.csn record.Wal.txn_id
-        record.Wal.wall;
-      (match record.Wal.marker with
-      | Some tag -> Printf.fprintf out "M %S\n" tag
-      | None -> ());
-      List.iter
-        (fun (c : Wal.change) ->
-          Printf.fprintf out "C %S %d %d\n" c.table c.count
-            (Tuple.arity c.tuple);
-          Array.iter
-            (fun v ->
-              let buf = Buffer.create 16 in
-              Buffer.add_string buf "V ";
-              encode_value_raw buf v;
-              Buffer.add_char buf '\n';
-              output_string out (Buffer.contents buf))
-            c.tuple)
-        record.Wal.changes;
-      Roll_util.Fault.hit fault "wal.terminator";
-      output_string out "E\n")
+  Wal.iter_from wal ~pos:(Wal.first_pos wal) (fun record ->
+      output_record ~fault out record)
 
 let save_file ?fault wal path =
   let out = open_out path in
@@ -195,8 +203,6 @@ let recover input =
 let recover_file path =
   let input = open_in path in
   Fun.protect ~finally:(fun () -> close_in input) (fun () -> recover input)
-
-let restore db records = Database.restore db records
 
 let encode_value buf v suffix =
   encode_value_raw buf v;

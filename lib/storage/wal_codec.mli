@@ -22,12 +22,26 @@
 exception Corrupt of string
 (** Raised by the loaders with a line number and reason. *)
 
+val magic : string
+(** The version-stamped header line, shared with {!Wal_store} segments. *)
+
 val encode_value : Buffer.t -> Roll_relation.Value.t -> string -> unit
 (** [encode_value buf v suffix] appends [v]'s one-line encoding plus
     [suffix]; shared with higher-level checkpoint formats. *)
 
 val decode_value : string -> Roll_relation.Value.t
 (** Inverse of {!encode_value} (without the suffix). @raise Corrupt *)
+
+val output_record :
+  ?fault:Roll_util.Fault.t ->
+  ?record_point:string ->
+  ?terminator_point:string ->
+  out_channel ->
+  Wal.record ->
+  unit
+(** One record in wire form (no header) — shared by {!save} and the
+    segmented on-disk WAL ({!Wal_store}), which injects its own fault-point
+    names. *)
 
 val save : ?fault:Roll_util.Fault.t -> Wal.t -> out_channel -> unit
 (** Fault points ["wal.record"] (before each record) and
@@ -57,9 +71,3 @@ val recover : in_channel -> recovery
     failing loudly. *)
 
 val recover_file : string -> recovery
-
-val restore : Database.t -> Wal.record list -> unit
-(** Replay records into a database whose tables exist and whose log is
-    empty; restores counters, the wall clock and table contents.
-    @raise Invalid_argument if the database is not fresh or a record
-    references an unknown table. *)

@@ -1,0 +1,323 @@
+(* Segmented on-disk WAL: the durable truth for a disk-backed database.
+
+   A WAL directory holds bounded segments `wal.000001`, `wal.000002`, …
+   (each in the {!Wal_codec} wire format, own magic header) plus a
+   MANIFEST listing live segments and the reclaim ledger:
+
+   {v
+   ROLLMANIFEST 1
+   G <reclaimed-segments> <reclaimed-upto-csn>
+   S wal.000001 1 256
+   S wal.000002 257 -1
+   v}
+
+   `S name first last` — last = -1 marks the active (still-appending)
+   segment. The manifest is rewritten atomically (tmp + rename) at
+   rotation and reclaim, never per append; recovery treats it as
+   advisory for segment *contents* (actual records are re-parsed from
+   the files) but authoritative for the reclaim ledger. Segments present
+   in the directory but missing from the manifest — a crash between
+   creating `wal.N+1` and committing the manifest — are adopted by a
+   directory scan.
+
+   Torn-tail semantics hold at every boundary: only the final segment
+   may end mid-record (dropped, like the single-file codec); an earlier
+   segment that fails strict parsing is corruption. Recovered records
+   must be CSN-contiguous, starting at `reclaimed-upto + 1`.
+
+   Appends open the segment file per record (O_APPEND) rather than
+   holding a channel, so hundreds of live databases cannot exhaust the
+   process fd budget. *)
+
+module Fault = Roll_util.Fault
+
+exception Corrupt of string
+
+let manifest_magic = "ROLLMANIFEST 1"
+
+let segment_name n = Printf.sprintf "wal.%06d" n
+
+let segment_number name =
+  (* "wal.%06d" names only *)
+  if String.length name = 10 && String.sub name 0 4 = "wal." then
+    int_of_string_opt (String.sub name 4 6)
+  else None
+
+type sealed = { seg : string; first_csn : int; last_csn : int }
+
+type t = {
+  dir : string;
+  segment_records : int;  (** rotate after this many records *)
+  mutable active : string;
+  mutable active_no : int;
+  mutable active_records : int;
+  mutable active_first : int;  (** csn, -1 while empty *)
+  mutable active_last : int;
+  mutable sealed : sealed list;  (** oldest first *)
+  mutable reclaimed_segments : int;
+  mutable reclaimed_upto : int;  (** highest reclaimed csn *)
+}
+
+let path t name = Filename.concat t.dir name
+
+let live_segments t = List.length t.sealed + 1
+
+let reclaimed t = (t.reclaimed_segments, t.reclaimed_upto)
+
+let segments t =
+  List.map (fun s -> (s.seg, s.first_csn, s.last_csn)) t.sealed
+  @ [ (t.active, t.active_first, -1) ]
+
+(* --- manifest --- *)
+
+let write_manifest ?(fault = Fault.none) t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf manifest_magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "G %d %d\n" t.reclaimed_segments t.reclaimed_upto);
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "S %s %d %d\n" s.seg s.first_csn s.last_csn))
+    t.sealed;
+  Buffer.add_string buf (Printf.sprintf "S %s %d -1\n" t.active t.active_first);
+  let tmp = path t "MANIFEST.tmp" in
+  let out = open_out tmp in
+  output_string out (Buffer.contents buf);
+  close_out out;
+  (* Crash here leaves the old manifest plus possibly an orphan segment
+     file; recovery adopts orphans from the directory scan. *)
+  Fault.hit fault "walseg.manifest";
+  Sys.rename tmp (path t "MANIFEST")
+
+type manifest = {
+  m_reclaimed : int;
+  m_upto : int;
+  m_segments : (string * int * int) list;
+}
+
+let read_manifest file =
+  let input = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in input)
+    (fun () ->
+      let line () = try Some (input_line input) with End_of_file -> None in
+      (match line () with
+      | Some l when l = manifest_magic -> ()
+      | Some l -> raise (Corrupt ("MANIFEST: bad magic: " ^ l))
+      | None -> raise (Corrupt "MANIFEST: empty"));
+      let reclaimed = ref 0 and upto = ref 0 and segs = ref [] in
+      let rec loop () =
+        match line () with
+        | None -> ()
+        | Some l ->
+            (try
+               Scanf.sscanf l "G %d %d" (fun r u ->
+                   reclaimed := r;
+                   upto := u)
+             with Scanf.Scan_failure _ | End_of_file | Failure _ -> (
+               try
+                 Scanf.sscanf l "S %s %d %d" (fun s f la ->
+                     segs := (s, f, la) :: !segs)
+               with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+                 raise (Corrupt ("MANIFEST: bad line: " ^ l))));
+            loop ()
+      in
+      loop ();
+      { m_reclaimed = !reclaimed; m_upto = !upto; m_segments = List.rev !segs })
+
+(* --- segment files --- *)
+
+let create_segment ?(fault = Fault.none) t n =
+  Fault.hit fault "walseg.rotate";
+  let name = segment_name n in
+  let out = open_out (path t name) in
+  output_string out Wal_codec.magic;
+  output_char out '\n';
+  close_out out;
+  t.active <- name;
+  t.active_no <- n;
+  t.active_records <- 0;
+  t.active_first <- -1;
+  t.active_last <- -1;
+  write_manifest ~fault t
+
+let seal_active t =
+  t.sealed <-
+    t.sealed
+    @ [ { seg = t.active; first_csn = t.active_first; last_csn = t.active_last } ]
+
+let append ?(fault = Fault.none) t (record : Wal.record) =
+  if t.active_records >= t.segment_records then begin
+    seal_active t;
+    create_segment ~fault t (t.active_no + 1)
+  end;
+  let out =
+    open_out_gen [ Open_append; Open_wronly ] 0o644 (path t t.active)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out out)
+    (fun () ->
+      Wal_codec.output_record ~fault ~record_point:"walseg.record"
+        ~terminator_point:"walseg.terminator" out record);
+  t.active_records <- t.active_records + 1;
+  if t.active_first < 0 then t.active_first <- record.Wal.csn;
+  t.active_last <- record.Wal.csn
+
+let sync ?(fault = Fault.none) t =
+  Fault.hit fault "walseg.sync";
+  let fd = Unix.openfile (path t t.active) [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.fsync fd)
+
+(* Delete sealed segments whose records all have csn <= [upto]. The
+   caller guarantees every consumer's horizon has passed them. *)
+let reclaim ?(fault = Fault.none) t ~upto =
+  let reclaimable, keep =
+    List.partition (fun s -> s.last_csn >= 0 && s.last_csn <= upto) t.sealed
+  in
+  if reclaimable = [] then 0
+  else begin
+    List.iter
+      (fun s -> try Sys.remove (path t s.seg) with Sys_error _ -> ())
+      reclaimable;
+    t.sealed <- keep;
+    t.reclaimed_segments <- t.reclaimed_segments + List.length reclaimable;
+    List.iter
+      (fun s -> t.reclaimed_upto <- max t.reclaimed_upto s.last_csn)
+      reclaimable;
+    write_manifest ~fault t;
+    List.length reclaimable
+  end
+
+(* --- open / recover --- *)
+
+let list_segment_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         match segment_number name with Some n -> Some (n, name) | None -> None)
+  |> List.sort compare
+
+type recovery = {
+  store : t;
+  records : Wal.record list;  (** csn order, first = reclaimed_upto + 1 *)
+  torn : string option;  (** tail of the final segment, if torn *)
+}
+
+(* Open a WAL directory: fresh directories get segment 1 and a manifest;
+   existing ones are recovered — every segment strictly parsed except
+   the last, which may have a torn tail. *)
+let open_dir ?(segment_records = 256) ?fault dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then
+    invalid_arg ("Wal_store.open_dir: not a directory: " ^ dir);
+  let t =
+    {
+      dir;
+      segment_records;
+      active = segment_name 1;
+      active_no = 1;
+      active_records = 0;
+      active_first = -1;
+      active_last = -1;
+      sealed = [];
+      reclaimed_segments = 0;
+      reclaimed_upto = 0;
+    }
+  in
+  let manifest_file = path t "MANIFEST" in
+  let files = list_segment_files dir in
+  if files = [] && not (Sys.file_exists manifest_file) then begin
+    create_segment ?fault t 1;
+    { store = t; records = []; torn = None }
+  end
+  else begin
+    (if Sys.file_exists manifest_file then begin
+       let m = read_manifest manifest_file in
+       t.reclaimed_segments <- m.m_reclaimed;
+       t.reclaimed_upto <- m.m_upto
+     end);
+    if files = [] then raise (Corrupt (dir ^ ": manifest but no segments"));
+    (* The directory scan is authoritative for which segments exist: it
+       sees both manifest-listed segments and orphans from a crash
+       mid-rotation. *)
+    let rec load_all acc = function
+      | [] -> (List.rev acc, None)
+      | [ (_, name) ] -> (
+          (* Final segment: torn tail allowed. *)
+          match Wal_codec.recover_file (Filename.concat dir name) with
+          | { records; torn } -> (List.rev ((name, records) :: acc), torn)
+          | exception Wal_codec.Corrupt msg ->
+              raise (Corrupt (name ^ ": " ^ msg)))
+      | (_, name) :: rest -> (
+          match Wal_codec.load_file (Filename.concat dir name) with
+          | records -> load_all ((name, records) :: acc) rest
+          | exception Wal_codec.Corrupt msg ->
+              raise (Corrupt (name ^ ": non-final segment corrupt: " ^ msg)))
+    in
+    let loaded, torn = load_all [] files in
+    (* Repair a torn active segment in place: rewrite it with only the
+       records that parsed, so later appends continue a clean log rather
+       than landing after the torn bytes (which would read as mid-log
+       corruption on the next open). *)
+    (match torn with
+    | None -> ()
+    | Some _ ->
+        let name, records = List.nth loaded (List.length loaded - 1) in
+        let tmp = Filename.concat dir (name ^ ".tmp") in
+        let out = open_out tmp in
+        output_string out Wal_codec.magic;
+        output_char out '\n';
+        List.iter (fun r -> Wal_codec.output_record out r) records;
+        close_out out;
+        Sys.rename tmp (Filename.concat dir name));
+    (* CSN continuity across the whole recovered suffix. *)
+    let expected = ref (t.reclaimed_upto + 1) in
+    List.iter
+      (fun (name, records) ->
+        List.iter
+          (fun (r : Wal.record) ->
+            if r.Wal.csn <> !expected then
+              raise
+                (Corrupt
+                   (Printf.sprintf "%s: csn %d, expected %d (gap in WAL)" name
+                      r.Wal.csn !expected));
+            incr expected)
+          records)
+      loaded;
+    (* Rebuild in-memory segment state; the last file is the active one. *)
+    let rec rebuild = function
+      | [] -> assert false
+      | [ (name, records) ] ->
+          t.active <- name;
+          t.active_no <-
+            (match segment_number name with Some n -> n | None -> assert false);
+          t.active_records <- List.length records;
+          (match records with
+          | [] ->
+              t.active_first <- -1;
+              t.active_last <- -1
+          | first :: _ ->
+              t.active_first <- first.Wal.csn;
+              t.active_last <-
+                (List.nth records (List.length records - 1)).Wal.csn)
+      | (name, records) :: rest ->
+          (match records with
+          | [] -> ()  (* empty sealed segment: drop from the live list *)
+          | first :: _ ->
+              t.sealed <-
+                t.sealed
+                @ [
+                    {
+                      seg = name;
+                      first_csn = first.Wal.csn;
+                      last_csn =
+                        (List.nth records (List.length records - 1)).Wal.csn;
+                    };
+                  ]);
+          rebuild rest
+    in
+    rebuild loaded;
+    write_manifest ?fault t;
+    { store = t; records = List.concat_map snd loaded; torn }
+  end

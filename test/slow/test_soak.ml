@@ -78,7 +78,7 @@ let test_soak_with_restarts () =
         Wal_codec.save_file (Database.wal !s.db) wal_path;
         C.Checkpoint.save !ctx ~hwm ~apply:!apply ckpt_path;
         let s2 = two_table () in
-        Wal_codec.restore s2.db (Wal_codec.load_file wal_path);
+        Database.restore s2.db (Wal_codec.load_file wal_path);
         Roll_capture.Capture.advance s2.capture;
         let ctx2, apply2, rolling2 =
           C.Checkpoint.resume s2.db s2.capture s2.view ckpt_path

@@ -33,7 +33,7 @@ let wal_records db =
 (* Restart from durable state: fresh tables, WAL replayed, fresh capture. *)
 let restart make db =
   let s2 = make () in
-  Wal_codec.restore s2.db (wal_records db);
+  Database.restore s2.db (wal_records db);
   s2
 
 let algorithm_of_seed seed ~two_way =

@@ -36,7 +36,7 @@ let run_and_checkpoint wal_path ckpt_path =
 
 let restart wal_path ckpt_path =
   let s2 = two_table () in
-  Wal_codec.restore s2.db (Wal_codec.load_file wal_path);
+  Database.restore s2.db (Wal_codec.load_file wal_path);
   Roll_capture.Capture.advance s2.capture;
   let ctx, apply, rolling = C.Checkpoint.resume s2.db s2.capture s2.view ckpt_path in
   (s2, ctx, apply, rolling)
@@ -85,7 +85,7 @@ let test_resume_guards () =
   with_temp_files (fun wal_path ckpt_path ->
       let _, _ = run_and_checkpoint wal_path ckpt_path in
       let s2 = two_table () in
-      Wal_codec.restore s2.db (Wal_codec.load_file wal_path);
+      Database.restore s2.db (Wal_codec.load_file wal_path);
       (* Wrong view name. *)
       let b = C.View.binder s2.db [ ("r", "r") ] in
       let other =

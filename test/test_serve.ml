@@ -241,6 +241,54 @@ let test_fresh_serves_at_hwm () =
         (rows = oracle_rows s hwm)
   | _ -> Alcotest.fail "FRESH read did not resolve immediately"
 
+(* A burst of reads at one (view, t) materializes the snapshot once; the
+   memo dies when the gc horizon passes its time. *)
+let test_snapshot_memo () =
+  let s, service, ctl, engine = serve_scenario ~gc_threshold:1 () in
+  random_txns (Prng.create ~seed:605) s 20;
+  drain service;
+  let hwm = C.Controller.hwm ctl in
+  let read = P.Read_at { view = "rs"; time = hwm } in
+  let t1 = S.Engine.submit engine read in
+  let t2 = S.Engine.submit engine read in
+  let t3 = S.Engine.submit engine read in
+  ignore (S.Engine.pump engine);
+  Alcotest.(check int) "second and third reads hit the memo" 2
+    (S.Engine.snapshot_memo_hits engine);
+  let rows_of t =
+    match S.Engine.poll t with
+    | Some (P.Rows { rows; _ }) -> rows
+    | _ -> Alcotest.fail "memoized read not served"
+  in
+  Alcotest.(check bool) "memoized rows equal the oracle" true
+    (rows_of t1 = oracle_rows s hwm);
+  Alcotest.(check bool) "all three reads identical" true
+    (rows_of t1 = rows_of t2 && rows_of t2 = rows_of t3);
+  (* Push the gc horizon past the memoized time; the entry must be evicted,
+     not served stale, and a fresh read must rebuild from the controller. *)
+  random_txns (Prng.create ~seed:606) s 40;
+  drain service;
+  (* Roll the stored view to the new hwm and prune the applied delta so
+     the horizon deterministically passes the memoized time. *)
+  C.Service.refresh_all service;
+  ignore (C.Service.gc_all service);
+  let horizon = C.Controller.horizon ctl in
+  Alcotest.(check bool) "gc horizon passed the memoized time" true
+    (horizon > hwm);
+  let hits_before = S.Engine.snapshot_memo_hits engine in
+  let t4 =
+    S.Engine.submit engine (P.Read_at { view = "rs"; time = C.Controller.hwm ctl })
+  in
+  ignore (S.Engine.pump engine);
+  (match S.Engine.poll t4 with
+  | Some (P.Rows { rows; at; _ }) ->
+      Alcotest.(check bool) "post-eviction read matches the oracle" true
+        (rows = oracle_rows s at)
+  | _ -> Alcotest.fail "post-eviction read not served");
+  Alcotest.(check int) "the evicted entry did not count as a hit" hits_before
+    (S.Engine.snapshot_memo_hits engine);
+  C.Service.shutdown service
+
 let test_gc_horizon_reject () =
   let s, service, ctl, engine = serve_scenario ~gc_threshold:1 () in
   random_txns (Prng.create ~seed:603) s 30;
@@ -457,6 +505,8 @@ let suite =
     Alcotest.test_case "FRESH serves at the hwm" `Quick
       test_fresh_serves_at_hwm;
     Alcotest.test_case "gc horizon rejection" `Quick test_gc_horizon_reject;
+    Alcotest.test_case "snapshot memo serves repeats and evicts at the horizon"
+      `Quick test_snapshot_memo;
     Alcotest.test_case "overload and shutdown shedding" `Quick
       test_overload_and_shutdown;
     Alcotest.test_case "reads match the oracle (seeds 0-99, 1 and N domains)"

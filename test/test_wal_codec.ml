@@ -73,7 +73,7 @@ let test_restore_reproduces_database () =
       let records = Wal_codec.load_file path in
       (* Fresh database, same table definitions. *)
       let s2 = two_table () in
-      Wal_codec.restore s2.db records;
+      Database.restore s2.db records;
       Alcotest.(check int) "now restored" (Database.now s.db) (Database.now s2.db);
       Alcotest.(check (float 0.0)) "wall restored" (Database.wall_now s.db)
         (Database.wall_now s2.db);
@@ -93,7 +93,7 @@ let test_maintenance_resumes_after_restore () =
   with_temp_file (fun path ->
       Wal_codec.save_file (Database.wal s.db) path;
       let s2 = two_table () in
-      Wal_codec.restore s2.db (Wal_codec.load_file path);
+      Database.restore s2.db (Wal_codec.load_file path);
       (* New life: more transactions after the restore. *)
       random_txns (Prng.create ~seed:133) s2 25;
       let ctx = ctx_of s2 in
@@ -115,14 +115,14 @@ let test_restore_guards () =
       random_txns (Prng.create ~seed:135) s2 1;
       Alcotest.(check bool) "non-fresh target rejected" true
         (try
-           Wal_codec.restore s2.db records;
+           Database.restore s2.db records;
            false
          with Invalid_argument _ -> true);
       (* Missing table. *)
       let db3 = Database.create () in
       Alcotest.(check bool) "unknown table rejected" true
         (try
-           Wal_codec.restore db3 records;
+           Database.restore db3 records;
            false
          with Invalid_argument _ -> true))
 
@@ -223,7 +223,7 @@ let test_torn_save_recovered () =
       Alcotest.(check bool) "torn tail reported" true
         (recovery.Wal_codec.torn <> None);
       let s2 = two_table () in
-      Wal_codec.restore s2.db recovery.Wal_codec.records;
+      Database.restore s2.db recovery.Wal_codec.records;
       Alcotest.(check int) "now = last durable csn"
         (Wal.get wal 4).Wal.csn (Database.now s2.db));
   with_temp_file (fun path ->
