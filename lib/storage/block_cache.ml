@@ -1,11 +1,13 @@
 (* A block cache in front of {!Pager}: bounded set of resident pages
    with write-back of dirty pages and a pluggable eviction policy.
 
-   Two policies ship:
-   - [LRU]: strict recency order, doubly-linked list over an intrusive
-     entry table. Default.
-   - [Clock]: second-chance FIFO — a reference bit per entry and a
-     sweeping hand, approximating LRU at lower bookkeeping cost.
+   Two policies ship, both running on the same intrusive doubly-linked
+   list so every bookkeeping step is O(1):
+   - [LRU]: strict recency order, head = most recently used. Default.
+   - [Clock]: second-chance FIFO — the list is the clock face (head =
+     hand position, tail = newest); a hit only sets a reference bit,
+     and the sweep rotates referenced entries to the back with the bit
+     cleared. Approximates LRU at lower per-hit bookkeeping cost.
 
    Dirty pages are written back on eviction and at {!flush} — the flush
    barrier the WAL commit path calls before fsync, so the pager's
@@ -38,9 +40,10 @@ type t = {
   capacity : int;
   policy : policy;
   entries : (int, entry) Hashtbl.t;
-  mutable head : int;  (* most recently used (LRU), -1 if empty *)
-  mutable tail : int;  (* least recently used (LRU), -1 if empty *)
-  mutable hand : int list;  (* Clock sweep order, oldest first *)
+  (* Intrusive list: LRU keeps MRU at [head]; Clock keeps its hand at
+     [head] and the newest entry at [tail]. -1 if empty. *)
+  mutable head : int;
+  mutable tail : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -57,7 +60,6 @@ let create ?(policy = Lru) ~capacity pager =
     entries = Hashtbl.create (capacity * 2);
     head = -1;
     tail = -1;
-    hand = [];
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -104,6 +106,13 @@ let lru_push_front t e =
   t.head <- e.id;
   if t.tail < 0 then t.tail <- e.id
 
+let lru_push_back t e =
+  e.next <- -1;
+  e.prev <- t.tail;
+  if t.tail >= 0 then (Hashtbl.find t.entries t.tail).next <- e.id;
+  t.tail <- e.id;
+  if t.head < 0 then t.head <- e.id
+
 let touch_entry t e =
   match t.policy with
   | Lru ->
@@ -122,9 +131,7 @@ let writeback t e =
 
 let evict_entry t e =
   writeback t e;
-  (match t.policy with
-  | Lru -> lru_unlink t e
-  | Clock -> t.hand <- List.filter (fun id -> id <> e.id) t.hand);
+  lru_unlink t e;
   Hashtbl.remove t.entries e.id;
   t.evictions <- t.evictions + 1;
   t.on_evict e.id
@@ -133,26 +140,22 @@ let pick_victim t =
   match t.policy with
   | Lru -> Hashtbl.find t.entries t.tail
   | Clock ->
-      (* Sweep: clear reference bits until an unreferenced entry turns
-         up; bounded by two passes over the resident set. *)
-      let rec sweep order passes =
-        match order with
-        | [] ->
-            if passes >= 2 then
-              (* Everything referenced twice over: degrade to FIFO. *)
-              Hashtbl.find t.entries (List.hd t.hand)
-            else sweep t.hand (passes + 1)
-        | id :: rest -> (
-            match Hashtbl.find_opt t.entries id with
-            | None -> sweep rest passes
-            | Some e ->
-                if e.referenced then begin
-                  e.referenced <- false;
-                  sweep rest passes
-                end
-                else e)
+      (* Sweep from the hand (head): a referenced entry gets its bit
+         cleared and a second chance at the back; the first unreferenced
+         entry is the victim. Terminates because every rotation clears a
+         bit, so at worst the sweep comes back around to the first entry
+         it cleared. *)
+      let rec sweep () =
+        let e = Hashtbl.find t.entries t.head in
+        if e.referenced then begin
+          e.referenced <- false;
+          lru_unlink t e;
+          lru_push_back t e;
+          sweep ()
+        end
+        else e
       in
-      sweep t.hand 0
+      sweep ()
 
 let make_room t =
   while Hashtbl.length t.entries >= t.capacity do
@@ -165,7 +168,7 @@ let insert t id payload ~dirty =
   Hashtbl.replace t.entries id e;
   (match t.policy with
   | Lru -> lru_push_front t e
-  | Clock -> t.hand <- t.hand @ [ id ]);
+  | Clock -> lru_push_back t e);
   e
 
 (* --- public I/O --- *)
@@ -204,9 +207,7 @@ let note_hit t id =
 let forget t id =
   match Hashtbl.find_opt t.entries id with
   | Some e ->
-      (match t.policy with
-      | Lru -> lru_unlink t e
-      | Clock -> t.hand <- List.filter (fun i -> i <> id) t.hand);
+      lru_unlink t e;
       Hashtbl.remove t.entries id
   | None -> ()
 
@@ -232,8 +233,7 @@ let clear ?(discard = false) t =
   if not discard then flush t;
   Hashtbl.reset t.entries;
   t.head <- -1;
-  t.tail <- -1;
-  t.hand <- []
+  t.tail <- -1
 
 let stats_json t =
   Printf.sprintf

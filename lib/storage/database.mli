@@ -167,7 +167,7 @@ val reclaim_wal : t -> upto:Roll_delta.Time.t -> int
 val set_storage_fault : t -> Roll_util.Fault.t -> unit
 (** Inject faults into the disk write path (points ["walseg.record"],
     ["walseg.terminator"], ["walseg.rotate"], ["walseg.manifest"],
-    ["walseg.sync"], ["cache.writeback"]). *)
+    ["walseg.reclaim"], ["walseg.sync"], ["cache.writeback"]). *)
 
 val cold_read_factor : t -> float
 (** Scheduler cost hint: 1.0 in memory; on disk, [2.0 - hit_ratio] once the

@@ -93,6 +93,16 @@ type t = {
 
 let catalog_magic = "ROLLCAT 1"
 
+(* The whole catalog rides inside the pager's meta page, so tree
+   creation must refuse once the projected encoding could no longer fit
+   — otherwise every later barrier would fail at runtime with the store
+   already mutated. The bound is conservative: room for 19-digit root
+   and row counters per entry, plus the pager's own meta header. *)
+let catalog_entry_bound name =
+  String.length (Printf.sprintf "T %S" name) + (3 * 20) + 4
+
+let catalog_overhead_bound = String.length catalog_magic + 1 + 128
+
 let encode_catalog t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf catalog_magic;
@@ -171,6 +181,19 @@ let tree t name =
       match Hashtbl.find_opt t.trees name with
       | Some tree -> tree
       | None ->
+          let projected =
+            Hashtbl.fold
+              (fun n _ acc -> acc + catalog_entry_bound n)
+              t.trees
+              (catalog_overhead_bound + catalog_entry_bound name)
+          in
+          if projected > Pager.payload_capacity t.pager then
+            invalid_arg
+              (Printf.sprintf
+                 "Store.tree: catalog with %d trees would exceed the meta \
+                  page (page_size %d); open the store with a larger page_size"
+                 (Hashtbl.length t.trees + 1)
+                 (Pager.page_size t.pager));
           let tree =
             {
               tname = name;

@@ -22,8 +22,12 @@
 
    Torn-tail semantics hold at every boundary: only the final segment
    may end mid-record (dropped, like the single-file codec); an earlier
-   segment that fails strict parsing is corruption. Recovered records
-   must be CSN-contiguous, starting at `reclaimed-upto + 1`.
+   segment that fails strict parsing is corruption — segments are
+   fsynced when sealed at rotation, so a non-final segment is always
+   fully on stable storage. Recovered records must be CSN-contiguous,
+   starting at `reclaimed-upto + 1`; stale segments wholly at or below
+   the ledger (a crash between reclaim's manifest commit and its
+   unlinks) are skipped and deleted.
 
    Appends open the segment file per record (O_APPEND) rather than
    holding a channel, so hundreds of live databases cannot exhaust the
@@ -42,6 +46,24 @@ let segment_number name =
   if String.length name = 10 && String.sub name 0 4 = "wal." then
     int_of_string_opt (String.sub name 4 6)
   else None
+
+(* Durability plumbing: a sealed segment is fsynced at rotation (so
+   {!sync} only ever has to fsync the active one), the manifest tmp file
+   is fsynced before its rename, and the directory fd is fsynced after
+   renames / segment creation so the entries themselves survive power
+   loss. *)
+let fsync_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+
+(* Best-effort: some filesystems refuse to fsync a directory fd. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
 type sealed = { seg : string; first_csn : int; last_csn : int }
 
@@ -83,11 +105,14 @@ let write_manifest ?(fault = Fault.none) t =
   let tmp = path t "MANIFEST.tmp" in
   let out = open_out tmp in
   output_string out (Buffer.contents buf);
+  flush out;
+  Unix.fsync (Unix.descr_of_out_channel out);
   close_out out;
   (* Crash here leaves the old manifest plus possibly an orphan segment
      file; recovery adopts orphans from the directory scan. *)
   Fault.hit fault "walseg.manifest";
-  Sys.rename tmp (path t "MANIFEST")
+  Sys.rename tmp (path t "MANIFEST");
+  fsync_dir t.dir
 
 type manifest = {
   m_reclaimed : int;
@@ -133,7 +158,10 @@ let create_segment ?(fault = Fault.none) t n =
   let out = open_out (path t name) in
   output_string out Wal_codec.magic;
   output_char out '\n';
+  flush out;
+  Unix.fsync (Unix.descr_of_out_channel out);
   close_out out;
+  fsync_dir t.dir;
   t.active <- name;
   t.active_no <- n;
   t.active_records <- 0;
@@ -148,6 +176,12 @@ let seal_active t =
 
 let append ?(fault = Fault.none) t (record : Wal.record) =
   if t.active_records >= t.segment_records then begin
+    (* Seal durability: the outgoing segment is fsynced here, so every
+       record in a sealed segment is on stable storage and [sync] never
+       needs to revisit it. Without this, a later [sync] of the new
+       active segment could advance the data snapshot past records that
+       still live only in the page cache of a sealed file. *)
+    fsync_file (path t t.active);
     seal_active t;
     create_segment ~fault t (t.active_no + 1)
   end;
@@ -163,12 +197,11 @@ let append ?(fault = Fault.none) t (record : Wal.record) =
   if t.active_first < 0 then t.active_first <- record.Wal.csn;
   t.active_last <- record.Wal.csn
 
+(* Sealed segments were fsynced at rotation, so only the active segment
+   can hold records not yet on stable storage. *)
 let sync ?(fault = Fault.none) t =
   Fault.hit fault "walseg.sync";
-  let fd = Unix.openfile (path t t.active) [ Unix.O_RDONLY ] 0 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () -> Unix.fsync fd)
+  fsync_file (path t t.active)
 
 (* Delete sealed segments whose records all have csn <= [upto]. The
    caller guarantees every consumer's horizon has passed them. *)
@@ -178,15 +211,20 @@ let reclaim ?(fault = Fault.none) t ~upto =
   in
   if reclaimable = [] then 0
   else begin
-    List.iter
-      (fun s -> try Sys.remove (path t s.seg) with Sys_error _ -> ())
-      reclaimable;
     t.sealed <- keep;
     t.reclaimed_segments <- t.reclaimed_segments + List.length reclaimable;
     List.iter
       (fun s -> t.reclaimed_upto <- max t.reclaimed_upto s.last_csn)
       reclaimable;
+    (* Ledger first, unlinks second: a crash in between leaves stale
+       segment files wholly at or below [reclaimed_upto], which recovery
+       skips and deletes. The reverse order would leave a CSN gap that
+       recovery could not tell from corruption. *)
     write_manifest ~fault t;
+    Fault.hit fault "walseg.reclaim";
+    List.iter
+      (fun s -> try Sys.remove (path t s.seg) with Sys_error _ -> ())
+      reclaimable;
     List.length reclaimable
   end
 
@@ -256,6 +294,33 @@ let open_dir ?(segment_records = 256) ?fault dir =
               raise (Corrupt (name ^ ": non-final segment corrupt: " ^ msg)))
     in
     let loaded, torn = load_all [] files in
+    (* Drop records the reclaim ledger already covers. A crash between
+       reclaim's manifest commit and its unlinks leaves whole stale
+       segments at or below [reclaimed_upto]: skip their records and
+       delete the files. The final segment is the active one — never
+       reclaimed, never deleted here. *)
+    let last = List.length loaded - 1 in
+    let loaded =
+      List.filteri
+        (fun i (name, records) ->
+          let stale =
+            records <> []
+            && List.for_all
+                 (fun (r : Wal.record) -> r.Wal.csn <= t.reclaimed_upto)
+                 records
+          in
+          if stale && i < last then begin
+            (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ());
+            false
+          end
+          else true)
+        loaded
+      |> List.map (fun (name, records) ->
+             ( name,
+               List.filter
+                 (fun (r : Wal.record) -> r.Wal.csn > t.reclaimed_upto)
+                 records ))
+    in
     (* Repair a torn active segment in place: rewrite it with only the
        records that parsed, so later appends continue a clean log rather
        than landing after the torn bytes (which would read as mid-log
@@ -269,8 +334,11 @@ let open_dir ?(segment_records = 256) ?fault dir =
         output_string out Wal_codec.magic;
         output_char out '\n';
         List.iter (fun r -> Wal_codec.output_record out r) records;
+        flush out;
+        Unix.fsync (Unix.descr_of_out_channel out);
         close_out out;
-        Sys.rename tmp (Filename.concat dir name));
+        Sys.rename tmp (Filename.concat dir name);
+        fsync_dir dir);
     (* CSN continuity across the whole recovered suffix. *)
     let expected = ref (t.reclaimed_upto + 1) in
     List.iter

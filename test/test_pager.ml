@@ -300,6 +300,52 @@ let test_wal_store_reclaim () =
   Alcotest.(check (pair int int)) "ledger survives reopen" (2, 8)
     (Wal_store.reclaimed r2.Wal_store.store)
 
+(* Both reclaim crash windows: before the manifest commit nothing is
+   reclaimed yet and replay is total; after the commit but before the
+   unlinks, stale segments overlap the ledger and recovery must skip
+   and delete them rather than report a CSN gap. *)
+let test_wal_store_reclaim_crash_windows () =
+  let filled dir =
+    let r = Wal_store.open_dir ~segment_records:4 dir in
+    let store = r.Wal_store.store in
+    for csn = 1 to 10 do
+      Wal_store.append store (mk_record csn)
+    done;
+    store
+  in
+  with_dir (fun dir ->
+      let store = filled dir in
+      (try
+         ignore
+           (Wal_store.reclaim
+              ~fault:(Fault.crash_at "walseg.manifest" ~hit:1)
+              store ~upto:8)
+       with Fault.Crash _ -> ());
+      let r2 = Wal_store.open_dir ~segment_records:4 dir in
+      Alcotest.(check (list int)) "crash before manifest commit loses nothing"
+        (List.init 10 (fun i -> i + 1))
+        (csns r2);
+      Alcotest.(check (pair int int)) "ledger untouched" (0, 0)
+        (Wal_store.reclaimed r2.Wal_store.store));
+  with_dir (fun dir ->
+      let store = filled dir in
+      (try
+         ignore
+           (Wal_store.reclaim
+              ~fault:(Fault.crash_at "walseg.reclaim" ~hit:1)
+              store ~upto:8)
+       with Fault.Crash _ -> ());
+      let r2 = Wal_store.open_dir ~segment_records:4 dir in
+      Alcotest.(check (list int)) "stale segments skipped" [ 9; 10 ] (csns r2);
+      Alcotest.(check (pair int int)) "ledger survived the crash" (2, 8)
+        (Wal_store.reclaimed r2.Wal_store.store);
+      let wal_files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun n -> Wal_store.segment_number n <> None)
+      in
+      Alcotest.(check int) "stale segment files deleted" 1
+        (List.length wal_files))
+
 (* --- whole-database crash recovery on the paged store --- *)
 
 let r_schema = Schema.make [ int_col "k"; int_col "v" ]
@@ -406,6 +452,30 @@ let test_torn_tail_reported () =
     (expected_relation 3)
     (Table.contents (Database.table db2 "r"))
 
+(* A crash inside [reclaim_wal]'s post-manifest window, through the
+   whole database stack: the reopened store must tolerate the stale
+   segments and replay the surviving history. *)
+let test_db_reclaim_crash_recovers () =
+  with_dir @@ fun dir ->
+  Unix.putenv "ROLL_SEGMENT_RECORDS" "4";
+  Fun.protect ~finally:(fun () -> Unix.putenv "ROLL_SEGMENT_RECORDS" "")
+  @@ fun () ->
+  let db = disk_db dir in
+  for i = 1 to 20 do
+    ignore (commit_txn db i)
+  done;
+  Database.sync db;
+  Database.set_storage_fault db (Fault.crash_at "walseg.reclaim" ~hit:1);
+  let crashed = ref false in
+  (try ignore (Database.reclaim_wal db ~upto:10) with Fault.Crash _ -> crashed := true);
+  Alcotest.(check bool) "crash fired in the reclaim window" true !crashed;
+  let db2 = disk_db dir in
+  Database.recover_pending db2;
+  Alcotest.(check int) "durable history intact" 20 (Database.now db2);
+  Alcotest.check relation "contents intact across the reclaim crash"
+    (expected_relation 20)
+    (Table.contents (Database.table db2 "r"))
+
 (* --- service-level segment GC --- *)
 
 let disk_scenario dir =
@@ -493,6 +563,10 @@ let suite =
       `Quick test_wal_store_rotation_and_recovery;
     Alcotest.test_case "wal segment reclaim and ledger" `Quick
       test_wal_store_reclaim;
+    Alcotest.test_case "wal reclaim crash windows recover" `Quick
+      test_wal_store_reclaim_crash_windows;
+    Alcotest.test_case "database survives a crash mid-reclaim" `Quick
+      test_db_reclaim_crash_recovers;
     Alcotest.test_case "disk crash recovery at every storage fault point"
       `Quick test_crash_recovery_all_points;
     Alcotest.test_case "torn tail reported and dropped" `Quick
