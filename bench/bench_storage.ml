@@ -13,16 +13,31 @@ module Pager = Roll_storage.Pager
 module C = Roll_core
 module W = Roll_workload
 
+(* ROLL_BENCH_SCALE multiplies the workload's row counts (initial fact
+   rows, dimension size, churn transactions) AND the cache grid, so
+   `ROLL_BENCH_SCALE=10 bench storage` runs the same experiment on a
+   10-100x workload at the same cache-residency fractions — the sweep is
+   about relative memory pressure, and scaling the data without the cache
+   would just pin every point at the thrashing floor. Unset or 1 is the
+   historical scale. *)
+let scale =
+  match Sys.getenv_opt "ROLL_BENCH_SCALE" with
+  | None | Some "" -> 1
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> n
+      | _ -> failwith "bench storage: ROLL_BENCH_SCALE must be a positive int")
+
 (* 10x the scale BENCH_executor.json's star measurements run at. *)
 let star_config =
   {
     W.Star.default_config with
-    fact_initial = 20_000;
-    dim_size = 400;
+    fact_initial = 20_000 * scale;
+    dim_size = 400 * scale;
     seed = 99;
   }
 
-let drain_txns = 2_000
+let drain_txns = 2_000 * scale
 
 type point = {
   cache_pages : int;
@@ -116,7 +131,8 @@ let run () =
   Fun.protect ~finally:restore (fun () ->
       let points =
         List.map
-          (fun (cache_pages, policy) -> run_point ~cache_pages ~policy)
+          (fun (cache_pages, policy) ->
+            run_point ~cache_pages:(cache_pages * scale) ~policy)
           [
             (64, "lru");
             (128, "lru");
@@ -145,8 +161,9 @@ let run () =
        ^ ",\n");
       output_string oc
         (Printf.sprintf
-           "  \"workload\": \"star\", \"fact_initial\": %d, \"txns\": %d,\n"
-           star_config.W.Star.fact_initial drain_txns);
+           "  \"workload\": \"star\", \"fact_initial\": %d, \"txns\": %d, \
+            \"scale\": %d,\n"
+           star_config.W.Star.fact_initial drain_txns scale);
       output_string oc "  \"points\": [\n";
       output_string oc (String.concat ",\n" (List.map json_of_point points));
       output_string oc "\n  ]\n}\n";

@@ -23,7 +23,8 @@ let () =
     print_endline "serve";
     print_endline "share";
     print_endline "obs";
-    print_endline "storage"
+    print_endline "storage";
+    print_endline "higher_order"
   end
   else begin
     let wanted name =
@@ -50,5 +51,6 @@ let () =
     if wanted "share" then timed "share" Bench_share.run;
     if wanted "obs" then timed "obs" Bench_obs.run;
     if wanted "storage" then timed "storage" Bench_storage.run;
+    if wanted "higher_order" then timed "higher_order" Bench_higher.run;
     Printf.printf "\ntotal: %.1fs\n" (now () -. t0)
   end

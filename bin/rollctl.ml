@@ -207,6 +207,32 @@ let status_cmd txns json domains =
       ~algorithm:(C.Controller.Rolling (C.Rolling.uniform 15))
       dim_watch
   in
+  (* A filtered join: the fact source is narrowed by a local predicate and
+     the projection, so with auxiliaries enabled (ROLL_AUX=1 or
+     [Service.create ~auxiliary:true]) the service derives and maintains
+     π(σ(fact)) as an auxiliary — its row appears below with state
+     "auxiliary", and the owner's probe counters and freshness lag land in
+     the "aux h/m" and "aux lag" columns. *)
+  let fact = W.Star.fact_table star in
+  let open Roll_relation in
+  let bh = C.View.binder db [ (fact, "f"); (d0, "d") ] in
+  let hot_fact =
+    C.View.create db ~name:"hot_fact"
+      ~sources:[ (fact, "f"); (d0, "d") ]
+      ~predicate:
+        [
+          Predicate.join (bh "f" "d0_key") (bh "d" "key");
+          Predicate.cmp Predicate.Ge
+            (Predicate.Col (bh "f" "measure"))
+            (Predicate.Const (Value.Int 48));
+        ]
+      ~project:[ bh "f" "d0_key"; bh "f" "measure"; bh "d" "attr" ]
+  in
+  let _ =
+    C.Service.register service
+      ~algorithm:(C.Controller.Rolling (C.Rolling.uniform 12))
+      hot_fact
+  in
   W.Star.mixed_txns star ~n:txns ~dim_fraction:0.05;
   C.Service.pause service "fact_copy";
   (* Demonstrate reliable stepping: the star view's third propagation query
@@ -228,7 +254,8 @@ let status_cmd txns json domains =
       ~header:
         [
           "view"; "as of"; "hwm"; "staleness"; "sla"; "slack"; "delta rows";
-          "retry/abort/recover"; "memo h/m"; "shared"; "state";
+          "retry/abort/recover"; "memo h/m"; "aux h/m"; "aux lag"; "shared";
+          "state";
         ]
       (List.map
          (fun (st : C.Service.status) ->
@@ -242,8 +269,12 @@ let status_cmd txns json domains =
              string_of_int st.delta_rows;
              Printf.sprintf "%d/%d/%d" st.retries st.aborts st.recoveries;
              Printf.sprintf "%d/%d" st.memo_hits st.memo_misses;
+             Printf.sprintf "%d/%d" st.aux_hits st.aux_misses;
+             string_of_int st.aux_lag;
              string_of_int st.shared_builds;
-             (if st.paused then "paused" else "running");
+             (if st.aux then "auxiliary"
+              else if st.paused then "paused"
+              else "running");
            ])
          (C.Service.status service))
   in
@@ -488,7 +519,76 @@ let explain_cmd txns =
   print_endline "";
   print_endline "estimated vs. actual (runs the queries, commits nothing):";
   print_string (C.Executor.explain_analyze ctx (C.Pquery.all_base 3));
-  print_string (C.Executor.explain_analyze ctx forward)
+  print_string (C.Executor.explain_analyze ctx forward);
+  (* The same forward-query shape once an auxiliary is attached and fresh:
+     the Base term's source renders with an α prefix — it reads the
+     maintained mirror of π(σ(fact)) instead of the base table, and the
+     pre-applied local filter is gone from the plan's predicate. *)
+  let open Roll_relation in
+  let db2 = Database.create () in
+  let int_col name = { Schema.name; ty = Value.T_int } in
+  let _ =
+    Database.create_table db2 ~name:"fact"
+      (Schema.make [ int_col "k"; int_col "v"; int_col "tag" ])
+  in
+  let _ =
+    Database.create_table db2 ~name:"dim"
+      (Schema.make [ int_col "k"; int_col "w" ])
+  in
+  let capture = Roll_capture.Capture.create db2 in
+  Roll_capture.Capture.attach capture ~table:"fact";
+  Roll_capture.Capture.attach capture ~table:"dim";
+  let b = C.View.binder db2 [ ("fact", "f"); ("dim", "d") ] in
+  let hot =
+    C.View.create db2 ~name:"hot"
+      ~sources:[ ("fact", "f"); ("dim", "d") ]
+      ~predicate:
+        [
+          Predicate.join (b "f" "k") (b "d" "k");
+          Predicate.cmp Predicate.Ge
+            (Predicate.Col (b "f" "tag"))
+            (Predicate.Const (Value.Int 500));
+        ]
+      ~project:[ b "f" "k"; b "f" "v"; b "d" "w" ]
+  in
+  let rng = Roll_util.Prng.create ~seed:9 in
+  for _ = 1 to txns do
+    ignore
+      (Database.run db2 (fun txn ->
+           Database.insert txn ~table:"fact"
+             (Tuple.ints
+                [
+                  Roll_util.Prng.int rng 20;
+                  Roll_util.Prng.int rng 1000;
+                  Roll_util.Prng.int rng 1000;
+                ]);
+           Database.insert txn ~table:"dim"
+             (Tuple.ints
+                [ Roll_util.Prng.int rng 20; Roll_util.Prng.int rng 1000 ])))
+  done;
+  let ctl =
+    C.Controller.create db2 capture hot
+      ~algorithm:(C.Controller.Rolling (C.Rolling.uniform 8))
+  in
+  let reg = C.Auxiliary.create db2 capture in
+  (match C.Auxiliary.attach reg ctl with
+  | [] -> ()
+  | ae :: _ ->
+      ignore (C.Controller.refresh_latest (C.Auxiliary.controller ae));
+      C.Auxiliary.sync ae;
+      Roll_capture.Capture.advance capture;
+      let now2 = Database.now db2 in
+      let fwd2 =
+        C.Pquery.replace (C.Pquery.all_base 2) 1
+          (C.Pquery.Win { lo = now2 - 5; hi = now2 })
+      in
+      print_endline "";
+      print_endline
+        (Printf.sprintf
+           "plan for the same forward shape with auxiliary %s fresh (α = \
+            mirror probe):"
+           (C.Auxiliary.name ae));
+      print_string (C.Executor.explain (C.Controller.ctx ctl) fwd2))
 
 let explain_term =
   let txns = Arg.(value & opt int 50 & info [ "txns"; "n" ] ~doc:"update transactions") in

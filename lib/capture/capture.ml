@@ -140,3 +140,21 @@ let advance ?max_records t =
 let hwm t = t.hwm
 
 let lag t = Wal.length (Database.wal t.db) - t.cursor
+
+(* Read-only scan of the uncaptured WAL suffix. Freshness tests (the
+   auxiliary-view substitution in the executor) need to know whether the
+   table changed *at all* since a point in time; the delta only answers for
+   the captured prefix, this answers for the rest. The cursor is usually at
+   the log's end (capture advances before every serial query, and waves
+   advance it before freezing), so the common case inspects zero records. *)
+let pending_changes t ~table =
+  let wal = Database.wal t.db in
+  let stop = Wal.length wal in
+  let rec scan pos =
+    pos < stop
+    && (List.exists
+          (fun (c : Wal.change) -> String.equal c.table table)
+          (Wal.get wal pos).changes
+       || scan (pos + 1))
+  in
+  scan (max t.cursor (Wal.first_pos wal))

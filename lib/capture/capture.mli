@@ -59,3 +59,10 @@ val hwm : t -> Roll_delta.Time.t
 
 val lag : t -> int
 (** Number of log records not yet captured. *)
+
+val pending_changes : t -> table:string -> bool
+(** Whether any logged-but-uncaptured record (between the cursor and the
+    WAL's end) changes [table]. Together with an empty delta window beyond a
+    reference time this proves the table's committed state has not moved
+    since that time — the freshness test behind auxiliary-view probes.
+    Read-only: never advances the cursor or touches the delta tables. *)

@@ -1,0 +1,362 @@
+(* Higher-order delta processing (ROADMAP item 3, DESIGN.md section 18):
+   materialize the per-relation partials of the recursive ComputeDelta
+   terms as first-class auxiliary views.
+
+   Every Base term of a forward or compensation query reads one source
+   relation R_j filtered by its single-source atoms and narrowed to the
+   columns the join and the projection actually touch. That partial,
+   π_needed(σ_local(R_j)), is itself a single-source select-project view —
+   one with no compensation of its own (its forward query has no Base
+   terms), so maintaining it is O(change) per step. This module derives
+   those partials from a registered view's shape, materializes each one
+   once (deduplicating across sibling views on the same canonical
+   signature namespace the delta memo keys on), keeps an indexed in-memory
+   mirror of its contents, and installs a freshness-checking closure into
+   the owner's context so the executor probes the mirror instead of
+   scanning the base relation whenever that is provably sound.
+
+   The auxiliary's durable truth flows through the ordinary controller
+   path — capture, propagate, apply, WAL frontier markers, checkpoint —
+   exactly like a user view's, so crash recovery covers it for free. The
+   mirror is derived state on the same footing as secondary indexes: it
+   dies with the process and is rebuilt from the recovered auxiliary
+   contents on restart. *)
+
+open Roll_relation
+module Time = Roll_delta.Time
+module Delta = Roll_delta.Delta
+module Database = Roll_storage.Database
+module Table = Roll_storage.Table
+module Capture = Roll_capture.Capture
+
+let log_src = Logs.Src.create "roll.auxiliary" ~doc:"auxiliary-view registry"
+
+module Log = (val Logs.src_log log_src)
+
+(* ------------------------------------------------------------------ *)
+(* Derivation                                                          *)
+
+type deriv = {
+  source : int;  (** owner source position the auxiliary substitutes *)
+  base : string;  (** the base table it is a partial of *)
+  local : Predicate.t;  (** single-source atoms, rebased to source 0 *)
+  select : (string * Predicate.operand) list;  (** retained columns *)
+  cols : int array;  (** mirror column [k] holds base column [cols.(k)] *)
+}
+
+let rebase_col (c : Predicate.col) = { c with Predicate.source = 0 }
+
+let rec rebase_operand = function
+  | Predicate.Col c -> Predicate.Col (rebase_col c)
+  | Predicate.Const _ as o -> o
+  | Predicate.Neg e -> Predicate.Neg (rebase_operand e)
+  | Predicate.Add (a, b) -> Predicate.Add (rebase_operand a, rebase_operand b)
+  | Predicate.Sub (a, b) -> Predicate.Sub (rebase_operand a, rebase_operand b)
+  | Predicate.Mul (a, b) -> Predicate.Mul (rebase_operand a, rebase_operand b)
+  | Predicate.Div (a, b) -> Predicate.Div (rebase_operand a, rebase_operand b)
+
+let operand_cols_of_source j operand =
+  Predicate.fold_operands
+    (fun acc op ->
+      match op with
+      | Predicate.Col c when c.Predicate.source = j -> c.Predicate.column :: acc
+      | _ -> acc)
+    [] operand
+
+(* Which of source [j]'s columns the rest of the query can see: columns
+   referenced by atoms that involve any other source, plus columns the
+   projection reads. Columns only a single-source atom touches are filter
+   inputs the auxiliary consumes when it applies the atom. *)
+let needed_cols view j =
+  let acc = ref [] in
+  let note c = if not (List.mem c !acc) then acc := c :: !acc in
+  List.iter
+    (fun atom ->
+      match Predicate.sources_of_atom atom with
+      | [ k ] when k = j -> ()
+      | srcs when List.mem j srcs ->
+          (match atom with
+          | Predicate.Join (a, b) ->
+              if a.Predicate.source = j then note a.Predicate.column;
+              if b.Predicate.source = j then note b.Predicate.column
+          | Predicate.Cmp (_, x, y) ->
+              List.iter note (operand_cols_of_source j x);
+              List.iter note (operand_cols_of_source j y))
+      | _ -> ())
+    (View.predicate view);
+  List.iter
+    (fun (_, operand) -> List.iter note (operand_cols_of_source j operand))
+    (View.projection view);
+  List.sort_uniq Int.compare !acc
+
+let derive view =
+  let n = View.n_sources view in
+  (* A single-source view's forward query has no Base terms — there is
+     nothing to substitute and its maintenance is already O(change). *)
+  if n < 2 then []
+  else
+    List.filter_map
+      (fun j ->
+        let schema = View.source_schema view j in
+        let local =
+          List.filter
+            (fun atom -> Predicate.sources_of_atom atom = [ j ])
+            (View.predicate view)
+        in
+        let needed = needed_cols view j in
+        (* No retained columns: the source feeds neither the join nor the
+           output. No local filter and full width: the "partial" would be a
+           verbatim copy of the table, all cost and no narrowing. *)
+        if needed = [] then None
+        else if local = [] && List.length needed = Schema.arity schema then
+          None
+        else
+          let local =
+            List.map
+              (function
+                | Predicate.Join (a, b) ->
+                    Predicate.Join (rebase_col a, rebase_col b)
+                | Predicate.Cmp (op, x, y) ->
+                    Predicate.Cmp (op, rebase_operand x, rebase_operand y))
+              local
+          in
+          let select =
+            List.map
+              (fun c ->
+                ( (Schema.column schema c).Schema.name,
+                  Predicate.Col { Predicate.source = 0; column = c } ))
+              needed
+          in
+          Some
+            {
+              source = j;
+              base = View.source_table view j;
+              local;
+              select;
+              cols = Array.of_list needed;
+            })
+      (List.init n Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+type entry = {
+  key : string;
+      (** canonical [Pquery.signature] of the auxiliary's defining query —
+          the same namespace the delta memo keys on, so two sibling views
+          needing the same partial share one entry instead of
+          double-materializing *)
+  base : string;
+  view : View.t;
+  controller : Controller.t;
+  cols : int array;
+  mirror : Table.t;
+  mutable mirror_as_of : Time.t;
+      (** the mirror equals the auxiliary's contents at this time *)
+  mutable owners : string list;  (** names of the views probing this entry *)
+}
+
+type t = {
+  db : Database.t;
+  capture : Capture.t;
+  interval : int;
+  mutable entries : entry list;
+}
+
+let create ?(interval = 8) db capture =
+  if interval <= 0 then invalid_arg "Auxiliary.create: interval";
+  { db; capture; interval; entries = [] }
+
+let entries t = t.entries
+
+let name e = View.name e.view
+
+let view e = e.view
+
+let controller e = e.controller
+
+let mirror e = e.mirror
+
+let owners e = e.owners
+
+let mirror_as_of e = e.mirror_as_of
+
+let for_owner t ~owner =
+  List.filter (fun e -> List.mem owner e.owners) t.entries
+
+let find t name_ =
+  List.find_opt (fun e -> String.equal (name e) name_) t.entries
+
+(* The auxiliary is substitutable iff the mirror provably equals the
+   partial applied to the base table's *current committed state*: no
+   captured change to the base strictly after [mirror_as_of] (O(1) via the
+   delta's max timestamp) and no logged-but-uncaptured change either (a
+   read-only scan of the usually-empty WAL suffix). Marker commits advance
+   the clock constantly, so the test must — and does — ignore everything
+   that is not a data change to this base table. *)
+let fresh t e =
+  (match Delta.max_ts (Capture.delta t.capture ~table:e.base) with
+  | Some ts -> ts <= e.mirror_as_of
+  | None -> true)
+  && not (Capture.pending_changes t.capture ~table:e.base)
+
+let lag t e = Time.max 0 (Database.now t.db - e.mirror_as_of)
+
+(* Fold the auxiliary's applied-but-unmirrored delta suffix into the
+   mirror. Only rows at or below the controller's high-water mark are
+   consumed — the hwm advances solely on successful steps, so rows a retry
+   or a wave undo may truncate are never visible here. Callers must sync
+   before pruning the auxiliary's delta (see [gc]). *)
+let sync e =
+  let target = Controller.hwm e.controller in
+  if target > e.mirror_as_of then begin
+    Delta.window_iter
+      (Controller.ctx e.controller).Ctx.out
+      ~lo:e.mirror_as_of ~hi:target
+      (fun (row : Delta.row) -> Table.apply_change e.mirror row.tuple row.count);
+    e.mirror_as_of <- target
+  end
+
+let sync_all t = List.iter sync t.entries
+
+(* Prune the auxiliary's applied delta rows — syncing first, because the
+   mirror reads the delta window the prune is about to reclaim. *)
+let gc e =
+  sync e;
+  Controller.gc e.controller
+
+let signature_of_aux view =
+  Pquery.signature view ~rule:`Min (Pquery.all_base 1)
+
+let aux_name base key =
+  Printf.sprintf "aux_%s_%08x" base (Hashtbl.hash key land 0xFFFFFFFF)
+
+(* Build the mirror afresh from the auxiliary's stored contents, then roll
+   it to the high-water mark. Used at creation (cheap: the store was just
+   materialized) and after crash recovery (the mirror died with the
+   process; the recovered store + regenerated delta rebuild it exactly). *)
+let rebuild_mirror e =
+  let contents = Controller.contents e.controller in
+  Relation.iter (fun tuple count -> Table.apply_change e.mirror tuple count)
+    contents;
+  e.mirror_as_of <- Controller.as_of e.controller;
+  sync e
+
+let make_entry t ~durable ~recover ?obs (deriv : deriv) =
+  let probe = View.create_select t.db ~name:"aux" ~sources:[ (deriv.base, deriv.base) ]
+      ~predicate:deriv.local ~select:deriv.select
+  in
+  let key = signature_of_aux probe in
+  match List.find_opt (fun e -> String.equal e.key key) t.entries with
+  | Some e -> e
+  | None ->
+      let vname = aux_name deriv.base key in
+      let aux_view =
+        View.create_select t.db ~name:vname
+          ~sources:[ (deriv.base, deriv.base) ]
+          ~predicate:deriv.local ~select:deriv.select
+      in
+      let algorithm = Controller.Rolling (Rolling.uniform t.interval) in
+      let controller =
+        if recover then
+          match Controller.recover ?obs t.db t.capture aux_view ~algorithm with
+          | ctl -> ctl
+          | exception Invalid_argument _ ->
+              (* No durable state for this auxiliary (first run, or it was
+                 derived after the last crash): start it fresh. *)
+              Controller.create ~durable ?obs t.db t.capture aux_view
+                ~algorithm
+        else Controller.create ~durable ?obs t.db t.capture aux_view ~algorithm
+      in
+      let mirror = Table.create ~name:vname (View.output_schema aux_view) in
+      let e =
+        {
+          key;
+          base = deriv.base;
+          view = aux_view;
+          controller;
+          cols = deriv.cols;
+          mirror;
+          mirror_as_of = Controller.as_of controller;
+          owners = [];
+        }
+      in
+      rebuild_mirror e;
+      t.entries <- t.entries @ [ e ];
+      Log.info (fun m ->
+          m "materialized auxiliary %s = π%s(σ(%s)) as_of=%d" vname
+            (String.concat ","
+               (List.map string_of_int (Array.to_list deriv.cols)))
+            deriv.base e.mirror_as_of);
+      e
+
+(* Secondary indexes on the mirror columns the owner's equi-joins probe,
+   so the planner turns a substituted base scan into an index probe. *)
+let index_mirror e owner_view (deriv : deriv) =
+  List.iter
+    (fun atom ->
+      match atom with
+      | Predicate.Join (a, b) ->
+          List.iter
+            (fun (c : Predicate.col) ->
+              if c.Predicate.source = deriv.source then
+                Array.iteri
+                  (fun k base_col ->
+                    if base_col = c.Predicate.column then
+                      Table.create_index e.mirror ~columns:[ k ])
+                  e.cols)
+            [ a; b ]
+      | Predicate.Cmp _ -> ())
+    (View.predicate owner_view)
+
+let install_closure t owner_ctx assoc =
+  let stats = owner_ctx.Ctx.stats in
+  owner_ctx.Ctx.aux <-
+    Some
+      (fun ~peek j ->
+        match List.assoc_opt j assoc with
+        | None -> None
+        | Some e ->
+            if peek then Some { Ctx.table = e.mirror; cols = e.cols }
+            else if fresh t e then begin
+              Stats.incr_aux_hits stats;
+              Some { Ctx.table = e.mirror; cols = e.cols }
+            end
+            else begin
+              Stats.incr_aux_misses stats;
+              None
+            end)
+
+let attach ?(durable = false) ?(recover = false) ?obs t owner_controller =
+  let owner_view = Controller.view owner_controller in
+  let owner = View.name owner_view in
+  let derivs = derive owner_view in
+  let assoc =
+    List.map
+      (fun d ->
+        let e = make_entry t ~durable ~recover ?obs d in
+        if not (List.mem owner e.owners) then e.owners <- e.owners @ [ owner ];
+        index_mirror e owner_view d;
+        (d.source, e))
+      derivs
+  in
+  if assoc <> [] then
+    install_closure t (Controller.ctx owner_controller) assoc;
+  List.map snd assoc
+
+(* Drop [owner] from every entry; entries left with no owners are orphans —
+   removed from the registry and returned so the caller can retire their
+   maintenance (the mirror and controller become unreachable with them). *)
+let release t ~owner =
+  List.iter
+    (fun e ->
+      e.owners <- List.filter (fun o -> not (String.equal o owner)) e.owners)
+    t.entries;
+  let orphans, live = List.partition (fun e -> e.owners = []) t.entries in
+  t.entries <- live;
+  if orphans <> [] then
+    Log.info (fun m ->
+        m "dropped %d orphaned auxiliar%s: %s" (List.length orphans)
+          (if List.length orphans = 1 then "y" else "ies")
+          (String.concat ", " (List.map name orphans)));
+  orphans

@@ -1,0 +1,119 @@
+(** Higher-order delta processing: auxiliary views for compensation terms.
+
+    Every Base term of a propagation query reads one source relation R_j
+    filtered by its single-source atoms and narrowed to the columns the
+    join and the projection touch. That partial, π_needed(σ_local(R_j)),
+    is a single-source select-project view whose forward query has no Base
+    terms — it needs no compensation of its own, so maintaining it is
+    O(change) per step. This registry derives those partials from a
+    registered view's shape, materializes each one once through an
+    ordinary {!Controller} (so propagation, WAL frontier markers,
+    checkpointing and crash recovery all come for free), keeps an indexed
+    in-memory {e mirror} of its contents for probing, and installs a
+    freshness-checking closure ({!Ctx.aux}) into the owner's context so
+    the executor probes the mirror instead of scanning the base table
+    whenever that is provably sound — with transparent fallback to the
+    base table whenever the auxiliary lags.
+
+    Deduplication: entries are keyed by the canonical {!Pquery.signature}
+    of their defining query — the same namespace the delta memo keys on —
+    so sibling views needing the same partial share one materialization.
+
+    The mirror is derived state on the same footing as a secondary index:
+    it dies with the process and is rebuilt from the recovered auxiliary
+    contents on restart. The durable truth is the auxiliary view itself. *)
+
+type deriv = {
+  source : int;  (** owner source position the auxiliary substitutes *)
+  base : string;  (** the base table it is a partial of *)
+  local : Roll_relation.Predicate.t;
+      (** single-source atoms, rebased to source 0 *)
+  select : (string * Roll_relation.Predicate.operand) list;
+      (** retained columns *)
+  cols : int array;  (** mirror column [k] holds base column [cols.(k)] *)
+}
+
+val derive : View.t -> deriv list
+(** The auxiliary views worth materializing for a view: one per source
+    that is narrowed by a local filter or a projection. Single-source
+    views yield none (nothing to substitute); a source is skipped when no
+    column of it survives into the join or output, or when the partial
+    would be a verbatim full-width, unfiltered copy of the table. *)
+
+type entry
+
+type t
+
+val create : ?interval:int -> Roll_storage.Database.t -> Roll_capture.Capture.t -> t
+(** A registry maintaining auxiliaries against this database and capture
+    process. [interval] (default 8) is the rolling-propagation interval of
+    each auxiliary's controller. @raise Invalid_argument if
+    [interval <= 0]. *)
+
+val attach :
+  ?durable:bool ->
+  ?recover:bool ->
+  ?obs:Roll_obs.Obs.t ->
+  t ->
+  Controller.t ->
+  entry list
+(** Derive, find-or-create, and wire the auxiliaries for a view: each
+    derived partial is materialized under a deterministic name
+    ([aux_<base>_<hash>], stable across restarts so frontier markers
+    resolve), its mirror is indexed on the columns the owner's equi-joins
+    probe, and the substitution closure is installed on the owner's
+    context. With [recover], each auxiliary's controller is restored from
+    durable state when markers exist and created fresh otherwise (an
+    auxiliary first derived after a crash has no history). Returns the
+    entries now owned by (possibly shared with) this view — register
+    their controllers for maintenance. *)
+
+val release : t -> owner:string -> entry list
+(** Drop [owner] from every entry and remove entries left with no owners
+    from the registry. Returns the orphans so the caller can retire their
+    maintenance. *)
+
+val sync : entry -> unit
+(** Fold the auxiliary's applied-but-unmirrored view-delta suffix (up to
+    the controller's high-water mark) into the mirror. Rollback-safe: rows
+    a failed step or wave undo truncates are always beyond the last
+    successful high-water mark, so the mirror never consumes them. *)
+
+val sync_all : t -> unit
+
+val gc : entry -> int
+(** {!sync}, then prune the auxiliary's applied delta rows
+    ({!Controller.gc}) — in that order, because the mirror reads the delta
+    window the prune reclaims. Returns rows removed. *)
+
+val fresh : t -> entry -> bool
+(** Whether the mirror provably equals the partial applied to the base
+    table's current committed state: no captured change to the base after
+    the mirror's time (O(1): the delta's max timestamp) and no
+    logged-but-uncaptured change either (a read-only scan of the WAL
+    suffix past the capture cursor). *)
+
+val lag : t -> entry -> Roll_delta.Time.t
+(** How far the mirror trails the database clock ([now - mirror_as_of]);
+    0 when fully caught up. Marker commits advance the clock, so a
+    nonzero lag does not by itself imply staleness — {!fresh} is the
+    authoritative test. *)
+
+val entries : t -> entry list
+
+val for_owner : t -> owner:string -> entry list
+
+val find : t -> string -> entry option
+(** Look up an entry by its auxiliary view's name. *)
+
+val name : entry -> string
+
+val view : entry -> View.t
+
+val controller : entry -> Controller.t
+
+val mirror : entry -> Roll_storage.Table.t
+
+val owners : entry -> string list
+
+val mirror_as_of : entry -> Roll_delta.Time.t

@@ -297,9 +297,24 @@ let estimate_step_cost t ~relation ~lo ~hi =
           }
         else
           let table = Database.table t.ctx.Ctx.db table_name in
+          (* A fresh auxiliary would replace this base read with a probe of
+             its (smaller) mirror; estimate with the mirror's cardinality so
+             the scheduler prices steps the way the executor will run them.
+             Index positions stay in base coordinates (what the predicate
+             references) — close enough for a cost model. *)
+          let card =
+            match
+              match t.ctx.Ctx.aux with
+              | Some f -> f ~peek:true j
+              | None -> None
+            with
+            | Some (a : Ctx.aux_source) ->
+                Roll_storage.Table.distinct_count a.Ctx.table
+            | None -> Roll_storage.Table.distinct_count table
+          in
           {
             Planner.name = table_name;
-            card = Roll_storage.Table.distinct_count table;
+            card;
             is_delta = false;
             indexed = Roll_storage.Table.indexed_columns table;
           })

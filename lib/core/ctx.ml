@@ -1,6 +1,12 @@
 open Roll_storage
 open Roll_capture
 
+type aux_source = {
+  table : Table.t;  (** the auxiliary's mirror table, probed in place of the base *)
+  cols : int array;
+      (** column remap: mirror column [k] holds base column [cols.(k)] *)
+}
+
 type t = {
   db : Database.t;
   capture : Capture.t;
@@ -20,6 +26,7 @@ type t = {
   mutable obs : Roll_obs.Obs.t;
   mutable frozen_exec : Roll_delta.Time.t option;
   mutable memo_owner : int;
+  mutable aux : (peek:bool -> int -> aux_source option) option;
 }
 
 let create ?(geometry = false) ?obs ?t_initial db capture view =
@@ -53,4 +60,5 @@ let create ?(geometry = false) ?obs ?t_initial db capture view =
     obs = (match obs with Some o -> o | None -> Roll_obs.Obs.disabled ());
     frozen_exec = None;
     memo_owner = 0;
+    aux = None;
   }

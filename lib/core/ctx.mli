@@ -6,6 +6,18 @@
     transactions between propagation queries — the concurrency that makes
     compensation necessary. *)
 
+type aux_source = {
+  table : Roll_storage.Table.t;
+      (** the auxiliary's mirror table, probed in place of the base *)
+  cols : int array;
+      (** column remap: mirror column [k] holds base column [cols.(k)] *)
+}
+(** A substitutable source: a materialized per-relation partial (projection
+    of a selection of one base table) the executor may read instead of the
+    base table itself. Produced by the {!Auxiliary} registry's freshness
+    closure; consuming it is only sound while the mirror equals the partial
+    applied to the base table's current committed state. *)
+
 type t = {
   db : Roll_storage.Database.t;
   capture : Roll_capture.Capture.t;
@@ -68,6 +80,16 @@ type t = {
       (** Work-item slot tag passed to {!Memo.add} for entries this context
           inserts, so a parallel rollback can evict exactly one step's
           entries ({!Memo.evict_since}). 0 (the default) outside waves. *)
+  mutable aux : (peek:bool -> int -> aux_source option) option;
+      (** Auxiliary-view substitution closure, installed by the
+          {!Auxiliary} registry: called with a source position whenever a
+          query term reads that source as a base relation. [Some s] means
+          "probe [s.table] instead — it is fresh"; [None] means no
+          auxiliary exists (or it lags) and the base table is read as
+          always. [peek:true] is the cost-estimation variant: it returns
+          the mirror whenever one exists, without the freshness test and
+          without touching the aux hit/miss counters. [None] overall (the
+          default) disables substitution. *)
 }
 
 val create :

@@ -26,6 +26,16 @@ let source_of_table table =
       Some (Printf.sprintf "%s@%d" (Table.name table) (Table.version table));
   }
 
+(* An auxiliary mirror is physically a table — scannable, probe-able
+   through its secondary indexes, build-cacheable by content version — but
+   plans must show it under its provenance name (the "α" prefix mirrors the
+   "Δ" convention for delta windows), and its cache key must stay the
+   mirror's own (unique) table name so cached builds never collide with the
+   base relation's. *)
+let source_of_aux ~name table =
+  let s = source_of_table table in
+  { s with info = { s.info with Planner.name } }
+
 let source_of_relation ~name r =
   {
     info =

@@ -34,6 +34,12 @@ type source = {
 val source_of_table : Roll_storage.Table.t -> source
 (** Lazy scan/probe over a base table's current committed state. *)
 
+val source_of_aux : name:string -> Roll_storage.Table.t -> source
+(** Like {!source_of_table} over an auxiliary mirror, displayed as [name]
+    (conventionally "α" + the substituted base table) so plans and explain
+    output show the substitution; the cache key stays the mirror's own
+    table name, keeping cached builds distinct from the base relation's. *)
+
 val source_of_relation : name:string -> Relation.t -> source
 (** Scan over an in-memory relation (the oracle's historical states). *)
 

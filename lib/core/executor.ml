@@ -27,12 +27,117 @@ let source_of_term (ctx : Ctx.t) i = function
         (Capture.delta ctx.capture ~table)
         ~lo ~hi
 
-let plan_parts (ctx : Ctx.t) (q : Pquery.t) =
+(* ------------------------------------------------------------------ *)
+(* Auxiliary-view substitution                                         *)
+
+(* A Base term whose source position has a fresh auxiliary view (the
+   [ctx.aux] closure, installed by the Auxiliary registry) reads the
+   auxiliary's mirror table instead of the base relation. The mirror holds
+   the per-relation partial π(σ(R_j)) — single-source atoms pre-applied,
+   only the columns the join and the projection need retained — so the
+   query is rewritten to match: pre-applied atoms are dropped, every other
+   column reference is remapped through the mirror's column map. Because a
+   fresh mirror equals the partial applied to the base table's current
+   committed state, the rewritten query emits bit-identical rows to the
+   original, and stale auxiliaries simply resolve to the base path. *)
+type resolved = {
+  sources : Exec.source array;
+  predicate : Roll_relation.Predicate.t;
+  project : Roll_relation.Tuple.t array -> Roll_relation.Tuple.t;
+  substituted : int;  (** how many Base terms read an auxiliary *)
+}
+
+let resolve (ctx : Ctx.t) (q : Pquery.t) =
+  let module P = Roll_relation.Predicate in
   if Array.length q <> View.n_sources ctx.view then
     invalid_arg "Executor.evaluate: query arity mismatch";
-  let sources = Array.mapi (fun i term -> source_of_term ctx i term) q in
-  let infos = Array.map (fun (s : Exec.source) -> s.info) sources in
-  (sources, Planner.plan (View.predicate ctx.view) infos)
+  let view = ctx.view in
+  let subs =
+    Array.mapi
+      (fun i term ->
+        match (term, ctx.aux) with
+        | Pquery.Base, Some lookup -> lookup ~peek:false i
+        | (Pquery.Base | Pquery.Win _), _ -> None)
+      q
+  in
+  let sources =
+    Array.mapi
+      (fun i term ->
+        match subs.(i) with
+        | Some (a : Ctx.aux_source) ->
+            Exec.source_of_aux
+              ~name:("\xce\xb1" ^ View.source_table view i)
+              a.Ctx.table
+        | None -> source_of_term ctx i term)
+      q
+  in
+  if Array.for_all Option.is_none subs then
+    {
+      sources;
+      predicate = View.predicate view;
+      project = View.project_bindings view;
+      substituted = 0;
+    }
+  else begin
+    let remap_col (c : P.col) =
+      match subs.(c.source) with
+      | None -> c
+      | Some (a : Ctx.aux_source) ->
+          let cols = a.Ctx.cols in
+          let rec find k =
+            if k >= Array.length cols then
+              invalid_arg
+                "Executor: auxiliary mirror is missing a referenced column"
+            else if cols.(k) = c.P.column then { c with P.column = k }
+            else find (k + 1)
+          in
+          find 0
+    in
+    let rec remap_operand = function
+      | P.Col c -> P.Col (remap_col c)
+      | P.Const _ as o -> o
+      | P.Neg e -> P.Neg (remap_operand e)
+      | P.Add (a, b) -> P.Add (remap_operand a, remap_operand b)
+      | P.Sub (a, b) -> P.Sub (remap_operand a, remap_operand b)
+      | P.Mul (a, b) -> P.Mul (remap_operand a, remap_operand b)
+      | P.Div (a, b) -> P.Div (remap_operand a, remap_operand b)
+    in
+    (* Atoms local to a substituted source were applied when the auxiliary
+       was derived; re-applying them is impossible anyway (their pure-filter
+       columns are not in the mirror). Everything else survives, remapped. *)
+    let keep atom =
+      match P.sources_of_atom atom with
+      | [ j ] -> Option.is_none subs.(j)
+      | _ -> true
+    in
+    let predicate =
+      View.predicate view
+      |> List.filter keep
+      |> List.map (function
+           | P.Join (a, b) -> P.Join (remap_col a, remap_col b)
+           | P.Cmp (op, x, y) -> P.Cmp (op, remap_operand x, remap_operand y))
+    in
+    let ops =
+      List.map (fun (_, op) -> remap_operand op) (View.projection view)
+    in
+    let project bindings =
+      Array.of_list (List.map (P.eval_operand bindings) ops)
+    in
+    {
+      sources;
+      predicate;
+      project;
+      substituted =
+        Array.fold_left
+          (fun n s -> if Option.is_some s then n + 1 else n)
+          0 subs;
+    }
+  end
+
+let plan_parts (ctx : Ctx.t) (q : Pquery.t) =
+  let r = resolve ctx q in
+  let infos = Array.map (fun (s : Exec.source) -> s.info) r.sources in
+  (r, Planner.plan r.predicate infos)
 
 let plan_of ctx q = snd (plan_parts ctx q)
 
@@ -91,8 +196,8 @@ let record_operator_spans (ctx : Ctx.t) ~t0 (report : Exec.report) =
     report.steps
 
 let evaluate_parts (ctx : Ctx.t) (q : Pquery.t) =
-  let view = ctx.view in
-  let sources, plan = plan_parts ctx q in
+  let r, plan = plan_parts ctx q in
+  let sources = r.sources in
   let out = ref [] in
   (* The build cache shares the memo's enablement and drain lifetime:
      standalone contexts (disabled memo) run the pipeline exactly as
@@ -113,7 +218,7 @@ let evaluate_parts (ctx : Ctx.t) (q : Pquery.t) =
   let report =
     Exec.run ?cache ?now ~rule:ctx.Ctx.timestamp_rule ~sources ~plan
       ~emit:(fun bindings count ts ->
-        let tuple = View.project_bindings view bindings in
+        let tuple = r.project bindings in
         (* Base rows carry the no-timestamp sentinel; it is neutral under
            the combination rule but must never escape into a view delta
            (Section 4.2's min-of-contributors convention): a row produced
@@ -128,19 +233,19 @@ let evaluate_parts (ctx : Ctx.t) (q : Pquery.t) =
   (match cache with
   | Some c -> Stats.add_shared_builds ctx.stats (Exec.cache_hits c - hits_before)
   | None -> ());
-  (List.rev !out, sources, report)
+  (List.rev !out, sources, report, r.substituted)
 
 let evaluate (ctx : Ctx.t) (q : Pquery.t) =
-  let rows, sources, report = evaluate_parts ctx q in
+  let rows, sources, report, _substituted = evaluate_parts ctx q in
   (rows, reads_of sources report)
 
 let explain (ctx : Ctx.t) (q : Pquery.t) =
-  let sources, plan = plan_parts ctx q in
-  let infos = Array.map (fun (s : Exec.source) -> s.info) sources in
+  let r, plan = plan_parts ctx q in
+  let infos = Array.map (fun (s : Exec.source) -> s.info) r.sources in
   Pquery.describe ctx.view q ^ "\n" ^ Planner.describe infos plan
 
 let explain_analyze (ctx : Ctx.t) (q : Pquery.t) =
-  let _rows, _sources, report = evaluate_parts ctx q in
+  let _rows, _sources, report, _substituted = evaluate_parts ctx q in
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Pquery.describe ctx.view q);
   Buffer.add_char buf '\n';
@@ -182,14 +287,17 @@ let execute_body (ctx : Ctx.t) ~sign (q : Pquery.t) =
   if ctx.auto_capture && ctx.frozen_exec = None then
     Capture.advance ctx.capture;
   Roll_util.Fault.hit ctx.fault "exec.query";
-  let rows, sources, report = evaluate_parts ctx q in
+  let rows, sources, report, substituted = evaluate_parts ctx q in
   let reads = reads_of sources report in
   let description = Pquery.describe ctx.view q in
   let tag = (if sign < 0 then "-" else "+") ^ description in
   if Roll_obs.Obs.tracing ctx.obs then begin
     let trace = Roll_obs.Obs.trace ctx.obs in
     Roll_obs.Trace.add_attr trace "query" (Roll_obs.Trace.Str tag);
-    Roll_obs.Trace.add_attr trace "rows" (Roll_obs.Trace.Int (List.length rows))
+    Roll_obs.Trace.add_attr trace "rows" (Roll_obs.Trace.Int (List.length rows));
+    if substituted > 0 then
+      Roll_obs.Trace.add_attr trace "aux_sources"
+        (Roll_obs.Trace.Int substituted)
   end;
   Roll_util.Fault.hit ctx.fault "exec.emit";
   List.iter

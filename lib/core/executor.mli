@@ -12,7 +12,17 @@
     [execute] is the paper's [Execute]: it runs the query as one
     transaction, appends the (signed) result to the accumulating view delta,
     commits a WAL marker and returns the marker's commit sequence number —
-    the query's serialization time. *)
+    the query's serialization time.
+
+    When the context carries an auxiliary-view closure ([Ctx.aux]), Base
+    terms whose source has a {e fresh} auxiliary are resolved to the
+    auxiliary's mirror table instead of the base relation: pre-applied
+    single-source atoms are dropped from the predicate and every remaining
+    column reference is remapped into mirror coordinates before planning.
+    The rewritten query emits bit-identical rows (a fresh mirror {e is} the
+    partial applied to current state), so substitution is invisible to the
+    memo, the geometry trace and the view delta — only plans, read counts
+    and the aux hit/miss counters show it. *)
 
 val evaluate :
   Ctx.t ->

@@ -27,6 +27,7 @@ type scored = {
   deferred : bool;
   window : (string * Time.t * Time.t) option;
   readers : int;  (** clients waiting on this view's hwm when planned *)
+  aux : bool;  (** the item maintains an auxiliary view *)
 }
 
 type source = {
@@ -37,6 +38,7 @@ type source = {
   apply_due : bool;
   checkpoint_due : bool;
   gc_due : bool;
+  aux : bool;
 }
 
 type t = {
@@ -81,6 +83,16 @@ let deferred_band = 1.0e15
    frontier toward the readers' target, after which the demand (and the
    boost) disappears and the queue reverts to slack order. *)
 let reader_band = 1.0e5
+
+(* Auxiliary band: a runnable propagate step of an auxiliary view normally
+   drops below every user-view slack score, so auxiliaries freshen first
+   within a drain and the substitution probes they feed actually hit. The
+   boost flips sign the moment any unpaused user view is in SLA breach
+   (slack < 0): auxiliaries are an optimization, and they must never hold a
+   late user view's budget hostage — scored below user-view SLAs, exactly.
+   The band sits below the reader boost: a view with blocked readers is
+   accumulating latency right now and still outranks aux freshening. *)
+let aux_band = 1.0e4
 
 let create ?(policy = Slack) ?(cost_weight = 0.01) ?capture_batch db capture =
   (match capture_batch with
@@ -169,6 +181,15 @@ let ran_by_domain t =
    reaches past the capture high-water mark is marked deferred: running it
    would make the executor read an under-captured window. *)
 let propagate_items t ~now ~capture_hwm sources =
+  (* Any user view already past its SLA flips the auxiliary boost: late
+     user work runs before aux freshening, fresh-enough user work after. *)
+  let user_breach =
+    List.exists
+      (fun (src : source) ->
+        (not src.paused) && (not src.aux)
+        && now - Controller.hwm src.controller > src.sla)
+      sources
+  in
   List.concat
     (List.mapi
        (fun reg_index (src : source) ->
@@ -194,7 +215,10 @@ let propagate_items t ~now ~capture_hwm sources =
                          (float_of_int (rounds_of t src.name) *. rr_sweep_band)
                          +. float_of_int reg_index
                    in
-                   if readers > 0 then base -. reader_band else base
+                   if src.aux then
+                     if user_breach then base +. aux_band else base -. aux_band
+                   else if readers > 0 then base -. reader_band
+                   else base
                in
                let table =
                  View.source_table
@@ -214,6 +238,7 @@ let propagate_items t ~now ~capture_hwm sources =
                    deferred;
                    window = Some (table, c.Controller.lo, c.Controller.hi);
                    readers;
+                   aux = src.aux;
                  };
                ])
        sources)
@@ -242,6 +267,7 @@ let capture_item t =
         deferred = false;
         window = None;
         readers = 0;
+        aux = false;
       };
     ]
 
@@ -280,6 +306,7 @@ let background_items t ~now sources =
                 deferred = false;
                 window = None;
                 readers = 0;
+                aux = src.aux;
               };
             ]
         in
@@ -294,6 +321,7 @@ let background_items t ~now sources =
             deferred = false;
             window = None;
             readers = 0;
+            aux = src.aux;
           }
         in
         let checkpoint =

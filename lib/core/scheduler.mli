@@ -65,6 +65,7 @@ type scored = {
   readers : int;
       (** clients currently blocked waiting on this view's freshness (see
           {!set_read_demand}); 0 for non-propagate kinds *)
+  aux : bool;  (** the item maintains an auxiliary view *)
 }
 
 type source = {
@@ -80,6 +81,13 @@ type source = {
           ping-pong apply against propagate until the budget is gone. *)
   checkpoint_due : bool;  (** offer a [Checkpoint] item (full drains only) *)
   gc_due : bool;  (** offer a [Gc] item (full drains only) *)
+  aux : bool;
+      (** an {!Auxiliary} view: its propagate items score one fixed band
+          {e below} every user view's slack score while all user views are
+          within their SLAs (auxiliaries must freshen first for their
+          substitution probes to hit), and one band {e above} the moment
+          any unpaused user view is in breach — an optimization never
+          outranks a violated SLA. The band sits below the reader boost. *)
 }
 
 type t

@@ -14,6 +14,10 @@ type entry = {
   mutable sla : int;
   mutable checkpoint : (string * int) option;  (** path, commits between *)
   mutable last_checkpoint : Time.t;
+  aux_of : Auxiliary.entry option;
+      (** [Some] when this entry maintains an auxiliary view: the registry
+          entry whose mirror must be synced after the controller's
+          high-water mark advances *)
 }
 
 type status = {
@@ -31,6 +35,12 @@ type status = {
   memo_hits : int;
   memo_misses : int;
   shared_builds : int;
+  aux : bool;  (** this entry is an auxiliary view *)
+  aux_hits : int;  (** substitution probes served from fresh auxiliaries *)
+  aux_misses : int;  (** probes that fell back to the base table *)
+  aux_lag : int;
+      (** an auxiliary's mirror lag behind the clock; for a user view, the
+          worst lag among its auxiliaries (0 when it has none) *)
   reads_served : int;
   reads_rejected : int;
   read_wait : float;
@@ -50,6 +60,9 @@ type t = {
       (** worker-domain pool; [Some] switches drains to wave execution *)
   mutable gc_threshold : int;
   mutable entries : entry list;  (** registration order *)
+  auxiliary : Auxiliary.t option;
+      (** higher-order delta registry; [Some] iff auxiliary views are
+          enabled for this service *)
 }
 
 let env_domains () =
@@ -60,8 +73,25 @@ let env_domains () =
       | Some n when n >= 1 -> Some n
       | Some _ | None -> None)
 
-let create ?policy ?cost_weight ?capture_batch ?(sharing = false)
+(* ROLL_SHARING / ROLL_AUX: environment defaults for the [sharing] and
+   [auxiliary] flags, so the whole test/bench matrix can flip either
+   feature on without threading parameters (explicit arguments win). *)
+let env_flag name =
+  match Sys.getenv_opt name with
+  | None -> false
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "" | "0" | "false" | "off" | "no" -> false
+      | _ -> true)
+
+let create ?policy ?cost_weight ?capture_batch ?sharing ?auxiliary
     ?(default_sla = 100) ?(gc_threshold = max_int) ?obs ?domains db capture =
+  let sharing =
+    match sharing with Some s -> s | None -> env_flag "ROLL_SHARING"
+  in
+  let auxiliary =
+    match auxiliary with Some a -> a | None -> env_flag "ROLL_AUX"
+  in
   if default_sla <= 0 then invalid_arg "Service.create: default_sla";
   (match domains with
   | Some n when n < 1 -> invalid_arg "Service.create: domains must be >= 1"
@@ -92,6 +122,7 @@ let create ?policy ?cost_weight ?capture_batch ?(sharing = false)
       | Some n -> Some (Roll_util.Dpool.create ~domains:n ()));
     gc_threshold;
     entries = [];
+    auxiliary = (if auxiliary then Some (Auxiliary.create db capture) else None);
   }
 
 let scheduler t = t.scheduler
@@ -133,7 +164,7 @@ let enable_sharing t controller =
     Controller.set_window_alignment controller true
   end
 
-let add_entry t name controller =
+let add_entry ?aux_of t name controller =
   let e =
     {
       name;
@@ -142,6 +173,7 @@ let add_entry t name controller =
       sla = t.default_sla;
       checkpoint = None;
       last_checkpoint = Database.now t.db;
+      aux_of;
     }
   in
   t.entries <- t.entries @ [ e ];
@@ -173,6 +205,31 @@ let add_entry t name controller =
 
 let obs_arg t = if Roll_obs.Obs.enabled t.obs then Some t.obs else None
 
+(* Derive and wire the higher-order auxiliaries for a freshly registered
+   view. Each auxiliary the registry hands back that is not already a
+   service entry (sibling views share entries via signature dedupe)
+   becomes an ordinary entry of its own — scheduler items, waves, durable
+   frontiers and recovery all come from the same machinery as a user
+   view's. Auxiliaries are durable exactly when their owner is: the
+   substitution is an optimization, so it must never out-persist the view
+   it serves. *)
+let attach_auxiliaries t ~recover owner_controller =
+  match t.auxiliary with
+  | None -> ()
+  | Some reg ->
+      let durable = Controller.durable owner_controller in
+      List.iter
+        (fun ae ->
+          let aname = Auxiliary.name ae in
+          if
+            not
+              (List.exists
+                 (fun (e : entry) -> String.equal e.name aname)
+                 t.entries)
+          then add_entry ~aux_of:ae t aname (Auxiliary.controller ae))
+        (Auxiliary.attach ~durable ~recover ?obs:(obs_arg t) reg
+           owner_controller)
+
 let register ?(durable = false) t ~algorithm view =
   let name = View.name view in
   if List.exists (fun (e : entry) -> String.equal e.name name) t.entries then
@@ -182,6 +239,7 @@ let register ?(durable = false) t ~algorithm view =
   in
   enable_sharing t controller;
   add_entry t name controller;
+  attach_auxiliaries t ~recover:false controller;
   controller
 
 let register_recovered ?checkpoint t ~algorithm view =
@@ -196,7 +254,10 @@ let register_recovered ?checkpoint t ~algorithm view =
      land frontiers exactly where the markers recorded them, un-snapped. *)
   enable_sharing t controller;
   add_entry t name controller;
+  attach_auxiliaries t ~recover:true controller;
   controller
+
+let auxiliary t = t.auxiliary
 
 let find t name =
   match List.find_opt (fun (e : entry) -> String.equal e.name name) t.entries with
@@ -223,6 +284,20 @@ let set_gc_threshold t rows =
   if rows <= 0 then invalid_arg "Service.set_gc_threshold";
   t.gc_threshold <- rows
 
+let aux_lag_of t (e : entry) =
+  match t.auxiliary with
+  | None -> 0
+  | Some reg -> (
+      match e.aux_of with
+      | Some ae -> Auxiliary.lag reg ae
+      | None ->
+          (* A user view's freshness exposure: the worst mirror lag among
+             the auxiliaries its probes depend on. *)
+          List.fold_left
+            (fun acc ae -> max acc (Auxiliary.lag reg ae))
+            0
+            (Auxiliary.for_owner reg ~owner:e.name))
+
 let status t =
   let now = Database.now t.db in
   List.map
@@ -245,6 +320,10 @@ let status t =
         memo_hits = Stats.memo_hits stats;
         memo_misses = Stats.memo_misses stats;
         shared_builds = Stats.shared_builds stats;
+        aux = Option.is_some e.aux_of;
+        aux_hits = Stats.aux_hits stats;
+        aux_misses = Stats.aux_misses stats;
+        aux_lag = aux_lag_of t e;
         reads_served = Stats.reads_served stats;
         reads_rejected = Stats.reads_rejected stats;
         read_wait = Stats.read_wait stats;
@@ -254,6 +333,31 @@ let status t =
 let pause t name = (find t name).paused <- true
 
 let resume t name = (find t name).paused <- false
+
+(* Removing a user view releases its claim on its auxiliaries; auxiliaries
+   left with no owner at all are orphans — their entries leave the service
+   with the registry entry, so no more maintenance items are planned for
+   them and their mirrors become unreachable. *)
+let unregister t name =
+  let e = find t name in
+  if Option.is_some e.aux_of then
+    invalid_arg
+      ("Service.unregister: " ^ name
+     ^ " is an auxiliary view; it is retired when its last owner goes");
+  t.entries <-
+    List.filter (fun (x : entry) -> not (String.equal x.name name)) t.entries;
+  match t.auxiliary with
+  | None -> ()
+  | Some reg ->
+      let orphans = Auxiliary.release reg ~owner:name in
+      t.entries <-
+        List.filter
+          (fun (x : entry) ->
+            not
+              (List.exists
+                 (fun ae -> String.equal (Auxiliary.name ae) x.name)
+                 orphans))
+          t.entries
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler drain                                                     *)
@@ -282,6 +386,7 @@ let sources ?(skip = fun _ -> false) ?(bg_done = fun _ _ -> false) t =
           && not (bg_done "checkpoint" e.name);
         gc_due =
           applied_rows e >= t.gc_threshold && not (bg_done "gc" e.name);
+        aux = Option.is_some e.aux_of;
       })
     t.entries
 
@@ -314,6 +419,12 @@ let reclaim_wal t =
    [bg_done] so each runs at most once per view per drain: a durable apply
    or checkpoint commits a frontier marker, which re-stales the view by one
    commit and would otherwise re-offer the item forever. *)
+(* Mirror maintenance piggybacks on the items that move an auxiliary's
+   high-water mark: every new permanently-committed view-delta row folds
+   into the probe mirror right after the step that produced it. *)
+let sync_aux (e : entry) =
+  match e.aux_of with Some ae -> Auxiliary.sync ae | None -> ()
+
 let exec_item t ~skipped ~bg_done ~step ~capture_run (scored : Scheduler.scored)
     =
   let mark_bg kind view = Hashtbl.replace bg_done (kind, view) () in
@@ -321,8 +432,11 @@ let exec_item t ~skipped ~bg_done ~step ~capture_run (scored : Scheduler.scored)
   | Scheduler.Capture_advance -> (
       match capture_run () with Ok () -> Ok false | Error e -> Error e)
   | Scheduler.Propagate_step { view; _ } -> (
-      match step (find t view).controller with
-      | Ok true -> Ok true
+      let e = find t view in
+      match step e.controller with
+      | Ok true ->
+          sync_aux e;
+          Ok true
       | Ok false ->
           Log.warn (fun m ->
               m "view %s: scheduled step was idle; skipping for this drain"
@@ -332,8 +446,9 @@ let exec_item t ~skipped ~bg_done ~step ~capture_run (scored : Scheduler.scored)
       | Error e -> Error e)
   | Scheduler.Apply_refresh view ->
       mark_bg "apply" view;
-      let ctl = (find t view).controller in
-      Controller.refresh_to ctl (Controller.hwm ctl);
+      let e = find t view in
+      Controller.refresh_to e.controller (Controller.hwm e.controller);
+      sync_aux e;
       Ok true
   | Scheduler.Checkpoint view -> (
       mark_bg "checkpoint" view;
@@ -350,7 +465,12 @@ let exec_item t ~skipped ~bg_done ~step ~capture_run (scored : Scheduler.scored)
          corrupt them — but a replay could re-emit rows the prune just
          reclaimed. Drop the memo rather than reason about overlap. *)
       if t.sharing then Memo.clear t.memo;
-      ignore (Controller.gc (find t view).controller);
+      let e = find t view in
+      (* An auxiliary syncs its mirror before pruning: the mirror reads
+         the very delta window the prune reclaims. *)
+      (match e.aux_of with
+      | Some ae -> ignore (Auxiliary.gc ae)
+      | None -> ignore (Controller.gc e.controller));
       ignore (reclaim_wal t);
       Ok true
 
@@ -634,6 +754,10 @@ let drain_items ?(full = false) t ~budget ~step ~capture_run ~wave_step
       match results.(k) with
       | Ok (Ok (advanced, ran_query)) ->
           Controller.note_step_durable ctl ~advanced ~executed:ran_query;
+          (* Committed wave items are final (everything after the first
+             failure was already undone above), so an auxiliary member's
+             mirror can fold the step's rows in now. *)
+          sync_aux (find t view);
           Scheduler.note_ran ~domain:(k mod size) t.scheduler
             s.Scheduler.item ~wall:walls.(k);
           commit_metrics s ~wall:walls.(k)
@@ -807,13 +931,21 @@ let maintain ?retry ?sleep t ~budget =
 let refresh_all t =
   List.iter
     (fun (e : entry) ->
-      if not e.paused then ignore (Controller.refresh_latest e.controller))
+      if not e.paused then begin
+        ignore (Controller.refresh_latest e.controller);
+        sync_aux e
+      end)
     t.entries
 
 let gc_all t =
   let pruned =
     List.fold_left
-      (fun acc (e : entry) -> acc + Controller.gc e.controller)
+      (fun acc (e : entry) ->
+        acc
+        +
+        match e.aux_of with
+        | Some ae -> Auxiliary.gc ae
+        | None -> Controller.gc e.controller)
       0 t.entries
   in
   ignore (reclaim_wal t);
@@ -831,10 +963,11 @@ let status_json t =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"view\":%s,\"as_of\":%d,\"hwm\":%d,\"staleness\":%d,\"sla\":%d,\"slack\":%d,\"delta_rows\":%d,\"paused\":%b,\"retries\":%d,\"aborts\":%d,\"recoveries\":%d,\"memo_hits\":%d,\"memo_misses\":%d,\"shared_builds\":%d,\"reads_served\":%d,\"reads_rejected\":%d,\"read_wait\":%s}"
+           "{\"view\":%s,\"as_of\":%d,\"hwm\":%d,\"staleness\":%d,\"sla\":%d,\"slack\":%d,\"delta_rows\":%d,\"paused\":%b,\"retries\":%d,\"aborts\":%d,\"recoveries\":%d,\"memo_hits\":%d,\"memo_misses\":%d,\"shared_builds\":%d,\"aux\":%b,\"aux_hits\":%d,\"aux_misses\":%d,\"aux_lag\":%d,\"reads_served\":%d,\"reads_rejected\":%d,\"read_wait\":%s}"
            (E.json_string s.name) s.as_of s.hwm s.staleness s.sla s.slack
            s.delta_rows s.paused s.retries s.aborts s.recoveries s.memo_hits
-           s.memo_misses s.shared_builds s.reads_served s.reads_rejected
+           s.memo_misses s.shared_builds s.aux s.aux_hits s.aux_misses
+           s.aux_lag s.reads_served s.reads_rejected
            (E.json_float s.read_wait)))
     (status t);
   Buffer.add_char buf ']';
@@ -895,14 +1028,14 @@ let schedule_json ?full t =
       in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"item\":%s,\"kind\":%s,\"score\":%s,\"staleness\":%d,\"slack\":%d,\"est_rows\":%d,\"est_cost\":%s,\"deferred\":%b,\"readers\":%d,\"window\":%s}"
+           "{\"item\":%s,\"kind\":%s,\"score\":%s,\"staleness\":%d,\"slack\":%d,\"est_rows\":%d,\"est_cost\":%s,\"deferred\":%b,\"readers\":%d,\"aux\":%b,\"window\":%s}"
            (E.json_string
               (Format.asprintf "%a" Scheduler.pp_item s.Scheduler.item))
            (E.json_string (Scheduler.kind_name s.Scheduler.item))
            (E.json_float s.Scheduler.score)
            s.Scheduler.staleness s.Scheduler.slack s.Scheduler.est_rows
            (E.json_float s.Scheduler.est_cost)
-           s.Scheduler.deferred s.Scheduler.readers window))
+           s.Scheduler.deferred s.Scheduler.readers s.Scheduler.aux window))
     (schedule ?full t);
   Buffer.add_char buf ']';
   Buffer.contents buf

@@ -39,6 +39,18 @@ type status = {
   shared_builds : int;
       (** hash builds and window materializations this view reused from the
           shared build cache *)
+  aux : bool;  (** this entry is an auxiliary view, not a user view *)
+  aux_hits : int;
+      (** substitution probes this view served from a fresh auxiliary
+          mirror instead of scanning the base table (always 0 without
+          auxiliaries) *)
+  aux_misses : int;
+      (** substitution probes that found the auxiliary lagging and fell
+          back to the base table *)
+  aux_lag : int;
+      (** for an auxiliary: how many commits its probe mirror trails the
+          database clock; for a user view: the worst lag among the
+          auxiliaries its probes depend on (0 when it has none) *)
   reads_served : int;  (** reads served by a [rolld] front end *)
   reads_rejected : int;  (** reads rejected by admission control *)
   read_wait : float;
@@ -59,6 +71,7 @@ val create :
   ?cost_weight:float ->
   ?capture_batch:int ->
   ?sharing:bool ->
+  ?auxiliary:bool ->
   ?default_sla:int ->
   ?gc_threshold:int ->
   ?obs:Roll_obs.Obs.t ->
@@ -73,7 +86,8 @@ val create :
     (default: disabled) makes {!maintain} offer a gc item once a view
     holds at least that many applied delta rows.
 
-    [sharing] (default false) turns on cross-view shared maintenance:
+    [sharing] (default: the [ROLL_SHARING] environment flag, off when
+    unset) turns on cross-view shared maintenance:
     every registered view's context is plugged into one drain-scoped
     {!Memo} (identical propagation deltas computed once, replayed for
     siblings; hash builds and delta-window materializations shared through
@@ -82,6 +96,17 @@ val create :
     and {!Scheduler.Slack} drains batch same-window sibling steps back to
     back ({!Scheduler.take_batch}). Sharing changes which physical queries
     run — never the maintained contents.
+
+    [auxiliary] (default: the [ROLL_AUX] environment flag, off when unset)
+    turns on higher-order delta processing: registering a view also
+    derives, materializes and registers its per-relation semi-join/
+    projection partials as {!Auxiliary} views — ordinary service entries
+    maintained through the same capture → propagate → apply → WAL path,
+    scheduled one band below user-view SLAs — and installs the
+    substitution closure so the view's propagation queries probe a fresh
+    auxiliary mirror instead of scanning the base table, falling back
+    transparently whenever the mirror lags. Like sharing, auxiliaries
+    change which physical reads happen — never the maintained contents.
 
     [obs] (default disabled) is the Rollscope observability handle for the
     whole service: it is installed on the database, the capture process,
@@ -132,6 +157,20 @@ val register_recovered :
     re-materializing (see {!Controller.recover}).
     @raise Invalid_argument if the name is already registered or there is
     no durable state for the view. *)
+
+val unregister : t -> string -> unit
+(** Remove a user view from the service and release its claim on its
+    auxiliaries; auxiliaries left with no owning view are retired with it
+    (their entries leave the service, so no further maintenance is planned
+    for them). Durable state is left in place — re-registering recovers
+    it.
+    @raise Not_found when no such view is registered
+    @raise Invalid_argument when [name] is an auxiliary view (those are
+    retired automatically when their last owner goes). *)
+
+val auxiliary : t -> Auxiliary.t option
+(** The higher-order delta registry, when the service was created with
+    auxiliaries enabled. *)
 
 val controller : t -> string -> Controller.t
 (** @raise Not_found *)

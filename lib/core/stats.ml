@@ -42,6 +42,8 @@ type t = {
   memo_hits : int Atomic.t;
   memo_misses : int Atomic.t;
   shared_builds : int Atomic.t;
+  aux_hits : int Atomic.t;
+  aux_misses : int Atomic.t;
   reads_served : int Atomic.t;
   reads_rejected : int Atomic.t;
   mutable read_wait : float;
@@ -68,6 +70,8 @@ let create () =
     memo_hits = Atomic.make 0;
     memo_misses = Atomic.make 0;
     shared_builds = Atomic.make 0;
+    aux_hits = Atomic.make 0;
+    aux_misses = Atomic.make 0;
     reads_served = Atomic.make 0;
     reads_rejected = Atomic.make 0;
     read_wait = 0.;
@@ -110,6 +114,10 @@ let memo_misses t = Atomic.get t.memo_misses
 
 let shared_builds t = Atomic.get t.shared_builds
 
+let aux_hits t = Atomic.get t.aux_hits
+
+let aux_misses t = Atomic.get t.aux_misses
+
 let reads_served t = Atomic.get t.reads_served
 
 let reads_rejected t = Atomic.get t.reads_rejected
@@ -125,6 +133,10 @@ let incr_memo_hits t = Atomic.incr t.memo_hits
 let incr_memo_misses t = Atomic.incr t.memo_misses
 
 let add_shared_builds t n = ignore (Atomic.fetch_and_add t.shared_builds n)
+
+let incr_aux_hits t = Atomic.incr t.aux_hits
+
+let incr_aux_misses t = Atomic.incr t.aux_misses
 
 let incr_retries t = Atomic.incr t.retries
 
@@ -213,6 +225,8 @@ let reset t =
   Atomic.set t.memo_hits 0;
   Atomic.set t.memo_misses 0;
   Atomic.set t.shared_builds 0;
+  Atomic.set t.aux_hits 0;
+  Atomic.set t.aux_misses 0;
   Atomic.set t.reads_served 0;
   Atomic.set t.reads_rejected 0;
   locked t (fun () ->
@@ -272,6 +286,12 @@ let register ?(labels = []) t registry =
   counter "roll_shared_builds_total"
     ~help:"Physical artifacts reused from the per-drain build cache"
     (fun () -> float_of_int (shared_builds t));
+  counter "roll_aux_hits_total"
+    ~help:"Base-relation reads served by a fresh auxiliary-view probe"
+    (fun () -> float_of_int (aux_hits t));
+  counter "roll_aux_misses_total"
+    ~help:"Auxiliary consultations that fell back to the base relation"
+    (fun () -> float_of_int (aux_misses t));
   counter "roll_reads_served_total"
     ~help:"Point-in-time and freshest-available reads served" (fun () ->
       float_of_int (reads_served t));
@@ -285,6 +305,11 @@ let register ?(labels = []) t registry =
     ~help:"Memo hits over memo consultations (0 when unused)" (fun () ->
       let total = memo_hits t + memo_misses t in
       if total = 0 then 0. else float_of_int (memo_hits t) /. float_of_int total);
+  gauge "roll_aux_hit_ratio"
+    ~help:"Auxiliary hits over auxiliary consultations (0 when unused)"
+    (fun () ->
+      let total = aux_hits t + aux_misses t in
+      if total = 0 then 0. else float_of_int (aux_hits t) /. float_of_int total);
   let per_resource ?help name read =
     M.register_collector registry ?help ~kind:M.Counter name (fun () ->
         resource_profile t

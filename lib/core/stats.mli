@@ -90,6 +90,14 @@ val shared_builds : t -> int
 (** Physical artifacts (hash builds, window materializations) this view
     reused from the per-drain build cache instead of rebuilding. *)
 
+val aux_hits : t -> int
+(** Base-relation reads of this view's propagation queries that were served
+    by probing a fresh auxiliary view instead of the base table. *)
+
+val aux_misses : t -> int
+(** Auxiliary consultations that found the auxiliary lagging behind the
+    base table and transparently fell back to the base-relation scan. *)
+
 val reads_served : t -> int
 (** Point-in-time and freshest-available reads served for this view. *)
 
@@ -112,6 +120,10 @@ val incr_memo_hits : t -> unit
 val incr_memo_misses : t -> unit
 
 val add_shared_builds : t -> int -> unit
+
+val incr_aux_hits : t -> unit
+
+val incr_aux_misses : t -> unit
 
 val incr_retries : t -> unit
 

@@ -166,6 +166,147 @@ let run_seed ?(sample = fun b -> b mod 4 = 0) ?obs:rollscope ~txns seed =
     (C.Controller.contents ctl2);
   (point, hit)
 
+(* ------------------------------------------------------------------ *)
+(* Auxiliary-view lives: the same three-life structure over the filtered
+   scenario (the one whose view derives an auxiliary), with the auxiliary
+   maintained alongside the user controller — probabilistically, so some
+   propagation steps substitute a fresh mirror and others fall back to the
+   base table — and recovered through [Auxiliary.attach ~recover:true]
+   after the crash. Oracle equivalence must hold for the user view AND
+   for every auxiliary's recovered contents and rebuilt mirror. *)
+
+let aux_algorithm_of_seed seed =
+  match seed mod 3 with
+  | 0 -> C.Controller.Rolling (C.Rolling.uniform (2 + (seed mod 5)))
+  | 1 -> C.Controller.Uniform (3 + (seed mod 4))
+  | _ -> C.Controller.Adaptive (3 + (seed mod 6))
+
+(* One life with auxiliaries: the user-view schedule of [drive], plus a
+   2-in-3 chance per turn of freshening the auxiliaries (step + sync), so
+   the freshness test sees both outcomes along every run. *)
+let drive_aux rng s ctl entries ~txns =
+  for _ = 1 to txns do
+    (match Prng.int rng 6 with
+    | 0 | 1 | 2 -> random_txns rng s 1
+    | 3 | 4 -> ignore (C.Controller.propagate_step ctl)
+    | _ -> C.Controller.refresh_to ctl (C.Controller.hwm ctl));
+    if Prng.int rng 3 > 0 then
+      List.iter
+        (fun ae ->
+          ignore (C.Controller.propagate_step (C.Auxiliary.controller ae));
+          C.Auxiliary.sync ae)
+        entries
+  done;
+  ignore (C.Controller.refresh_latest ctl);
+  List.iter
+    (fun ae ->
+      ignore (C.Controller.refresh_latest (C.Auxiliary.controller ae));
+      C.Auxiliary.sync ae)
+    entries
+
+let check_aux seed ~life s entries =
+  List.iter
+    (fun ae ->
+      let actl = C.Auxiliary.controller ae in
+      let tag msg =
+        Printf.sprintf "seed %d: %s aux %s %s" seed life (C.Auxiliary.name ae)
+          msg
+      in
+      Alcotest.check relation (tag "contents")
+        (C.Oracle.view_at s.history (C.Auxiliary.view ae)
+           (C.Controller.as_of actl))
+        (C.Controller.contents actl);
+      Alcotest.check relation (tag "mirror")
+        (C.Oracle.view_at s.history (C.Auxiliary.view ae)
+           (C.Auxiliary.mirror_as_of ae))
+        (Table.contents (C.Auxiliary.mirror ae)))
+    entries
+
+(* Three lives with a crash, as [run_seed], over the auxiliary scenario.
+   Returns the crash site plus the substitution hits observed after
+   recovery, so callers can assert the fleet as a whole exercised both the
+   probe and the fallback paths. *)
+let run_seed_aux ?(sample = fun b -> b mod 4 = 0) ~txns seed =
+  let algorithm = aux_algorithm_of_seed seed in
+  let wire s ~recover =
+    let ctl =
+      if recover then
+        C.Controller.recover s.db s.capture s.view ~algorithm
+      else C.Controller.create ~durable:true s.db s.capture s.view ~algorithm
+    in
+    let reg = C.Auxiliary.create ~interval:(2 + (seed mod 4)) s.db s.capture in
+    let entries =
+      C.Auxiliary.attach ~durable:true ~recover reg ctl
+    in
+    if entries = [] then Alcotest.failf "seed %d: no auxiliary derived" seed;
+    (ctl, reg, entries)
+  in
+  let install fault ctl entries =
+    (C.Controller.ctx ctl).C.Ctx.fault <- fault;
+    List.iter
+      (fun ae ->
+        (C.Controller.ctx (C.Auxiliary.controller ae)).C.Ctx.fault <- fault)
+      entries
+  in
+  (* Life 1: profile reachable fault sites (user and auxiliary alike). *)
+  let obs = Fault.observer () in
+  let s_obs = filtered () in
+  let ctl_obs, _, entries_obs = wire s_obs ~recover:false in
+  install obs ctl_obs entries_obs;
+  Capture.set_fault s_obs.capture obs;
+  drive_aux (Prng.create ~seed) s_obs ctl_obs entries_obs ~txns;
+  let sites = Array.of_list (Fault.sites obs) in
+  if Array.length sites = 0 then
+    Alcotest.failf "seed %d: no fault sites reached" seed;
+  (* Life 2: crash at a random reachable site. *)
+  let hrng = Prng.create ~seed:(seed + 200_000) in
+  let point, visits = Prng.pick hrng sites in
+  let hit = 1 + Prng.int hrng visits in
+  let crash = Fault.create ~rules:[ Fault.Crash_at { point; hit } ] () in
+  let s = filtered () in
+  let ctl1, _, entries1 = wire s ~recover:false in
+  install crash ctl1 entries1;
+  Capture.set_fault s.capture crash;
+  let crashed =
+    try
+      drive_aux (Prng.create ~seed) s ctl1 entries1 ~txns;
+      false
+    with Fault.Crash _ -> true
+  in
+  if not crashed then
+    Alcotest.failf "seed %d: crash at %s visit %d never fired" seed point hit;
+  let durable = durable_frontier seed s.db s.view in
+  (* Life 3: restart from the WAL alone; the user controller and every
+     auxiliary recover, and the mirrors are rebuilt from recovered
+     contents. *)
+  let s2 = restart filtered s.db in
+  let ctl2, _, entries2 = wire s2 ~recover:true in
+  check_recovery seed ~algorithm ~durable s2 ctl2 ~sample;
+  check_aux seed ~life:"recovered" s2 entries2;
+  (* Keep living on the recovered state, then the final oracle checks. *)
+  drive_aux (Prng.create ~seed:(seed + 1)) s2 ctl2 entries2 ~txns;
+  Alcotest.check relation
+    (Printf.sprintf "seed %d: final contents (crashed at %s#%d)" seed point
+       hit)
+    (C.Oracle.view_at s2.history s2.view (C.Controller.as_of ctl2))
+    (C.Controller.contents ctl2);
+  check_aux seed ~life:"final" s2 entries2;
+  (point, hit, C.Stats.aux_hits (C.Controller.stats ctl2))
+
+let run_seeds_aux ?sample ~txns ~first ~count () =
+  let exercised = Hashtbl.create 16 in
+  let hits = ref 0 in
+  for seed = first to first + count - 1 do
+    let point, _, h = run_seed_aux ?sample ~txns seed in
+    hits := !hits + h;
+    Hashtbl.replace exercised point ()
+  done;
+  if !hits = 0 then
+    Alcotest.fail
+      "auxiliary fleet: substitution never fired across any seed";
+  Hashtbl.fold (fun point () acc -> point :: acc) exercised []
+  |> List.sort String.compare
+
 let run_seeds ?sample ~txns ~first ~count () =
   let exercised = Hashtbl.create 16 in
   for seed = first to first + count - 1 do

@@ -61,6 +61,41 @@ let three_table () =
   in
   { db; capture; history = History.create db; view }
 
+(* R(k, v, tag) ⋈ S(k, w) on k, keeping only R rows with tag >= 1 and
+   projecting k, v, w. Source 0 is narrowed by both a local filter and the
+   projection, so the higher-order registry derives an auxiliary
+   π_{k,v}(σ_{tag>=1}(R)) for it; source 1 is read at full width and gets
+   none. The value domain puts tag in 0..4, so roughly a fifth of R is
+   filtered out — the auxiliary is a strict subset, and fallback vs.
+   substitution produce observably different scan shapes. *)
+let filtered () =
+  let db = Database.create () in
+  let _ =
+    Database.create_table db ~name:"r"
+      (Schema.make [ int_col "k"; int_col "v"; int_col "tag" ])
+  in
+  let _ =
+    Database.create_table db ~name:"s"
+      (Schema.make [ int_col "k"; int_col "w" ])
+  in
+  let capture = Capture.create db in
+  Capture.attach capture ~table:"r";
+  Capture.attach capture ~table:"s";
+  let b = C.View.binder db [ ("r", "r"); ("s", "s") ] in
+  let view =
+    C.View.create db ~name:"rsf"
+      ~sources:[ ("r", "r"); ("s", "s") ]
+      ~predicate:
+        [
+          Predicate.join (b "r" "k") (b "s" "k");
+          Predicate.cmp Predicate.Ge
+            (Predicate.Col (b "r" "tag"))
+            (Predicate.Const (Value.Int 1));
+        ]
+      ~project:[ b "r" "k"; b "r" "v"; b "s" "w" ]
+  in
+  { db; capture; history = History.create db; view }
+
 (* Commit one small random transaction against the scenario's base tables:
    inserts (possibly duplicating existing tuples), deletes of existing
    tuples, and updates. Keys are drawn from a small range so joins hit. *)
@@ -70,7 +105,19 @@ let random_txn rng s =
   in
   let table_name = Prng.pick rng tables in
   let table = Database.table s.db table_name in
-  let random_tuple () = Tuple.ints [ Prng.int rng 8; Prng.int rng 5 ] in
+  (* First column from the small key domain, the rest from the value
+     domain — identical draw order to the historical 2-column generator,
+     so existing seeds replay unchanged, while wider schemas (the
+     auxiliary-view scenarios) also get covered. *)
+  let random_tuple () =
+    let arity = Schema.arity (Table.schema table) in
+    let k = Prng.int rng 8 in
+    let rest = ref [] in
+    for _ = 2 to arity do
+      rest := Prng.int rng 5 :: !rest
+    done;
+    Tuple.ints (k :: List.rev !rest)
+  in
   (* Effective multiplicities: committed state plus this transaction's own
      pending writes, so we never over-delete within one transaction. *)
   let pending = Hashtbl.create 8 in

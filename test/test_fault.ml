@@ -230,6 +230,19 @@ let test_fuzz_100_seeds () =
       (List.length points)
       (String.concat ", " points)
 
+(* The same harness over views with auxiliaries: 100 seeded runs on the
+   filtered scenario, each crashing at a random reachable site — in the
+   user controller, an auxiliary's controller, or capture — and verifying
+   that the user view, every auxiliary's contents and every rebuilt mirror
+   stay oracle-equivalent after recovery. Also asserts the fleet as a
+   whole exercised mirror substitution (not just fallback). *)
+let test_fuzz_100_seeds_aux () =
+  let points = Harness.run_seeds_aux ~txns:10 ~first:0 ~count:100 () in
+  if List.length points < 5 then
+    Alcotest.failf "only %d distinct crash sites exercised: %s"
+      (List.length points)
+      (String.concat ", " points)
+
 let suite =
   [
     Alcotest.test_case "crash between propagate and apply" `Quick
@@ -246,4 +259,6 @@ let suite =
       test_recover_requires_durable_state;
     Alcotest.test_case "fuzz: 100 seeded crash-recovery runs" `Quick
       test_fuzz_100_seeds;
+    Alcotest.test_case "fuzz: 100 seeded aux crash-recovery runs" `Quick
+      test_fuzz_100_seeds_aux;
   ]
