@@ -24,7 +24,8 @@ let () =
     print_endline "share";
     print_endline "obs";
     print_endline "storage";
-    print_endline "higher_order"
+    print_endline "higher_order";
+    print_endline "skew"
   end
   else begin
     let wanted name =
@@ -52,5 +53,6 @@ let () =
     if wanted "obs" then timed "obs" Bench_obs.run;
     if wanted "storage" then timed "storage" Bench_storage.run;
     if wanted "higher_order" then timed "higher_order" Bench_higher.run;
+    if wanted "skew" then timed "skew" Bench_skew.run;
     Printf.printf "\ntotal: %.1fs\n" (now () -. t0)
   end

@@ -1,0 +1,129 @@
+(* Space-saving sketch + hysteresis classifier (see partition.mli).
+
+   The sketch is the classic Metwally/Agrawal/El Abbadi "space-saving"
+   structure: at most [capacity] (key, count, error) counters. A tracked
+   key's observation bumps its counter exactly; an untracked key entering a
+   full sketch evicts the minimum counter and starts at [min + count] with
+   [error = min], so estimates only ever overestimate, by at most the
+   minimum counter — itself bounded by [total / capacity]. That bound is
+   what makes share thresholds at or above [1 / capacity] meaningful. *)
+
+type counter = { mutable count : int; mutable err : int }
+
+type t = {
+  capacity : int;
+  enter : float;
+  exit_ : float;
+  counters : (int, counter) Hashtbl.t;
+  heavy : (int, unit) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ?(capacity = 64) ?enter ?exit_ () =
+  if capacity <= 0 then invalid_arg "Partition.create: capacity";
+  let enter =
+    match enter with Some e -> e | None -> 2.0 /. float_of_int capacity
+  in
+  let exit_ =
+    match exit_ with Some e -> e | None -> 1.0 /. float_of_int capacity
+  in
+  if not (0.0 < exit_ && exit_ <= enter && enter <= 1.0) then
+    invalid_arg "Partition.create: need 0 < exit_ <= enter <= 1";
+  {
+    capacity;
+    enter;
+    exit_;
+    counters = Hashtbl.create capacity;
+    heavy = Hashtbl.create 8;
+    total = 0;
+  }
+
+let capacity t = t.capacity
+
+let total t = t.total
+
+let occupancy t = Hashtbl.length t.counters
+
+let evict_min t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k (c : counter) ->
+      match !victim with
+      | Some (_, m) when m.count <= c.count -> ()
+      | _ -> victim := Some (k, c))
+    t.counters;
+  match !victim with
+  | None -> 0
+  | Some (k, c) ->
+      Hashtbl.remove t.counters k;
+      c.count
+
+let observe t key ~count =
+  if count > 0 then begin
+    t.total <- t.total + count;
+    match Hashtbl.find_opt t.counters key with
+    | Some c -> c.count <- c.count + count
+    | None ->
+        if Hashtbl.length t.counters >= t.capacity then begin
+          let floor = evict_min t in
+          Hashtbl.replace t.counters key
+            { count = floor + count; err = floor }
+        end
+        else Hashtbl.replace t.counters key { count; err = 0 }
+  end
+
+let estimate t key =
+  match Hashtbl.find_opt t.counters key with Some c -> c.count | None -> 0
+
+let error t key =
+  match Hashtbl.find_opt t.counters key with Some c -> c.err | None -> 0
+
+let is_heavy t key = Hashtbl.mem t.heavy key
+
+let force_heavy t key = Hashtbl.replace t.heavy key ()
+
+let by_count_desc t keys =
+  List.sort
+    (fun a b ->
+      match Int.compare (estimate t b) (estimate t a) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    keys
+
+let heavy_keys t =
+  by_count_desc t (Hashtbl.fold (fun k () acc -> k :: acc) t.heavy [])
+
+let rebalance ?(max_heavy = max_int) t =
+  if max_heavy <= 0 then invalid_arg "Partition.rebalance: max_heavy";
+  let share count =
+    if t.total = 0 then 0.0 else float_of_int count /. float_of_int t.total
+  in
+  (* Candidate set under hysteresis: everything tracked at or above the
+     enter share, plus current members still at or above the exit share.
+     A key whose counter was evicted from the sketch estimates to 0 —
+     below any exit threshold — so it leaves the heavy set naturally. *)
+  let wanted =
+    Hashtbl.fold
+      (fun k (c : counter) acc ->
+        let s = share c.count in
+        if s >= t.enter || (Hashtbl.mem t.heavy k && s >= t.exit_) then
+          k :: acc
+        else acc)
+      t.counters []
+  in
+  let wanted =
+    let ranked = by_count_desc t wanted in
+    if List.length ranked <= max_heavy then ranked
+    else List.filteri (fun i _ -> i < max_heavy) ranked
+  in
+  let promoted =
+    List.filter (fun k -> not (Hashtbl.mem t.heavy k)) wanted
+  in
+  let demoted =
+    Hashtbl.fold
+      (fun k () acc -> if List.mem k wanted then acc else k :: acc)
+      t.heavy []
+  in
+  List.iter (fun k -> Hashtbl.replace t.heavy k ()) promoted;
+  List.iter (fun k -> Hashtbl.remove t.heavy k) demoted;
+  (promoted, List.sort Int.compare demoted)

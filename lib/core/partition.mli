@@ -1,0 +1,65 @@
+(** Online heavy/light key classification for skew-aware maintenance.
+
+    A bounded space-saving sketch (Metwally et al.) tracks the most
+    frequent join-key values of a relation's change stream in O(capacity)
+    space: observing a tracked key bumps its counter; observing an
+    untracked key when the sketch is full evicts the minimum counter and
+    inherits its count as the new key's error bound. Estimated counts are
+    within [total/capacity] of the truth, which is exactly the resolution
+    needed to find keys whose {e share} of the stream clears a threshold.
+
+    Classification is by share with hysteresis: a key becomes heavy when
+    its estimated share reaches [enter], and a heavy key falls back to
+    light only when its share drops below [exit] ([exit < enter]), so keys
+    oscillating around one boundary do not thrash between classes. The
+    thresholds are fractions of the total observed mass — they autotune as
+    the stream grows, with no absolute count to hand-pick. The heavy set
+    is only updated by {!rebalance}, so callers migrate state between
+    classes at well-defined points. *)
+
+type t
+
+val create : ?capacity:int -> ?enter:float -> ?exit_:float -> unit -> t
+(** [capacity] (default 64) bounds tracked keys; [enter] (default
+    [2.0 /. capacity]) and [exit_] (default [1.0 /. capacity]) are the
+    share thresholds. @raise Invalid_argument if [capacity <= 0] or the
+    thresholds do not satisfy [0 < exit_ <= enter <= 1]. *)
+
+val observe : t -> int -> count:int -> unit
+(** Count [count] further occurrences of a key ([count <= 0] is ignored:
+    deletions and no-ops do not un-skew a stream). *)
+
+val estimate : t -> int -> int
+(** Estimated occurrence count; 0 for untracked keys. Overestimates by at
+    most the evicted mass the key inherited ({!error}). *)
+
+val error : t -> int -> int
+(** The error bound baked into {!estimate} (0 for keys tracked since their
+    first observation, and for untracked keys). *)
+
+val total : t -> int
+(** Total mass observed, across tracked and evicted keys alike. *)
+
+val occupancy : t -> int
+(** Keys currently tracked ([<= capacity]). *)
+
+val capacity : t -> int
+
+val is_heavy : t -> int -> bool
+(** Current class of a key, as of the last {!rebalance}. *)
+
+val force_heavy : t -> int -> unit
+(** Place a key in the heavy set directly, bypassing the enter threshold.
+    Used by crash recovery to restore durable heavy classifications; the
+    key is subject to the ordinary exit hysteresis from then on. *)
+
+val heavy_keys : t -> int list
+(** The current heavy set, most frequent first. *)
+
+val rebalance : ?max_heavy:int -> t -> int list * int list
+(** Recompute the heavy set: tracked keys whose share is at least [enter]
+    join it, members whose share falls below [exit] leave it, everything
+    in between keeps its current class (hysteresis). [max_heavy] (default
+    unlimited) caps the set, keeping the most frequent members. Returns
+    [(promoted, demoted)] — the keys that changed class, so the caller
+    can migrate their maintenance state. *)

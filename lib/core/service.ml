@@ -18,6 +18,10 @@ type entry = {
       (** [Some] when this entry maintains an auxiliary view: the registry
           entry whose mirror must be synced after the controller's
           high-water mark advances *)
+  hot_of : Hotset.entry option;
+      (** [Some] when this entry maintains a heavy key's partial: the
+          hotset registry entry whose mirror must be synced after the
+          controller's high-water mark advances *)
 }
 
 type status = {
@@ -41,6 +45,11 @@ type status = {
   aux_lag : int;
       (** an auxiliary's mirror lag behind the clock; for a user view, the
           worst lag among its auxiliaries (0 when it has none) *)
+  hot : bool;  (** this entry is a heavy key's partial *)
+  hot_hits : int;  (** substitution reads served from fresh partitions *)
+  hot_misses : int;  (** partition consultations that fell back *)
+  heavy_keys : int;  (** currently-heavy keys across the view's partitions *)
+  light_rows : int;  (** rows in the view's light residual mirrors *)
   reads_served : int;
   reads_rejected : int;
   read_wait : float;
@@ -63,6 +72,9 @@ type t = {
   auxiliary : Auxiliary.t option;
       (** higher-order delta registry; [Some] iff auxiliary views are
           enabled for this service *)
+  hotset : Hotset.t option;
+      (** heavy-light partition registry; [Some] iff skew-aware
+          partitioning is enabled for this service *)
 }
 
 let env_domains () =
@@ -73,9 +85,10 @@ let env_domains () =
       | Some n when n >= 1 -> Some n
       | Some _ | None -> None)
 
-(* ROLL_SHARING / ROLL_AUX: environment defaults for the [sharing] and
-   [auxiliary] flags, so the whole test/bench matrix can flip either
-   feature on without threading parameters (explicit arguments win). *)
+(* ROLL_SHARING / ROLL_AUX / ROLL_HOTSET: environment defaults for the
+   [sharing], [auxiliary] and [hotset] flags, so the whole test/bench
+   matrix can flip any feature on without threading parameters (explicit
+   arguments win). *)
 let env_flag name =
   match Sys.getenv_opt name with
   | None -> false
@@ -84,13 +97,16 @@ let env_flag name =
       | "" | "0" | "false" | "off" | "no" -> false
       | _ -> true)
 
-let create ?policy ?cost_weight ?capture_batch ?sharing ?auxiliary
+let create ?policy ?cost_weight ?capture_batch ?sharing ?auxiliary ?hotset
     ?(default_sla = 100) ?(gc_threshold = max_int) ?obs ?domains db capture =
   let sharing =
     match sharing with Some s -> s | None -> env_flag "ROLL_SHARING"
   in
   let auxiliary =
     match auxiliary with Some a -> a | None -> env_flag "ROLL_AUX"
+  in
+  let hotset =
+    match hotset with Some h -> h | None -> env_flag "ROLL_HOTSET"
   in
   if default_sla <= 0 then invalid_arg "Service.create: default_sla";
   (match domains with
@@ -123,6 +139,7 @@ let create ?policy ?cost_weight ?capture_batch ?sharing ?auxiliary
     gc_threshold;
     entries = [];
     auxiliary = (if auxiliary then Some (Auxiliary.create db capture) else None);
+    hotset = (if hotset then Some (Hotset.create db capture) else None);
   }
 
 let scheduler t = t.scheduler
@@ -164,7 +181,7 @@ let enable_sharing t controller =
     Controller.set_window_alignment controller true
   end
 
-let add_entry ?aux_of t name controller =
+let add_entry ?aux_of ?hot_of t name controller =
   let e =
     {
       name;
@@ -174,6 +191,7 @@ let add_entry ?aux_of t name controller =
       checkpoint = None;
       last_checkpoint = Database.now t.db;
       aux_of;
+      hot_of;
     }
   in
   t.entries <- t.entries @ [ e ];
@@ -230,6 +248,27 @@ let attach_auxiliaries t ~recover owner_controller =
         (Auxiliary.attach ~durable ~recover ?obs:(obs_arg t) reg
            owner_controller)
 
+(* Same wiring for the heavy-light partition registry: each heavy key's
+   partial the registry hands back (shared across sibling owners via the
+   partial-signature dedupe) that is not already a service entry becomes an
+   ordinary entry, so heavy partials get scheduler items, waves, durable
+   frontiers and recovery from the same machinery as user views. *)
+let hot_entry_known t he =
+  List.exists
+    (fun (e : entry) -> String.equal e.name (Hotset.name he))
+    t.entries
+
+let attach_hotset t ~recover owner_controller =
+  match t.hotset with
+  | None -> ()
+  | Some reg ->
+      let durable = Controller.durable owner_controller in
+      List.iter
+        (fun he ->
+          if not (hot_entry_known t he) then
+            add_entry ~hot_of:he t (Hotset.name he) (Hotset.controller he))
+        (Hotset.attach ~durable ~recover ?obs:(obs_arg t) reg owner_controller)
+
 let register ?(durable = false) t ~algorithm view =
   let name = View.name view in
   if List.exists (fun (e : entry) -> String.equal e.name name) t.entries then
@@ -240,6 +279,7 @@ let register ?(durable = false) t ~algorithm view =
   enable_sharing t controller;
   add_entry t name controller;
   attach_auxiliaries t ~recover:false controller;
+  attach_hotset t ~recover:false controller;
   controller
 
 let register_recovered ?checkpoint t ~algorithm view =
@@ -255,9 +295,12 @@ let register_recovered ?checkpoint t ~algorithm view =
   enable_sharing t controller;
   add_entry t name controller;
   attach_auxiliaries t ~recover:true controller;
+  attach_hotset t ~recover:true controller;
   controller
 
 let auxiliary t = t.auxiliary
+
+let hotset t = t.hotset
 
 let find t name =
   match List.find_opt (fun (e : entry) -> String.equal e.name name) t.entries with
@@ -324,6 +367,18 @@ let status t =
         aux_hits = Stats.aux_hits stats;
         aux_misses = Stats.aux_misses stats;
         aux_lag = aux_lag_of t e;
+        hot = Option.is_some e.hot_of;
+        hot_hits = Stats.hot_hits stats;
+        hot_misses = Stats.hot_misses stats;
+        heavy_keys =
+          (match t.hotset with
+          | Some reg when e.hot_of = None ->
+              Hotset.heavy_count reg ~owner:e.name
+          | _ -> 0);
+        light_rows =
+          (match t.hotset with
+          | Some reg when e.hot_of = None -> Hotset.light_rows reg ~owner:e.name
+          | _ -> 0);
         reads_served = Stats.reads_served stats;
         reads_rejected = Stats.reads_rejected stats;
         read_wait = Stats.read_wait stats;
@@ -344,9 +399,13 @@ let unregister t name =
     invalid_arg
       ("Service.unregister: " ^ name
      ^ " is an auxiliary view; it is retired when its last owner goes");
+  if Option.is_some e.hot_of then
+    invalid_arg
+      ("Service.unregister: " ^ name
+     ^ " is a heavy-key partial; it is retired when its last owner goes");
   t.entries <-
     List.filter (fun (x : entry) -> not (String.equal x.name name)) t.entries;
-  match t.auxiliary with
+  (match t.auxiliary with
   | None -> ()
   | Some reg ->
       let orphans = Auxiliary.release reg ~owner:name in
@@ -356,6 +415,18 @@ let unregister t name =
             not
               (List.exists
                  (fun ae -> String.equal (Auxiliary.name ae) x.name)
+                 orphans))
+          t.entries);
+  match t.hotset with
+  | None -> ()
+  | Some reg ->
+      let orphans = Hotset.release reg ~owner:name in
+      t.entries <-
+        List.filter
+          (fun (x : entry) ->
+            not
+              (List.exists
+                 (fun he -> String.equal (Hotset.name he) x.name)
                  orphans))
           t.entries
 
@@ -387,6 +458,7 @@ let sources ?(skip = fun _ -> false) ?(bg_done = fun _ _ -> false) t =
         gc_due =
           applied_rows e >= t.gc_threshold && not (bg_done "gc" e.name);
         aux = Option.is_some e.aux_of;
+        hot = Option.is_some e.hot_of;
       })
     t.entries
 
@@ -423,7 +495,8 @@ let reclaim_wal t =
    high-water mark: every new permanently-committed view-delta row folds
    into the probe mirror right after the step that produced it. *)
 let sync_aux (e : entry) =
-  match e.aux_of with Some ae -> Auxiliary.sync ae | None -> ()
+  (match e.aux_of with Some ae -> Auxiliary.sync ae | None -> ());
+  match e.hot_of with Some he -> Hotset.sync he | None -> ()
 
 let exec_item t ~skipped ~bg_done ~step ~capture_run (scored : Scheduler.scored)
     =
@@ -466,11 +539,12 @@ let exec_item t ~skipped ~bg_done ~step ~capture_run (scored : Scheduler.scored)
          reclaimed. Drop the memo rather than reason about overlap. *)
       if t.sharing then Memo.clear t.memo;
       let e = find t view in
-      (* An auxiliary syncs its mirror before pruning: the mirror reads
-         the very delta window the prune reclaims. *)
-      (match e.aux_of with
-      | Some ae -> ignore (Auxiliary.gc ae)
-      | None -> ignore (Controller.gc e.controller));
+      (* An auxiliary (or heavy partial) syncs its mirror before pruning:
+         the mirror reads the very delta window the prune reclaims. *)
+      (match (e.aux_of, e.hot_of) with
+      | Some ae, _ -> ignore (Auxiliary.gc ae)
+      | None, Some he -> ignore (Hotset.gc he)
+      | None, None -> ignore (Controller.gc e.controller));
       ignore (reclaim_wal t);
       Ok true
 
@@ -511,12 +585,44 @@ let out_length t (item : Scheduler.item) =
       | None -> 0)
   | _ -> 0
 
+(* Drain-start partition upkeep: pump the sketches and light residuals
+   forward, then let the registry migrate keys whose class flipped. Each
+   promoted key's partial becomes a service entry (scheduler items, waves,
+   recovery — ordinary machinery); each demoted key's entry leaves with its
+   registry entry. Running this once per drain keeps class churn off the
+   per-item hot path and gives migrations the quiet point they need: the
+   registry defers migration while capture is pending, so promotions land
+   at the start of the drain {e after} the one that caught the log up —
+   and that drain then propagates every view past the promote-marker
+   commits, so a caught-up service ends its drain caught up. *)
+let rebalance_hotset t =
+  match t.hotset with
+  | None -> ()
+  | Some reg ->
+      Hotset.pump reg;
+      let promoted, demoted = Hotset.rebalance reg in
+      List.iter
+        (fun he ->
+          if not (hot_entry_known t he) then
+            add_entry ~hot_of:he t (Hotset.name he) (Hotset.controller he))
+        promoted;
+      if demoted <> [] then
+        t.entries <-
+          List.filter
+            (fun (x : entry) ->
+              not
+                (List.exists
+                   (fun he -> String.equal (Hotset.name he) x.name)
+                   demoted))
+            t.entries
+
 let drain_items ?(full = false) t ~budget ~step ~capture_run ~wave_step
     ~apply_sleep =
   let skipped = Hashtbl.create 4 in
   let bg_done = Hashtbl.create 4 in
   (* The tables are re-read through [sources] on every take. *)
   Scheduler.begin_drain t.scheduler;
+  rebalance_hotset t;
   (* The delta memo is drain-scoped: entries from a previous drain would
      still be sound (their windows are immutable), clearing just bounds
      memory to one drain's worth of shared work. *)
@@ -943,9 +1049,10 @@ let gc_all t =
       (fun acc (e : entry) ->
         acc
         +
-        match e.aux_of with
-        | Some ae -> Auxiliary.gc ae
-        | None -> Controller.gc e.controller)
+        match (e.aux_of, e.hot_of) with
+        | Some ae, _ -> Auxiliary.gc ae
+        | None, Some he -> Hotset.gc he
+        | None, None -> Controller.gc e.controller)
       0 t.entries
   in
   ignore (reclaim_wal t);
@@ -963,11 +1070,12 @@ let status_json t =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"view\":%s,\"as_of\":%d,\"hwm\":%d,\"staleness\":%d,\"sla\":%d,\"slack\":%d,\"delta_rows\":%d,\"paused\":%b,\"retries\":%d,\"aborts\":%d,\"recoveries\":%d,\"memo_hits\":%d,\"memo_misses\":%d,\"shared_builds\":%d,\"aux\":%b,\"aux_hits\":%d,\"aux_misses\":%d,\"aux_lag\":%d,\"reads_served\":%d,\"reads_rejected\":%d,\"read_wait\":%s}"
+           "{\"view\":%s,\"as_of\":%d,\"hwm\":%d,\"staleness\":%d,\"sla\":%d,\"slack\":%d,\"delta_rows\":%d,\"paused\":%b,\"retries\":%d,\"aborts\":%d,\"recoveries\":%d,\"memo_hits\":%d,\"memo_misses\":%d,\"shared_builds\":%d,\"aux\":%b,\"aux_hits\":%d,\"aux_misses\":%d,\"aux_lag\":%d,\"hot\":%b,\"hot_hits\":%d,\"hot_misses\":%d,\"heavy_keys\":%d,\"light_rows\":%d,\"reads_served\":%d,\"reads_rejected\":%d,\"read_wait\":%s}"
            (E.json_string s.name) s.as_of s.hwm s.staleness s.sla s.slack
            s.delta_rows s.paused s.retries s.aborts s.recoveries s.memo_hits
            s.memo_misses s.shared_builds s.aux s.aux_hits s.aux_misses
-           s.aux_lag s.reads_served s.reads_rejected
+           s.aux_lag s.hot s.hot_hits s.hot_misses s.heavy_keys s.light_rows
+           s.reads_served s.reads_rejected
            (E.json_float s.read_wait)))
     (status t);
   Buffer.add_char buf ']';
@@ -1028,14 +1136,15 @@ let schedule_json ?full t =
       in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"item\":%s,\"kind\":%s,\"score\":%s,\"staleness\":%d,\"slack\":%d,\"est_rows\":%d,\"est_cost\":%s,\"deferred\":%b,\"readers\":%d,\"aux\":%b,\"window\":%s}"
+           "{\"item\":%s,\"kind\":%s,\"score\":%s,\"staleness\":%d,\"slack\":%d,\"est_rows\":%d,\"est_cost\":%s,\"deferred\":%b,\"readers\":%d,\"aux\":%b,\"hot\":%b,\"window\":%s}"
            (E.json_string
               (Format.asprintf "%a" Scheduler.pp_item s.Scheduler.item))
            (E.json_string (Scheduler.kind_name s.Scheduler.item))
            (E.json_float s.Scheduler.score)
            s.Scheduler.staleness s.Scheduler.slack s.Scheduler.est_rows
            (E.json_float s.Scheduler.est_cost)
-           s.Scheduler.deferred s.Scheduler.readers s.Scheduler.aux window))
+           s.Scheduler.deferred s.Scheduler.readers s.Scheduler.aux
+           s.Scheduler.hot window))
     (schedule ?full t);
   Buffer.add_char buf ']';
   Buffer.contents buf

@@ -1,7 +1,12 @@
 type t = { cdf : float array }
 
 let create ~n ~theta =
-  if n <= 0 then invalid_arg "Zipf.create";
+  if n <= 0 then
+    invalid_arg (Printf.sprintf "Zipf.create: n must be positive (got %d)" n);
+  if not (Float.is_finite theta) || theta < 0.0 then
+    invalid_arg
+      (Printf.sprintf "Zipf.create: theta must be finite and >= 0 (got %g)"
+         theta);
   let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
   let total = Array.fold_left ( +. ) 0.0 weights in
   let cdf = Array.make n 0.0 in

@@ -9,7 +9,10 @@ type t
 val create : n:int -> theta:float -> t
 (** [create ~n ~theta] prepares a sampler over [\[0, n)] with skew parameter
     [theta] ([theta = 0.] is uniform; larger is more skewed). The cumulative
-    distribution is precomputed in O(n). *)
+    distribution is precomputed in O(n).
+    @raise Invalid_argument if [n <= 0], or if [theta] is negative or
+    non-finite (NaN/infinite weights would otherwise poison the CDF and
+    make {!sample} loop on garbage). *)
 
 val sample : t -> Prng.t -> int
 

@@ -162,6 +162,33 @@ let test_zipf_uniform () =
         Alcotest.failf "theta=0 should be near-uniform, got bucket %d" c)
     counts
 
+(* Degenerate parameters are rejected up front rather than producing a
+   NaN-poisoned cdf whose sampler never terminates or always returns 0. *)
+let test_zipf_degenerate () =
+  let rejected msg f =
+    Alcotest.(check bool) msg true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejected "n = 0" (fun () -> Zipf.create ~n:0 ~theta:1.0);
+  rejected "n < 0" (fun () -> Zipf.create ~n:(-3) ~theta:1.0);
+  rejected "theta < 0" (fun () -> Zipf.create ~n:10 ~theta:(-0.5));
+  rejected "theta nan" (fun () -> Zipf.create ~n:10 ~theta:Float.nan);
+  rejected "theta infinite" (fun () -> Zipf.create ~n:10 ~theta:Float.infinity);
+  (* The surviving edges still sample within range. *)
+  let g = Prng.create ~seed:4 in
+  let solo = Zipf.create ~n:1 ~theta:2.0 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "n=1 always rank 0" 0 (Zipf.sample solo g)
+  done;
+  let sharp = Zipf.create ~n:4 ~theta:50.0 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "huge theta collapses to rank 0" 0
+      (Zipf.sample sharp g)
+  done
+
 (* --- Summary --- *)
 
 let test_summary_stats () =
@@ -221,6 +248,8 @@ let suite =
     Alcotest.test_case "prng ranges" `Quick test_prng_ranges;
     Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
     Alcotest.test_case "zipf theta=0 uniform" `Quick test_zipf_uniform;
+    Alcotest.test_case "zipf degenerate params rejected" `Quick
+      test_zipf_degenerate;
     Alcotest.test_case "summary statistics" `Quick test_summary_stats;
     Alcotest.test_case "summary empty" `Quick test_summary_empty;
     qtest prop_summary_mean;

@@ -138,6 +138,47 @@ let test_chain_cancellation_removes_lines () =
       if not !found then Alcotest.fail "dangling line item")
     lines
 
+(* The skew knob is honest: the empirical rank-frequency curve of
+   [Zipf.sample] is log-log linear with slope ≈ -theta, so a workload
+   configured with [zipf_theta] actually exercises that degree of skew.
+   Least-squares fit over the ten most popular ranks (large counts, so
+   sampling noise stays well inside the tolerance at 50k draws). *)
+let test_zipf_rank_frequency_slope () =
+  let module Zipf = Roll_util.Zipf in
+  let fitted_slope theta =
+    let n = 50 and draws = 50_000 and ranks = 10 in
+    let rng = Prng.create ~seed:42 in
+    let z = Zipf.create ~n ~theta in
+    let counts = Array.make n 0 in
+    for _ = 1 to draws do
+      let k = Zipf.sample z rng in
+      counts.(k) <- counts.(k) + 1
+    done;
+    (* Popularity must decrease with rank before we fit anything. *)
+    for k = 0 to ranks - 2 do
+      if counts.(k) < counts.(k + 1) - (draws / 100) then
+        Alcotest.failf "theta %g: rank %d (%d) below rank %d (%d)" theta k
+          counts.(k) (k + 1)
+          counts.(k + 1)
+    done;
+    let xs = Array.init ranks (fun k -> log (float_of_int (k + 1))) in
+    let ys = Array.init ranks (fun k -> log (float_of_int counts.(k))) in
+    let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int ranks in
+    let mx = mean xs and my = mean ys in
+    let num = ref 0.0 and den = ref 0.0 in
+    for k = 0 to ranks - 1 do
+      num := !num +. ((xs.(k) -. mx) *. (ys.(k) -. my));
+      den := !den +. ((xs.(k) -. mx) *. (xs.(k) -. mx))
+    done;
+    !num /. !den
+  in
+  List.iter
+    (fun theta ->
+      let slope = fitted_slope theta in
+      if Float.abs (slope +. theta) > 0.15 then
+        Alcotest.failf "theta %g: fitted rank-frequency slope %g" theta slope)
+    [ 0.5; 1.0; 1.5 ]
+
 let suite =
   [
     Alcotest.test_case "live set" `Quick test_live_set;
@@ -148,4 +189,6 @@ let suite =
       test_star_dimension_updates_reach_view;
     Alcotest.test_case "chain workload" `Quick test_chain_workload;
     Alcotest.test_case "chain cancellations" `Quick test_chain_cancellation_removes_lines;
+    Alcotest.test_case "zipf rank-frequency slope tracks theta" `Quick
+      test_zipf_rank_frequency_slope;
   ]
